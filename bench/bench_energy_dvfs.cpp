@@ -1,0 +1,95 @@
+// Extension bench: DVFS energy projection (the paper's §VIII future work).
+//
+// "We currently plan to leverage the idle time for non representative
+// processes at interim execution points by utilizing DVFS. This would
+// reduce energy consumption and make clustered tracing energy efficient."
+//
+// For each tool we run LU and BT, collect per-rank wait time from the
+// engine, and project package energy with and without DVFS harvesting.
+// Expected shape: ScalaTrace adds the most harvestable-but-wasteful wait
+// (everyone idles through the finalize merge chain), Chameleon adds the
+// least absolute energy, and the clustered idle time of non-leads is
+// recoverable.
+#include <cstdio>
+
+#include "core/acurdion.hpp"
+#include "core/chameleon.hpp"
+#include "core/energy.hpp"
+#include "harness/experiment.hpp"
+#include "sim/engine.hpp"
+#include "sim/mpi.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace cham;
+
+namespace {
+
+struct Row {
+  double busy_kj;
+  double dvfs_kj;
+  double savings_pct;
+};
+
+Row run_tool(const char* workload, int p, int steps, sim::Tool* tool,
+             trace::CallSiteRegistry& stacks) {
+  const auto* info = workloads::find_workload(workload);
+  sim::Engine engine({.nprocs = p});
+  engine.set_tool(tool);
+  workloads::WorkloadParams params{.cls = 'C', .timesteps = steps};
+  engine.run([&](sim::Mpi& mpi) { info->run(mpi, stacks, params); });
+  const core::EnergyReport report = core::estimate_energy(engine);
+  return Row{report.busy_joules / 1e3, report.dvfs_joules / 1e3,
+             report.savings_fraction * 100.0};
+}
+
+}  // namespace
+
+int main() {
+  const int p = std::min(256, bench::bench_max_p());
+  const int steps = bench::scaled_steps(100);
+
+  support::Table table("Extension: projected package energy with DVFS "
+                       "harvesting of wait time");
+  table.header({"Pgm", "tool", "busy [kJ]", "DVFS [kJ]", "savings",
+                "tracing extra [J]"});
+  support::CsvWriter csv({"workload", "tool", "busy_kj", "dvfs_kj",
+                          "savings_pct", "extra_j"});
+
+  for (const char* workload : {"lu", "bt"}) {
+    const std::size_t k = workload[0] == 'l' ? 9 : 3;
+
+    trace::CallSiteRegistry s0(p);
+    const Row app = run_tool(workload, p, steps, nullptr, s0);
+
+    trace::CallSiteRegistry s1(p);
+    core::ChameleonTool chameleon(p, &s1, {.k = k, .call_frequency = 5});
+    const Row ch = run_tool(workload, p, steps, &chameleon, s1);
+
+    trace::CallSiteRegistry s2(p);
+    trace::ScalaTraceTool scalatrace(p, &s2);
+    const Row st = run_tool(workload, p, steps, &scalatrace, s2);
+
+    const struct {
+      const char* name;
+      const Row& row;
+    } rows[] = {{"app", app}, {"chameleon", ch}, {"scalatrace", st}};
+    for (const auto& [name, row] : rows) {
+      const double extra_j = (row.busy_kj - app.busy_kj) * 1e3;
+      table.row({workload, name, support::Table::num(row.busy_kj, 3),
+                 support::Table::num(row.dvfs_kj, 3),
+                 support::Table::num(row.savings_pct, 1) + "%",
+                 support::Table::num(extra_j, 1)});
+      csv.row({workload, name, std::to_string(row.busy_kj),
+               std::to_string(row.dvfs_kj), std::to_string(row.savings_pct),
+               std::to_string(extra_j)});
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("(extension of the paper's §VIII: wait time of non-lead and "
+            "merge-idle ranks harvested at a 30 W DVFS floor)");
+  bench::save_csv("energy_dvfs", csv.content());
+  return 0;
+}

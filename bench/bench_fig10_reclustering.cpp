@@ -1,0 +1,61 @@
+// Figure 10: re-clustering cost — modified LU, 300 markers, P=1024.
+//
+// The modified LU executes an extra barrier from a new call site every Nth
+// timestep, forcing a phase change and a re-clustering. Sweeping N from 300
+// down to 10 raises the number of re-clusterings from 1 to 30. Expected
+// shape: overhead grows with re-clusterings but stays an order of magnitude
+// below ScalaTrace even at 30 (Observation 7).
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cham;
+  using bench::RunConfig;
+  using bench::ToolKind;
+
+  const int p = std::min(1024, bench::bench_max_p());
+  const int steps = bench::scaled_steps(300);
+
+  support::Table table(
+      "Figure 10: re-clustering cost, modified LU, 300 markers");
+  table.header({"perturb every", "#re-clusterings", "Chameleon [s]",
+                "clustering [s]", "inter [s]"});
+  support::CsvWriter csv({"perturb_every", "reclusterings", "chameleon",
+                          "clustering", "inter"});
+
+  RunConfig base;
+  base.workload = "lu_mod";
+  base.nprocs = p;
+  base.params.cls = 'D';
+  base.params.timesteps = steps;
+  base.cham.k = 9;
+  base.cham.call_frequency = 1;
+
+  for (int divisor : {1, 2, 3, 5, 10, 15, 30}) {
+    RunConfig config = base;
+    config.params.perturb_every = std::max(1, steps / divisor);
+    const auto ch = bench::run_experiment(ToolKind::kChameleon, config);
+    table.row({support::Table::num(static_cast<std::uint64_t>(config.params.perturb_every)),
+               support::Table::num(ch.state_counts[1]),
+               support::Table::num(ch.overhead_seconds, 4),
+               support::Table::num(ch.clustering_seconds, 4),
+               support::Table::num(ch.inter_seconds, 4)});
+    csv.row({std::to_string(config.params.perturb_every),
+             std::to_string(ch.state_counts[1]),
+             std::to_string(ch.overhead_seconds),
+             std::to_string(ch.clustering_seconds),
+             std::to_string(ch.inter_seconds)});
+  }
+
+  const auto st = bench::run_experiment(ToolKind::kScalaTrace, base);
+  table.row({"(ScalaTrace ref)", "-",
+             support::Table::num(st.overhead_seconds, 4), "-",
+             support::Table::num(st.inter_seconds, 4)});
+
+  std::fputs(table.render().c_str(), stdout);
+  bench::save_csv("fig10_reclustering", csv.content());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 11: overhead per method vs. input problem size — LU classes
+// A/B/C/D, P=256, maximum marker-call count.
+//
+// Expected shape (Observation 8): overhead grows with the timestep count
+// and class, but Chameleon stays an order of magnitude below ScalaTrace
+// for every input size.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cham;
+  using bench::RunConfig;
+  using bench::ToolKind;
+
+  const int p = std::min(256, bench::bench_max_p());
+
+  support::Table table(
+      "Figure 11: overhead per method vs input class, LU, P=256");
+  table.header({"Class", "#Steps", "CH:AT", "CH:C", "CH:L", "CH:F",
+                "CH total", "ST total"});
+  support::CsvWriter csv({"class", "steps", "ch_at", "ch_c", "ch_l", "ch_f",
+                          "ch_total", "st_total"});
+
+  for (char cls : {'A', 'B', 'C', 'D'}) {
+    RunConfig config;
+    config.workload = "lu";
+    config.nprocs = p;
+    config.params.cls = cls;
+    config.params.timesteps =
+        bench::scaled_steps(cls == 'D' ? 300 : 250);
+    config.cham.k = 9;
+    config.cham.call_frequency = 1;
+
+    const auto ch = bench::run_experiment(ToolKind::kChameleon, config);
+    const auto st = bench::run_experiment(ToolKind::kScalaTrace, config);
+
+    table.row({std::string(1, cls),
+               support::Table::num(static_cast<std::uint64_t>(config.params.timesteps)),
+               support::Table::num(ch.state_seconds[0], 4),
+               support::Table::num(ch.state_seconds[1], 4),
+               support::Table::num(ch.state_seconds[2], 4),
+               support::Table::num(ch.state_seconds[3], 4),
+               support::Table::num(ch.overhead_seconds, 4),
+               support::Table::num(st.overhead_seconds, 4)});
+    csv.row({std::string(1, cls), std::to_string(config.params.timesteps),
+             std::to_string(ch.state_seconds[0]),
+             std::to_string(ch.state_seconds[1]),
+             std::to_string(ch.state_seconds[2]),
+             std::to_string(ch.state_seconds[3]),
+             std::to_string(ch.overhead_seconds),
+             std::to_string(st.overhead_seconds)});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  bench::save_csv("fig11_problem_sizes", csv.content());
+  return 0;
+}

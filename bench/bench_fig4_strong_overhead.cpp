@@ -1,0 +1,84 @@
+// Figure 4: strong-scaling execution overhead — APP vs Chameleon vs
+// ScalaTrace, per benchmark, over the process counts 16..1024 (EMF:
+// 126..1001). Overhead is aggregated tool CPU seconds (DESIGN.md); the
+// paper plots it on a log axis. Expected shape: ScalaTrace's all-P
+// finalize merge grows steeply with P, Chameleon stays orders of magnitude
+// lower; EMF's tiny 6-event traces let ScalaTrace win at small P with
+// Chameleon ahead by ~2x at P~1000.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cham;
+  using bench::RunConfig;
+  using bench::ToolKind;
+
+  struct Bench {
+    const char* workload;
+    int paper_steps;
+    int freq;
+    std::size_t k;
+    bool emf_procs;  // EMF uses its own P series
+  };
+  const Bench benches[] = {
+      {"bt", 250, 25, 3, false}, {"lu", 300, 20, 9, false},
+      {"sp", 500, 20, 3, false}, {"pop", 20, 1, 3, false},
+      {"emf", 0, 4, 2, true},
+  };
+
+  support::Table table(
+      "Figure 4: strong-scaling aggregated overhead [secs] vs APP");
+  table.header({"Pgm", "P", "APP agg", "Chameleon", "ScalaTrace",
+                "ST/CH ratio", "CH merges", "ST merges"});
+  support::CsvWriter csv(
+      {"workload", "p", "app_vtime", "chameleon", "scalatrace", "ratio", "ch_merges", "st_merges"});
+
+  for (const Bench& bench : benches) {
+    std::vector<int> procs;
+    if (bench.emf_procs) {
+      for (int p : {126, 251, 501, 1001})
+        if (p <= bench::bench_max_p()) procs.push_back(p);
+    } else {
+      procs = bench::strong_scaling_procs();
+    }
+    for (int p : procs) {
+      RunConfig config;
+      config.workload = bench.workload;
+      config.nprocs = p;
+      config.params.cls = 'D';
+      config.params.timesteps =
+          bench.emf_procs ? std::max(1, 36000 / (p - 1) / bench::bench_step_divisor())
+                          : bench::scaled_steps(bench.paper_steps);
+      config.cham.k = bench.k;
+      config.cham.call_frequency = std::max(1, bench.freq / bench::bench_step_divisor());
+
+      const auto app = bench::run_experiment(ToolKind::kNone, config);
+      const auto ch = bench::run_experiment(ToolKind::kChameleon, config);
+      const auto st = bench::run_experiment(ToolKind::kScalaTrace, config);
+      const double ch_ovh = bench::aggregated_overhead(ch, app);
+      const double st_ovh = bench::aggregated_overhead(st, app);
+      const double ratio = ch_ovh > 0 ? st_ovh / ch_ovh : 0;
+      table.row({bench.workload, support::Table::num(static_cast<std::uint64_t>(p)),
+                 support::Table::num(app.vtime_sum, 2),
+                 support::Table::num(ch_ovh, 4),
+                 support::Table::num(st_ovh, 4),
+                 support::Table::num(ratio, 2),
+                 support::Table::num(ch.merge_operations),
+                 support::Table::num(st.merge_operations)});
+      csv.row({bench.workload, std::to_string(p), std::to_string(app.vtime_sum),
+               std::to_string(ch_ovh), std::to_string(st_ovh),
+               std::to_string(ratio), std::to_string(ch.merge_operations),
+               std::to_string(st.merge_operations)});
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "(expected shape: ST/CH ratio grows with P; EMF crosses over near "
+      "P~500)");
+  bench::save_csv("fig4_strong_overhead", csv.content());
+  return 0;
+}

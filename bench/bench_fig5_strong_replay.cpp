@@ -1,0 +1,84 @@
+// Figure 5: strong-scaling replay time and accuracy.
+//
+// Replays the Chameleon online trace and the ScalaTrace global trace with
+// the ScalaReplay-equivalent engine and compares both against the original
+// application's virtual time. Paper accuracies: BT 97.75%, SP 95.5%,
+// LU 91%, POP 89.75%, EMF 87% — Chameleon ~ ScalaTrace throughout.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "replay/replayer.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cham;
+  using bench::RunConfig;
+  using bench::ToolKind;
+
+  struct Bench {
+    const char* workload;
+    int paper_steps;
+    int freq;
+    std::size_t k;
+    bool emf_procs;
+  };
+  const Bench benches[] = {
+      {"bt", 250, 25, 3, false}, {"lu", 300, 20, 9, false},
+      {"sp", 500, 20, 3, false}, {"pop", 20, 1, 3, false},
+      {"emf", 0, 4, 2, true},
+  };
+
+  support::Table table("Figure 5: strong-scaling replay time & accuracy");
+  table.header({"Pgm", "P", "APP", "replay(CH)", "ACC(CH)", "replay(ST)",
+                "ACC(ST)"});
+  support::CsvWriter csv({"workload", "p", "app", "replay_ch", "acc_ch",
+                          "replay_st", "acc_st"});
+
+  for (const Bench& bench : benches) {
+    std::vector<int> procs;
+    if (bench.emf_procs) {
+      for (int p : {126, 251, 501, 1001})
+        if (p <= bench::bench_max_p()) procs.push_back(p);
+    } else {
+      procs = bench::strong_scaling_procs();
+    }
+    for (int p : procs) {
+      RunConfig config;
+      config.workload = bench.workload;
+      config.nprocs = p;
+      config.params.cls = 'D';
+      config.params.timesteps =
+          bench.emf_procs ? std::max(1, 36000 / (p - 1) / bench::bench_step_divisor())
+                          : bench::scaled_steps(bench.paper_steps);
+      config.cham.k = bench.k;
+      config.cham.call_frequency =
+          std::max(1, bench.freq / bench::bench_step_divisor());
+
+      const auto app = bench::run_experiment(ToolKind::kNone, config);
+      const auto ch = bench::run_experiment(ToolKind::kChameleon, config);
+      const auto st = bench::run_experiment(ToolKind::kScalaTrace, config);
+
+      const auto replay_ch = replay::replay_trace(ch.trace, {.nprocs = p});
+      const auto replay_st = replay::replay_trace(st.trace, {.nprocs = p});
+      const double acc_ch = replay::replay_accuracy(app.app_vtime, replay_ch.vtime);
+      const double acc_st = replay::replay_accuracy(app.app_vtime, replay_st.vtime);
+
+      table.row({bench.workload, support::Table::num(static_cast<std::uint64_t>(p)),
+                 support::Table::num(app.app_vtime, 2),
+                 support::Table::num(replay_ch.vtime, 2),
+                 support::Table::percent(acc_ch, 2),
+                 support::Table::num(replay_st.vtime, 2),
+                 support::Table::percent(acc_st, 2)});
+      csv.row({bench.workload, std::to_string(p), std::to_string(app.app_vtime),
+               std::to_string(replay_ch.vtime), std::to_string(acc_ch),
+               std::to_string(replay_st.vtime), std::to_string(acc_st)});
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "(expected shape: ACC(CH) ~ ACC(ST), both near the paper's 87-98%)");
+  bench::save_csv("fig5_strong_replay", csv.content());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 6: weak-scaling execution overhead — LU and Sweep3D.
+//
+// The per-rank problem size stays fixed as P grows. Expected shape
+// (Observation 4): Chameleon 1-3 orders of magnitude below ScalaTrace.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cham;
+  using bench::RunConfig;
+  using bench::ToolKind;
+
+  struct Bench {
+    const char* workload;
+    int paper_steps;
+    int freq;
+    std::size_t k;
+  };
+  const Bench benches[] = {{"luw", 250, 25, 9}, {"sweep3d", 10, 1, 9}};
+
+  support::Table table("Figure 6: weak-scaling aggregated overhead [secs]");
+  table.header({"Pgm", "P", "APP agg", "Chameleon", "ScalaTrace",
+                "ST/CH ratio", "CH merges", "ST merges"});
+  support::CsvWriter csv(
+      {"workload", "p", "app_vtime", "chameleon", "scalatrace", "ratio", "ch_merges", "st_merges"});
+
+  for (const Bench& bench : benches) {
+    for (int p : bench::strong_scaling_procs()) {
+      RunConfig config;
+      config.workload = bench.workload;
+      config.nprocs = p;
+      config.params.cls = 'D';
+      config.params.timesteps = bench::scaled_steps(bench.paper_steps);
+      config.params.weak = true;
+      config.cham.k = bench.k;
+      config.cham.call_frequency =
+          std::max(1, bench.freq / bench::bench_step_divisor());
+
+      const auto app = bench::run_experiment(ToolKind::kNone, config);
+      const auto ch = bench::run_experiment(ToolKind::kChameleon, config);
+      const auto st = bench::run_experiment(ToolKind::kScalaTrace, config);
+      const double ch_ovh = bench::aggregated_overhead(ch, app);
+      const double st_ovh = bench::aggregated_overhead(st, app);
+      const double ratio = ch_ovh > 0 ? st_ovh / ch_ovh : 0;
+      table.row({bench.workload, support::Table::num(static_cast<std::uint64_t>(p)),
+                 support::Table::num(app.vtime_sum, 2),
+                 support::Table::num(ch_ovh, 4), support::Table::num(st_ovh, 4),
+                 support::Table::num(ratio, 2),
+                 support::Table::num(ch.merge_operations),
+                 support::Table::num(st.merge_operations)});
+      csv.row({bench.workload, std::to_string(p), std::to_string(app.vtime_sum),
+               std::to_string(ch_ovh), std::to_string(st_ovh),
+               std::to_string(ratio), std::to_string(ch.merge_operations),
+               std::to_string(st.merge_operations)});
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  bench::save_csv("fig6_weak_overhead", csv.content());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 7: weak-scaling replay time and accuracy — LU and Sweep3D.
+//
+// Paper: LU 90.75%, Sweep3D 98.32% relative to application runtime; the
+// Sweep3D load imbalance is absorbed by the delta-time histograms
+// (Observation 5).
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "replay/replayer.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cham;
+  using bench::RunConfig;
+  using bench::ToolKind;
+
+  struct Bench {
+    const char* workload;
+    int paper_steps;
+    int freq;
+    std::size_t k;
+  };
+  const Bench benches[] = {{"luw", 250, 25, 9}, {"sweep3d", 10, 1, 9}};
+
+  support::Table table("Figure 7: weak-scaling replay time & accuracy");
+  table.header({"Pgm", "P", "APP", "replay(CH)", "ACC(CH)", "replay(ST)",
+                "ACC(ST)"});
+  support::CsvWriter csv({"workload", "p", "app", "replay_ch", "acc_ch",
+                          "replay_st", "acc_st"});
+
+  for (const Bench& bench : benches) {
+    for (int p : bench::strong_scaling_procs()) {
+      RunConfig config;
+      config.workload = bench.workload;
+      config.nprocs = p;
+      config.params.cls = 'D';
+      config.params.timesteps = bench::scaled_steps(bench.paper_steps);
+      config.params.weak = true;
+      config.cham.k = bench.k;
+      config.cham.call_frequency =
+          std::max(1, bench.freq / bench::bench_step_divisor());
+
+      const auto app = bench::run_experiment(ToolKind::kNone, config);
+      const auto ch = bench::run_experiment(ToolKind::kChameleon, config);
+      const auto st = bench::run_experiment(ToolKind::kScalaTrace, config);
+      const auto replay_ch = replay::replay_trace(ch.trace, {.nprocs = p});
+      const auto replay_st = replay::replay_trace(st.trace, {.nprocs = p});
+      const double acc_ch = replay::replay_accuracy(app.app_vtime, replay_ch.vtime);
+      const double acc_st = replay::replay_accuracy(app.app_vtime, replay_st.vtime);
+
+      table.row({bench.workload, support::Table::num(static_cast<std::uint64_t>(p)),
+                 support::Table::num(app.app_vtime, 2),
+                 support::Table::num(replay_ch.vtime, 2),
+                 support::Table::percent(acc_ch, 2),
+                 support::Table::num(replay_st.vtime, 2),
+                 support::Table::percent(acc_st, 2)});
+      csv.row({bench.workload, std::to_string(p), std::to_string(app.app_vtime),
+               std::to_string(replay_ch.vtime), std::to_string(acc_ch),
+               std::to_string(replay_st.vtime), std::to_string(acc_st)});
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  bench::save_csv("fig7_weak_replay", csv.content());
+  return 0;
+}

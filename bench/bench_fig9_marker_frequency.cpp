@@ -1,0 +1,56 @@
+// Figure 9: Chameleon overhead vs. number of processed marker calls —
+// LU class D, P=1024.
+//
+// Call_Frequency sweeps the number of processed markers from a handful up
+// to one per timestep (300). Expected shape: overhead rises with marker
+// calls, maxing out at 300, yet stays an order of magnitude below
+// ScalaTrace's.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cham;
+  using bench::RunConfig;
+  using bench::ToolKind;
+
+  const int p = std::min(1024, bench::bench_max_p());
+  const int steps = bench::scaled_steps(300);
+
+  support::Table table("Figure 9: overhead vs # marker calls, LU class D");
+  table.header({"#Marker calls", "Chameleon [s]", "clustering [s]",
+                "inter [s]"});
+  support::CsvWriter csv({"calls", "chameleon", "clustering", "inter"});
+
+  RunConfig base;
+  base.workload = "lu";
+  base.nprocs = p;
+  base.params.cls = 'D';
+  base.params.timesteps = steps;
+  base.cham.k = 9;
+
+  for (int calls : {steps / 20, steps / 10, steps / 4, steps / 2, steps}) {
+    if (calls < 1) continue;
+    RunConfig config = base;
+    config.cham.call_frequency = std::max(1, steps / calls);
+    const auto ch = bench::run_experiment(ToolKind::kChameleon, config);
+    table.row({support::Table::num(ch.markers_processed),
+               support::Table::num(ch.overhead_seconds, 4),
+               support::Table::num(ch.clustering_seconds, 4),
+               support::Table::num(ch.inter_seconds, 4)});
+    csv.row({std::to_string(ch.markers_processed),
+             std::to_string(ch.overhead_seconds),
+             std::to_string(ch.clustering_seconds),
+             std::to_string(ch.inter_seconds)});
+  }
+
+  const auto st = bench::run_experiment(ToolKind::kScalaTrace, base);
+  table.row({"(ScalaTrace ref)", support::Table::num(st.overhead_seconds, 4),
+             "-", support::Table::num(st.inter_seconds, 4)});
+
+  std::fputs(table.render().c_str(), stdout);
+  bench::save_csv("fig9_marker_frequency", csv.content());
+  return 0;
+}

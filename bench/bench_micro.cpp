@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) for the core data-path operations:
+// RSD append/fold, inter-node merge, signature computation, ranklist
+// algebra, cluster-set shrinking. These are the per-event / per-marker
+// primitives whose costs the paper's complexity analysis (O(n),
+// O(n^2 log P/K), O(K^3)) is about.
+#include <benchmark/benchmark.h>
+
+#include "cluster/clusterset.hpp"
+#include "cluster/signature.hpp"
+#include "trace/merge.hpp"
+#include "trace/rsd.hpp"
+#include "trace/serialize.hpp"
+
+namespace {
+
+using namespace cham;
+
+trace::EventRecord make_event(std::uint64_t stack, int offset = 1) {
+  trace::EventRecord ev;
+  ev.op = sim::Op::kSend;
+  ev.stack_sig = stack;
+  ev.dest = trace::Endpoint{trace::Endpoint::Kind::kRelative, offset};
+  ev.bytes = 1024;
+  ev.ranks = trace::RankList::single(0);
+  ev.delta.add(0.001);
+  return ev;
+}
+
+void BM_IntraAppendFolding(benchmark::State& state) {
+  // Appends that fold perfectly: the hot path of a steady loop.
+  const auto body = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    trace::IntraTrace trace;
+    for (int iter = 0; iter < 256; ++iter) {
+      for (std::uint64_t e = 0; e < body; ++e)
+        trace.append(make_event(e + 1));
+    }
+    benchmark::DoNotOptimize(trace.nodes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * state.range(0));
+}
+BENCHMARK(BM_IntraAppendFolding)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_IntraAppendNoFold(benchmark::State& state) {
+  // Worst case: every event distinct, nothing folds.
+  for (auto _ : state) {
+    trace::IntraTrace trace;
+    for (std::uint64_t e = 0; e < 256; ++e) trace.append(make_event(e * 7 + 1));
+    benchmark::DoNotOptimize(trace.nodes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_IntraAppendNoFold);
+
+void BM_InterMerge(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::vector<trace::TraceNode> a, b;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a.push_back(trace::TraceNode::leaf(make_event(i + 1)));
+    trace::EventRecord other = make_event(i + 1);
+    other.ranks = trace::RankList::single(1);
+    b.push_back(trace::TraceNode::leaf(other));
+  }
+  for (auto _ : state) {
+    auto merged = trace::inter_merge(a, b);
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_InterMerge)->Range(4, 128)->Complexity(benchmark::oNSquared);
+
+void BM_IntervalSignature(benchmark::State& state) {
+  const auto distinct = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    cluster::IntervalSignature sig;
+    for (int e = 0; e < 1024; ++e)
+      sig.observe(make_event(static_cast<std::uint64_t>(e) % distinct + 1));
+    benchmark::DoNotOptimize(sig.current());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_IntervalSignature)->Arg(4)->Arg(32);
+
+void BM_RanklistMergeAndFactor(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    trace::RankList acc;
+    for (int r = 0; r < p; ++r) acc.merge(trace::RankList::single(r));
+    benchmark::DoNotOptimize(acc.sections());
+  }
+}
+BENCHMARK(BM_RanklistMergeAndFactor)->Arg(64)->Arg(1024);
+
+void BM_ClusterShrink(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cluster::ClusterSet base;
+  for (int r = 0; r < n; ++r) {
+    base.absorb(cluster::ClusterSet::leaf(
+        r, cluster::RankSignature{1, static_cast<std::uint64_t>(r * 37), 0}));
+  }
+  for (auto _ : state) {
+    cluster::ClusterSet set = base;
+    set.shrink(9, cluster::SelectPolicy::kFarthest);
+    benchmark::DoNotOptimize(set.total_clusters());
+  }
+}
+BENCHMARK(BM_ClusterShrink)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TraceSerializeRoundTrip(benchmark::State& state) {
+  trace::IntraTrace trace;
+  for (int iter = 0; iter < 100; ++iter)
+    for (std::uint64_t e = 0; e < 8; ++e) trace.append(make_event(e + 1));
+  const auto& nodes = trace.nodes();
+  for (auto _ : state) {
+    auto bytes = trace::encode_trace(nodes);
+    auto decoded = trace::decode_trace(bytes);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+}
+BENCHMARK(BM_TraceSerializeRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table I: number of clusters per benchmark.
+//
+// The paper fixes K a priori (3 for BT/SP/POP, 9 for LU/S3D/LUW, 2 for
+// EMF). We run each benchmark under Chameleon with that budget and report
+// the measured cluster structure: the configured K, the number of distinct
+// Call-Paths, and the effective number of clusters actually used.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cham;
+  using bench::RunConfig;
+  using bench::ToolKind;
+
+  struct Row {
+    const char* workload;
+    int nprocs;
+    std::size_t paper_k;
+    bool weak;
+  };
+  const Row rows[] = {
+      {"bt", 64, 3, false},     {"lu", 64, 9, false},  {"sp", 64, 3, false},
+      {"pop", 64, 3, false},    {"sweep3d", 64, 9, false},
+      {"luw", 64, 9, true},     {"emf", 126, 2, false},
+  };
+
+  support::Table table("Table I: # of clusters for the tested benchmarks");
+  table.header({"Pgm", "K (paper)", "K (effective)", "#Call-Paths"});
+  support::CsvWriter csv({"workload", "k_paper", "k_effective", "callpaths"});
+
+  for (const Row& row : rows) {
+    RunConfig config;
+    config.workload = row.workload;
+    config.nprocs = std::min(row.nprocs, bench::bench_max_p());
+    config.params.cls = 'A';  // cluster structure is size-independent
+    config.params.timesteps = bench::scaled_steps(20);
+    config.params.weak = row.weak;
+    config.cham.k = row.paper_k;
+
+    const auto outcome =
+        bench::run_experiment(ToolKind::kChameleon, config);
+    table.row({row.workload, support::Table::num(static_cast<std::uint64_t>(row.paper_k)),
+               support::Table::num(static_cast<std::uint64_t>(outcome.effective_k)),
+               support::Table::num(static_cast<std::uint64_t>(outcome.num_callpaths))});
+    csv.row({row.workload, std::to_string(row.paper_k),
+             std::to_string(outcome.effective_k),
+             std::to_string(outcome.num_callpaths)});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  bench::save_csv("table1_clusters", csv.content());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Table II: number of marker calls and per-state counts (C / L / AT).
+//
+// Paper row format: Pgm(P)  #Iters  #Freq  #Calls  #C  #L  #AT.
+// Expected shape: exactly one clustering per run and L >= 70% of calls.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace cham;
+using bench::RunConfig;
+using bench::ToolKind;
+
+struct Row {
+  const char* workload;
+  int nprocs;
+  int iters;
+  int freq;
+  char cls;
+  bool weak;
+};
+
+}  // namespace
+
+int main() {
+  // The paper's Table II rows (P capped by CHAM_BENCH_MAXP for small hosts).
+  const Row rows[] = {
+      {"bt", 1024, 250, 25, 'D', false},  {"lu", 1024, 300, 20, 'D', false},
+      {"sp", 1024, 500, 20, 'D', false},  {"pop", 1024, 20, 1, 'D', false},
+      {"sweep3d", 1024, 10, 1, 'D', false}, {"luw", 1024, 250, 25, 'D', true},
+      {"emf", 126, 288, 32, 'D', false},  {"emf", 251, 144, 16, 'D', false},
+      {"emf", 501, 72, 8, 'D', false},    {"emf", 1001, 36, 4, 'D', false},
+  };
+
+  support::Table table(
+      "Table II: # marker calls and states Clustering(C)/Lead(L)/AllTracing(AT)");
+  table.header({"Pgm (P)", "#Iters", "#Freq", "#Calls", "#C", "#L", "#AT"});
+  support::CsvWriter csv(
+      {"workload", "p", "iters", "freq", "calls", "c", "l", "at"});
+
+  for (const Row& row : rows) {
+    const int p = std::min(row.nprocs, bench::bench_max_p());
+    const int divisor = bench::bench_step_divisor();
+    const int iters = bench::scaled_steps(row.iters);
+    const int freq = std::max(1, row.freq / divisor);
+
+    RunConfig config;
+    config.workload = row.workload;
+    config.nprocs = p;
+    config.params.cls = row.cls;
+    config.params.timesteps = iters;
+    config.params.weak = row.weak;
+    config.cham.call_frequency = freq;
+
+    const auto outcome = bench::run_experiment(ToolKind::kChameleon, config);
+    char label[64];
+    std::snprintf(label, sizeof label, "%s(%d)", row.workload, p);
+    table.row({label, support::Table::num(static_cast<std::uint64_t>(iters)),
+               support::Table::num(static_cast<std::uint64_t>(freq)),
+               support::Table::num(outcome.markers_processed),
+               support::Table::num(outcome.state_counts[1]),
+               support::Table::num(outcome.state_counts[2]),
+               support::Table::num(outcome.state_counts[0])});
+    csv.row({row.workload, std::to_string(p), std::to_string(iters),
+             std::to_string(freq), std::to_string(outcome.markers_processed),
+             std::to_string(outcome.state_counts[1]),
+             std::to_string(outcome.state_counts[2]),
+             std::to_string(outcome.state_counts[0])});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  bench::save_csv("table2_markers", csv.content());
+  return 0;
+}

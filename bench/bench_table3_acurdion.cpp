@@ -1,0 +1,48 @@
+// Table III: execution overhead, ACURDION vs Chameleon — BT class D.
+//
+// ACURDION clusters once at MPI_Finalize; Chameleon processes markers all
+// run long. The paper constrains Chameleon to the maximum number of marker
+// calls (250 for BT class D) and finds its overhead roughly 2x ACURDION's.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cham;
+  using bench::RunConfig;
+  using bench::ToolKind;
+
+  support::Table table("Table III: overhead [secs of tool CPU], BT class D");
+  table.header({"P", "ACURDION", "Chameleon", "CH/AC ratio"});
+  support::CsvWriter csv({"p", "acurdion", "chameleon", "ratio"});
+
+  for (int p : bench::strong_scaling_procs()) {
+    RunConfig config;
+    config.workload = "bt";
+    config.nprocs = p;
+    config.params.cls = 'D';
+    config.params.timesteps = bench::scaled_steps(250);
+    config.cham.k = 3;
+    config.cham.call_frequency = 1;  // maximum marker-call count
+
+    const auto ac = bench::run_experiment(ToolKind::kAcurdion, config);
+    const auto ch = bench::run_experiment(ToolKind::kChameleon, config);
+    // Compare the clustering machinery itself (signatures + clustering +
+    // inter-compression); intra-node tracing is identical in both tools.
+    const double ac_cost = ac.clustering_seconds + ac.inter_seconds;
+    const double ch_cost = ch.clustering_seconds + ch.inter_seconds;
+    table.row({support::Table::num(static_cast<std::uint64_t>(p)),
+               support::Table::num(ac_cost, 4), support::Table::num(ch_cost, 4),
+               support::Table::num(ac_cost > 0 ? ch_cost / ac_cost : 0.0, 2)});
+    csv.row({std::to_string(p), std::to_string(ac_cost),
+             std::to_string(ch_cost),
+             std::to_string(ac_cost > 0 ? ch_cost / ac_cost : 0.0)});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("(expected shape: Chameleon ~2x ACURDION at max marker calls)");
+  bench::save_csv("table3_acurdion", csv.content());
+  return 0;
+}

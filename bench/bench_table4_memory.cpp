@@ -1,0 +1,85 @@
+// Table IV: memory allocation for traces in bytes — BT class D, P=256.
+//
+// Paper shape: 3 lead processes; rank 0 additionally holds the global
+// online trace (~+49% vs. the no-clustering baseline), the other leads
+// hold roughly half (only their per-interval partial), and all non-leads
+// allocate 0 bytes per call in the L state (~-99% on average).
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cham;
+  using bench::RunConfig;
+  using bench::ToolKind;
+
+  const int p = std::min(256, bench::bench_max_p());
+  RunConfig config;
+  config.workload = "bt";
+  config.nprocs = p;
+  config.params.cls = 'D';
+  config.params.timesteps = bench::scaled_steps(250);
+  config.cham.k = 3;
+  config.cham.call_frequency = 1;
+
+  const auto outcome =
+      bench::run_experiment(ToolKind::kChameleon, config, /*keep_rank_bytes=*/true);
+
+  // Identify the leads: ranks whose L-state bytes are nonzero (plus rank 0).
+  std::vector<int> leads;
+  for (int r = 0; r < p; ++r) {
+    if (outcome.rank_state_bytes[static_cast<std::size_t>(r)][2].bytes_per_call() > 0)
+      leads.push_back(r);
+  }
+
+  const char* state_names[4] = {"All Tracing (AT)", "Clustering (C)",
+                                "Lead (L)", "Finalize (F)"};
+  char title[128];
+  std::snprintf(title, sizeof title,
+                "Table IV: trace memory in bytes, BT class D, P=%d (%zu leads)",
+                p, leads.size());
+  support::Table table(title);
+  std::vector<std::string> header = {"State", "#Calls"};
+  for (int lead : leads) header.push_back("rank " + std::to_string(lead) +
+                                          (lead == 0 ? "*" : ""));
+  header.push_back("non-lead avg");
+  table.header(header);
+  support::CsvWriter csv({"state", "calls", "lead_rank", "bytes_per_call"});
+
+  for (std::size_t s : {0u, 1u, 2u, 3u}) {
+    std::vector<std::string> cells = {state_names[s]};
+    std::uint64_t calls = 0;
+    for (int lead : leads) {
+      calls = std::max(
+          calls, outcome.rank_state_bytes[static_cast<std::size_t>(lead)][s].calls);
+    }
+    cells.push_back(support::Table::num(calls));
+    for (int lead : leads) {
+      const auto& bucket =
+          outcome.rank_state_bytes[static_cast<std::size_t>(lead)][s];
+      cells.push_back(support::Table::num(bucket.bytes_per_call()));
+      csv.row({state_names[s], std::to_string(bucket.calls),
+               std::to_string(lead), std::to_string(bucket.bytes_per_call())});
+    }
+    // Average over non-leads.
+    std::uint64_t total = 0;
+    std::uint64_t count = 0;
+    for (int r = 0; r < p; ++r) {
+      if (std::find(leads.begin(), leads.end(), r) != leads.end()) continue;
+      total += outcome.rank_state_bytes[static_cast<std::size_t>(r)][s].bytes_per_call();
+      ++count;
+    }
+    const std::uint64_t avg = count ? total / count : 0;
+    cells.push_back(support::Table::num(avg));
+    csv.row({state_names[s], "-", "-1", std::to_string(avg)});
+    table.row(cells);
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("* rank 0 holds its own partial trace plus the global online trace");
+  bench::save_csv("table4_memory", csv.content());
+  return 0;
+}

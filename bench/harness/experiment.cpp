@@ -1,0 +1,142 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/acurdion.hpp"
+#include "sim/engine.hpp"
+#include "support/logging.hpp"
+
+namespace cham::bench {
+
+const char* tool_name(ToolKind kind) {
+  switch (kind) {
+    case ToolKind::kNone: return "app";
+    case ToolKind::kScalaTrace: return "scalatrace";
+    case ToolKind::kChameleon: return "chameleon";
+    case ToolKind::kAcurdion: return "acurdion";
+  }
+  return "?";
+}
+
+RunOutcome run_experiment(ToolKind kind, const RunConfig& config,
+                          bool keep_rank_bytes) {
+  const workloads::WorkloadInfo* info =
+      workloads::find_workload(config.workload);
+  CHAM_CHECK_MSG(info != nullptr, "unknown workload: " + config.workload);
+
+  core::ChameleonConfig cham = config.cham;
+  if (cham.k == 0) cham.k = info->default_k;
+
+  sim::Engine engine({.nprocs = config.nprocs});
+  trace::CallSiteRegistry stacks(config.nprocs);
+
+  std::optional<trace::ScalaTraceTool> scalatrace;
+  std::optional<core::ChameleonTool> chameleon;
+  std::optional<core::AcurdionTool> acurdion;
+  switch (kind) {
+    case ToolKind::kNone:
+      break;
+    case ToolKind::kScalaTrace:
+      scalatrace.emplace(config.nprocs, &stacks,
+                         trace::TracerOptions{.max_window = cham.max_window});
+      engine.set_tool(&*scalatrace);
+      break;
+    case ToolKind::kChameleon:
+      chameleon.emplace(config.nprocs, &stacks, cham);
+      engine.set_tool(&*chameleon);
+      break;
+    case ToolKind::kAcurdion:
+      acurdion.emplace(config.nprocs, &stacks, cham);
+      engine.set_tool(&*acurdion);
+      break;
+  }
+
+  engine.run([&](sim::Mpi& mpi) { info->run(mpi, stacks, config.params); });
+
+  RunOutcome out;
+  out.app_vtime = engine.max_vtime();
+  out.vtime_sum = engine.vtime_sum();
+  if (scalatrace.has_value()) {
+    out.intra_seconds = scalatrace->intra_seconds();
+    out.merge_operations = scalatrace->merge_operations();
+    out.merge_bytes = scalatrace->merge_bytes();
+    out.inter_seconds = scalatrace->inter_seconds();
+    out.tool_cpu_seconds = out.intra_seconds + out.inter_seconds;
+    out.overhead_seconds = out.inter_seconds;
+    out.trace = scalatrace->global_trace();
+  } else if (chameleon.has_value()) {
+    out.intra_seconds = chameleon->intra_seconds();
+    out.merge_operations = chameleon->merge_operations();
+    out.merge_bytes = chameleon->merge_bytes();
+    out.clustering_seconds = chameleon->clustering_seconds();
+    out.inter_seconds = chameleon->inter_seconds();
+    out.tool_cpu_seconds = chameleon->total_tool_seconds();
+    out.overhead_seconds = out.clustering_seconds + out.inter_seconds;
+    out.trace = chameleon->online_trace();
+    out.markers_processed = chameleon->marker_calls_processed();
+    for (std::size_t s = 0; s < 4; ++s) {
+      out.state_counts[s] =
+          chameleon->state_count(static_cast<core::MarkerState>(s));
+      out.state_seconds[s] =
+          chameleon->state_seconds(static_cast<core::MarkerState>(s));
+    }
+    out.effective_k = chameleon->effective_k();
+    out.num_callpaths = chameleon->num_callpath_clusters();
+    if (keep_rank_bytes) {
+      out.rank_state_bytes.resize(static_cast<std::size_t>(config.nprocs));
+      for (int r = 0; r < config.nprocs; ++r) {
+        for (std::size_t s = 0; s < 4; ++s) {
+          out.rank_state_bytes[static_cast<std::size_t>(r)][s] =
+              chameleon->rank_state_bytes(r, static_cast<core::MarkerState>(s));
+        }
+      }
+    }
+  } else if (acurdion.has_value()) {
+    out.intra_seconds = acurdion->intra_seconds();
+    out.merge_operations = acurdion->merge_operations();
+    out.merge_bytes = acurdion->merge_bytes();
+    out.clustering_seconds = acurdion->clustering_seconds();
+    out.inter_seconds = acurdion->inter_seconds();
+    out.tool_cpu_seconds = acurdion->total_tool_seconds();
+    out.overhead_seconds = out.clustering_seconds + out.inter_seconds;
+    out.trace = acurdion->global_trace();
+    out.effective_k = acurdion->effective_k();
+  }
+  return out;
+}
+
+namespace {
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::max(1, std::atoi(value));
+}
+}  // namespace
+
+int bench_max_p() { return env_int("CHAM_BENCH_MAXP", 1024); }
+
+int bench_step_divisor() { return env_int("CHAM_BENCH_STEP_DIVISOR", 1); }
+
+std::vector<int> strong_scaling_procs() {
+  std::vector<int> procs;
+  for (int p : {16, 64, 256, 1024}) {
+    if (p <= bench_max_p()) procs.push_back(p);
+  }
+  return procs;
+}
+
+int scaled_steps(int paper_steps) {
+  return std::max(4, paper_steps / bench_step_divisor());
+}
+
+void save_csv(const std::string& name, const std::string& content) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream out("bench_results/" + name + ".csv", std::ios::trunc);
+  if (out) out << content;
+}
+
+}  // namespace cham::bench

@@ -1,0 +1,86 @@
+// Example: trace a 2-D wavefront stencil (LU-style) under all three tools
+// and compare what each one costs and produces.
+//
+// Demonstrates:
+//   * running the same workload uninstrumented / ScalaTrace / ACURDION /
+//     Chameleon,
+//   * the cluster geometry a non-periodic 2-D grid induces (corners,
+//     edges, interior -> up to 9 clusters),
+//   * the trace-size and merge-work contrast between the tools.
+#include <cstdio>
+
+#include "core/acurdion.hpp"
+#include "core/chameleon.hpp"
+#include "sim/engine.hpp"
+#include "sim/mpi.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/workload.hpp"
+
+using namespace cham;
+
+namespace {
+
+struct ToolReport {
+  const char* name;
+  double agg_wallclock;
+  std::uint64_t merges;
+  std::size_t trace_bytes;
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kProcs = 16;
+  const workloads::WorkloadInfo* lu = workloads::find_workload("lu");
+  workloads::WorkloadParams params{.cls = 'A', .timesteps = 20};
+
+  auto run = [&](sim::Tool* tool, trace::CallSiteRegistry& stacks) {
+    sim::Engine engine({.nprocs = kProcs});
+    engine.set_tool(tool);
+    engine.run([&](sim::Mpi& mpi) { lu->run(mpi, stacks, params); });
+    return engine.vtime_sum();
+  };
+
+  trace::CallSiteRegistry plain_stacks(kProcs);
+  const double app_agg = run(nullptr, plain_stacks);
+
+  trace::CallSiteRegistry st_stacks(kProcs);
+  trace::ScalaTraceTool scalatrace(kProcs, &st_stacks);
+  const double st_agg = run(&scalatrace, st_stacks);
+
+  trace::CallSiteRegistry ac_stacks(kProcs);
+  core::AcurdionTool acurdion(kProcs, &ac_stacks, {.k = 9});
+  const double ac_agg = run(&acurdion, ac_stacks);
+
+  trace::CallSiteRegistry ch_stacks(kProcs);
+  core::ChameleonTool chameleon(kProcs, &ch_stacks, {.k = 9});
+  const double ch_agg = run(&chameleon, ch_stacks);
+
+  const ToolReport reports[] = {
+      {"ScalaTrace", st_agg - app_agg, scalatrace.merge_operations(),
+       trace::encode_trace(scalatrace.global_trace()).size()},
+      {"ACURDION", ac_agg - app_agg, acurdion.merge_operations(),
+       trace::encode_trace(acurdion.global_trace()).size()},
+      {"Chameleon", ch_agg - app_agg, chameleon.merge_operations(),
+       trace::encode_trace(chameleon.online_trace()).size()},
+  };
+
+  std::printf("LU wavefront on a 4x4 grid, %d timesteps (class A skeleton)\n",
+              params.timesteps);
+  std::printf("aggregated app time: %.3f s (over %d ranks)\n\n", app_agg,
+              kProcs);
+  std::printf("%-12s %-22s %-12s %s\n", "tool", "aggregated overhead [s]",
+              "merge ops", "global trace bytes");
+  for (const auto& report : reports) {
+    std::printf("%-12s %-22.4f %-12llu %zu\n", report.name,
+                report.agg_wallclock,
+                static_cast<unsigned long long>(report.merges),
+                report.trace_bytes);
+  }
+
+  std::printf("\nChameleon found %zu Call-Path group(s), %zu cluster(s):\n",
+              chameleon.clusters().num_callpaths(),
+              chameleon.clusters().total_clusters());
+  std::printf("%s", chameleon.clusters().to_string().c_str());
+  return 0;
+}

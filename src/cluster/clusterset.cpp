@@ -1,0 +1,138 @@
+#include "cluster/clusterset.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cham::cluster {
+
+ClusterSet ClusterSet::leaf(sim::Rank rank, const RankSignature& sig) {
+  ClusterSet set;
+  ClusterEntry entry;
+  entry.lead = rank;
+  entry.members = trace::RankList::single(rank);
+  entry.src = sig.src;
+  entry.dest = sig.dest;
+  set.groups_[sig.callpath].push_back(std::move(entry));
+  return set;
+}
+
+void ClusterSet::absorb(const ClusterSet& other) {
+  for (const auto& [callpath, entries] : other.groups_) {
+    auto& mine = groups_[callpath];
+    mine.insert(mine.end(), entries.begin(), entries.end());
+  }
+}
+
+std::size_t ClusterSet::shrink(std::size_t k_total, SelectPolicy policy,
+                               std::uint64_t seed) {
+  CHAM_CHECK_MSG(k_total >= 1, "cluster budget must be positive");
+  // Dynamic K: at least one representative per Call-Path group, so no MPI
+  // event class is ever dropped from the global trace.
+  const std::size_t per_group =
+      std::max<std::size_t>(1, k_total / std::max<std::size_t>(1, groups_.size()));
+
+  for (auto& [callpath, entries] : groups_) {
+    if (entries.size() <= per_group) continue;
+
+    std::vector<RankSignature> points;
+    points.reserve(entries.size());
+    for (const auto& entry : entries) points.push_back(entry.signature(callpath));
+
+    const std::vector<std::size_t> picked =
+        find_top_k(points, per_group, policy, seed ^ callpath);
+
+    // Fold every dropped cluster into its nearest survivor.
+    std::vector<ClusterEntry> kept;
+    kept.reserve(picked.size());
+    for (std::size_t idx : picked) kept.push_back(std::move(entries[idx]));
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (std::find(picked.begin(), picked.end(), i) != picked.end()) continue;
+      const std::size_t target = nearest_pick(points, picked, points[i]);
+      kept[target].members.merge(entries[i].members);
+    }
+    entries = std::move(kept);
+  }
+  return total_clusters();
+}
+
+std::size_t ClusterSet::total_clusters() const {
+  std::size_t n = 0;
+  for (const auto& [callpath, entries] : groups_) n += entries.size();
+  return n;
+}
+
+std::size_t ClusterSet::total_members() const {
+  std::size_t n = 0;
+  for (const auto& [callpath, entries] : groups_)
+    for (const auto& entry : entries) n += entry.members.count();
+  return n;
+}
+
+std::vector<sim::Rank> ClusterSet::leads() const {
+  std::vector<sim::Rank> out;
+  for (const auto& [callpath, entries] : groups_)
+    for (const auto& entry : entries) out.push_back(entry.lead);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+const ClusterEntry* ClusterSet::cluster_of(sim::Rank rank) const {
+  for (const auto& [callpath, entries] : groups_)
+    for (const auto& entry : entries)
+      if (entry.members.contains(rank)) return &entry;
+  return nullptr;
+}
+
+std::vector<std::uint8_t> ClusterSet::encode() const {
+  trace::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(groups_.size()));
+  for (const auto& [callpath, entries] : groups_) {
+    w.u64(callpath);
+    w.u16(static_cast<std::uint16_t>(entries.size()));
+    for (const auto& entry : entries) {
+      w.i32(entry.lead);
+      w.u64(entry.src);
+      w.u64(entry.dest);
+      trace::encode_ranklist(w, entry.members);
+    }
+  }
+  return w.take();
+}
+
+ClusterSet ClusterSet::decode(const std::vector<std::uint8_t>& bytes) {
+  trace::ByteReader r(bytes);
+  ClusterSet set;
+  const std::uint32_t ngroups = r.u32();
+  if (ngroups > (1u << 16)) throw trace::DecodeError("cluster group count");
+  for (std::uint32_t g = 0; g < ngroups; ++g) {
+    const std::uint64_t callpath = r.u64();
+    const std::uint16_t count = r.u16();
+    auto& entries = set.groups_[callpath];
+    for (std::uint16_t i = 0; i < count; ++i) {
+      ClusterEntry entry;
+      entry.lead = r.i32();
+      entry.src = r.u64();
+      entry.dest = r.u64();
+      entry.members = trace::decode_ranklist(r);
+      entries.push_back(std::move(entry));
+    }
+  }
+  return set;
+}
+
+std::string ClusterSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& [callpath, entries] : groups_) {
+    os << "callpath=0x" << std::hex << callpath << std::dec << ":\n";
+    for (const auto& entry : entries) {
+      os << "  lead=" << entry.lead << " members=" << entry.members.to_string()
+         << " (" << entry.members.count() << " ranks)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cham::cluster

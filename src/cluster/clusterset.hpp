@@ -1,0 +1,84 @@
+// Cluster maps exchanged over the radix tree.
+//
+// The clustering reduction of Algorithm 3 ships hashmaps of
+// <Call-Path signature, ranklist> up a binomial tree: each internal node
+// merges its children's cluster sets with its own, and whenever a Call-Path
+// group holds more than its share of the K budget, shrinks it with
+// Find-Top-K and folds the dropped clusters into their nearest survivor.
+// Every cluster remembers its lead rank (the representative whose trace
+// will stand in for the whole group) and the lead's SRC/DEST signature
+// ("signature of head of top K clusters" in Algorithm 3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/select.hpp"
+#include "cluster/signature.hpp"
+#include "trace/ranklist.hpp"
+#include "trace/serialize.hpp"
+
+namespace cham::cluster {
+
+struct ClusterEntry {
+  sim::Rank lead = 0;
+  trace::RankList members;
+  /// SRC/DEST signature of the lead process.
+  std::uint64_t src = 0;
+  std::uint64_t dest = 0;
+
+  [[nodiscard]] RankSignature signature(std::uint64_t callpath) const {
+    return RankSignature{callpath, src, dest};
+  }
+
+  bool operator==(const ClusterEntry& other) const = default;
+};
+
+class ClusterSet {
+ public:
+  ClusterSet() = default;
+
+  /// The leaf contribution: one singleton cluster for `rank`.
+  static ClusterSet leaf(sim::Rank rank, const RankSignature& sig);
+
+  /// Concatenate another set's entries per Call-Path (no shrinking).
+  void absorb(const ClusterSet& other);
+
+  /// Enforce the K budget: each Call-Path group keeps at most
+  /// max(1, k_total / num_callpaths) clusters; dropped clusters merge into
+  /// their nearest kept cluster. If the number of Call-Paths exceeds
+  /// k_total, K effectively grows to one per Call-Path (the paper's dynamic
+  /// K increase). Returns the effective total cluster count.
+  std::size_t shrink(std::size_t k_total, SelectPolicy policy,
+                     std::uint64_t seed = 0);
+
+  [[nodiscard]] std::size_t num_callpaths() const { return groups_.size(); }
+  [[nodiscard]] std::size_t total_clusters() const;
+  [[nodiscard]] std::size_t total_members() const;
+
+  /// All lead ranks, ascending.
+  [[nodiscard]] std::vector<sim::Rank> leads() const;
+
+  /// The cluster containing `rank`, or nullptr.
+  [[nodiscard]] const ClusterEntry* cluster_of(sim::Rank rank) const;
+
+  [[nodiscard]] const std::map<std::uint64_t, std::vector<ClusterEntry>>&
+  groups() const {
+    return groups_;
+  }
+
+  /// Wire format for the tree exchange and the final broadcast.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static ClusterSet decode(const std::vector<std::uint8_t>& bytes);
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const ClusterSet& other) const = default;
+
+ private:
+  std::map<std::uint64_t, std::vector<ClusterEntry>> groups_;
+};
+
+}  // namespace cham::cluster

@@ -1,0 +1,163 @@
+#include "cluster/select.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace cham::cluster {
+
+const char* policy_name(SelectPolicy policy) {
+  switch (policy) {
+    case SelectPolicy::kFarthest: return "k-farthest";
+    case SelectPolicy::kMedoid: return "k-medoid";
+    case SelectPolicy::kRandom: return "k-random";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::size_t> pick_farthest(std::span<const RankSignature> points,
+                                       std::size_t k) {
+  const std::size_t n = points.size();
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  // Seed with the point of maximal total distance (the "most extreme" one).
+  std::size_t best = 0;
+  unsigned __int128 best_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned __int128 total = 0;
+    for (std::size_t j = 0; j < n; ++j)
+      total += signature_distance(points[i], points[j]);
+    if (total > best_total) {
+      best_total = total;
+      best = i;
+    }
+  }
+  picked.push_back(best);
+  // Greedily add the point maximizing its distance to the picked set.
+  std::vector<std::uint64_t> dist_to_set(n);
+  for (std::size_t i = 0; i < n; ++i)
+    dist_to_set[i] = signature_distance(points[i], points[best]);
+  while (picked.size() < k) {
+    std::size_t farthest = 0;
+    std::uint64_t farthest_d = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::find(picked.begin(), picked.end(), i) != picked.end()) continue;
+      if (!found || dist_to_set[i] > farthest_d) {
+        farthest = i;
+        farthest_d = dist_to_set[i];
+        found = true;
+      }
+    }
+    CHAM_CHECK(found);
+    picked.push_back(farthest);
+    for (std::size_t i = 0; i < n; ++i) {
+      dist_to_set[i] =
+          std::min(dist_to_set[i], signature_distance(points[i], points[farthest]));
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+std::vector<std::size_t> pick_medoid(std::span<const RankSignature> points,
+                                     std::size_t k) {
+  const std::size_t n = points.size();
+  // Initialize with the k-farthest picks, then iterate PAM-style: assign
+  // every point to its nearest medoid, recompute each cluster's medoid as
+  // the member minimizing intra-cluster distance, until stable.
+  std::vector<std::size_t> medoids = pick_farthest(points, k);
+  for (int round = 0; round < 16; ++round) {
+    std::vector<std::vector<std::size_t>> groups(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      groups[nearest_pick(points, medoids, points[i])].push_back(i);
+    }
+    bool changed = false;
+    for (std::size_t g = 0; g < k; ++g) {
+      if (groups[g].empty()) continue;
+      std::size_t best = medoids[g];
+      unsigned __int128 best_cost = std::numeric_limits<unsigned __int128>::max();
+      for (std::size_t candidate : groups[g]) {
+        unsigned __int128 cost = 0;
+        for (std::size_t member : groups[g])
+          cost += signature_distance(points[candidate], points[member]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = candidate;
+        }
+      }
+      if (best != medoids[g]) {
+        medoids[g] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  std::sort(medoids.begin(), medoids.end());
+  medoids.erase(std::unique(medoids.begin(), medoids.end()), medoids.end());
+  // Deduplication after swaps can shrink the set; refill deterministically.
+  for (std::size_t i = 0; medoids.size() < k && i < n; ++i) {
+    if (std::find(medoids.begin(), medoids.end(), i) == medoids.end())
+      medoids.push_back(i);
+  }
+  std::sort(medoids.begin(), medoids.end());
+  return medoids;
+}
+
+std::vector<std::size_t> pick_random(std::size_t n, std::size_t k,
+                                     std::uint64_t seed) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  support::Rng rng(seed ^ 0x5eedc105ull);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.next_below(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace
+
+std::vector<std::size_t> find_top_k(std::span<const RankSignature> points,
+                                    std::size_t k, SelectPolicy policy,
+                                    std::uint64_t seed) {
+  CHAM_CHECK_MSG(k >= 1, "find_top_k requires k >= 1");
+  if (k >= points.size()) {
+    std::vector<std::size_t> all(points.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }
+  switch (policy) {
+    case SelectPolicy::kFarthest:
+      return pick_farthest(points, k);
+    case SelectPolicy::kMedoid:
+      return pick_medoid(points, k);
+    case SelectPolicy::kRandom:
+      return pick_random(points.size(), k, seed);
+  }
+  return {};
+}
+
+std::size_t nearest_pick(std::span<const RankSignature> points,
+                         std::span<const std::size_t> picked,
+                         const RankSignature& point) {
+  CHAM_CHECK(!picked.empty());
+  std::size_t best = 0;
+  std::uint64_t best_d = signature_distance(points[picked[0]], point);
+  for (std::size_t i = 1; i < picked.size(); ++i) {
+    const std::uint64_t d = signature_distance(points[picked[i]], point);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace cham::cluster

@@ -1,0 +1,34 @@
+// Lead selection: Find-Top-K (Algorithm 2) and its clustering policies.
+//
+// Clustering operates on SRC/DEST signatures, never on traces. The paper's
+// Algorithm 2 is K-farthest selection over the distance matrix followed by
+// nearest-assignment of the remainder; K-medoid and K-random are the
+// alternatives its predecessors ([1],[2],[3]) compared — accuracy was found
+// to be nearly identical, which bench_ablation_policy re-checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/signature.hpp"
+
+namespace cham::cluster {
+
+enum class SelectPolicy : std::uint8_t { kFarthest, kMedoid, kRandom };
+
+const char* policy_name(SelectPolicy policy);
+
+/// Pick k representative indices out of `points` (k <= points.size()).
+/// Deterministic: ties break toward lower index; kRandom derives from seed.
+std::vector<std::size_t> find_top_k(std::span<const RankSignature> points,
+                                    std::size_t k, SelectPolicy policy,
+                                    std::uint64_t seed = 0);
+
+/// Index (into `picked`) of the pick closest to `point`.
+std::size_t nearest_pick(std::span<const RankSignature> points,
+                         std::span<const std::size_t> picked,
+                         const RankSignature& point);
+
+}  // namespace cham::cluster

@@ -1,0 +1,90 @@
+#include "core/acurdion.hpp"
+
+#include "core/protocol.hpp"
+#include "sim/mpi.hpp"
+#include "support/timer.hpp"
+#include "trace/serialize.hpp"
+
+namespace cham::core {
+
+namespace {
+constexpr int kOnlineTag = 0x7A02;
+
+void substitute_ranks(std::vector<trace::TraceNode>& nodes,
+                      const trace::RankList& ranks) {
+  for (auto& node : nodes) {
+    if (node.is_loop()) {
+      substitute_ranks(node.body, ranks);
+    } else {
+      node.event.ranks = ranks;
+    }
+  }
+}
+}  // namespace
+
+AcurdionTool::AcurdionTool(int nprocs, trace::CallSiteRegistry* stacks,
+                           ChameleonConfig config)
+    : ScalaTraceTool(nprocs, stacks,
+                     trace::TracerOptions{.max_window = config.max_window,
+                                          .merge_at_finalize = false}),
+      config_(config),
+      whole_run_(static_cast<std::size_t>(nprocs)) {}
+
+void AcurdionTool::observe_event(sim::Rank rank,
+                                 const trace::EventRecord& record,
+                                 sim::Pmpi& /*pmpi*/) {
+  // Streamed signature accumulation; accounted with intra tracing (see the
+  // matching note in ChameleonTool::observe_event).
+  whole_run_[static_cast<std::size_t>(rank)].observe(record);
+}
+
+void AcurdionTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
+  const cluster::RankSignature sig =
+      whole_run_[static_cast<std::size_t>(rank)].current();
+
+  ClusterProtocolStats stats;
+  cluster::ClusterSet table = hierarchical_cluster(
+      rank, pmpi, sig, config_.k, config_.policy, config_.seed, &stats);
+  clustering_seconds_ += stats.cpu_seconds;
+  if (rank == 0) {
+    clusters_ = table;
+    effective_k_ = stats.effective_k;
+  }
+
+  const cluster::ClusterEntry* entry = table.cluster_of(rank);
+  const bool is_lead = entry != nullptr && entry->lead == rank;
+  const std::vector<sim::Rank> leads = table.leads();
+  trace::RankTraceState& st = state(rank);
+
+  std::vector<trace::TraceNode> merged;
+  if (is_lead) {
+    std::vector<trace::TraceNode> nodes = st.intra.take();
+    {
+      trace::ChargedSection timed(st.inter_timer, pmpi);
+      substitute_ranks(nodes, entry->members);
+    }
+    merged = radix_merge(rank, leads, std::move(nodes), pmpi);
+  } else {
+    st.intra.clear();
+  }
+
+  const sim::Rank merge_root = leads.front();
+  if (merge_root != 0) {
+    if (rank == merge_root) {
+      std::vector<std::uint8_t> payload;
+      {
+        trace::ChargedSection timed(st.inter_timer, pmpi);
+        payload = trace::encode_trace(merged);
+      }
+      pmpi.send_bytes(0, kOnlineTag, std::move(payload));
+      merged.clear();
+    } else if (rank == 0) {
+      std::vector<std::uint8_t> payload = pmpi.recv_bytes(merge_root, kOnlineTag);
+      trace::ChargedSection timed(st.inter_timer, pmpi);
+      merged = trace::decode_trace(payload);
+    }
+  }
+  if (rank == 0) global_ = std::move(merged);
+}
+
+}  // namespace cham::core

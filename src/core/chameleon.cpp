@@ -1,0 +1,304 @@
+#include "core/chameleon.hpp"
+
+#include "core/protocol.hpp"
+#include "sim/mpi.hpp"
+#include "support/logging.hpp"
+#include "support/timer.hpp"
+#include "trace/serialize.hpp"
+
+namespace cham::core {
+
+namespace {
+/// Tool-comm tag for the rank-0 handoff of the per-interval global trace.
+constexpr int kOnlineTag = 0x7A02;
+
+/// Replace every event's ranklist in a compressed trace with the cluster's
+/// ranklist (Algorithm 3: "replace ranklist of collected events with my
+/// cluster ranklist").
+void substitute_ranks(std::vector<trace::TraceNode>& nodes,
+                      const trace::RankList& ranks) {
+  for (auto& node : nodes) {
+    if (node.is_loop()) {
+      substitute_ranks(node.body, ranks);
+    } else {
+      node.event.ranks = ranks;
+    }
+  }
+}
+
+class CpuSection {
+ public:
+  explicit CpuSection(double* sink)
+      : sink_(sink), start_(support::thread_cpu_seconds()) {}
+  ~CpuSection() { *sink_ += support::thread_cpu_seconds() - start_; }
+  CpuSection(const CpuSection&) = delete;
+  CpuSection& operator=(const CpuSection&) = delete;
+
+ private:
+  double* sink_;
+  double start_;
+};
+
+}  // namespace
+
+const char* marker_state_name(MarkerState state) {
+  switch (state) {
+    case MarkerState::kAllTracing: return "AT";
+    case MarkerState::kClustering: return "C";
+    case MarkerState::kLead: return "L";
+    case MarkerState::kFinal: return "F";
+  }
+  return "?";
+}
+
+ChameleonTool::ChameleonTool(int nprocs, trace::CallSiteRegistry* stacks,
+                             ChameleonConfig config)
+    : ScalaTraceTool(nprocs, stacks,
+                     trace::TracerOptions{.max_window = config.max_window,
+                                          .merge_at_finalize = false}),
+      config_(config),
+      cham_(static_cast<std::size_t>(nprocs)),
+      bytes_(static_cast<std::size_t>(nprocs)) {
+  CHAM_CHECK_MSG(config_.k >= 1, "K must be at least 1");
+  CHAM_CHECK_MSG(config_.call_frequency >= 1, "Call_Frequency must be >= 1");
+}
+
+const cluster::ClusterSet& ChameleonTool::clusters() const {
+  return cham_.front().clusters;
+}
+
+void ChameleonTool::on_post(sim::Rank rank, const sim::CallInfo& info,
+                            sim::Pmpi& pmpi) {
+  ScalaTraceTool::on_post(rank, info, pmpi);
+  if (!config_.auto_marker || info.is_marker) return;
+  if (info.op == sim::Op::kInit || info.op == sim::Op::kFinalize) return;
+  if (!sim::op_is_collective(info.op) || info.comm != sim::kCommWorld) return;
+
+  // §VII automation: world collectives occur in the same order on every
+  // rank of an SPMD code, so "the first collective call site seen twice"
+  // is a globally consistent choice that needs no extra communication.
+  RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  const std::uint64_t site = stacks_->stack(rank).signature();
+  if (cs.auto_site == 0 && ++cs.site_counts[site] >= 2) {
+    cs.auto_site = site;
+    cs.site_counts.clear();
+  }
+  if (cs.auto_site == site) handle_marker_post(rank, pmpi);
+}
+
+void ChameleonTool::observe_event(sim::Rank rank,
+                                  const trace::EventRecord& record,
+                                  sim::Pmpi& /*pmpi*/) {
+  // Signature computation runs on every rank regardless of the storing
+  // flag — it is the cheap "observing" half of tracing the collective vote
+  // depends on. The paper creates signatures at the marker from the
+  // PRSD-compressed sequence (O(n), n = distinct events); this incremental
+  // accumulator is the streaming equivalent, and its per-event cost is the
+  // same hash-and-insert a real implementation performs while unwinding
+  // the stack — it is accounted as part of intra tracing, not clustering.
+  cham_[static_cast<std::size_t>(rank)].interval.observe(record);
+}
+
+MarkerAction ChameleonTool::algorithm1(sim::Rank rank, sim::Pmpi& pmpi,
+                                       const cluster::RankSignature& sig,
+                                       double* cpu) {
+  RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  if (cs.first_marker) {
+    // First marker: no history to compare against; stay in AT without any
+    // communication (every rank takes this branch simultaneously).
+    cs.first_marker = false;
+    cs.old_callpath = sig.callpath;
+    return MarkerAction::kNone;
+  }
+
+  const std::uint64_t mismatch = cs.old_callpath != sig.callpath ? 1 : 0;
+  // The collective vote: MPI_Reduce + MPI_Bcast, O(log P). Communication is
+  // deliberately untimed (blocking); only local work counts as CPU.
+  const std::uint64_t sum =
+      pmpi.reduce_u64(mismatch, sim::ReduceOp::kSum, /*root=*/0);
+  const std::uint64_t glob = pmpi.bcast_u64(sum, /*root=*/0);
+
+  // The local vote bookkeeping below is a handful of instructions — far
+  // below timer resolution; only the clustering path (*cpu via
+  // run_clustering) does measurable local work.
+  (void)cpu;
+  cs.old_callpath = sig.callpath;
+  if (glob == 0) {
+    if (cs.reclustering) {
+      cs.reclustering = false;
+      return MarkerAction::kCluster;
+    }
+    return MarkerAction::kNone;  // quiet lead phase
+  }
+  if (cs.lead_phase) {
+    return MarkerAction::kFlush;
+  }
+  cs.reclustering = true;
+  return MarkerAction::kNone;  // stay in / fall back to AT
+}
+
+void ChameleonTool::run_clustering(sim::Rank rank, sim::Pmpi& pmpi,
+                                   const cluster::RankSignature& sig,
+                                   double* cpu) {
+  RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  ClusterProtocolStats stats;
+  cs.clusters = hierarchical_cluster(rank, pmpi, sig, config_.k,
+                                     config_.policy, config_.seed, &stats);
+  *cpu += stats.cpu_seconds;
+  if (rank == 0) {
+    num_callpaths_ = stats.num_callpaths;
+    effective_k_ = stats.effective_k;
+  }
+
+  // Non-leads stop storing traces from here on; their cluster's lead stands
+  // in for them (this is where the Table IV zeros come from).
+  const cluster::ClusterEntry* entry = cs.clusters.cluster_of(rank);
+  CHAM_CHECK_MSG(entry != nullptr, "clustering lost a rank");
+  state(rank).storing = entry->lead == rank;
+}
+
+void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
+  RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  const std::vector<sim::Rank> leads = cs.clusters.leads();
+  CHAM_CHECK_MSG(!leads.empty(), "merge without clusters");
+  const cluster::ClusterEntry* entry = cs.clusters.cluster_of(rank);
+  const bool is_lead = entry != nullptr && entry->lead == rank;
+  trace::RankTraceState& st = state(rank);
+
+  std::vector<trace::TraceNode> merged;
+  if (is_lead) {
+    std::vector<trace::TraceNode> nodes = st.intra.take();
+    {
+      trace::ChargedSection timed(st.inter_timer, pmpi);
+      substitute_ranks(nodes, entry->members);
+    }
+    merged = radix_merge(rank, leads, std::move(nodes), pmpi);
+  }
+
+  // Hand the interval's global trace to rank 0 (Algorithm 3 lines 36–44).
+  const sim::Rank merge_root = leads.front();
+  if (merge_root != 0) {
+    if (rank == merge_root) {
+      std::vector<std::uint8_t> payload;
+      {
+        trace::ChargedSection timed(st.inter_timer, pmpi);
+        payload = trace::encode_trace(merged);
+      }
+      pmpi.send_bytes(0, kOnlineTag, std::move(payload));
+      merged.clear();
+    } else if (rank == 0) {
+      std::vector<std::uint8_t> payload = pmpi.recv_bytes(merge_root, kOnlineTag);
+      trace::ChargedSection timed(st.inter_timer, pmpi);
+      merged = trace::decode_trace(payload);
+    }
+  }
+  if (rank == 0 && !merged.empty()) {
+    trace::ChargedSection timed(st.inter_timer, pmpi);
+    trace::append_online(online_, std::move(merged), config_.max_window);
+  }
+
+  // All processes start over (line 47): partial intra-node traces vanish;
+  // only the last event's timing context survives (st.last_event_end).
+  st.intra.clear();
+}
+
+void ChameleonTool::account_marker(sim::Rank rank, MarkerState state_tag,
+                                   double sig_cpu, double cluster_cpu) {
+  const auto s = static_cast<std::size_t>(state_tag);
+  if (rank == 0) ++state_counts_[s];
+  state_seconds_[s] += sig_cpu + cluster_cpu;
+  clustering_seconds_ += sig_cpu + cluster_cpu;
+}
+
+void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
+  RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  ++cs.markers_seen;
+  if (cs.markers_seen % static_cast<std::uint64_t>(config_.call_frequency) != 0)
+    return;
+  if (rank == 0) ++processed_markers_;
+
+  trace::RankTraceState& st = state(rank);
+  const std::uint64_t intra_bytes_before = st.intra.footprint_bytes();
+
+  double sig_cpu = 0.0;
+  cluster::RankSignature sig;
+  {
+    CpuSection section(&sig_cpu);
+    sig = cs.interval.current();
+    cs.interval.reset();
+  }
+
+  double cluster_cpu = 0.0;
+  const MarkerAction action = algorithm1(rank, pmpi, sig, &cluster_cpu);
+
+  const double inter_before = st.inter_timer.total();
+  MarkerState state_tag = MarkerState::kAllTracing;
+  switch (action) {
+    case MarkerAction::kNone:
+      state_tag = cs.lead_phase ? MarkerState::kLead : MarkerState::kAllTracing;
+      break;
+    case MarkerAction::kCluster:
+      run_clustering(rank, pmpi, sig, &cluster_cpu);
+      lead_merge_into_online(rank, pmpi);
+      cs.lead_phase = true;
+      state_tag = MarkerState::kClustering;
+      break;
+    case MarkerAction::kFlush:
+      lead_merge_into_online(rank, pmpi);
+      cs.lead_phase = false;
+      cs.reclustering = true;
+      st.storing = true;  // everyone traces again until the next clustering
+      state_tag = MarkerState::kLead;
+      break;
+  }
+  const double inter_delta = st.inter_timer.total() - inter_before;
+  state_seconds_[static_cast<std::size_t>(state_tag)] += inter_delta;
+  account_marker(rank, state_tag, sig_cpu, cluster_cpu);
+
+  // Table IV bookkeeping: the partial trace held during this interval plus
+  // (at rank 0) the online trace after this marker's append.
+  StateBytes& bucket =
+      bytes_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(state_tag)];
+  ++bucket.calls;
+  bucket.bytes_total += intra_bytes_before;
+  if (rank == 0 && !online_.empty())
+    bucket.bytes_total += trace::footprint_bytes(online_);
+}
+
+void ChameleonTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
+  RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  trace::RankTraceState& st = state(rank);
+  const std::uint64_t intra_bytes_before = st.intra.footprint_bytes();
+
+  double sig_cpu = 0.0;
+  cluster::RankSignature sig;
+  {
+    CpuSection section(&sig_cpu);
+    sig = cs.interval.current();
+    cs.interval.reset();
+  }
+
+  double cluster_cpu = 0.0;
+  const double inter_before = st.inter_timer.total();
+  if (cs.lead_phase) {
+    // A clustering is active: the trailing events live in the lead traces.
+    lead_merge_into_online(rank, pmpi);
+  } else {
+    // Forced re-clustering — MPI_Finalize guarantees a new Call-Path, so
+    // Algorithm 1 is skipped and clustering runs unconditionally.
+    run_clustering(rank, pmpi, sig, &cluster_cpu);
+    lead_merge_into_online(rank, pmpi);
+  }
+  const double inter_delta = st.inter_timer.total() - inter_before;
+  state_seconds_[static_cast<std::size_t>(MarkerState::kFinal)] += inter_delta;
+  account_marker(rank, MarkerState::kFinal, sig_cpu, cluster_cpu);
+
+  StateBytes& bucket = bytes_[static_cast<std::size_t>(rank)]
+                             [static_cast<std::size_t>(MarkerState::kFinal)];
+  ++bucket.calls;
+  bucket.bytes_total += intra_bytes_before;
+  if (rank == 0 && !online_.empty())
+    bucket.bytes_total += trace::footprint_bytes(online_);
+}
+
+}  // namespace cham::core

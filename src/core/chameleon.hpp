@@ -1,0 +1,148 @@
+// Chameleon: online signature-based clustering on top of ScalaTrace.
+//
+// At every processed marker (an MPI_Barrier on the dedicated marker
+// communicator, gated by Call_Frequency) each rank:
+//
+//   1. closes its interval signature (Call-Path, SRC, DEST — §III),
+//   2. votes collectively on Call-Path repetition (Algorithm 1:
+//      MPI_Reduce + MPI_Bcast, O(log P)),
+//   3. acts on the outcome (Algorithm 3):
+//        C      hierarchical signature clustering over a binomial tree,
+//               broadcast of the top-K cluster table, lead-only trace merge
+//               into the online trace at rank 0, partial-trace reset;
+//               non-leads stop storing traces,
+//        L      (flush, on a phase change while leading) lead-only merge
+//               with the existing clusters, then back to all-tracing,
+//        quiet  nothing — leads keep accumulating (RSD folding keeps their
+//               partial traces near-constant in size), non-leads store 0
+//               bytes.
+//
+// MPI_Finalize adds the trailing events: a flush when a clustering is
+// active, otherwise one forced clustering pass (the paper: re-clustering
+// "must be triggered" since MPI_Finalize itself is a new event).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/clusterset.hpp"
+#include "cluster/signature.hpp"
+#include "core/config.hpp"
+#include "trace/tracer.hpp"
+
+namespace cham::core {
+
+class ChameleonTool : public trace::ScalaTraceTool {
+ public:
+  ChameleonTool(int nprocs, trace::CallSiteRegistry* stacks,
+                ChameleonConfig config = {});
+
+  /// The incrementally built global trace (held at rank 0).
+  [[nodiscard]] const std::vector<trace::TraceNode>& online_trace() const {
+    return online_;
+  }
+
+  /// Cluster table from the most recent clustering (as seen by rank 0).
+  [[nodiscard]] const cluster::ClusterSet& clusters() const;
+
+  // --- experiment counters (identical on every rank; see Table II) --------
+  [[nodiscard]] std::uint64_t marker_calls_processed() const {
+    return processed_markers_;
+  }
+  [[nodiscard]] std::uint64_t state_count(MarkerState state) const {
+    return state_counts_[static_cast<std::size_t>(state)];
+  }
+  [[nodiscard]] std::uint64_t reclusterings() const {
+    return state_count(MarkerState::kClustering);
+  }
+  [[nodiscard]] std::size_t effective_k() const { return effective_k_; }
+  [[nodiscard]] std::size_t num_callpath_clusters() const {
+    return num_callpaths_;
+  }
+
+  // --- per-state tool CPU time, aggregated over ranks (Figure 8) ----------
+  [[nodiscard]] double state_seconds(MarkerState state) const {
+    return state_seconds_[static_cast<std::size_t>(state)];
+  }
+  /// Clustering work (signatures + vote bookkeeping + tree clustering).
+  [[nodiscard]] double clustering_seconds() const { return clustering_seconds_; }
+  /// Online inter-compression work (lead merges + online append).
+  [[nodiscard]] double online_inter_seconds() const { return inter_seconds(); }
+  /// Total Chameleon overhead: intra tracing + clustering + inter.
+  [[nodiscard]] double total_tool_seconds() const {
+    return intra_seconds() + clustering_seconds() + inter_seconds();
+  }
+
+  // --- per-rank, per-state memory accounting (Table IV) -------------------
+  struct StateBytes {
+    std::uint64_t calls = 0;
+    std::uint64_t bytes_total = 0;
+    [[nodiscard]] std::uint64_t bytes_per_call() const {
+      return calls == 0 ? 0 : bytes_total / calls;
+    }
+  };
+  [[nodiscard]] const StateBytes& rank_state_bytes(sim::Rank rank,
+                                                   MarkerState state) const {
+    return bytes_.at(static_cast<std::size_t>(rank))
+        .at(static_cast<std::size_t>(state));
+  }
+
+  [[nodiscard]] const ChameleonConfig& config() const { return config_; }
+
+ public:
+  /// Overridden to implement §VII auto-marker detection (see
+  /// ChameleonConfig::auto_marker).
+  void on_post(sim::Rank rank, const sim::CallInfo& info,
+               sim::Pmpi& pmpi) override;
+
+  /// Auto-detected marker call site (0 until one recurs); rank-0 view.
+  [[nodiscard]] std::uint64_t auto_marker_site() const {
+    return cham_.front().auto_site;
+  }
+
+ protected:
+  void observe_event(sim::Rank rank, const trace::EventRecord& record,
+                     sim::Pmpi& pmpi) override;
+  void handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) override;
+  void handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) override;
+
+ private:
+  struct RankChamState {
+    cluster::IntervalSignature interval;
+    std::uint64_t old_callpath = 0;
+    bool first_marker = true;
+    bool reclustering = true;
+    bool lead_phase = false;  // between C and its flush
+    std::uint64_t markers_seen = 0;
+    cluster::ClusterSet clusters;  // own copy, as broadcast
+    // --- §VII auto-marker detection ---
+    std::uint64_t auto_site = 0;  // chosen recurring collective site
+    std::unordered_map<std::uint64_t, int> site_counts;
+  };
+
+  MarkerAction algorithm1(sim::Rank rank, sim::Pmpi& pmpi,
+                          const cluster::RankSignature& sig, double* cpu);
+  /// Hierarchical clustering + broadcast (Algorithm 3 lines 7–24).
+  void run_clustering(sim::Rank rank, sim::Pmpi& pmpi,
+                      const cluster::RankSignature& sig, double* cpu);
+  /// Lead-only inter-compression + online-trace append (lines 25–48).
+  void lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi);
+  void account_marker(sim::Rank rank, MarkerState state, double sig_cpu,
+                      double cluster_cpu);
+
+  ChameleonConfig config_;
+  std::vector<RankChamState> cham_;
+  std::vector<trace::TraceNode> online_;
+
+  std::uint64_t processed_markers_ = 0;
+  std::array<std::uint64_t, 4> state_counts_{};
+  std::array<double, 4> state_seconds_{};
+  double clustering_seconds_ = 0.0;
+  std::size_t effective_k_ = 0;
+  std::size_t num_callpaths_ = 0;
+  std::vector<std::array<StateBytes, 4>> bytes_;
+};
+
+}  // namespace cham::core

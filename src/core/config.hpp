@@ -1,0 +1,57 @@
+// Chameleon configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/select.hpp"
+
+namespace cham::core {
+
+struct ChameleonConfig {
+  /// Cluster budget K (Table I fixes it per benchmark: 3 for BT/SP/POP,
+  /// 9 for LU/S3D/LUW, 2 for EMF). Grows dynamically if the number of
+  /// distinct Call-Paths exceeds it.
+  std::size_t k = 9;
+
+  /// Algorithm 3's Call_Frequency: only every Nth marker call is processed.
+  int call_frequency = 1;
+
+  /// Lead-selection policy for Find-Top-K (Algorithm 2).
+  cluster::SelectPolicy policy = cluster::SelectPolicy::kFarthest;
+
+  /// RSD/PRSD fold window (inherited by the underlying tracer).
+  int max_window = 32;
+
+  /// Seed for the k-random policy.
+  std::uint64_t seed = 0;
+
+  /// §VII automation: when no explicit markers are inserted, detect the
+  /// application's iterative structure and synthesize interim execution
+  /// points. Heuristic: the first world-collective call site observed to
+  /// recur becomes the marker site — for iterative SPMD codes every rank
+  /// sees the same collective sequence, so the decision is globally
+  /// consistent without communication. Codes without a recurring world
+  /// collective fall back to finalize-only clustering (the paper: marker
+  /// automation works "in some cases").
+  bool auto_marker = false;
+};
+
+/// The transition-graph states of Figure 2. kLead covers both the quiet
+/// lead phase and the flush that ends it (Table II counts both as L).
+enum class MarkerState : std::uint8_t {
+  kAllTracing,  // AT
+  kClustering,  // C
+  kLead,        // L
+  kFinal,       // F
+};
+
+const char* marker_state_name(MarkerState state);
+
+/// What Algorithm 1 tells Algorithm 3 to do at one processed marker.
+enum class MarkerAction : std::uint8_t {
+  kNone,        // AT / quiet lead phase: keep going
+  kCluster,     // C: cluster, merge lead traces, reset partials
+  kFlush,       // L: phase change — merge lead traces with old clusters
+};
+
+}  // namespace cham::core

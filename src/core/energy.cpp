@@ -1,0 +1,48 @@
+#include "core/energy.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "support/logging.hpp"
+
+namespace cham::core {
+
+EnergyReport estimate_energy(const std::vector<double>& rank_vtimes,
+                             const std::vector<double>& rank_wait_seconds,
+                             const PowerModel& model) {
+  CHAM_CHECK_MSG(!rank_vtimes.empty(), "energy estimate needs rank times");
+  CHAM_CHECK_MSG(rank_vtimes.size() == rank_wait_seconds.size(),
+                 "vtime/wait vectors must align");
+  CHAM_CHECK_MSG(model.idle_watts <= model.busy_watts,
+                 "idle power above busy power");
+
+  EnergyReport report;
+  for (std::size_t r = 0; r < rank_vtimes.size(); ++r) {
+    const double runtime = rank_vtimes[r];
+    // A rank cannot have waited longer than it ran.
+    const double wait = std::min(rank_wait_seconds[r], runtime);
+    report.total_deficit_seconds += wait;
+    report.busy_joules += runtime * model.busy_watts;
+    const double harvested = wait * model.harvest_efficiency;
+    report.dvfs_joules += (runtime - harvested) * model.busy_watts +
+                          harvested * model.idle_watts;
+  }
+  report.savings_joules = report.busy_joules - report.dvfs_joules;
+  report.savings_fraction =
+      report.busy_joules > 0 ? report.savings_joules / report.busy_joules : 0;
+  return report;
+}
+
+EnergyReport estimate_energy(const sim::Engine& engine,
+                             const PowerModel& model) {
+  std::vector<double> vtimes, waits;
+  vtimes.reserve(static_cast<std::size_t>(engine.nprocs()));
+  waits.reserve(static_cast<std::size_t>(engine.nprocs()));
+  for (int r = 0; r < engine.nprocs(); ++r) {
+    vtimes.push_back(engine.vtime(r));
+    waits.push_back(engine.wait_seconds(r));
+  }
+  return estimate_energy(vtimes, waits, model);
+}
+
+}  // namespace cham::core

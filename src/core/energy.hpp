@@ -1,0 +1,55 @@
+// Energy model for clustered tracing (the paper's stated future work).
+//
+// §VIII: "We currently plan to leverage the idle time for non
+// representative processes at interim execution points by utilizing
+// dynamic voltage frequency scaling (DVFS). This would reduce energy
+// consumption and make clustered tracing energy efficient as well."
+//
+// The model: during the quiet lead phase, the P−K non-lead ranks perform
+// no tracing work; the time a rank spends waiting (its completion-time
+// deficit versus the slowest rank) can be spent in a DVFS-reduced state.
+// Per-rank energy = P_busy * busy_seconds + P_idle * idle_seconds, where
+// idle time is the deficit and P_idle reflects the chosen DVFS floor.
+// Comparing the three tools quantifies Observation 1's "nearly no tracing
+// overhead ... for the majority of processors" in Joules.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cham::sim {
+class Engine;
+}
+
+namespace cham::core {
+
+struct PowerModel {
+  /// Package power at full frequency (W per rank/core).
+  double busy_watts = 95.0;
+  /// Power at the DVFS floor while waiting/idle (W per rank/core).
+  double idle_watts = 30.0;
+  /// Fraction of a rank's deficit that DVFS can actually harvest (ramp
+  /// latencies, OS jitter); 1.0 = ideal.
+  double harvest_efficiency = 0.9;
+};
+
+struct EnergyReport {
+  double busy_joules = 0.0;     ///< all ranks at busy power for their vtime
+  double dvfs_joules = 0.0;     ///< with deficits harvested at idle power
+  double savings_joules = 0.0;  ///< busy - dvfs
+  double savings_fraction = 0.0;
+  double total_deficit_seconds = 0.0;  ///< sum of per-rank wait time
+};
+
+/// Estimate energy for a completed run from per-rank completion times and
+/// the per-rank blocked/waiting time the engine tracked (the harvestable
+/// idle time). Vectors must have equal, nonzero length.
+EnergyReport estimate_energy(const std::vector<double>& rank_vtimes,
+                             const std::vector<double>& rank_wait_seconds,
+                             const PowerModel& model = {});
+
+/// Convenience: pull both vectors from a finished engine.
+EnergyReport estimate_energy(const sim::Engine& engine,
+                             const PowerModel& model = {});
+
+}  // namespace cham::core

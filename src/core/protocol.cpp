@@ -1,0 +1,85 @@
+#include "core/protocol.hpp"
+
+#include "sim/mpi.hpp"
+#include "support/logging.hpp"
+#include "support/timer.hpp"
+
+namespace cham::core {
+
+namespace {
+constexpr int kClusterTag = 0x7A03;
+
+/// Times a section and charges it to the rank's virtual clock (clustering
+/// work is real compute on the node).
+class CpuSection {
+ public:
+  CpuSection(double* sink, sim::Pmpi& pmpi)
+      : sink_(sink), pmpi_(pmpi), start_(support::thread_cpu_seconds()) {}
+  ~CpuSection() {
+    const double elapsed = support::thread_cpu_seconds() - start_;
+    *sink_ += elapsed;
+    pmpi_.engine().advance_compute(pmpi_.rank(), elapsed);
+  }
+  CpuSection(const CpuSection&) = delete;
+  CpuSection& operator=(const CpuSection&) = delete;
+
+ private:
+  double* sink_;
+  sim::Pmpi& pmpi_;
+  double start_;
+};
+}  // namespace
+
+cluster::ClusterSet hierarchical_cluster(sim::Rank rank, sim::Pmpi& pmpi,
+                                         const cluster::RankSignature& sig,
+                                         std::size_t k,
+                                         cluster::SelectPolicy policy,
+                                         std::uint64_t seed,
+                                         ClusterProtocolStats* stats) {
+  double cpu = 0.0;
+  cluster::ClusterSet mine = cluster::ClusterSet::leaf(rank, sig);
+
+  const auto idx = static_cast<std::size_t>(rank);
+  const auto p = static_cast<std::size_t>(pmpi.size());
+  for (std::size_t mask = 1; mask < p; mask <<= 1) {
+    if (idx & mask) {
+      std::vector<std::uint8_t> payload;
+      {
+        CpuSection section(&cpu, pmpi);
+        payload = mine.encode();
+      }
+      pmpi.send_bytes(static_cast<sim::Rank>(idx - mask), kClusterTag,
+                      std::move(payload));
+      break;
+    }
+    if (idx + mask < p) {
+      std::vector<std::uint8_t> payload =
+          pmpi.recv_bytes(static_cast<sim::Rank>(idx + mask), kClusterTag);
+      CpuSection section(&cpu, pmpi);
+      mine.absorb(cluster::ClusterSet::decode(payload));
+      if (mine.total_clusters() > k) mine.shrink(k, policy, seed);
+    }
+  }
+
+  std::vector<std::uint8_t> table;
+  if (rank == 0) {
+    CpuSection section(&cpu, pmpi);
+    mine.shrink(k, policy, seed);
+    if (stats != nullptr) {
+      stats->num_callpaths = mine.num_callpaths();
+      stats->effective_k = mine.total_clusters();
+    }
+    table = mine.encode();
+  }
+  table = pmpi.bcast_bytes(std::move(table), /*root=*/0);
+
+  cluster::ClusterSet result;
+  {
+    CpuSection section(&cpu, pmpi);
+    result = cluster::ClusterSet::decode(table);
+  }
+  if (stats != nullptr) stats->cpu_seconds += cpu;
+  return result;
+}
+
+}  // namespace cham::core

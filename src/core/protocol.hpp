@@ -1,0 +1,34 @@
+// Shared clustering-reduction protocol.
+//
+// Both Chameleon (at every C marker) and ACURDION (once, in MPI_Finalize)
+// run the same hierarchical signature clustering: leaf cluster sets are
+// reduced over a binomial tree with budget-enforcing shrinks at internal
+// nodes, and the root broadcasts the final top-K table to everyone.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/clusterset.hpp"
+
+namespace cham::sim {
+class Pmpi;
+}
+
+namespace cham::core {
+
+struct ClusterProtocolStats {
+  double cpu_seconds = 0.0;       ///< local (non-blocking) work on this rank
+  std::size_t num_callpaths = 0;  ///< valid at rank 0
+  std::size_t effective_k = 0;    ///< valid at rank 0
+};
+
+/// Runs the reduction + broadcast; every rank returns its copy of the final
+/// cluster table. Collective over all ranks of the world.
+cluster::ClusterSet hierarchical_cluster(sim::Rank rank, sim::Pmpi& pmpi,
+                                         const cluster::RankSignature& sig,
+                                         std::size_t k,
+                                         cluster::SelectPolicy policy,
+                                         std::uint64_t seed,
+                                         ClusterProtocolStats* stats);
+
+}  // namespace cham::core

@@ -1,0 +1,69 @@
+#include "replay/interp.hpp"
+
+namespace cham::replay {
+
+EventCursor::EventCursor(const std::vector<trace::TraceNode>& trace,
+                         sim::Rank rank)
+    : root_(&trace), rank_(rank) {
+  stack_.push_back(Frame{root_, 0, 1});
+  descend();
+}
+
+const trace::EventRecord* EventCursor::current() const { return current_; }
+
+void EventCursor::descend() {
+  // Walk forward until a participating leaf is found or the walk ends.
+  current_ = nullptr;
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    if (frame.index >= frame.nodes->size()) {
+      // End of this body: one loop iteration done.
+      if (frame.remaining_iters > 1) {
+        --frame.remaining_iters;
+        frame.index = 0;
+        continue;
+      }
+      stack_.pop_back();
+      if (!stack_.empty()) ++stack_.back().index;
+      continue;
+    }
+    const trace::TraceNode& node = (*frame.nodes)[frame.index];
+    if (node.is_loop()) {
+      stack_.push_back(Frame{&node.body, 0, node.iters});
+      continue;
+    }
+    if (node.event.ranks.contains(rank_)) {
+      current_ = &node.event;
+      ++yielded_;
+      return;
+    }
+    ++frame.index;
+  }
+}
+
+void EventCursor::next() {
+  if (stack_.empty()) {
+    current_ = nullptr;
+    return;
+  }
+  ++stack_.back().index;
+  descend();
+}
+
+namespace {
+std::uint64_t pairs_of(const trace::TraceNode& node) {
+  if (!node.is_loop()) return node.event.ranks.count();
+  std::uint64_t body = 0;
+  for (const auto& child : node.body) body += pairs_of(child);
+  return body * node.iters;
+}
+}  // namespace
+
+std::uint64_t expanded_event_rank_pairs(
+    const std::vector<trace::TraceNode>& trace) {
+  std::uint64_t total = 0;
+  for (const auto& node : trace) total += pairs_of(node);
+  return total;
+}
+
+}  // namespace cham::replay

@@ -1,0 +1,53 @@
+// PRSD trace interpretation.
+//
+// ScalaReplay walks the compressed trace "on-the-fly": loops expand lazily,
+// and a rank executes exactly the leaf events whose ranklist contains it.
+// The iterator below yields those events in program order without ever
+// materializing the expanded trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace cham::replay {
+
+/// Lazy in-order iterator over the events of `trace` that rank `rank`
+/// participates in.
+class EventCursor {
+ public:
+  EventCursor(const std::vector<trace::TraceNode>& trace, sim::Rank rank);
+
+  /// The current event, or nullptr when exhausted.
+  [[nodiscard]] const trace::EventRecord* current() const;
+
+  /// Advance to the next participating event.
+  void next();
+
+  [[nodiscard]] bool done() const { return current_ == nullptr; }
+
+  /// Events yielded so far.
+  [[nodiscard]] std::uint64_t yielded() const { return yielded_; }
+
+ private:
+  struct Frame {
+    const std::vector<trace::TraceNode>* nodes;
+    std::size_t index = 0;
+    std::uint64_t remaining_iters = 0;  // for loop frames
+  };
+
+  void descend();
+
+  const std::vector<trace::TraceNode>* root_;
+  sim::Rank rank_;
+  std::vector<Frame> stack_;
+  const trace::EventRecord* current_ = nullptr;
+  std::uint64_t yielded_ = 0;
+};
+
+/// Total (event, rank) pairs the trace expands to — the work a full replay
+/// performs across all ranks.
+std::uint64_t expanded_event_rank_pairs(const std::vector<trace::TraceNode>& trace);
+
+}  // namespace cham::replay

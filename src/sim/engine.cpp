@@ -1,0 +1,461 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/mpi.hpp"
+#include "sim/tool.hpp"
+#include "support/logging.hpp"
+
+namespace cham::sim {
+
+Engine::Engine(EngineOptions opts) : opts_(opts) {
+  CHAM_CHECK_MSG(opts_.nprocs >= 1, "need at least one rank");
+  const auto p = static_cast<std::size_t>(opts_.nprocs);
+  vtime_.assign(p, 0.0);
+  wait_.assign(p, 0.0);
+  unexpected_.resize(kNumComms * p);
+  pending_.resize(kNumComms * p);
+  requests_.resize(p);
+  coll_seq_.assign(kNumComms * p, 0);
+}
+
+Engine::~Engine() = default;
+
+double Engine::vtime(Rank r) const {
+  return vtime_.at(static_cast<std::size_t>(r));
+}
+
+double Engine::max_vtime() const {
+  return *std::max_element(vtime_.begin(), vtime_.end());
+}
+
+double Engine::vtime_sum() const {
+  double total = 0;
+  for (double t : vtime_) total += t;
+  return total;
+}
+
+double Engine::wait_seconds(Rank r) const {
+  return wait_.at(static_cast<std::size_t>(r));
+}
+
+Pmpi& Engine::pmpi(Rank r) { return pmpis_.at(static_cast<std::size_t>(r)); }
+
+void Engine::run(const std::function<void(Mpi&)>& rank_main) {
+  CHAM_CHECK_MSG(!ran_, "Engine::run may be called once");
+  ran_ = true;
+  scheduler_ = std::make_unique<FiberScheduler>();
+  mpis_.reserve(static_cast<std::size_t>(opts_.nprocs));
+  pmpis_.reserve(static_cast<std::size_t>(opts_.nprocs));
+  for (Rank r = 0; r < opts_.nprocs; ++r) {
+    mpis_.emplace_back(Mpi(*this, r));
+    pmpis_.emplace_back(Pmpi(*this, r));
+  }
+  for (Rank r = 0; r < opts_.nprocs; ++r) {
+    scheduler_->spawn(
+        [this, r, &rank_main] {
+          Mpi& mpi = mpis_[static_cast<std::size_t>(r)];
+          mpi.init();
+          rank_main(mpi);
+          mpi.finalize();
+        },
+        opts_.stack_bytes);
+  }
+  if (approximate_) {
+    scheduler_->set_stall_handler([this] { return approximate_progress_step(); });
+  }
+  scheduler_->run();
+}
+
+// --------------------------------------------------------------------------
+// Point-to-point
+// --------------------------------------------------------------------------
+
+Engine::RequestState& Engine::request_state(Rank self, Request req) {
+  auto& slots = requests_[static_cast<std::size_t>(self)];
+  CHAM_CHECK(req >= 0 && req < static_cast<int>(slots.size()));
+  return slots[static_cast<std::size_t>(req)];
+}
+
+Request Engine::alloc_request(Rank self) {
+  auto& slots = requests_[static_cast<std::size_t>(self)];
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].active) {
+      slots[i] = RequestState{};
+      slots[i].active = true;
+      return static_cast<Request>(i);
+    }
+  }
+  slots.emplace_back();
+  slots.back().active = true;
+  return static_cast<Request>(slots.size() - 1);
+}
+
+void Engine::deliver(Rank dest, Request req, Message&& msg) {
+  RequestState& state = request_state(dest, req);
+  state.msg = std::move(msg);
+  state.complete = true;
+  scheduler_->unblock(dest);
+}
+
+void Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
+                       std::size_t bytes, std::vector<std::uint8_t> payload) {
+  CHAM_CHECK_MSG(dest >= 0 && dest < opts_.nprocs, "send to invalid rank");
+  auto& t = vtime_[static_cast<std::size_t>(self)];
+  t += opts_.net.send_overhead;
+  Message msg;
+  msg.src = self;
+  msg.tag = tag;
+  msg.bytes = std::max(bytes, payload.size());
+  msg.payload = std::move(payload);
+  msg.arrive_vtime = t + opts_.net.p2p_transfer(msg.bytes);
+  ++messages_sent_;
+  bytes_sent_ += msg.bytes;
+
+  auto& posted = pending_[box(comm, dest)];
+  for (auto it = posted.begin(); it != posted.end(); ++it) {
+    if (matches(*it, msg)) {
+      const Request req = it->req;
+      posted.erase(it);
+      deliver(dest, req, std::move(msg));
+      return;
+    }
+  }
+  unexpected_[box(comm, dest)].push_back(std::move(msg));
+}
+
+Request Engine::pmpi_isend(Rank self, int comm, Rank dest, int tag,
+                           std::size_t bytes,
+                           std::vector<std::uint8_t> payload) {
+  // Eager/buffered semantics: the transfer is initiated immediately and the
+  // request completes at once (the paper's workloads never rely on
+  // rendezvous back-pressure).
+  pmpi_send(self, comm, dest, tag, bytes, std::move(payload));
+  const Request req = alloc_request(self);
+  RequestState& state = request_state(self, req);
+  state.is_recv = false;
+  state.complete = true;
+  state.comm = comm;
+  return req;
+}
+
+Request Engine::pmpi_irecv(Rank self, int comm, Rank src, int tag,
+                           std::size_t declared_bytes) {
+  CHAM_CHECK_MSG(src == kAnySource || (src >= 0 && src < opts_.nprocs),
+                 "recv from invalid rank");
+  const Request req = alloc_request(self);
+  RequestState& state = request_state(self, req);
+  state.is_recv = true;
+  state.comm = comm;
+  state.declared_bytes = declared_bytes;
+
+  auto& backlog = unexpected_[box(comm, self)];
+  PendingRecv want{src, tag, req};
+  for (auto it = backlog.begin(); it != backlog.end(); ++it) {
+    if (matches(want, *it)) {
+      Message msg = std::move(*it);
+      backlog.erase(it);
+      state.msg = std::move(msg);
+      state.complete = true;
+      return req;
+    }
+  }
+  pending_[box(comm, self)].push_back(want);
+  return req;
+}
+
+Message Engine::pmpi_wait(Rank self, Request req, RecvStatus* status) {
+  RequestState& state = request_state(self, req);
+  CHAM_CHECK_MSG(state.active, "wait on inactive request");
+  while (!state.complete) {
+    std::ostringstream why;
+    why << "MPI_Wait(request=" << req << ")";
+    scheduler_->block(why.str());
+  }
+  Message msg = std::move(state.msg);
+  auto& t = vtime_[static_cast<std::size_t>(self)];
+  if (state.is_recv) {
+    if (msg.arrive_vtime > t)
+      wait_[static_cast<std::size_t>(self)] += msg.arrive_vtime - t;
+    t = std::max(t, msg.arrive_vtime) + opts_.net.recv_overhead;
+    if (status != nullptr) {
+      status->source = msg.src;
+      status->tag = msg.tag;
+      status->bytes = msg.bytes;
+    }
+  }
+  state.active = false;
+  return msg;
+}
+
+Message Engine::pmpi_recv(Rank self, int comm, Rank src, int tag,
+                          RecvStatus* status) {
+  const Request req = pmpi_irecv(self, comm, src, tag, 0);
+  return pmpi_wait(self, req, status);
+}
+
+// --------------------------------------------------------------------------
+// Collectives
+// --------------------------------------------------------------------------
+
+void Engine::collective_arrive(
+    Rank self, int comm, Op op,
+    const std::function<void(CollSite&)>& deposit,
+    const std::function<void(CollSite&)>& finish,
+    const std::function<void(CollSite&)>& extract) {
+  auto& seq = coll_seq_[box(comm, self)];
+  const auto key = std::make_pair(comm, seq);
+  ++seq;
+
+  auto [it, inserted] = coll_sites_.try_emplace(key);
+  CollSite& site = it->second;
+  if (inserted) {
+    site.op = op;
+    site.byte_contribs.resize(static_cast<std::size_t>(opts_.nprocs));
+    site.u64_contribs.resize(static_cast<std::size_t>(opts_.nprocs));
+  }
+  CHAM_CHECK_MSG(site.op == op,
+                 "collective mismatch: ranks disagree on the operation");
+  deposit(site);
+  const double own_arrive = vtime_[static_cast<std::size_t>(self)];
+  site.max_arrive = std::max(site.max_arrive, own_arrive);
+  ++site.arrived;
+
+  if (site.arrived == opts_.nprocs) {
+    site.complete_vtime =
+        site.max_arrive + opts_.net.collective(opts_.nprocs, site.bytes);
+    finish(site);
+    site.done = true;
+    // Application-level statistic: tool-comm collectives (clustering votes,
+    // the finalize synchronization) are bookkeeping, not workload traffic.
+    if (comm != kCommTool) ++collectives_run_;
+    for (Rank r = 0; r < opts_.nprocs; ++r)
+      if (r != self) scheduler_->unblock(r);
+  } else {
+    while (!site.done) {
+      std::ostringstream why;
+      why << op_name(op) << " comm=" << comm << " slot=" << key.second << " ("
+          << site.arrived << '/' << opts_.nprocs << " arrived)";
+      scheduler_->block(why.str());
+    }
+  }
+  if (site.max_arrive > own_arrive)
+    wait_[static_cast<std::size_t>(self)] += site.max_arrive - own_arrive;
+  vtime_[static_cast<std::size_t>(self)] = site.complete_vtime;
+  extract(site);
+  if (++site.extracted == opts_.nprocs) coll_sites_.erase(it);
+}
+
+void Engine::pmpi_barrier(Rank self, int comm) {
+  collective_arrive(
+      self, comm, Op::kBarrier, [](CollSite&) {}, [](CollSite&) {},
+      [](CollSite&) {});
+}
+
+std::vector<std::uint8_t> Engine::pmpi_bcast(Rank self, int comm, Rank root,
+                                             std::vector<std::uint8_t> contrib,
+                                             std::size_t declared_bytes) {
+  const bool is_root = self == root;
+  std::vector<std::uint8_t> result;
+  collective_arrive(
+      self, comm, Op::kBcast,
+      [&](CollSite& s) {
+        s.root = root;
+        s.bytes = std::max({s.bytes, declared_bytes, contrib.size()});
+        if (is_root) s.bcast_result = std::move(contrib);
+      },
+      [](CollSite&) {},
+      [&](CollSite& s) { result = s.bcast_result; });
+  return result;
+}
+
+namespace {
+void apply_reduce(ReduceOp op, std::vector<std::uint64_t>& acc,
+                  const std::vector<std::uint64_t>& in) {
+  if (acc.size() < in.size()) acc.resize(in.size(), 0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    switch (op) {
+      case ReduceOp::kSum: acc[i] += in[i]; break;
+      case ReduceOp::kMax: acc[i] = std::max(acc[i], in[i]); break;
+      case ReduceOp::kMin: acc[i] = std::min(acc[i], in[i]); break;
+      case ReduceOp::kBor: acc[i] |= in[i]; break;
+    }
+  }
+}
+}  // namespace
+
+namespace {
+void fold_u64_contribs(Engine::CollSite& s) {
+  bool first = true;
+  for (const auto& c : s.u64_contribs) {
+    if (first) {
+      s.reduce_result = c;
+      first = false;
+    } else {
+      apply_reduce(s.rop, s.reduce_result, c);
+    }
+  }
+}
+}  // namespace
+
+std::vector<std::uint64_t> Engine::pmpi_reduce(
+    Rank self, int comm, Rank root, ReduceOp op,
+    std::vector<std::uint64_t> contrib, std::size_t declared_bytes) {
+  std::vector<std::uint64_t> result;
+  collective_arrive(
+      self, comm, Op::kReduce,
+      [&](CollSite& s) {
+        s.root = root;
+        s.rop = op;
+        s.bytes = std::max({s.bytes, declared_bytes,
+                            contrib.size() * sizeof(std::uint64_t)});
+        s.u64_contribs[static_cast<std::size_t>(self)] = std::move(contrib);
+      },
+      fold_u64_contribs,
+      [&](CollSite& s) {
+        if (self == s.root) result = s.reduce_result;
+      });
+  return result;
+}
+
+std::vector<std::uint64_t> Engine::pmpi_allreduce(
+    Rank self, int comm, ReduceOp op, std::vector<std::uint64_t> contrib,
+    std::size_t declared_bytes) {
+  std::vector<std::uint64_t> result;
+  collective_arrive(
+      self, comm, Op::kAllreduce,
+      [&](CollSite& s) {
+        s.rop = op;
+        s.bytes = std::max({s.bytes, declared_bytes,
+                            contrib.size() * sizeof(std::uint64_t)});
+        s.u64_contribs[static_cast<std::size_t>(self)] = std::move(contrib);
+      },
+      fold_u64_contribs, [&](CollSite& s) { result = s.reduce_result; });
+  return result;
+}
+
+std::vector<std::vector<std::uint8_t>> Engine::pmpi_gather(
+    Rank self, int comm, Rank root, std::vector<std::uint8_t> contrib,
+    std::size_t declared_bytes) {
+  std::vector<std::vector<std::uint8_t>> result;
+  collective_arrive(
+      self, comm, Op::kGather,
+      [&](CollSite& s) {
+        s.root = root;
+        s.bytes = std::max({s.bytes, declared_bytes, contrib.size()});
+        s.byte_contribs[static_cast<std::size_t>(self)] = std::move(contrib);
+      },
+      [](CollSite&) {},
+      [&](CollSite& s) {
+        if (self == s.root) result = s.byte_contribs;
+      });
+  return result;
+}
+
+std::vector<std::vector<std::uint8_t>> Engine::pmpi_allgather(
+    Rank self, int comm, std::vector<std::uint8_t> contrib,
+    std::size_t declared_bytes) {
+  std::vector<std::vector<std::uint8_t>> result;
+  collective_arrive(
+      self, comm, Op::kAllgather,
+      [&](CollSite& s) {
+        s.bytes = std::max({s.bytes, declared_bytes, contrib.size()});
+        s.byte_contribs[static_cast<std::size_t>(self)] = std::move(contrib);
+      },
+      [](CollSite&) {}, [&](CollSite& s) { result = s.byte_contribs; });
+  return result;
+}
+
+std::vector<std::uint8_t> Engine::pmpi_scatter(
+    Rank self, int comm, Rank root,
+    std::vector<std::vector<std::uint8_t>> contrib,
+    std::size_t declared_bytes) {
+  const bool is_root = self == root;
+  if (is_root) {
+    CHAM_CHECK_MSG(contrib.size() == static_cast<std::size_t>(opts_.nprocs),
+                   "scatter root must supply one blob per rank");
+  }
+  std::vector<std::uint8_t> result;
+  collective_arrive(
+      self, comm, Op::kScatter,
+      [&](CollSite& s) {
+        s.root = root;
+        s.bytes = std::max(s.bytes, declared_bytes);
+        if (is_root) {
+          for (const auto& piece : contrib)
+            s.bytes = std::max(s.bytes, piece.size());
+          s.byte_contribs = std::move(contrib);
+        }
+      },
+      [](CollSite&) {},
+      [&](CollSite& s) {
+        result = s.byte_contribs[static_cast<std::size_t>(self)];
+      });
+  return result;
+}
+
+void Engine::pmpi_alltoall(Rank self, int comm, std::size_t bytes) {
+  collective_arrive(
+      self, comm, Op::kAlltoall,
+      [&](CollSite& s) {
+        // All-to-all moves P messages per rank; charge the aggregate.
+        s.bytes = std::max(
+            s.bytes, bytes * static_cast<std::size_t>(opts_.nprocs));
+      },
+      [](CollSite&) {}, [](CollSite&) {});
+}
+
+bool Engine::approximate_progress_step() {
+  bool progressed = false;
+  // Cancel every outstanding receive with a synthetic empty message: the
+  // matching send never existed in the (approximated) trace.
+  for (int comm = 0; comm < kNumComms; ++comm) {
+    for (Rank r = 0; r < opts_.nprocs; ++r) {
+      auto& posted = pending_[box(comm, r)];
+      while (!posted.empty()) {
+        const PendingRecv want = posted.front();
+        posted.pop_front();
+        Message msg;
+        msg.src = want.src_match == kAnySource ? 0 : want.src_match;
+        msg.tag = want.tag_match == kAnyTag ? 0 : want.tag_match;
+        msg.arrive_vtime = vtime_[static_cast<std::size_t>(r)];
+        deliver(r, want.req, std::move(msg));
+        ++cancelled_recvs_;
+        progressed = true;
+      }
+    }
+  }
+  // Force-complete collectives some ranks never reached.
+  for (auto& [key, site] : coll_sites_) {
+    if (site.done || site.arrived == 0) continue;
+    site.complete_vtime = site.max_arrive;
+    if (site.op == Op::kReduce || site.op == Op::kAllreduce) {
+      fold_u64_contribs(site);
+    }
+    site.done = true;
+    ++forced_collectives_;
+    progressed = true;
+    for (Rank r = 0; r < opts_.nprocs; ++r) scheduler_->unblock(r);
+  }
+  return progressed;
+}
+
+void Engine::advance_compute(Rank self, double seconds) {
+  CHAM_CHECK_MSG(seconds >= 0.0, "compute time must be non-negative");
+  vtime_[static_cast<std::size_t>(self)] += seconds;
+}
+
+// --------------------------------------------------------------------------
+// Hook dispatch
+// --------------------------------------------------------------------------
+
+void Engine::tool_pre(Rank self, const CallInfo& info) {
+  if (tool_ != nullptr) tool_->on_pre(self, info, pmpi(self));
+}
+
+void Engine::tool_post(Rank self, const CallInfo& info) {
+  if (tool_ != nullptr) tool_->on_post(self, info, pmpi(self));
+}
+
+}  // namespace cham::sim

@@ -1,0 +1,231 @@
+// The minimpi engine: a deterministic, single-process MPI runtime.
+//
+// Every rank is a fiber (sim/fiber.hpp). The engine implements tag/source
+// matched point-to-point messaging with eager (buffered) sends, tree-modelled
+// collectives, per-rank virtual clocks driven by the NetModel, and a PMPI
+// interposition layer: traced calls enter through the Mpi facade which fires
+// tool pre/post hooks around the internal pmpi_* entry points, exactly the
+// structure ScalaTrace/Chameleon rely on in real MPI.
+//
+// Communicators: all span the full world. kCommWorld carries application
+// traffic, kCommMarker carries only the Chameleon marker barrier (the paper's
+// "unique value in the communicator field"), kCommTool carries tool-internal
+// traffic which never reaches the hooks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/netmodel.hpp"
+#include "sim/types.hpp"
+
+namespace cham::sim {
+
+class Mpi;
+class Pmpi;
+class Tool;
+
+struct EngineOptions {
+  int nprocs = 4;
+  std::size_t stack_bytes = 256 * 1024;
+  NetModel net{};
+};
+
+/// An in-flight or delivered message.
+struct Message {
+  Rank src = 0;
+  int tag = 0;
+  std::size_t bytes = 0;            ///< declared size (drives the time model)
+  std::vector<std::uint8_t> payload;  ///< actual data (may be empty)
+  double arrive_vtime = 0.0;
+};
+
+/// Nonblocking-operation handle, indexed per rank.
+using Request = int;
+inline constexpr Request kNullRequest = -1;
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Install the PMPI tool (or nullptr for an uninstrumented run). Must be
+  /// called before run().
+  void set_tool(Tool* tool) { tool_ = tool; }
+
+  /// Launch nprocs ranks, each executing rank_main, and drive them to
+  /// completion. May be called once per Engine.
+  void run(const std::function<void(Mpi&)>& rank_main);
+
+  [[nodiscard]] int nprocs() const { return opts_.nprocs; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+  [[nodiscard]] Tool* tool() const { return tool_; }
+
+  /// Virtual completion time of a rank / of the whole run.
+  [[nodiscard]] double vtime(Rank r) const;
+  [[nodiscard]] double max_vtime() const;
+  /// Sum of all ranks' completion times — the paper's "aggregated
+  /// wall-clock times across all nodes".
+  [[nodiscard]] double vtime_sum() const;
+  /// Time rank r spent waiting (blocked on receives/collectives while its
+  /// partners caught up) — the DVFS-harvestable idle time of the paper's
+  /// §VIII energy discussion.
+  [[nodiscard]] double wait_seconds(Rank r) const;
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t collectives_run() const { return collectives_run_; }
+
+  /// Replay robustness: instead of reporting a deadlock when nothing can
+  /// progress, cancel outstanding receives (synthetic empty messages) and
+  /// force-complete partially-arrived collectives. Imperfectly clustered
+  /// traces (K below the natural behaviour-group count) replay these
+  /// approximations; the counters make the information loss visible.
+  void enable_approximate_progress() { approximate_ = true; }
+  [[nodiscard]] std::uint64_t cancelled_recvs() const { return cancelled_recvs_; }
+  [[nodiscard]] std::uint64_t forced_collectives() const {
+    return forced_collectives_;
+  }
+
+  // --- PMPI layer (used by the Mpi/Pmpi facades and by tools) -------------
+
+  void pmpi_send(Rank self, int comm, Rank dest, int tag, std::size_t bytes,
+                 std::vector<std::uint8_t> payload);
+  Message pmpi_recv(Rank self, int comm, Rank src, int tag,
+                    RecvStatus* status);
+  Request pmpi_isend(Rank self, int comm, Rank dest, int tag,
+                     std::size_t bytes, std::vector<std::uint8_t> payload);
+  Request pmpi_irecv(Rank self, int comm, Rank src, int tag,
+                     std::size_t declared_bytes);
+  Message pmpi_wait(Rank self, Request req, RecvStatus* status);
+
+  void pmpi_barrier(Rank self, int comm);
+  /// Root's contribution is returned to everyone.
+  std::vector<std::uint8_t> pmpi_bcast(Rank self, int comm, Rank root,
+                                       std::vector<std::uint8_t> contrib,
+                                       std::size_t declared_bytes);
+  /// Elementwise reduction; result valid only at root (returned to all for
+  /// simplicity; facades enforce root-only semantics).
+  std::vector<std::uint64_t> pmpi_reduce(Rank self, int comm, Rank root,
+                                         ReduceOp op,
+                                         std::vector<std::uint64_t> contrib,
+                                         std::size_t declared_bytes = 0);
+  std::vector<std::uint64_t> pmpi_allreduce(Rank self, int comm, ReduceOp op,
+                                            std::vector<std::uint64_t> contrib,
+                                            std::size_t declared_bytes = 0);
+  /// Per-rank byte blobs gathered to root (empty vector elsewhere).
+  std::vector<std::vector<std::uint8_t>> pmpi_gather(
+      Rank self, int comm, Rank root, std::vector<std::uint8_t> contrib,
+      std::size_t declared_bytes = 0);
+  std::vector<std::vector<std::uint8_t>> pmpi_allgather(
+      Rank self, int comm, std::vector<std::uint8_t> contrib,
+      std::size_t declared_bytes = 0);
+  /// Root's per-rank blobs scattered; returns this rank's piece.
+  std::vector<std::uint8_t> pmpi_scatter(
+      Rank self, int comm, Rank root,
+      std::vector<std::vector<std::uint8_t>> contrib,
+      std::size_t declared_bytes = 0);
+  /// Timing-only all-to-all of `bytes` per pair.
+  void pmpi_alltoall(Rank self, int comm, std::size_t bytes);
+
+  /// Advance a rank's virtual clock by a compute region.
+  void advance_compute(Rank self, double seconds);
+
+  /// State of one in-progress collective (public so free helper functions
+  /// can fold contributions; not part of the user-facing API).
+  struct CollSite {
+    Op op = Op::kBarrier;
+    Rank root = 0;
+    ReduceOp rop = ReduceOp::kSum;
+    std::size_t bytes = 0;
+    int arrived = 0;
+    int extracted = 0;
+    double max_arrive = 0.0;
+    bool done = false;
+    double complete_vtime = 0.0;
+    std::vector<std::vector<std::uint8_t>> byte_contribs;
+    std::vector<std::vector<std::uint64_t>> u64_contribs;
+    std::vector<std::uint8_t> bcast_result;
+    std::vector<std::uint64_t> reduce_result;
+  };
+
+  // --- hook dispatch (called by the Mpi facade) ---------------------------
+  void tool_pre(Rank self, const CallInfo& info);
+  void tool_post(Rank self, const CallInfo& info);
+
+  /// Per-rank untraced facade (valid during run()).
+  Pmpi& pmpi(Rank r);
+
+ private:
+  struct PendingRecv {
+    Rank src_match = kAnySource;
+    int tag_match = kAnyTag;
+    Request req = kNullRequest;
+  };
+
+  struct RequestState {
+    bool active = false;
+    bool is_recv = false;
+    bool complete = false;
+    Message msg;
+    std::size_t declared_bytes = 0;
+    int comm = kCommWorld;
+  };
+
+  [[nodiscard]] std::size_t box(int comm, Rank r) const {
+    return static_cast<std::size_t>(comm) * static_cast<std::size_t>(opts_.nprocs) +
+           static_cast<std::size_t>(r);
+  }
+  static bool matches(const PendingRecv& pending, const Message& msg) {
+    return (pending.src_match == kAnySource || pending.src_match == msg.src) &&
+           (pending.tag_match == kAnyTag || pending.tag_match == msg.tag);
+  }
+
+  RequestState& request_state(Rank self, Request req);
+  Request alloc_request(Rank self);
+  void deliver(Rank dest, Request req, Message&& msg);
+  bool approximate_progress_step();
+
+  /// Collective rendezvous: blocks until all ranks of `comm` arrive at the
+  /// same per-comm slot. The last arrival runs `finish` on the site; every
+  /// participant then runs `extract` on the completed site to copy out its
+  /// results. The site is destroyed once all participants extracted, so
+  /// long runs do not accumulate per-collective state.
+  void collective_arrive(Rank self, int comm, Op op,
+                         const std::function<void(CollSite&)>& deposit,
+                         const std::function<void(CollSite&)>& finish,
+                         const std::function<void(CollSite&)>& extract);
+
+  EngineOptions opts_;
+  Tool* tool_ = nullptr;
+  bool ran_ = false;
+  bool approximate_ = false;
+  std::uint64_t cancelled_recvs_ = 0;
+  std::uint64_t forced_collectives_ = 0;
+
+  std::unique_ptr<FiberScheduler> scheduler_;
+  std::vector<Mpi> mpis_;
+  std::vector<Pmpi> pmpis_;
+  std::vector<double> vtime_;
+  std::vector<double> wait_;
+
+  static constexpr int kNumComms = 3;
+  std::vector<std::deque<Message>> unexpected_;     // [comm*P + rank]
+  std::vector<std::deque<PendingRecv>> pending_;    // [comm*P + rank]
+  std::vector<std::vector<RequestState>> requests_;  // [rank]
+  std::vector<std::uint64_t> coll_seq_;              // [comm*P + rank]
+  std::map<std::pair<int, std::uint64_t>, CollSite> coll_sites_;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t collectives_run_ = 0;
+};
+
+}  // namespace cham::sim

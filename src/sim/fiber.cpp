@@ -1,0 +1,126 @@
+#include "sim/fiber.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/logging.hpp"
+
+namespace cham::sim {
+
+namespace detail {
+
+Fiber::Fiber(std::size_t bytes, std::function<void()> fn)
+    : stack(new char[bytes]), stack_bytes(bytes), entry(std::move(fn)) {}
+
+}  // namespace detail
+
+void FiberScheduler::trampoline(unsigned hi, unsigned lo) {
+  auto* fiber = reinterpret_cast<detail::Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  FiberScheduler* sched = fiber->scheduler;
+  try {
+    fiber->entry();
+  } catch (...) {
+    if (!sched->pending_exception_)
+      sched->pending_exception_ = std::current_exception();
+  }
+  fiber->state = detail::FiberState::kFinished;
+  ++sched->finished_;
+  // Falling off the trampoline returns to uc_link (the scheduler context).
+}
+
+int FiberScheduler::spawn(std::function<void()> entry,
+                          std::size_t stack_bytes) {
+  CHAM_CHECK_MSG(current_ == -1, "spawn must be called outside fibers");
+  auto fiber = std::make_unique<detail::Fiber>(stack_bytes, std::move(entry));
+  fiber->id = static_cast<int>(fibers_.size());
+  fiber->scheduler = this;
+
+  CHAM_CHECK(getcontext(&fiber->context) == 0);
+  fiber->context.uc_stack.ss_sp = fiber->stack.get();
+  fiber->context.uc_stack.ss_size = fiber->stack_bytes;
+  fiber->context.uc_link = &main_context_;
+  const auto ptr = reinterpret_cast<std::uintptr_t>(fiber.get());
+  makecontext(&fiber->context, reinterpret_cast<void (*)()>(&trampoline), 2,
+              static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xffffffffu));
+
+  ready_.push_back(fiber->id);
+  fibers_.push_back(std::move(fiber));
+  return fibers_.back()->id;
+}
+
+void FiberScheduler::run() {
+  while (finished_ < fibers_.size()) {
+    if (ready_.empty()) {
+      if (pending_exception_) break;  // a fiber died; report that instead
+      if (stall_handler_ && stall_handler_() && !ready_.empty()) continue;
+      throw std::runtime_error(deadlock_report());
+    }
+    const int id = ready_.front();
+    ready_.pop_front();
+    detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(id)];
+    if (fiber.state == detail::FiberState::kFinished) continue;
+    fiber.state = detail::FiberState::kRunning;
+    current_ = id;
+    ++switches_;
+    CHAM_CHECK(swapcontext(&main_context_, &fiber.context) == 0);
+    current_ = -1;
+    if (pending_exception_) break;
+    if (fiber.state == detail::FiberState::kRunning) {
+      // The fiber yielded cooperatively: still runnable.
+      fiber.state = detail::FiberState::kReady;
+      ready_.push_back(id);
+    }
+  }
+  if (pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+void FiberScheduler::yield() {
+  CHAM_CHECK(current_ >= 0);
+  switch_to_scheduler();
+}
+
+void FiberScheduler::block(std::string reason) {
+  CHAM_CHECK(current_ >= 0);
+  detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(current_)];
+  fiber.state = detail::FiberState::kBlocked;
+  fiber.block_reason = std::move(reason);
+  switch_to_scheduler();
+}
+
+void FiberScheduler::unblock(int id) {
+  CHAM_CHECK(id >= 0 && id < static_cast<int>(fibers_.size()));
+  detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(id)];
+  if (fiber.state != detail::FiberState::kBlocked) return;
+  fiber.state = detail::FiberState::kReady;
+  fiber.block_reason.clear();
+  ready_.push_back(id);
+}
+
+void FiberScheduler::switch_to_scheduler() {
+  detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(current_)];
+  CHAM_CHECK(swapcontext(&fiber.context, &main_context_) == 0);
+}
+
+std::string FiberScheduler::deadlock_report() const {
+  std::ostringstream os;
+  os << "minimpi deadlock: " << fibers_.size() - finished_
+     << " fibers alive but none runnable\n";
+  std::size_t listed = 0;
+  for (const auto& fiber : fibers_) {
+    if (fiber->state != detail::FiberState::kBlocked) continue;
+    if (++listed > 16) {
+      os << "  ...\n";
+      break;
+    }
+    os << "  rank " << fiber->id << ": " << fiber->block_reason << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cham::sim

@@ -1,0 +1,103 @@
+// Cooperative fibers (ucontext) and a deterministic round-robin scheduler.
+//
+// Every simulated MPI rank runs as one fiber on the host thread. Scheduling
+// is strictly deterministic: ready fibers run in FIFO order, so a given
+// (workload, P, seed) triple always produces the identical interleaving and
+// therefore bit-identical traces. Blocking MPI semantics map to
+// block()/unblock(); a drained ready-queue with live fibers is a deadlock
+// and reported as such with per-fiber diagnostics.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cham::sim {
+
+class FiberScheduler;
+
+namespace detail {
+
+enum class FiberState : std::uint8_t { kReady, kRunning, kBlocked, kFinished };
+
+struct Fiber {
+  Fiber(std::size_t stack_bytes, std::function<void()> entry);
+
+  ucontext_t context{};
+  std::unique_ptr<char[]> stack;
+  std::size_t stack_bytes;
+  std::function<void()> entry;
+  FiberState state = FiberState::kReady;
+  int id = -1;
+  FiberScheduler* scheduler = nullptr;
+  /// Human-readable note set by the blocker (for deadlock reports).
+  std::string block_reason;
+};
+
+}  // namespace detail
+
+class FiberScheduler {
+ public:
+  FiberScheduler() = default;
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  /// Create a fiber; it becomes runnable immediately. Returns its id
+  /// (dense, starting at 0 — used as the MPI rank).
+  int spawn(std::function<void()> entry, std::size_t stack_bytes);
+
+  /// Drive all fibers to completion. Rethrows the first exception a fiber
+  /// raised. Throws std::runtime_error on deadlock.
+  void run();
+
+  /// Installed handler is consulted when no fiber is runnable but some are
+  /// still alive; returning true means it unblocked something and the run
+  /// continues, false falls through to the deadlock report. Used by the
+  /// replayer to degrade gracefully on imperfectly clustered traces.
+  void set_stall_handler(std::function<bool()> handler) {
+    stall_handler_ = std::move(handler);
+  }
+
+  /// --- called from inside a fiber ---
+
+  /// Yield but stay runnable (appended to the back of the ready queue).
+  void yield();
+
+  /// Mark the current fiber blocked and switch away. Returns once some
+  /// other fiber calls unblock() on it.
+  void block(std::string reason);
+
+  /// Make a blocked fiber runnable again. No-op if it is not blocked.
+  void unblock(int id);
+
+  /// Id of the fiber currently executing; -1 when in the scheduler itself.
+  [[nodiscard]] int current() const { return current_; }
+
+  [[nodiscard]] std::size_t fiber_count() const { return fibers_.size(); }
+  [[nodiscard]] std::size_t finished_count() const { return finished_; }
+
+  /// Total fiber context switches performed (diagnostics).
+  [[nodiscard]] std::uint64_t switch_count() const { return switches_; }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void switch_to_scheduler();
+  [[nodiscard]] std::string deadlock_report() const;
+
+  std::vector<std::unique_ptr<detail::Fiber>> fibers_;
+  std::deque<int> ready_;
+  ucontext_t main_context_{};
+  int current_ = -1;
+  std::size_t finished_ = 0;
+  std::uint64_t switches_ = 0;
+  std::exception_ptr pending_exception_;
+  std::function<bool()> stall_handler_;
+};
+
+}  // namespace cham::sim

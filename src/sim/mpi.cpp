@@ -1,0 +1,260 @@
+#include "sim/mpi.hpp"
+
+#include <cstring>
+
+#include "sim/tool.hpp"
+#include "support/logging.hpp"
+
+namespace cham::sim {
+
+// ---------------------------------------------------------------------------
+// Pmpi (tool traffic, untraced, kCommTool)
+// ---------------------------------------------------------------------------
+
+void Pmpi::send_bytes(Rank dest, int tag,
+                      std::vector<std::uint8_t> data) const {
+  engine_->pmpi_send(rank_, kCommTool, dest, tag, data.size(),
+                     std::move(data));
+}
+
+std::vector<std::uint8_t> Pmpi::recv_bytes(Rank src, int tag,
+                                           RecvStatus* status) const {
+  Message msg = engine_->pmpi_recv(rank_, kCommTool, src, tag, status);
+  return std::move(msg.payload);
+}
+
+void Pmpi::barrier() const { engine_->pmpi_barrier(rank_, kCommTool); }
+
+std::uint64_t Pmpi::reduce_u64(std::uint64_t value, ReduceOp op,
+                               Rank root) const {
+  auto out = engine_->pmpi_reduce(rank_, kCommTool, root, op, {value});
+  return rank_ == root && !out.empty() ? out[0] : 0;
+}
+
+std::uint64_t Pmpi::allreduce_u64(std::uint64_t value, ReduceOp op) const {
+  auto out = engine_->pmpi_allreduce(rank_, kCommTool, op, {value});
+  CHAM_CHECK(!out.empty());
+  return out[0];
+}
+
+std::uint64_t Pmpi::bcast_u64(std::uint64_t value, Rank root) const {
+  std::vector<std::uint8_t> blob(sizeof value);
+  std::memcpy(blob.data(), &value, sizeof value);
+  auto out = engine_->pmpi_bcast(rank_, kCommTool, root, std::move(blob),
+                                 sizeof value);
+  CHAM_CHECK(out.size() == sizeof value);
+  std::uint64_t result = 0;
+  std::memcpy(&result, out.data(), sizeof result);
+  return result;
+}
+
+std::vector<std::uint8_t> Pmpi::bcast_bytes(std::vector<std::uint8_t> data,
+                                            Rank root) const {
+  return engine_->pmpi_bcast(rank_, kCommTool, root, std::move(data), 0);
+}
+
+std::vector<std::vector<std::uint8_t>> Pmpi::gather_bytes(
+    std::vector<std::uint8_t> data, Rank root) const {
+  return engine_->pmpi_gather(rank_, kCommTool, root, std::move(data));
+}
+
+// ---------------------------------------------------------------------------
+// Mpi (application traffic, traced, kCommWorld / kCommMarker)
+// ---------------------------------------------------------------------------
+
+namespace {
+CallInfo make_info(Op op, Rank peer, int tag, std::size_t bytes, int comm,
+                   Rank root = 0, bool marker = false) {
+  CallInfo info;
+  info.op = op;
+  info.peer = peer;
+  info.tag = tag;
+  info.bytes = bytes;
+  info.comm = comm;
+  info.root = root;
+  info.is_marker = marker;
+  return info;
+}
+}  // namespace
+
+void Mpi::init() {
+  engine_->tool_pre(rank_, make_info(Op::kInit, kAnySource, kAnyTag, 0,
+                                     kCommWorld));
+  if (engine_->tool() != nullptr)
+    engine_->tool()->on_init(rank_, engine_->pmpi(rank_));
+  engine_->tool_post(rank_, make_info(Op::kInit, kAnySource, kAnyTag, 0,
+                                      kCommWorld));
+}
+
+void Mpi::finalize() {
+  const CallInfo info =
+      make_info(Op::kFinalize, kAnySource, kAnyTag, 0, kCommWorld);
+  engine_->tool_pre(rank_, info);
+  engine_->tool_post(rank_, info);
+  // MPI_Finalize is collective: no rank completes before every rank (and
+  // any tool work riding on finalize, e.g. ScalaTrace's radix-tree merge)
+  // is done. This is what spreads the merge chain's latency across all P
+  // ranks' wall clocks, exactly as on a real cluster.
+  engine_->pmpi_barrier(rank_, kCommTool);
+}
+
+void Mpi::send(Rank dest, std::size_t bytes, int tag,
+               std::vector<std::uint8_t> payload, bool absolute_peer) {
+  CallInfo info = make_info(Op::kSend, dest, tag, bytes, kCommWorld);
+  info.absolute_peer = absolute_peer;
+  engine_->tool_pre(rank_, info);
+  engine_->pmpi_send(rank_, kCommWorld, dest, tag, bytes, std::move(payload));
+  engine_->tool_post(rank_, info);
+}
+
+RecvStatus Mpi::recv(Rank src, std::size_t bytes, int tag,
+                     std::vector<std::uint8_t>* payload, bool absolute_peer) {
+  CallInfo info = make_info(Op::kRecv, src, tag, bytes, kCommWorld);
+  info.absolute_peer = absolute_peer;
+  engine_->tool_pre(rank_, info);
+  RecvStatus status;
+  Message msg = engine_->pmpi_recv(rank_, kCommWorld, src, tag, &status);
+  if (payload != nullptr) *payload = std::move(msg.payload);
+  info.matched_peer = status.source;
+  engine_->tool_post(rank_, info);
+  return status;
+}
+
+void Mpi::remember_posted(Request req, const PostedRecv& rec) {
+  if (posted_.size() <= static_cast<std::size_t>(req))
+    posted_.resize(static_cast<std::size_t>(req) + 1);
+  posted_[static_cast<std::size_t>(req)] = rec;
+}
+
+Mpi::PostedRecv Mpi::posted_of(Request req) const {
+  CHAM_CHECK(req >= 0 && static_cast<std::size_t>(req) < posted_.size());
+  return posted_[static_cast<std::size_t>(req)];
+}
+
+Request Mpi::isend(Rank dest, std::size_t bytes, int tag,
+                   std::vector<std::uint8_t> payload, bool absolute_peer) {
+  CallInfo info = make_info(Op::kIsend, dest, tag, bytes, kCommWorld);
+  info.absolute_peer = absolute_peer;
+  engine_->tool_pre(rank_, info);
+  const Request req =
+      engine_->pmpi_isend(rank_, kCommWorld, dest, tag, bytes,
+                          std::move(payload));
+  remember_posted(req, PostedRecv{dest, tag, bytes});
+  engine_->tool_post(rank_, info);
+  return req;
+}
+
+Request Mpi::irecv(Rank src, std::size_t bytes, int tag, bool absolute_peer) {
+  CallInfo info = make_info(Op::kIrecv, src, tag, bytes, kCommWorld);
+  info.absolute_peer = absolute_peer;
+  engine_->tool_pre(rank_, info);
+  const Request req = engine_->pmpi_irecv(rank_, kCommWorld, src, tag, bytes);
+  remember_posted(req, PostedRecv{src, tag, bytes});
+  engine_->tool_post(rank_, info);
+  return req;
+}
+
+RecvStatus Mpi::wait(Request req) {
+  const PostedRecv posted = posted_of(req);
+  CallInfo info =
+      make_info(Op::kWait, posted.src, posted.tag, posted.bytes, kCommWorld);
+  engine_->tool_pre(rank_, info);
+  RecvStatus status;
+  engine_->pmpi_wait(rank_, req, &status);
+  info.matched_peer = status.source;
+  engine_->tool_post(rank_, info);
+  return status;
+}
+
+void Mpi::waitall(std::span<Request> reqs) {
+  // Traced as one MPI_Waitall event (ScalaTrace records the call, not each
+  // internal completion).
+  CallInfo info = make_info(Op::kWaitall, kAnySource, kAnyTag, 0, kCommWorld);
+  engine_->tool_pre(rank_, info);
+  for (Request req : reqs) engine_->pmpi_wait(rank_, req, nullptr);
+  engine_->tool_post(rank_, info);
+}
+
+void Mpi::barrier() {
+  const CallInfo info =
+      make_info(Op::kBarrier, kAnySource, kAnyTag, 0, kCommWorld);
+  engine_->tool_pre(rank_, info);
+  engine_->pmpi_barrier(rank_, kCommWorld);
+  engine_->tool_post(rank_, info);
+}
+
+void Mpi::marker() {
+  const CallInfo info = make_info(Op::kBarrier, kAnySource, kAnyTag, 0,
+                                  kCommMarker, 0, /*marker=*/true);
+  engine_->tool_pre(rank_, info);
+  engine_->pmpi_barrier(rank_, kCommMarker);
+  engine_->tool_post(rank_, info);
+}
+
+void Mpi::bcast(std::size_t bytes, Rank root) {
+  const CallInfo info =
+      make_info(Op::kBcast, kAnySource, kAnyTag, bytes, kCommWorld, root);
+  engine_->tool_pre(rank_, info);
+  engine_->pmpi_bcast(rank_, kCommWorld, root, {}, bytes);
+  engine_->tool_post(rank_, info);
+}
+
+void Mpi::reduce(std::size_t bytes, Rank root) {
+  const CallInfo info =
+      make_info(Op::kReduce, kAnySource, kAnyTag, bytes, kCommWorld, root);
+  engine_->tool_pre(rank_, info);
+  // Timing-only reduction: no payload, only the declared size.
+  engine_->pmpi_reduce(rank_, kCommWorld, root, ReduceOp::kSum, {}, bytes);
+  engine_->tool_post(rank_, info);
+}
+
+void Mpi::allreduce(std::size_t bytes) {
+  const CallInfo info =
+      make_info(Op::kAllreduce, kAnySource, kAnyTag, bytes, kCommWorld);
+  engine_->tool_pre(rank_, info);
+  engine_->pmpi_allreduce(rank_, kCommWorld, ReduceOp::kSum, {}, bytes);
+  engine_->tool_post(rank_, info);
+}
+
+void Mpi::gather(std::size_t bytes, Rank root) {
+  const CallInfo info =
+      make_info(Op::kGather, kAnySource, kAnyTag, bytes, kCommWorld, root);
+  engine_->tool_pre(rank_, info);
+  engine_->pmpi_gather(rank_, kCommWorld, root, {}, bytes);
+  engine_->tool_post(rank_, info);
+}
+
+void Mpi::scatter(std::size_t bytes, Rank root) {
+  const CallInfo info =
+      make_info(Op::kScatter, kAnySource, kAnyTag, bytes, kCommWorld, root);
+  engine_->tool_pre(rank_, info);
+  std::vector<std::vector<std::uint8_t>> blobs;
+  if (rank_ == root) {
+    blobs.assign(static_cast<std::size_t>(size()), {});
+  }
+  engine_->pmpi_scatter(rank_, kCommWorld, root, std::move(blobs), bytes);
+  engine_->tool_post(rank_, info);
+}
+
+void Mpi::allgather(std::size_t bytes) {
+  const CallInfo info =
+      make_info(Op::kAllgather, kAnySource, kAnyTag, bytes, kCommWorld);
+  engine_->tool_pre(rank_, info);
+  engine_->pmpi_allgather(rank_, kCommWorld, {}, bytes);
+  engine_->tool_post(rank_, info);
+}
+
+void Mpi::alltoall(std::size_t bytes) {
+  const CallInfo info =
+      make_info(Op::kAlltoall, kAnySource, kAnyTag, bytes, kCommWorld);
+  engine_->tool_pre(rank_, info);
+  engine_->pmpi_alltoall(rank_, kCommWorld, bytes);
+  engine_->tool_post(rank_, info);
+}
+
+void Mpi::compute(double seconds) {
+  // Compute regions are not MPI calls; no hooks fire, only the clock moves.
+  engine_->advance_compute(rank_, seconds);
+}
+
+}  // namespace cham::sim

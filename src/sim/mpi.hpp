@@ -1,0 +1,117 @@
+// Rank-facing MPI facades.
+//
+// `Mpi` is the traced API used by applications/workloads: every call fires
+// the installed tool's pre/post hooks around the engine's pmpi_* entry
+// points (the PMPI interposition pattern). Calls declare their transfer
+// size in bytes; payloads are optional because the paper's workloads are
+// communication skeletons.
+//
+// `Pmpi` is the untraced API used by tools for their own control traffic
+// (clustering votes, signature exchange, trace merging). It operates on the
+// dedicated tool communicator and never re-enters the hooks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace cham::sim {
+
+class Pmpi {
+ public:
+  Pmpi(Engine& engine, Rank rank) : engine_(&engine), rank_(rank) {}
+
+  [[nodiscard]] Rank rank() const { return rank_; }
+  [[nodiscard]] int size() const { return engine_->nprocs(); }
+  [[nodiscard]] double vtime() const { return engine_->vtime(rank_); }
+  [[nodiscard]] Engine& engine() const { return *engine_; }
+
+  // Point-to-point on the tool communicator.
+  void send_bytes(Rank dest, int tag, std::vector<std::uint8_t> data) const;
+  std::vector<std::uint8_t> recv_bytes(Rank src, int tag,
+                                       RecvStatus* status = nullptr) const;
+
+  // Collectives on the tool communicator.
+  void barrier() const;
+  std::uint64_t reduce_u64(std::uint64_t value, ReduceOp op, Rank root) const;
+  std::uint64_t allreduce_u64(std::uint64_t value, ReduceOp op) const;
+  std::uint64_t bcast_u64(std::uint64_t value, Rank root) const;
+  std::vector<std::uint8_t> bcast_bytes(std::vector<std::uint8_t> data,
+                                        Rank root) const;
+  std::vector<std::vector<std::uint8_t>> gather_bytes(
+      std::vector<std::uint8_t> data, Rank root) const;
+
+ private:
+  Engine* engine_;
+  Rank rank_;
+};
+
+class Mpi {
+ public:
+  Mpi(Engine& engine, Rank rank) : engine_(&engine), rank_(rank) {}
+
+  [[nodiscard]] Rank rank() const { return rank_; }
+  [[nodiscard]] int size() const { return engine_->nprocs(); }
+  [[nodiscard]] double vtime() const { return engine_->vtime(rank_); }
+  [[nodiscard]] Engine& engine() const { return *engine_; }
+
+  /// Fired once by the engine before rank_main / after it returns.
+  void init();
+  void finalize();
+
+  // --- traced point-to-point (world communicator) ---
+  // `absolute_peer` marks the partner as a fixed rank (master/root) rather
+  // than an offset from the caller; tracing tools encode it absolutely.
+  void send(Rank dest, std::size_t bytes, int tag = 0,
+            std::vector<std::uint8_t> payload = {}, bool absolute_peer = false);
+  RecvStatus recv(Rank src, std::size_t bytes, int tag = kAnyTag,
+                  std::vector<std::uint8_t>* payload = nullptr,
+                  bool absolute_peer = false);
+  Request isend(Rank dest, std::size_t bytes, int tag = 0,
+                std::vector<std::uint8_t> payload = {},
+                bool absolute_peer = false);
+  Request irecv(Rank src, std::size_t bytes, int tag = kAnyTag,
+                bool absolute_peer = false);
+  RecvStatus wait(Request req);
+  void waitall(std::span<Request> reqs);
+
+  // --- traced collectives (world communicator) ---
+  void barrier();
+  void bcast(std::size_t bytes, Rank root);
+  void reduce(std::size_t bytes, Rank root);
+  void allreduce(std::size_t bytes);
+  void gather(std::size_t bytes, Rank root);
+  void scatter(std::size_t bytes, Rank root);
+  void allgather(std::size_t bytes);
+  void alltoall(std::size_t bytes);
+
+  /// The Chameleon marker: an MPI_Barrier on the dedicated marker
+  /// communicator (the paper's "unique value in the communicator field").
+  void marker();
+
+  /// A compute region of the given virtual duration.
+  void compute(double seconds);
+
+  /// Untraced escape hatch (mainly for examples that ship real data).
+  [[nodiscard]] Pmpi& pmpi() const { return engine_->pmpi(rank_); }
+
+ private:
+  struct HookScope;
+
+  Engine* engine_;
+  Rank rank_;
+  /// Pending irecv bookkeeping so wait() can report a CallInfo with the
+  /// posted parameters of the request it completes.
+  struct PostedRecv {
+    Rank src = kAnySource;
+    int tag = kAnyTag;
+    std::size_t bytes = 0;
+  };
+  std::vector<PostedRecv> posted_;  // indexed by Request
+  void remember_posted(Request req, const PostedRecv& rec);
+  [[nodiscard]] PostedRecv posted_of(Request req) const;
+};
+
+}  // namespace cham::sim

@@ -1,0 +1,46 @@
+// Virtual-time cost model for the simulated interconnect.
+//
+// A LogP-flavoured model: point-to-point transfers cost latency plus a
+// bandwidth term; tree collectives cost ceil(log2 P) rounds. Absolute values
+// default to QDR-InfiniBand-like constants (the paper's testbed fabric), but
+// only relative shapes matter for the reproduced experiments.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace cham::sim {
+
+struct NetModel {
+  /// One-way small-message latency (seconds).
+  double latency = 2.0e-6;
+  /// Inverse bandwidth (seconds per byte); 3.2 GB/s ~ QDR IB payload rate.
+  double per_byte = 1.0 / 3.2e9;
+  /// Sender-side CPU overhead per call.
+  double send_overhead = 0.5e-6;
+  /// Receiver-side CPU overhead per call.
+  double recv_overhead = 0.5e-6;
+
+  [[nodiscard]] double p2p_transfer(std::size_t bytes) const {
+    return latency + per_byte * static_cast<double>(bytes);
+  }
+
+  [[nodiscard]] static int log2_ceil(int p) {
+    int levels = 0;
+    int span = 1;
+    while (span < p) {
+      span <<= 1;
+      ++levels;
+    }
+    return levels;
+  }
+
+  /// Completion cost of a tree collective after the last participant arrives.
+  [[nodiscard]] double collective(int nprocs, std::size_t bytes) const {
+    const int rounds = log2_ceil(nprocs);
+    return static_cast<double>(rounds == 0 ? 1 : rounds) *
+           (latency + per_byte * static_cast<double>(bytes));
+  }
+};
+
+}  // namespace cham::sim

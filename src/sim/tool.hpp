@@ -1,0 +1,32 @@
+// PMPI tool interface.
+//
+// A Tool observes every traced MPI call of every rank through pre/post hooks
+// and may perform its own (untraced) communication through the rank's Pmpi
+// facade — the same powers a PMPI wrapper library has under real MPI.
+// Because the engine is single-threaded, one Tool instance serves all ranks;
+// per-rank state lives inside the tool, keyed by rank.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace cham::sim {
+
+class Pmpi;
+
+class Tool {
+ public:
+  virtual ~Tool() = default;
+
+  /// Fired inside MPI_Init, once per rank, before any traced call.
+  virtual void on_init(Rank /*rank*/, Pmpi& /*pmpi*/) {}
+
+  /// Fired before/after every traced call, including MPI_Finalize (where
+  /// ScalaTrace performs its inter-node merge). `info.op == Op::kFinalize`
+  /// identifies the finalize wrapper.
+  virtual void on_pre(Rank /*rank*/, const CallInfo& /*info*/,
+                      Pmpi& /*pmpi*/) {}
+  virtual void on_post(Rank /*rank*/, const CallInfo& /*info*/,
+                       Pmpi& /*pmpi*/) {}
+};
+
+}  // namespace cham::sim

@@ -1,0 +1,57 @@
+#include "sim/types.hpp"
+
+#include <sstream>
+
+namespace cham::sim {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kSend: return "MPI_Send";
+    case Op::kRecv: return "MPI_Recv";
+    case Op::kIsend: return "MPI_Isend";
+    case Op::kIrecv: return "MPI_Irecv";
+    case Op::kWait: return "MPI_Wait";
+    case Op::kWaitall: return "MPI_Waitall";
+    case Op::kBarrier: return "MPI_Barrier";
+    case Op::kBcast: return "MPI_Bcast";
+    case Op::kReduce: return "MPI_Reduce";
+    case Op::kAllreduce: return "MPI_Allreduce";
+    case Op::kGather: return "MPI_Gather";
+    case Op::kScatter: return "MPI_Scatter";
+    case Op::kAllgather: return "MPI_Allgather";
+    case Op::kAlltoall: return "MPI_Alltoall";
+    case Op::kInit: return "MPI_Init";
+    case Op::kFinalize: return "MPI_Finalize";
+  }
+  return "MPI_?";
+}
+
+bool op_is_collective(Op op) {
+  switch (op) {
+    case Op::kBarrier:
+    case Op::kBcast:
+    case Op::kReduce:
+    case Op::kAllreduce:
+    case Op::kGather:
+    case Op::kScatter:
+    case Op::kAllgather:
+    case Op::kAlltoall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string CallInfo::to_string() const {
+  std::ostringstream os;
+  os << op_name(op);
+  if (op == Op::kSend || op == Op::kIsend) os << " dest=" << peer;
+  if (op == Op::kRecv || op == Op::kIrecv) os << " src=" << peer;
+  if (tag != kAnyTag) os << " tag=" << tag;
+  if (bytes) os << " bytes=" << bytes;
+  os << " comm=" << comm;
+  if (is_marker) os << " [marker]";
+  return os.str();
+}
+
+}  // namespace cham::sim

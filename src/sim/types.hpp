@@ -1,0 +1,85 @@
+// Common vocabulary types for the minimpi runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cham::sim {
+
+/// MPI rank within the world. Sub-communicators are not modelled; every
+/// communicator spans the full world (sufficient for the paper's workloads).
+using Rank = int;
+
+inline constexpr Rank kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Operation kinds visible to PMPI tools.
+enum class Op : std::uint8_t {
+  kSend,
+  kRecv,
+  kIsend,
+  kIrecv,
+  kWait,
+  kWaitall,
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kScatter,
+  kAllgather,
+  kAlltoall,
+  kInit,
+  kFinalize,
+};
+
+const char* op_name(Op op);
+
+/// True for operations that involve every rank of the communicator.
+bool op_is_collective(Op op);
+
+/// Elementwise reduction operators over u64 vectors.
+enum class ReduceOp : std::uint8_t { kSum, kMax, kMin, kBor };
+
+/// Communicator identifiers. All communicators cover the whole world; the
+/// ids let tools distinguish application traffic, the Chameleon marker
+/// barrier (the paper's "unique value in the communicator field"), and the
+/// tool's own control traffic (which must never be traced).
+enum CommId : int {
+  kCommWorld = 0,
+  kCommMarker = 1,
+  kCommTool = 2,
+};
+
+/// What a PMPI tool sees for one call, before and after execution.
+struct CallInfo {
+  /// When true the peer is a fixed rank (e.g. a master/root), not an offset
+  /// from the caller — tools must encode it absolutely so that cluster
+  /// transposition does not retarget it.
+  bool absolute_peer = false;
+
+  Op op = Op::kInit;
+  /// Destination (sends) or source (recvs) as posted, in world ranks.
+  /// kAnySource for wildcard receives; for the post hook of a wildcard
+  /// receive, `matched_peer` holds the actual source.
+  Rank peer = kAnySource;
+  Rank matched_peer = kAnySource;
+  int tag = kAnyTag;
+  /// Declared transfer size in bytes (count * datatype extent).
+  std::size_t bytes = 0;
+  int comm = kCommWorld;
+  Rank root = 0;
+  bool is_marker = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Completion information returned from receives.
+struct RecvStatus {
+  Rank source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+}  // namespace cham::sim

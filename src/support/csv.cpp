@@ -1,0 +1,42 @@
+#include "support/csv.hpp"
+
+#include <fstream>
+
+namespace cham::support {
+
+CsvWriter::CsvWriter(std::vector<std::string> columns)
+    : columns_(columns.size()) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) buffer_ += ',';
+    buffer_ += escape(columns[i]);
+  }
+  buffer_ += '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < columns_; ++i) {
+    if (i) buffer_ += ',';
+    if (i < cells.size()) buffer_ += escape(cells[i]);
+  }
+  buffer_ += '\n';
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << buffer_;
+  return static_cast<bool>(out);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace cham::support

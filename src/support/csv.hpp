@@ -1,0 +1,28 @@
+// CSV emission for bench results (machine-readable companion to Table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cham::support {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  void row(const std::vector<std::string>& cells);
+
+  /// Full CSV content including header.
+  [[nodiscard]] const std::string& content() const { return buffer_; }
+
+  /// Write to a file; returns false on I/O error.
+  [[nodiscard]] bool save(const std::string& path) const;
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::size_t columns_;
+  std::string buffer_;
+};
+
+}  // namespace cham::support

@@ -1,0 +1,47 @@
+// 64-bit hashing primitives used for stack signatures and event identity.
+//
+// All hashes here are deterministic across runs and platforms: they feed the
+// Call-Path / SRC / DEST signatures that Chameleon's collective vote compares
+// across ranks, so any nondeterminism would break clustering.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cham::support {
+
+/// FNV-1a 64-bit over raw bytes.
+constexpr std::uint64_t fnv1a64(const void* data, std::size_t len,
+                                std::uint64_t seed = 0xcbf29ce484222325ull) {
+  std::uint64_t h = seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer — strong avalanche for composing word-sized values.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive combination of two 64-bit hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4)));
+}
+
+}  // namespace cham::support

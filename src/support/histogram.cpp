@@ -1,0 +1,100 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cham::support {
+
+int Histogram::bin_index(double value) const {
+  if (max_ <= min_) return 0;
+  const double t = (value - min_) / (max_ - min_);
+  const int idx = static_cast<int>(t * kBins);
+  return std::clamp(idx, 0, kBins - 1);
+}
+
+void Histogram::rebin(double new_min, double new_max) {
+  if (count_ == 0) {
+    min_ = new_min;
+    max_ = new_max;
+    return;
+  }
+  if (new_min >= min_ && new_max <= max_) return;
+  // Redistribute existing counts into the widened range using bin centers.
+  std::array<std::uint64_t, kBins> old = bins_;
+  const double old_min = min_;
+  const double old_span = max_ - min_;
+  min_ = std::min(min_, new_min);
+  max_ = std::max(max_, new_max);
+  bins_.fill(0);
+  for (int i = 0; i < kBins; ++i) {
+    if (old[static_cast<std::size_t>(i)] == 0) continue;
+    const double center =
+        old_span > 0
+            ? old_min + (static_cast<double>(i) + 0.5) * old_span / kBins
+            : old_min;
+    bins_[static_cast<std::size_t>(bin_index(center))] += old[static_cast<std::size_t>(i)];
+  }
+}
+
+void Histogram::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else if (value < min_ || value > max_) {
+    rebin(std::min(min_, value), std::max(max_, value));
+  }
+  bins_[static_cast<std::size_t>(bin_index(value))] += 1;
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  rebin(std::min(min_, other.min_), std::max(max_, other.max_));
+  const double other_span = other.max_ - other.min_;
+  for (int i = 0; i < kBins; ++i) {
+    const std::uint64_t c = other.bins_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    const double center =
+        other_span > 0
+            ? other.min_ + (static_cast<double>(i) + 0.5) * other_span / kBins
+            : other.min_;
+    bins_[static_cast<std::size_t>(bin_index(center))] += c;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+bool Histogram::operator==(const Histogram& other) const {
+  return bins_ == other.bins_ && count_ == other.count_ && min_ == other.min_ &&
+         max_ == other.max_ && sum_ == other.sum_;
+}
+
+Histogram Histogram::from_raw(const std::array<std::uint64_t, kBins>& bins,
+                              std::uint64_t count, double min, double max,
+                              double sum) {
+  Histogram h;
+  h.bins_ = bins;
+  h.count_ = count;
+  h.min_ = min;
+  h.max_ = max;
+  h.sum_ = sum;
+  return h;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  os << "hist{n=" << count_ << " min=" << min_ << " max=" << max_
+     << " mean=" << mean() << "}";
+  return os.str();
+}
+
+}  // namespace cham::support

@@ -1,0 +1,71 @@
+// Fixed-bin histogram for delta times.
+//
+// ScalaTrace stores the computation time between consecutive MPI events of a
+// folded loop as a histogram rather than a scalar ([27] in the paper:
+// "delta times are represented in histograms for repetitive signatures").
+// This lets load-imbalanced codes (Sweep3D) compress without losing the
+// timing distribution the replayer needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cham::support {
+
+class Histogram {
+ public:
+  static constexpr int kBins = 16;
+
+  Histogram() = default;
+
+  /// Record a sample (seconds, or any non-negative quantity).
+  void add(double value);
+
+  /// Merge another histogram (used when loop iterations fold and when
+  /// inter-node merging unions events across ranks).
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double total() const { return sum_; }
+
+  /// Count in bin i of the current [min,max] range.
+  [[nodiscard]] std::uint64_t bin(int i) const { return bins_.at(static_cast<std::size_t>(i)); }
+
+  /// Draw a representative sample for replay: the mean of the distribution.
+  /// (ScalaReplay replays average delays; we keep the same policy.)
+  [[nodiscard]] double representative() const { return mean(); }
+
+  /// Approximate serialized footprint in bytes (for space accounting).
+  [[nodiscard]] static constexpr std::size_t footprint_bytes() {
+    return sizeof(std::uint64_t) * (kBins + 1) + sizeof(double) * 3;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Histogram& other) const;
+
+  /// Exact reconstruction from serialized state (trace deserialization).
+  static Histogram from_raw(const std::array<std::uint64_t, kBins>& bins,
+                            std::uint64_t count, double min, double max,
+                            double sum);
+  [[nodiscard]] const std::array<std::uint64_t, kBins>& raw_bins() const {
+    return bins_;
+  }
+
+ private:
+  void rebin(double new_min, double new_max);
+  [[nodiscard]] int bin_index(double value) const;
+
+  std::array<std::uint64_t, kBins> bins_{};
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace cham::support

@@ -1,0 +1,44 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cham::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+void fatal(const char* file, int line, const std::string& what) {
+  std::fprintf(stderr, "[FATAL] %s:%d: %s\n", file, line, what.c_str());
+  // Throwing lets tests assert on invariant violations via EXPECT_THROW
+  // instead of killing the process; benches/examples do not catch it, so
+  // there it still terminates with a message.
+  throw std::logic_error(what);
+}
+
+}  // namespace cham::support

@@ -1,0 +1,57 @@
+// Minimal leveled logging + check macros.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cham::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+[[noreturn]] void fatal(const char* file, int line, const std::string& what);
+
+}  // namespace cham::support
+
+#define CHAM_LOG(level) ::cham::support::detail::LogLine(level)
+#define CHAM_INFO() CHAM_LOG(::cham::support::LogLevel::kInfo)
+#define CHAM_WARN() CHAM_LOG(::cham::support::LogLevel::kWarn)
+#define CHAM_DEBUG() CHAM_LOG(::cham::support::LogLevel::kDebug)
+
+// Invariant check, active in all build types: a tracing tool that silently
+// corrupts its trace is worse than one that aborts.
+#define CHAM_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::cham::support::fatal(__FILE__, __LINE__, "check failed: " #cond); \
+  } while (0)
+
+#define CHAM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::cham::support::fatal(__FILE__, __LINE__,                      \
+                             std::string("check failed: " #cond " — ") + \
+                                 (msg));                              \
+  } while (0)

@@ -1,0 +1,57 @@
+// Byte accounting for trace storage.
+//
+// Table IV of the paper reports per-state allocated trace bytes per rank.
+// Every trace buffer charges its footprint to the owning rank's MemTracker;
+// the Chameleon state machine snapshots the tracker when entering/leaving
+// AT/C/L/F so the bench can reproduce the table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace cham::support {
+
+class MemTracker {
+ public:
+  void charge(std::int64_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+    if (bytes > 0) allocated_total_ += static_cast<std::uint64_t>(bytes);
+  }
+
+  void reset() {
+    current_ = 0;
+    peak_ = 0;
+    allocated_total_ = 0;
+  }
+
+  [[nodiscard]] std::int64_t current() const { return current_; }
+  [[nodiscard]] std::int64_t peak() const { return peak_; }
+  [[nodiscard]] std::uint64_t allocated_total() const { return allocated_total_; }
+
+ private:
+  std::int64_t current_ = 0;
+  std::int64_t peak_ = 0;
+  std::uint64_t allocated_total_ = 0;
+};
+
+/// Scoped charge: charges on construction, refunds on destruction.
+class ScopedCharge {
+ public:
+  ScopedCharge(MemTracker& tracker, std::int64_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    tracker_.charge(bytes_);
+  }
+  ~ScopedCharge() { tracker_.charge(-bytes_); }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+ private:
+  MemTracker& tracker_;
+  std::int64_t bytes_;
+};
+
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace cham::support

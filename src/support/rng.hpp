@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Workload generators use this instead of std::mt19937 so that trace
+// contents are bit-identical across runs and standard-library versions.
+#pragma once
+
+#include <cstdint>
+
+#include "support/hash.hpp"
+
+namespace cham::support {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) {
+    // Seed the four lanes through splitmix64 so a zero seed is safe.
+    for (auto& lane : s_) {
+      seed = mix64(seed);
+      lane = seed;
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace cham::support

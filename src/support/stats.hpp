@@ -1,0 +1,100 @@
+// Streaming statistics.
+//
+// RunningMean implements the overflow-safe "estimation function" the paper
+// relies on for SRC/DEST signatures (§III: "aggregating event values and then
+// taking the average could result in an overflow, [so] we utilized an
+// estimation function"): the mean is updated incrementally instead of
+// sum-then-divide. RunningStats adds Welford variance for benchmark reports.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cham::support {
+
+/// Incremental mean over 64-bit unsigned samples without overflow.
+class RunningMean {
+ public:
+  void add(std::uint64_t value) {
+    ++count_;
+    // mean += (value - mean) / count, done in signed 128-bit-free arithmetic:
+    // split into quotient and remainder to stay exact for integer streams.
+    if (value >= mean_) {
+      mean_ += (value - mean_) / count_ + correction(value - mean_);
+    } else {
+      mean_ -= (mean_ - value) / count_ + correction(mean_ - value);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t mean() const { return mean_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Merge another running mean (weighted), still overflow-safe.
+  void merge(const RunningMean& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    // Weighted average via incremental steps of the coarser stream.
+    const std::uint64_t total = count_ + other.count_;
+    // mean = mean + (other.mean - mean) * other.count / total
+    if (other.mean_ >= mean_) {
+      const std::uint64_t d = other.mean_ - mean_;
+      mean_ += mul_div(d, other.count_, total);
+    } else {
+      const std::uint64_t d = mean_ - other.mean_;
+      mean_ -= mul_div(d, other.count_, total);
+    }
+    count_ = total;
+  }
+
+ private:
+  // Carry sub-integer residue so long streams do not drift; residue is kept
+  // in units of 1/count and folded in once it exceeds one.
+  std::uint64_t correction(std::uint64_t delta) {
+    residue_ += delta % count_;
+    if (residue_ >= count_) {
+      residue_ -= count_;
+      return 1;
+    }
+    return 0;
+  }
+
+  static std::uint64_t mul_div(std::uint64_t value, std::uint64_t num,
+                               std::uint64_t den) {
+    // value * num / den without overflow via __int128 (GCC/Clang).
+    return static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(value) * num / den);
+  }
+
+  std::uint64_t mean_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t residue_ = 0;
+};
+
+/// Welford mean/variance/min/max over doubles.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace cham::support

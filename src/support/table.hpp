@@ -1,0 +1,35 @@
+// Plain-text table rendering for bench output.
+//
+// Benches print the same rows the paper's tables/figures report; this keeps
+// the formatting logic out of every bench binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cham::support {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cham::support

@@ -1,0 +1,85 @@
+// Shadow call stacks and stack signatures.
+//
+// Real ScalaTrace walks the native stack and hashes the return addresses of
+// each frame into a 64-bit "stack signature" that uniquely identifies the
+// calling sequence of an MPI event. Our workloads are communication
+// skeletons, so instead of unwinding real frames they brand their call sites
+// explicitly: each logical function/loop scope pushes a synthetic 64-bit
+// return address (derived from a stable site name) onto a per-rank shadow
+// stack. The signature is an order-sensitive hash over the active frames —
+// the same calling sequence always yields the same signature, different
+// sequences collide with 64-bit-hash probability.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "support/hash.hpp"
+
+namespace cham::trace {
+
+/// Stable synthetic "return address" for a named call site.
+constexpr std::uint64_t site_id(std::string_view name) {
+  return support::fnv1a64(name);
+}
+
+class CallStack {
+ public:
+  void push(std::uint64_t site) {
+    const std::uint64_t prev = prefix_.empty() ? kEmptySignature : prefix_.back();
+    prefix_.push_back(support::hash_combine(prev, site));
+  }
+
+  void pop() { prefix_.pop_back(); }
+
+  /// Signature of the current calling sequence. O(1): prefix hashes are
+  /// maintained incrementally.
+  [[nodiscard]] std::uint64_t signature() const {
+    return prefix_.empty() ? kEmptySignature : prefix_.back();
+  }
+
+  [[nodiscard]] std::size_t depth() const { return prefix_.size(); }
+
+  static constexpr std::uint64_t kEmptySignature = 0x9ae16a3b2f90404full;
+
+ private:
+  std::vector<std::uint64_t> prefix_;
+};
+
+/// One shadow stack per rank; shared between the workload (which pushes
+/// scopes) and the tracing tool (which reads signatures at hook time).
+class CallSiteRegistry {
+ public:
+  explicit CallSiteRegistry(int nprocs)
+      : stacks_(static_cast<std::size_t>(nprocs)) {}
+
+  [[nodiscard]] CallStack& stack(sim::Rank rank) {
+    return stacks_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] const CallStack& stack(sim::Rank rank) const {
+    return stacks_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] int nprocs() const { return static_cast<int>(stacks_.size()); }
+
+ private:
+  std::vector<CallStack> stacks_;
+};
+
+/// RAII frame for workload code:
+///   void sweep(Ctx& c) { CallScope scope(c.stack, site_id("lu.sweep")); ... }
+class CallScope {
+ public:
+  CallScope(CallStack& stack, std::uint64_t site) : stack_(stack) {
+    stack_.push(site);
+  }
+  ~CallScope() { stack_.pop(); }
+  CallScope(const CallScope&) = delete;
+  CallScope& operator=(const CallScope&) = delete;
+
+ private:
+  CallStack& stack_;
+};
+
+}  // namespace cham::trace

@@ -1,0 +1,86 @@
+// Location-independent endpoint encoding.
+//
+// ScalaTrace property (1): communication endpoints in SPMD codes differ per
+// rank but are usually at a constant offset from the caller's rank, so they
+// are stored as ±c relative to the current MPI task id. This is what lets a
+// single lead trace be replayed by every member of its cluster: each
+// replaying rank re-resolves the endpoints relative to its own id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace cham::trace {
+
+struct Endpoint {
+  enum class Kind : std::uint8_t {
+    kNone,      ///< op has no such endpoint (e.g. barrier src)
+    kRelative,  ///< peer = self + value (mod world as needed)
+    kAny,       ///< wildcard (MPI_ANY_SOURCE)
+    kAbsolute,  ///< peer = value (e.g. collective roots, master rank)
+  };
+
+  Kind kind = Kind::kNone;
+  std::int32_t value = 0;
+
+  static Endpoint none() { return {}; }
+  static Endpoint any() { return {Kind::kAny, 0}; }
+  static Endpoint absolute(sim::Rank r) {
+    return {Kind::kAbsolute, static_cast<std::int32_t>(r)};
+  }
+  static Endpoint relative(sim::Rank self, sim::Rank peer) {
+    return {Kind::kRelative, static_cast<std::int32_t>(peer - self)};
+  }
+
+  /// Resolve against a (possibly different) rank. `nprocs` clamps/wraps so
+  /// transposed replays of boundary ranks stay inside the world.
+  [[nodiscard]] sim::Rank resolve(sim::Rank self, int nprocs) const {
+    switch (kind) {
+      case Kind::kNone:
+      case Kind::kAny:
+        return sim::kAnySource;
+      case Kind::kAbsolute:
+        return static_cast<sim::Rank>(value);
+      case Kind::kRelative: {
+        const int raw = self + value;
+        const int wrapped = ((raw % nprocs) + nprocs) % nprocs;
+        return static_cast<sim::Rank>(wrapped);
+      }
+    }
+    return sim::kAnySource;
+  }
+
+  /// Feature value for SRC/DEST clustering signatures: structurally close
+  /// endpoints yield numerically close features, so distance-based
+  /// clustering (K-farthest / K-medoid) groups ranks with similar
+  /// communication geometry. The bias keeps negative offsets unsigned; the
+  /// kScale factor keeps one-offset differences visible after the
+  /// overflow-safe *integer* averaging over many events (a difference of a
+  /// few offsets among dozens of events must not round to zero).
+  [[nodiscard]] std::uint64_t feature() const {
+    constexpr std::uint64_t kBias = 1ull << 32;
+    constexpr std::uint64_t kScale = 1ull << 12;
+    switch (kind) {
+      case Kind::kNone:
+        return 0;
+      case Kind::kAny:
+        return kBias << 16;  // far away from any concrete offset
+      case Kind::kAbsolute:
+        return (kBias << 8) +
+               kScale * static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(value) + (1 << 20));
+      case Kind::kRelative:
+        return kBias + kScale * static_cast<std::uint64_t>(
+                                    static_cast<std::int64_t>(value) + (1 << 20));
+    }
+    return 0;
+  }
+
+  bool operator==(const Endpoint& other) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace cham::trace

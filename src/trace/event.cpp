@@ -1,0 +1,127 @@
+#include "trace/event.hpp"
+
+#include <sstream>
+
+namespace cham::trace {
+
+std::string Endpoint::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kNone:
+      return "-";
+    case Kind::kAny:
+      return "*";
+    case Kind::kAbsolute:
+      os << '@' << value;
+      return os.str();
+    case Kind::kRelative:
+      os << (value >= 0 ? "+" : "") << value;
+      return os.str();
+  }
+  return "?";
+}
+
+std::string EventRecord::to_string() const {
+  std::ostringstream os;
+  os << sim::op_name(op) << " stack=0x" << std::hex << stack_sig << std::dec;
+  if (src.kind != Endpoint::Kind::kNone) os << " src=" << src.to_string();
+  if (dest.kind != Endpoint::Kind::kNone) os << " dest=" << dest.to_string();
+  os << " bytes=" << bytes << " tag=" << tag;
+  if (is_marker) os << " marker";
+  os << " ranks=" << ranks.to_string();
+  if (!delta.empty()) os << " dt=" << delta.to_string();
+  return os.str();
+}
+
+bool TraceNode::same_shape(const TraceNode& other) const {
+  if (iters != other.iters) return false;
+  if (is_loop()) {
+    if (body.size() != other.body.size()) return false;
+    for (std::size_t i = 0; i < body.size(); ++i)
+      if (!body[i].same_shape(other.body[i])) return false;
+    return true;
+  }
+  return event.same_shape(other.event);
+}
+
+void TraceNode::absorb_stats(const TraceNode& other) {
+  if (is_loop()) {
+    for (std::size_t i = 0; i < body.size(); ++i)
+      body[i].absorb_stats(other.body[i]);
+  } else {
+    event.delta.merge(other.event.delta);
+  }
+}
+
+void TraceNode::absorb_ranks(const TraceNode& other) {
+  if (is_loop()) {
+    for (std::size_t i = 0; i < body.size(); ++i)
+      body[i].absorb_ranks(other.body[i]);
+  } else {
+    event.ranks.merge(other.event.ranks);
+    event.delta.merge(other.event.delta);
+  }
+}
+
+std::size_t TraceNode::leaf_count() const {
+  if (!is_loop()) return 1;
+  std::size_t n = 0;
+  for (const auto& child : body) n += child.leaf_count();
+  return n;
+}
+
+std::uint64_t TraceNode::expanded_count() const {
+  if (!is_loop()) return 1;
+  std::uint64_t n = 0;
+  for (const auto& child : body) n += child.expanded_count();
+  return n * iters;
+}
+
+std::size_t TraceNode::footprint_bytes() const {
+  if (is_loop()) {
+    std::size_t bytes = 16;  // iters + body length
+    for (const auto& child : body) bytes += child.footprint_bytes();
+    return bytes;
+  }
+  // op + stack sig + endpoints + bytes + tag + comm + flags
+  std::size_t bytes = 1 + 8 + 2 * 5 + 8 + 4 + 1 + 1;
+  bytes += event.ranks.footprint_bytes();
+  bytes += support::Histogram::footprint_bytes();
+  return bytes;
+}
+
+std::string TraceNode::to_string(int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (is_loop()) {
+    os << pad << "loop iters=" << iters << " {\n";
+    for (const auto& child : body) os << child.to_string(indent + 1);
+    os << pad << "}\n";
+  } else {
+    os << pad << event.to_string() << '\n';
+  }
+  return os.str();
+}
+
+bool same_shape(const std::vector<TraceNode>& a,
+                const std::vector<TraceNode>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!a[i].same_shape(b[i])) return false;
+  return true;
+}
+
+std::size_t footprint_bytes(const std::vector<TraceNode>& nodes) {
+  if (nodes.empty()) return 0;  // nothing allocated, nothing charged
+  std::size_t bytes = 8;        // sequence length
+  for (const auto& node : nodes) bytes += node.footprint_bytes();
+  return bytes;
+}
+
+std::string format_trace(const std::vector<TraceNode>& nodes) {
+  std::string out;
+  for (const auto& node : nodes) out += node.to_string();
+  return out;
+}
+
+}  // namespace cham::trace

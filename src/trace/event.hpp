@@ -1,0 +1,99 @@
+// Trace event records and PRSD trace nodes.
+//
+// An EventRecord is one (possibly folded) MPI event: operation, calling
+// context (stack signature), relative endpoints, transfer parameters, the
+// ranklist of participants, and the delta-time histogram of the compute
+// time preceding the event. A TraceNode is either a leaf event or a loop
+// (RSD/PRSD): <iters, body...> where body nodes may themselves be loops —
+// the recursive structure the paper's background section describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "support/histogram.hpp"
+#include "trace/endpoint.hpp"
+#include "trace/ranklist.hpp"
+
+namespace cham::trace {
+
+struct EventRecord {
+  sim::Op op = sim::Op::kSend;
+  std::uint64_t stack_sig = 0;
+  Endpoint src;
+  Endpoint dest;
+  std::uint64_t bytes = 0;
+  std::int32_t tag = 0;
+  int comm = sim::kCommWorld;
+  bool is_marker = false;
+
+  RankList ranks;
+  support::Histogram delta;  ///< compute time preceding this event
+
+  /// Identity for folding/merging: everything except ranklist & histogram.
+  [[nodiscard]] bool same_shape(const EventRecord& other) const {
+    return op == other.op && stack_sig == other.stack_sig &&
+           src == other.src && dest == other.dest && bytes == other.bytes &&
+           tag == other.tag && comm == other.comm &&
+           is_marker == other.is_marker;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct TraceNode {
+  /// Leaf when iters == 0; loop of `iters` iterations otherwise.
+  std::uint64_t iters = 0;
+  EventRecord event;            ///< valid for leaves
+  std::vector<TraceNode> body;  ///< valid for loops
+
+  [[nodiscard]] bool is_loop() const { return iters > 0; }
+
+  static TraceNode leaf(EventRecord ev) {
+    TraceNode n;
+    n.event = std::move(ev);
+    return n;
+  }
+  static TraceNode loop(std::uint64_t iters, std::vector<TraceNode> body) {
+    TraceNode n;
+    n.iters = iters;
+    n.body = std::move(body);
+    return n;
+  }
+
+  /// Structural equality ignoring ranklists and histograms ("same shape").
+  [[nodiscard]] bool same_shape(const TraceNode& other) const;
+
+  /// Fold another structurally-equal node's statistics (histograms) into
+  /// this one; used when loop iterations collapse.
+  void absorb_stats(const TraceNode& other);
+
+  /// Union another structurally-equal node's ranklists and histograms into
+  /// this one; used by inter-node merging.
+  void absorb_ranks(const TraceNode& other);
+
+  /// Number of leaf events in compressed form (the paper's n).
+  [[nodiscard]] std::size_t leaf_count() const;
+
+  /// Total raw MPI events this node represents when expanded.
+  [[nodiscard]] std::uint64_t expanded_count() const;
+
+  /// Approximate serialized footprint (drives space accounting).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+  [[nodiscard]] std::string to_string(int indent = 0) const;
+};
+
+/// Shape equality over node sequences.
+bool same_shape(const std::vector<TraceNode>& a,
+                const std::vector<TraceNode>& b);
+
+/// Sum of footprints (+ sequence overhead).
+std::size_t footprint_bytes(const std::vector<TraceNode>& nodes);
+
+/// Render a node sequence as an indented text trace.
+std::string format_trace(const std::vector<TraceNode>& nodes);
+
+}  // namespace cham::trace

@@ -1,0 +1,148 @@
+#include "trace/ranklist.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cham::trace {
+
+std::size_t RankSection::count() const {
+  std::size_t n = 1;
+  for (const auto& [iters, stride] : dims) {
+    (void)stride;
+    n *= static_cast<std::size_t>(iters);
+  }
+  return n;
+}
+
+void RankSection::expand_into(std::vector<sim::Rank>& out) const {
+  std::vector<sim::Rank> current{start};
+  for (const auto& [iters, stride] : dims) {
+    std::vector<sim::Rank> next;
+    next.reserve(current.size() * static_cast<std::size_t>(iters));
+    for (sim::Rank base : current)
+      for (int k = 0; k < iters; ++k) next.push_back(base + k * stride);
+    current = std::move(next);
+  }
+  out.insert(out.end(), current.begin(), current.end());
+}
+
+std::string RankSection::to_string() const {
+  std::ostringstream os;
+  os << '<' << dims.size() << ' ' << start;
+  for (const auto& [iters, stride] : dims) os << ' ' << iters << ' ' << stride;
+  os << '>';
+  return os.str();
+}
+
+RankList RankList::single(sim::Rank r) {
+  RankList list;
+  list.members_.push_back(r);
+  return list;
+}
+
+RankList RankList::from_ranks(std::vector<sim::Rank> ranks) {
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  RankList list;
+  list.members_ = std::move(ranks);
+  return list;
+}
+
+void RankList::merge(const RankList& other) {
+  std::vector<sim::Rank> merged;
+  merged.reserve(members_.size() + other.members_.size());
+  std::set_union(members_.begin(), members_.end(), other.members_.begin(),
+                 other.members_.end(), std::back_inserter(merged));
+  members_ = std::move(merged);
+}
+
+bool RankList::contains(sim::Rank r) const {
+  return std::binary_search(members_.begin(), members_.end(), r);
+}
+
+sim::Rank RankList::first() const {
+  CHAM_CHECK_MSG(!members_.empty(), "first() on empty ranklist");
+  return members_.front();
+}
+
+namespace {
+
+/// Longest arithmetic progression starting at index `from` in the sorted,
+/// unique member vector. Returns (length, stride); length >= 1.
+std::pair<int, int> run_at(const std::vector<sim::Rank>& m, std::size_t from) {
+  if (from + 1 >= m.size()) return {1, 1};
+  const int stride = m[from + 1] - m[from];
+  int len = 2;
+  while (from + static_cast<std::size_t>(len) < m.size() &&
+         m[from + static_cast<std::size_t>(len)] -
+                 m[from + static_cast<std::size_t>(len) - 1] ==
+             stride) {
+    ++len;
+  }
+  return {len, stride};
+}
+
+}  // namespace
+
+std::vector<RankSection> RankList::sections() const {
+  // Pass 1: factor into maximal 1-D arithmetic progressions.
+  std::vector<RankSection> runs;
+  std::size_t i = 0;
+  while (i < members_.size()) {
+    auto [len, stride] = run_at(members_, i);
+    RankSection sec;
+    sec.start = members_[i];
+    if (len > 1) sec.dims.push_back({len, stride});
+    runs.push_back(std::move(sec));
+    i += static_cast<std::size_t>(len);
+  }
+  // Pass 2: group consecutive runs with identical shape and equally spaced
+  // starts into 2-D sections (e.g. the interior of a 2-D process grid).
+  std::vector<RankSection> out;
+  std::size_t r = 0;
+  while (r < runs.size()) {
+    std::size_t g = r + 1;
+    if (g < runs.size() && runs[g].dims == runs[r].dims) {
+      const int outer = runs[g].start - runs[r].start;
+      while (g + 1 < runs.size() && runs[g + 1].dims == runs[r].dims &&
+             runs[g + 1].start - runs[g].start == outer) {
+        ++g;
+      }
+      const int group = static_cast<int>(g - r + 1);
+      if (group >= 2 && outer > 0) {
+        RankSection sec;
+        sec.start = runs[r].start;
+        sec.dims.push_back({group, outer});
+        for (const auto& d : runs[r].dims) sec.dims.push_back(d);
+        out.push_back(std::move(sec));
+        r = g + 1;
+        continue;
+      }
+    }
+    out.push_back(runs[r]);
+    ++r;
+  }
+  return out;
+}
+
+std::size_t RankList::footprint_bytes() const {
+  // Serialized section: start (4) + dim count (2) + 8 per (iters, stride).
+  std::size_t bytes = 2;  // section count
+  for (const auto& sec : sections()) bytes += 6 + 8 * sec.dims.size();
+  return bytes;
+}
+
+std::string RankList::to_string() const {
+  std::ostringstream os;
+  bool first_section = true;
+  for (const auto& sec : sections()) {
+    if (!first_section) os << ' ';
+    os << sec.to_string();
+    first_section = false;
+  }
+  return os.str();
+}
+
+}  // namespace cham::trace

@@ -1,0 +1,63 @@
+// Communication-group encoding: ScalaTrace's ranklist.
+//
+// ScalaTrace property (3): participant groups are stored as EBNF
+// <dimension, start_rank, iteration_length, stride>+ sections, giving a
+// near-constant-size encoding of the regular rank patterns SPMD codes
+// produce (rows, columns, sub-lattices). We keep the exact member set for
+// set algebra and lazily factor it into multi-dimensional sections for
+// serialization and space accounting — the factored form is what makes the
+// compressed trace size independent of P.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace cham::trace {
+
+/// One <dim, start, (iters, stride)...> section.
+struct RankSection {
+  sim::Rank start = 0;
+  /// Outer-to-inner (iters, stride) pairs; empty means the singleton {start}.
+  std::vector<std::pair<int, int>> dims;
+
+  [[nodiscard]] std::size_t count() const;
+  void expand_into(std::vector<sim::Rank>& out) const;
+  [[nodiscard]] std::string to_string() const;
+  bool operator==(const RankSection& other) const = default;
+};
+
+class RankList {
+ public:
+  RankList() = default;
+  static RankList single(sim::Rank r);
+  static RankList from_ranks(std::vector<sim::Rank> ranks);
+
+  /// Set union.
+  void merge(const RankList& other);
+
+  [[nodiscard]] bool contains(sim::Rank r) const;
+  [[nodiscard]] std::size_t count() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  [[nodiscard]] const std::vector<sim::Rank>& members() const {
+    return members_;
+  }
+  [[nodiscard]] sim::Rank first() const;
+
+  /// Greedy factorization into 1-D/2-D sections (the serialized form).
+  [[nodiscard]] std::vector<RankSection> sections() const;
+
+  /// Bytes the factored encoding occupies (drives Table IV space numbers).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const RankList& other) const = default;
+
+ private:
+  std::vector<sim::Rank> members_;  // sorted, unique
+};
+
+}  // namespace cham::trace

@@ -1,0 +1,85 @@
+#include "trace/rsd.hpp"
+
+#include "support/logging.hpp"
+
+namespace cham::trace {
+
+namespace {
+
+/// Rule (a): the loop node right before the last `len` nodes has a body that
+/// matches them — fold the window into one more iteration of that loop.
+bool try_increment_loop(std::vector<TraceNode>& nodes, std::size_t len) {
+  if (nodes.size() < len + 1) return false;
+  const std::size_t loop_at = nodes.size() - len - 1;
+  TraceNode& loop = nodes[loop_at];
+  if (!loop.is_loop() || loop.body.size() != len) return false;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (!loop.body[i].same_shape(nodes[loop_at + 1 + i])) return false;
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    loop.body[i].absorb_stats(nodes[loop_at + 1 + i]);
+  }
+  ++loop.iters;
+  nodes.resize(loop_at + 1);
+  return true;
+}
+
+/// Rule (b): the last 2*len nodes form two structurally equal halves — fold
+/// them into a fresh loop of two iterations.
+bool try_fold_pair(std::vector<TraceNode>& nodes, std::size_t len) {
+  if (nodes.size() < 2 * len) return false;
+  const std::size_t first = nodes.size() - 2 * len;
+  const std::size_t second = nodes.size() - len;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (!nodes[first + i].same_shape(nodes[second + i])) return false;
+  }
+  std::vector<TraceNode> body;
+  body.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    TraceNode merged = std::move(nodes[first + i]);
+    merged.absorb_stats(nodes[second + i]);
+    body.push_back(std::move(merged));
+  }
+  nodes.resize(first);
+  nodes.push_back(TraceNode::loop(2, std::move(body)));
+  return true;
+}
+
+}  // namespace
+
+int fold_tail(std::vector<TraceNode>& nodes, int max_window) {
+  int folds = 0;
+  bool folded = true;
+  while (folded) {
+    folded = false;
+    const auto limit = static_cast<std::size_t>(max_window);
+    for (std::size_t len = 1; len <= limit && len <= nodes.size(); ++len) {
+      if (try_increment_loop(nodes, len) || try_fold_pair(nodes, len)) {
+        folded = true;
+        ++folds;
+        break;  // restart with the shortest window after any change
+      }
+    }
+  }
+  return folds;
+}
+
+void IntraTrace::append(EventRecord ev) {
+  ++recorded_;
+  nodes_.push_back(TraceNode::leaf(std::move(ev)));
+  fold_tail(nodes_, max_window_);
+}
+
+std::vector<TraceNode> IntraTrace::take() {
+  std::vector<TraceNode> out = std::move(nodes_);
+  nodes_.clear();
+  return out;
+}
+
+std::size_t IntraTrace::compressed_events() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) n += node.leaf_count();
+  return n;
+}
+
+}  // namespace cham::trace

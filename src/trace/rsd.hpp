@@ -1,0 +1,62 @@
+// RSD/PRSD intra-node (loop-level) trace compression.
+//
+// ScalaTrace captures innermost repeating event windows as Regular Section
+// Descriptors and nests them recursively into power-RSDs. We implement the
+// online variant: after every appended event the tail of the node sequence
+// is checked for (a) a repetition of the body of the loop immediately
+// preceding it (increment that loop's iteration count) or (b) two equal
+// adjacent windows (fold into a new 2-iteration loop). Applying the rules
+// to fixpoint builds nested loops, e.g.
+//
+//   for 1000 { for 100 { send; recv } barrier }
+//     ==>  loop 1000 { loop 100 { send; recv } barrier }
+//
+// with delta-time histograms accumulating across folded iterations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace cham::trace {
+
+/// Apply the two fold rules at the tail of `nodes` until neither fires.
+/// Window lengths 1..max_window are tried, shortest first. Returns the
+/// number of folds performed.
+int fold_tail(std::vector<TraceNode>& nodes, int max_window);
+
+class IntraTrace {
+ public:
+  explicit IntraTrace(int max_window = 32) : max_window_(max_window) {}
+
+  /// Append one event and recompress the tail.
+  void append(EventRecord ev);
+
+  [[nodiscard]] const std::vector<TraceNode>& nodes() const { return nodes_; }
+
+  /// Move the compressed trace out, leaving this trace empty.
+  [[nodiscard]] std::vector<TraceNode> take();
+
+  void clear() { nodes_.clear(); }
+
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+
+  /// Raw events appended since construction/clear-counter semantics: this
+  /// counts *appends*, not compressed nodes.
+  [[nodiscard]] std::uint64_t recorded_events() const { return recorded_; }
+
+  /// Compressed leaf count (the paper's n).
+  [[nodiscard]] std::size_t compressed_events() const;
+
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return trace::footprint_bytes(nodes_);
+  }
+
+ private:
+  std::vector<TraceNode> nodes_;
+  int max_window_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace cham::trace

@@ -1,0 +1,211 @@
+#include "trace/serialize.hpp"
+
+#include <cstring>
+
+namespace cham::trace {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::bytes(const std::uint8_t* data, std::size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (pos_ + n > buf_.size()) throw DecodeError("trace buffer truncated");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i)
+    v |= static_cast<std::uint16_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+void encode_ranklist(ByteWriter& w, const RankList& ranks) {
+  const auto sections = ranks.sections();
+  w.u16(static_cast<std::uint16_t>(sections.size()));
+  for (const auto& sec : sections) {
+    w.i32(sec.start);
+    w.u16(static_cast<std::uint16_t>(sec.dims.size()));
+    for (const auto& [iters, stride] : sec.dims) {
+      w.i32(iters);
+      w.i32(stride);
+    }
+  }
+}
+
+RankList decode_ranklist(ByteReader& r) {
+  const std::size_t nsections = r.u16();
+  std::vector<sim::Rank> ranks;
+  for (std::size_t s = 0; s < nsections; ++s) {
+    RankSection sec;
+    sec.start = r.i32();
+    const std::size_t ndims = r.u16();
+    if (ndims > 8) throw DecodeError("ranklist dimension count implausible");
+    for (std::size_t d = 0; d < ndims; ++d) {
+      const int iters = r.i32();
+      const int stride = r.i32();
+      if (iters <= 0) throw DecodeError("non-positive ranklist iteration");
+      sec.dims.push_back({iters, stride});
+    }
+    sec.expand_into(ranks);
+  }
+  return RankList::from_ranks(std::move(ranks));
+}
+
+namespace {
+
+void encode_endpoint(ByteWriter& w, const Endpoint& ep) {
+  w.u8(static_cast<std::uint8_t>(ep.kind));
+  w.i32(ep.value);
+}
+
+Endpoint decode_endpoint(ByteReader& r) {
+  Endpoint ep;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(Endpoint::Kind::kAbsolute))
+    throw DecodeError("bad endpoint kind");
+  ep.kind = static_cast<Endpoint::Kind>(kind);
+  ep.value = r.i32();
+  return ep;
+}
+
+void encode_histogram(ByteWriter& w, const support::Histogram& h) {
+  for (int i = 0; i < support::Histogram::kBins; ++i) w.u64(h.bin(i));
+  w.u64(h.count());
+  w.f64(h.min());
+  w.f64(h.max());
+  w.f64(h.total());
+}
+
+support::Histogram decode_histogram(ByteReader& r) {
+  std::array<std::uint64_t, support::Histogram::kBins> bins{};
+  for (auto& b : bins) b = r.u64();
+  const std::uint64_t count = r.u64();
+  const double mn = r.f64();
+  const double mx = r.f64();
+  const double sum = r.f64();
+  return support::Histogram::from_raw(bins, count, mn, mx, sum);
+}
+
+constexpr std::uint8_t kLeafMark = 0xE1;
+constexpr std::uint8_t kLoopMark = 0xE2;
+
+}  // namespace
+
+void encode_node(ByteWriter& w, const TraceNode& node) {
+  if (node.is_loop()) {
+    w.u8(kLoopMark);
+    w.u64(node.iters);
+    w.u32(static_cast<std::uint32_t>(node.body.size()));
+    for (const auto& child : node.body) encode_node(w, child);
+    return;
+  }
+  w.u8(kLeafMark);
+  const EventRecord& ev = node.event;
+  w.u8(static_cast<std::uint8_t>(ev.op));
+  w.u64(ev.stack_sig);
+  encode_endpoint(w, ev.src);
+  encode_endpoint(w, ev.dest);
+  w.u64(ev.bytes);
+  w.i32(ev.tag);
+  w.u8(static_cast<std::uint8_t>(ev.comm));
+  w.u8(ev.is_marker ? 1 : 0);
+  encode_ranklist(w, ev.ranks);
+  encode_histogram(w, ev.delta);
+}
+
+TraceNode decode_node(ByteReader& r) {
+  const std::uint8_t mark = r.u8();
+  if (mark == kLoopMark) {
+    TraceNode node;
+    node.iters = r.u64();
+    if (node.iters == 0) throw DecodeError("loop with zero iterations");
+    const std::uint32_t len = r.u32();
+    if (len > (1u << 20)) throw DecodeError("loop body length implausible");
+    node.body.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) node.body.push_back(decode_node(r));
+    return node;
+  }
+  if (mark != kLeafMark) throw DecodeError("bad node marker");
+  EventRecord ev;
+  ev.op = static_cast<sim::Op>(r.u8());
+  ev.stack_sig = r.u64();
+  ev.src = decode_endpoint(r);
+  ev.dest = decode_endpoint(r);
+  ev.bytes = r.u64();
+  ev.tag = r.i32();
+  ev.comm = r.u8();
+  ev.is_marker = r.u8() != 0;
+  ev.ranks = decode_ranklist(r);
+  ev.delta = decode_histogram(r);
+  return TraceNode::leaf(std::move(ev));
+}
+
+std::vector<std::uint8_t> encode_trace(const std::vector<TraceNode>& nodes) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const auto& node : nodes) encode_node(w, node);
+  return w.take();
+}
+
+std::vector<TraceNode> decode_trace(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const std::uint32_t len = r.u32();
+  if (len > (1u << 24)) throw DecodeError("trace length implausible");
+  std::vector<TraceNode> nodes;
+  nodes.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) nodes.push_back(decode_node(r));
+  if (!r.exhausted()) throw DecodeError("trailing bytes after trace");
+  return nodes;
+}
+
+}  // namespace cham::trace

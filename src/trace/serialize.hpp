@@ -1,0 +1,69 @@
+// Binary trace (de)serialization.
+//
+// The wire format is what ranks ship up the radix tree during inter-node
+// compression and what gets written as the final global trace file. It is
+// exact: decode(encode(x)) reproduces x including ranklists (in factored
+// section form) and delta-time histograms.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace cham::trace {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);
+  void bytes(const std::uint8_t* data, std::size_t len);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64();
+
+  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Thrown on malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void encode_ranklist(ByteWriter& w, const RankList& ranks);
+RankList decode_ranklist(ByteReader& r);
+
+void encode_node(ByteWriter& w, const TraceNode& node);
+TraceNode decode_node(ByteReader& r);
+
+std::vector<std::uint8_t> encode_trace(const std::vector<TraceNode>& nodes);
+std::vector<TraceNode> decode_trace(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace cham::trace

@@ -1,0 +1,140 @@
+// ScalaTrace: the baseline tracing tool.
+//
+// Per rank it maintains an RSD/PRSD-compressed intra-node trace fed from
+// the PMPI post hooks, with relative endpoint encoding and delta-time
+// histograms. At MPI_Finalize all P ranks consolidate their traces in a
+// reduction over a binomial radix tree rooted at rank 0 — the costly
+// O(n^2 log P) step Chameleon attacks.
+//
+// Timing discipline: only pure-CPU segments (compression, signature and
+// merge work) run inside SectionTimers. Blocking communication is never
+// timed — on the fiber scheduler, thread CPU time advanced while blocked
+// would belong to other ranks. Communication cost still shows up in the
+// *virtual* clock, which the experiment harness reports separately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/tool.hpp"
+#include "support/timer.hpp"
+#include "trace/callsite.hpp"
+#include "trace/merge.hpp"
+#include "trace/rsd.hpp"
+
+namespace cham::sim {
+class Pmpi;
+}
+
+namespace cham::trace {
+
+struct TracerOptions {
+  int max_window = 32;
+  /// Plain ScalaTrace merges the global trace in MPI_Finalize; switch off
+  /// to measure pure intra-node tracing.
+  bool merge_at_finalize = true;
+};
+
+/// Per-rank tracing state (protected so Chameleon can drive it).
+struct RankTraceState {
+  explicit RankTraceState(int max_window) : intra(max_window) {}
+
+  IntraTrace intra;
+  double last_event_end = 0.0;
+  double pre_vtime = 0.0;
+  /// When false the rank observes events (signatures still computed) but
+  /// stores nothing — Chameleon's non-lead behaviour in the L state.
+  bool storing = true;
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_observed = 0;
+  support::SectionTimer intra_timer;
+  support::SectionTimer inter_timer;
+};
+
+/// Times a non-blocking tool section AND charges the elapsed time to the
+/// rank's virtual clock: tool compute is real compute on the node, so it
+/// must delay that rank (and, transitively, everyone who waits on it) —
+/// this is what makes the aggregated virtual-time overhead reproduce the
+/// paper's aggregated wall-clock overhead, including the P-wide wait for
+/// the finalize-time merge chain.
+class ChargedSection {
+ public:
+  ChargedSection(support::SectionTimer& timer, sim::Pmpi& pmpi);
+  ~ChargedSection();
+  ChargedSection(const ChargedSection&) = delete;
+  ChargedSection& operator=(const ChargedSection&) = delete;
+
+ private:
+  support::SectionTimer& timer_;
+  sim::Pmpi& pmpi_;
+  double start_;
+};
+
+class ScalaTraceTool : public sim::Tool {
+ public:
+  ScalaTraceTool(int nprocs, CallSiteRegistry* stacks,
+                 TracerOptions opts = {});
+
+  void on_init(sim::Rank rank, sim::Pmpi& pmpi) override;
+  void on_pre(sim::Rank rank, const sim::CallInfo& info,
+              sim::Pmpi& pmpi) override;
+  void on_post(sim::Rank rank, const sim::CallInfo& info,
+               sim::Pmpi& pmpi) override;
+
+  /// The consolidated global trace (valid at/after finalize; lives at the
+  /// tool since rank 0 produced it).
+  [[nodiscard]] const std::vector<TraceNode>& global_trace() const {
+    return global_;
+  }
+
+  // --- aggregated statistics (sum over ranks) ---
+  [[nodiscard]] double intra_seconds() const;
+  [[nodiscard]] double inter_seconds() const;
+  /// Hardware-independent inter-compression work: pairwise merge operations
+  /// performed and compressed bytes shipped/merged across the whole run.
+  /// ScalaTrace performs P-1 merges at finalize; Chameleon (K-1) per
+  /// re-clustering — the paper's O(n^2 log P) vs O(r n^2 log K) contrast.
+  [[nodiscard]] std::uint64_t merge_operations() const { return merge_ops_; }
+  [[nodiscard]] std::uint64_t merge_bytes() const { return merge_bytes_; }
+  [[nodiscard]] std::uint64_t events_recorded_total() const;
+  [[nodiscard]] std::size_t rank_trace_bytes(sim::Rank r) const;
+  [[nodiscard]] const RankTraceState& rank_state(sim::Rank r) const {
+    return state_.at(static_cast<std::size_t>(r));
+  }
+
+ protected:
+  RankTraceState& state(sim::Rank r) {
+    return state_.at(static_cast<std::size_t>(r));
+  }
+
+  /// Build the event record for a completed call (relative endpoints,
+  /// delta-time sample, singleton ranklist).
+  [[nodiscard]] EventRecord make_record(sim::Rank rank,
+                                        const sim::CallInfo& info,
+                                        double delta) const;
+
+  /// Hook points for derived tools (Chameleon, ACURDION).
+  virtual void observe_event(sim::Rank rank, const EventRecord& record,
+                             sim::Pmpi& pmpi);
+  virtual void handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi);
+  virtual void handle_finalize(sim::Rank rank, sim::Pmpi& pmpi);
+
+  /// Binomial-tree reduction of compressed traces over `participants`
+  /// (sorted ascending; `self` must be a member). Returns the fully merged
+  /// trace at participants[0], an empty vector elsewhere. Non-blocking CPU
+  /// work is charged to each participant's inter_timer.
+  std::vector<TraceNode> radix_merge(sim::Rank self,
+                                     const std::vector<sim::Rank>& participants,
+                                     std::vector<TraceNode> mine,
+                                     sim::Pmpi& pmpi);
+
+  int nprocs_;
+  CallSiteRegistry* stacks_;
+  TracerOptions opts_;
+  std::vector<RankTraceState> state_;
+  std::vector<TraceNode> global_;
+  std::uint64_t merge_ops_ = 0;
+  std::uint64_t merge_bytes_ = 0;
+};
+
+}  // namespace cham::trace

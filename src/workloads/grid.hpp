@@ -1,0 +1,34 @@
+// Process-grid helpers for the workload skeletons.
+#pragma once
+
+#include <cmath>
+
+#include "sim/types.hpp"
+
+namespace cham::workloads {
+
+/// Balanced 2-D factorization of P (qx * qy == P, qx <= qy, qx maximal).
+struct Grid2D {
+  int qx = 1;
+  int qy = 1;
+
+  static Grid2D factor(int nprocs) {
+    int qx = static_cast<int>(std::sqrt(static_cast<double>(nprocs)));
+    while (qx > 1 && nprocs % qx != 0) --qx;
+    return Grid2D{qx, nprocs / qx};
+  }
+
+  [[nodiscard]] int x_of(sim::Rank r) const { return r % qx; }
+  [[nodiscard]] int y_of(sim::Rank r) const { return r / qx; }
+  [[nodiscard]] sim::Rank at(int x, int y) const { return y * qx + x; }
+
+  /// Neighbour in the given direction, or kAnySource (-1) outside the grid.
+  [[nodiscard]] sim::Rank neighbor(sim::Rank r, int dx, int dy) const {
+    const int x = x_of(r) + dx;
+    const int y = y_of(r) + dy;
+    if (x < 0 || x >= qx || y < 0 || y >= qy) return sim::kAnySource;
+    return at(x, y);
+  }
+};
+
+}  // namespace cham::workloads

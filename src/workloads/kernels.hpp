@@ -1,0 +1,31 @@
+// Internal: per-benchmark kernel entry points (registered in workload.cpp).
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace cham::workloads::kernels {
+
+void run_bt(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+            const WorkloadParams& params);
+void run_sp(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+            const WorkloadParams& params);
+void run_lu(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+            const WorkloadParams& params);
+void run_pop(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+             const WorkloadParams& params);
+void run_sweep3d(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+                 const WorkloadParams& params);
+void run_emf(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+             const WorkloadParams& params);
+void run_cg(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+            const WorkloadParams& params);
+
+int bt_steps(char cls);
+int sp_steps(char cls);
+int lu_steps(char cls);
+int pop_steps(char cls);
+int sweep3d_steps(char cls);
+int emf_steps(char cls);
+int cg_steps(char cls);
+
+}  // namespace cham::workloads::kernels

@@ -1,0 +1,257 @@
+// NPB-style skeletons: BT, SP, LU (incl. weak scaling / LU-modified), CG.
+//
+// BT and SP decompose along one dimension (a non-periodic chain): the two
+// boundary ranks and the interior form the 3 behaviour groups Table I's
+// K=3 covers exactly. LU runs 2-D SSOR wavefronts (lower + upper sweeps)
+// over a non-periodic 2-D grid: corners, edges and interior form up to 9
+// groups (K=9). CG approximates the SpMV transpose exchange with a modular
+// ring — irregular *computation* (sparse rows) but regular communication,
+// which is why clustering is untouched by it (§V "Irregular codes").
+#include <algorithm>
+#include <array>
+
+#include "support/rng.hpp"
+#include "workloads/grid.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cham::workloads::kernels {
+
+using trace::CallScope;
+using trace::site_id;
+
+namespace {
+
+/// Face bytes for a 1-D decomposition of an n^3 cube across P ranks:
+/// the full n x n plane (5 solution variables, 8-byte reals).
+std::size_t chain_face_bytes(char cls, int /*nprocs*/, bool weak) {
+  const auto n = static_cast<std::size_t>(class_grid_points(cls));
+  const std::size_t full = n * n * 5 * 8;
+  // Weak scaling keeps the per-rank surface fixed at the class-A shape.
+  if (weak) {
+    const auto a = static_cast<std::size_t>(class_grid_points('A'));
+    return a * a * 5 * 8;
+  }
+  return full;
+}
+
+/// Per-step compute seconds for the local subgrid (virtual time).
+double chain_compute_seconds(char cls, int nprocs, bool weak) {
+  const double n = class_grid_points(cls);
+  const double points = weak ? 64.0 * 64.0 * 64.0  // fixed per-rank volume
+                             : n * n * n / std::max(1, nprocs);
+  return points * 2.5e-9;  // ~flops per point at a few GFLOP/s
+}
+
+/// Bidirectional halo exchange with chain neighbours (non-periodic).
+void chain_exchange(sim::Mpi& mpi, std::size_t bytes, int tag) {
+  const sim::Rank lo = mpi.rank() - 1;
+  const sim::Rank hi = mpi.rank() + 1;
+  std::vector<sim::Request> reqs;
+  if (lo >= 0) reqs.push_back(mpi.irecv(lo, bytes, tag));
+  if (hi < mpi.size()) reqs.push_back(mpi.irecv(hi, bytes, tag));
+  if (lo >= 0) reqs.push_back(mpi.isend(lo, bytes, tag));
+  if (hi < mpi.size()) reqs.push_back(mpi.isend(hi, bytes, tag));
+  mpi.waitall(reqs);
+}
+
+int steps_or_default(const WorkloadParams& params, int dflt) {
+  return params.timesteps > 0 ? params.timesteps : dflt;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BT — block tridiagonal ADI: three directional sweeps per timestep.
+// ---------------------------------------------------------------------------
+
+int bt_steps(char cls) { return cls == 'D' ? 250 : 200; }
+
+void run_bt(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+            const WorkloadParams& params) {
+  const int steps = steps_or_default(params, bt_steps(params.cls));
+  const std::size_t bytes = chain_face_bytes(params.cls, mpi.size(), params.weak);
+  const double compute = chain_compute_seconds(params.cls, mpi.size(), params.weak);
+  trace::CallStack& stack = stacks.stack(mpi.rank());
+
+  CallScope main_scope(stack, site_id("bt.adi"));
+  for (int step = 0; step < steps; ++step) {
+    {
+      CallScope scope(stack, site_id("bt.x_solve"));
+      mpi.compute(compute / 3);
+      chain_exchange(mpi, bytes, 11);
+    }
+    {
+      CallScope scope(stack, site_id("bt.y_solve"));
+      mpi.compute(compute / 3);
+      chain_exchange(mpi, bytes, 12);
+    }
+    {
+      CallScope scope(stack, site_id("bt.z_solve"));
+      mpi.compute(compute / 3);
+      chain_exchange(mpi, bytes, 13);
+    }
+    mpi.marker();
+  }
+  // Verification norm, once at the end (NPB computes norms at itmax only).
+  CallScope verify_scope(stack, site_id("bt.verify"));
+  mpi.allreduce(5 * 8);
+}
+
+// ---------------------------------------------------------------------------
+// SP — scalar pentadiagonal: same chain geometry, lighter per-step traffic.
+// ---------------------------------------------------------------------------
+
+int sp_steps(char cls) { return cls == 'D' ? 500 : 400; }
+
+void run_sp(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+            const WorkloadParams& params) {
+  const int steps = steps_or_default(params, sp_steps(params.cls));
+  const std::size_t bytes =
+      chain_face_bytes(params.cls, mpi.size(), params.weak) / 5;
+  const double compute =
+      chain_compute_seconds(params.cls, mpi.size(), params.weak) / 2;
+  trace::CallStack& stack = stacks.stack(mpi.rank());
+
+  CallScope main_scope(stack, site_id("sp.adi"));
+  for (int step = 0; step < steps; ++step) {
+    {
+      CallScope scope(stack, site_id("sp.solve"));
+      mpi.compute(compute);
+      chain_exchange(mpi, bytes, 21);
+    }
+    mpi.marker();
+  }
+  CallScope verify_scope(stack, site_id("sp.verify"));
+  mpi.allreduce(5 * 8);
+}
+
+// ---------------------------------------------------------------------------
+// LU — 2-D SSOR: lower/upper wavefront sweeps + RHS halo exchange.
+// Handles weak scaling (params.weak) and the Figure-10 perturbation
+// (params.perturb_every).
+// ---------------------------------------------------------------------------
+
+int lu_steps(char cls) { return cls == 'D' ? 300 : 250; }
+
+namespace {
+
+/// One triangular wavefront sweep over a non-periodic 2-D grid: receive
+/// from the upstream neighbours, compute, forward downstream. dx/dy = +1
+/// for the lower sweep (from the NW corner), -1 for the upper sweep.
+void lu_sweep(sim::Mpi& mpi, const Grid2D& grid, int dx, int dy,
+              std::size_t bytes, double compute, int tag) {
+  const sim::Rank up_x = grid.neighbor(mpi.rank(), -dx, 0);
+  const sim::Rank up_y = grid.neighbor(mpi.rank(), 0, -dy);
+  const sim::Rank down_x = grid.neighbor(mpi.rank(), dx, 0);
+  const sim::Rank down_y = grid.neighbor(mpi.rank(), 0, dy);
+  if (up_x != sim::kAnySource) mpi.recv(up_x, bytes, tag);
+  if (up_y != sim::kAnySource) mpi.recv(up_y, bytes, tag);
+  mpi.compute(compute);
+  if (down_x != sim::kAnySource) mpi.send(down_x, bytes, tag);
+  if (down_y != sim::kAnySource) mpi.send(down_y, bytes, tag);
+}
+
+}  // namespace
+
+void run_lu(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+            const WorkloadParams& params) {
+  const int steps = steps_or_default(params, lu_steps(params.cls));
+  const Grid2D grid = Grid2D::factor(mpi.size());
+  const int n = class_grid_points(params.cls);
+  // Pencil surface for the wavefront messages. As in real NPB, n is rarely
+  // divisible by the grid: boundary columns own one extra point, so the
+  // message sizes vary with grid position — the across-rank heterogeneity
+  // that makes ScalaTrace's merged traces grow (and its inter-compression
+  // expensive) while Chameleon's clusters absorb it. Fixed per rank under
+  // weak scaling.
+  const int local_x = n / grid.qx + (grid.x_of(mpi.rank()) < n % grid.qx ? 1 : 0);
+  const int local_y = n / grid.qy + (grid.y_of(mpi.rank()) < n % grid.qy ? 1 : 0);
+  const std::size_t bytes =
+      params.weak ? static_cast<std::size_t>(64) * 64 * 8
+                  : static_cast<std::size_t>(std::max(1, (local_x + local_y) / 2)) *
+                        static_cast<std::size_t>(n) * 8;
+  const double compute =
+      params.weak
+          ? 64.0 * 64.0 * 64.0 * 2.5e-9
+          : static_cast<double>(n) * n * n / mpi.size() * 2.5e-9;
+  trace::CallStack& stack = stacks.stack(mpi.rank());
+
+  CallScope main_scope(stack, site_id("lu.ssor"));
+  for (int step = 0; step < steps; ++step) {
+    {
+      CallScope scope(stack, site_id("lu.blts"));  // lower triangular sweep
+      lu_sweep(mpi, grid, +1, +1, bytes, compute / 3, 31);
+    }
+    {
+      CallScope scope(stack, site_id("lu.buts"));  // upper triangular sweep
+      lu_sweep(mpi, grid, -1, -1, bytes, compute / 3, 32);
+    }
+    {
+      CallScope scope(stack, site_id("lu.rhs"));  // full halo for the RHS
+      mpi.compute(compute / 3);
+      std::vector<sim::Request> reqs;
+      constexpr std::array<std::pair<int, int>, 4> kDirs = {
+          {{-1, 0}, {+1, 0}, {0, -1}, {0, +1}}};
+      for (const auto& [dx, dy] : kDirs) {
+        const sim::Rank peer = grid.neighbor(mpi.rank(), dx, dy);
+        if (peer == sim::kAnySource) continue;
+        reqs.push_back(mpi.irecv(peer, bytes, 33));
+        reqs.push_back(mpi.isend(peer, bytes, 33));
+      }
+      mpi.waitall(reqs);
+    }
+    if (params.perturb_every > 0 && (step + 1) % params.perturb_every == 0) {
+      // Figure 10: an extra barrier from a distinct call site makes the
+      // interval's Call-Path differ, forcing a phase change + re-cluster.
+      CallScope scope(stack, site_id("lu.injected_phase"));
+      mpi.barrier();
+    }
+    mpi.marker();
+  }
+  // Convergence norm once at the end (NPB LU's inorm defaults to itmax).
+  CallScope verify_scope(stack, site_id("lu.norm"));
+  mpi.allreduce(5 * 8);
+}
+
+// ---------------------------------------------------------------------------
+// CG — conjugate gradient SpMV skeleton: modular ring exchange (uniform
+// geometry) + dot-product reductions; irregular per-rank compute from the
+// sparse row distribution.
+// ---------------------------------------------------------------------------
+
+int cg_steps(char cls) { return cls == 'D' ? 100 : 75; }
+
+void run_cg(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+            const WorkloadParams& params) {
+  const int steps = steps_or_default(params, cg_steps(params.cls));
+  const int n = class_grid_points(params.cls);
+  const std::size_t bytes =
+      static_cast<std::size_t>(n) * n * 8 / std::max(1, mpi.size());
+  trace::CallStack& stack = stacks.stack(mpi.rank());
+  support::Rng rng(params.seed ^ static_cast<std::uint64_t>(mpi.rank()));
+
+  CallScope main_scope(stack, site_id("cg.solve"));
+  const int p = mpi.size();
+  for (int step = 0; step < steps; ++step) {
+    {
+      CallScope scope(stack, site_id("cg.spmv"));
+      // Sparse rows make compute irregular; communication stays regular.
+      const double nnz_factor = 0.5 + rng.next_double();
+      mpi.compute(static_cast<double>(n) * n / p * 1e-9 * nnz_factor);
+      const sim::Rank next = (mpi.rank() + 1) % p;
+      const sim::Rank prev = (mpi.rank() + p - 1) % p;
+      std::vector<sim::Request> reqs;
+      reqs.push_back(mpi.irecv(prev, bytes, 41));
+      reqs.push_back(mpi.isend(next, bytes, 41));
+      mpi.waitall(reqs);
+    }
+    {
+      CallScope scope(stack, site_id("cg.dot"));
+      mpi.allreduce(8);
+      mpi.allreduce(8);
+    }
+    mpi.marker();
+  }
+}
+
+}  // namespace cham::workloads::kernels

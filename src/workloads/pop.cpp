@@ -1,0 +1,76 @@
+// POP — Parallel Ocean Program skeleton.
+//
+// One timestep = baroclinic compute + a data-dependent barotropic solver
+// loop whose depth varies per timestep (the paper's "different
+// data-dependent convergence points in timestep computation"). The halo
+// pattern itself stays regular — a 1-D non-periodic chain, 3 behaviour
+// groups — which is why Chameleon replays POP with only 3 clusters: the
+// varying iteration counts never change the set of distinct stack
+// signatures (the automatic parameter filter of [2] falls out of the
+// Call-Path definition), and the varying compute lands in the delta-time
+// histograms.
+#include <algorithm>
+
+#include "support/rng.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cham::workloads::kernels {
+
+using trace::CallScope;
+using trace::site_id;
+
+int pop_steps(char cls) { return cls == 'D' ? 20 : 15; }
+
+void run_pop(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+             const WorkloadParams& params) {
+  const int steps =
+      params.timesteps > 0 ? params.timesteps : pop_steps(params.cls);
+  // One-degree grid: 896x896 blocks of 16x16; halo = row of blocks.
+  const std::size_t halo_bytes =
+      static_cast<std::size_t>(896) * 16 * 8 / std::max(1, mpi.size() / 32);
+  trace::CallStack& stack = stacks.stack(mpi.rank());
+  // Seeded per run (not per rank): the solver depth is a global property
+  // of the timestep; per-rank load imbalance is modelled in compute time.
+  support::Rng convergence(params.seed);
+  support::Rng load(params.seed ^ (static_cast<std::uint64_t>(mpi.rank()) << 20));
+
+  const sim::Rank lo = mpi.rank() - 1;
+  const sim::Rank hi = mpi.rank() + 1;
+
+  CallScope main_scope(stack, site_id("pop.timestep"));
+  for (int step = 0; step < steps; ++step) {
+    {
+      CallScope scope(stack, site_id("pop.baroclinic"));
+      mpi.compute(0.01 * (0.8 + 0.4 * load.next_double()));
+      std::vector<sim::Request> reqs;
+      if (lo >= 0) reqs.push_back(mpi.irecv(lo, halo_bytes, 51));
+      if (hi < mpi.size()) reqs.push_back(mpi.irecv(hi, halo_bytes, 51));
+      if (lo >= 0) reqs.push_back(mpi.isend(lo, halo_bytes, 51));
+      if (hi < mpi.size()) reqs.push_back(mpi.isend(hi, halo_bytes, 51));
+      mpi.waitall(reqs);
+    }
+    {
+      CallScope scope(stack, site_id("pop.barotropic"));
+      // Conjugate-gradient solver: depth varies per timestep (3..10).
+      const int inner = 3 + static_cast<int>(convergence.next_below(8));
+      for (int it = 0; it < inner; ++it) {
+        CallScope inner_scope(stack, site_id("pop.barotropic.cg"));
+        mpi.compute(0.001 * (0.8 + 0.4 * load.next_double()));
+        std::vector<sim::Request> reqs;
+        if (lo >= 0) reqs.push_back(mpi.irecv(lo, halo_bytes / 4, 52));
+        if (hi < mpi.size()) reqs.push_back(mpi.irecv(hi, halo_bytes / 4, 52));
+        if (lo >= 0) reqs.push_back(mpi.isend(lo, halo_bytes / 4, 52));
+        if (hi < mpi.size()) reqs.push_back(mpi.isend(hi, halo_bytes / 4, 52));
+        mpi.waitall(reqs);
+        mpi.allreduce(8);  // residual norm / convergence check
+      }
+    }
+    {
+      CallScope scope(stack, site_id("pop.diagnostics"));
+      mpi.allreduce(3 * 8);
+    }
+    mpi.marker();
+  }
+}
+
+}  // namespace cham::workloads::kernels

@@ -1,0 +1,63 @@
+// Benchmark communication skeletons.
+//
+// Each workload reproduces the MPI *call structure* of one of the paper's
+// benchmarks — phases, call sites, endpoint geometry, message-size scaling
+// with NPB input class, iteration counts, markers at timestep boundaries —
+// while computation advances the virtual clock. Chameleon only ever sees
+// MPI events and their calling contexts, so a faithful skeleton produces
+// the same signatures, clusters and trace shapes as the full benchmark.
+//
+// Geometry drives Table I's cluster counts: one non-periodic decomposition
+// dimension yields 3 behaviour groups (two boundaries + interior: BT, SP,
+// POP — K=3), two non-periodic dimensions yield up to 9 (corners, edges,
+// interior: LU, Sweep3D — K=9), master/worker yields 2 (EMF — K=2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "sim/mpi.hpp"
+#include "trace/callsite.hpp"
+
+namespace cham::workloads {
+
+struct WorkloadParams {
+  /// NPB input class: 'A', 'B', 'C', 'D' (problem size scaling).
+  char cls = 'D';
+  /// Timesteps / outer iterations; 0 selects the class default (Table II).
+  int timesteps = 0;
+  /// LU-modified (Figure 10): every Nth timestep executes an extra barrier
+  /// from a distinct call site, forcing a Call-Path change. 0 disables.
+  int perturb_every = 0;
+  /// Weak scaling: per-rank problem size fixed (message bytes independent
+  /// of P instead of shrinking with it).
+  bool weak = false;
+  /// Seed for data-dependent behaviour (POP convergence, EMF task mix).
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadInfo {
+  std::string_view name;
+  std::string_view description;
+  /// Cluster budget the paper fixed for this benchmark (Table I).
+  std::size_t default_k;
+  /// Chameleon Call_Frequency from Table II (class D, P=1024 row).
+  int default_freq;
+  /// Class-default timestep count (Table II's #Iters).
+  int (*default_steps)(char cls);
+  /// Execute one rank. The registry stack is used for CallScope branding.
+  void (*run)(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+              const WorkloadParams& params);
+};
+
+/// nullptr if unknown. Known names: bt, sp, lu, luw, lu_mod, pop, sweep3d,
+/// emf, cg.
+const WorkloadInfo* find_workload(std::string_view name);
+
+std::span<const WorkloadInfo> all_workloads();
+
+/// NPB-style cube edge for an input class (A=64 … D=408).
+int class_grid_points(char cls);
+
+}  // namespace cham::workloads

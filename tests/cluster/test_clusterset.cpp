@@ -1,0 +1,132 @@
+#include "cluster/clusterset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cham::cluster {
+namespace {
+
+RankSignature sig(std::uint64_t callpath, std::uint64_t src,
+                  std::uint64_t dest = 0) {
+  return RankSignature{callpath, src, dest};
+}
+
+TEST(ClusterSet, LeafIsSingleton) {
+  const ClusterSet set = ClusterSet::leaf(5, sig(0xCAFE, 42));
+  EXPECT_EQ(set.num_callpaths(), 1u);
+  EXPECT_EQ(set.total_clusters(), 1u);
+  EXPECT_EQ(set.total_members(), 1u);
+  const auto* entry = set.cluster_of(5);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->lead, 5);
+  EXPECT_EQ(set.cluster_of(4), nullptr);
+}
+
+TEST(ClusterSet, AbsorbConcatenatesPerCallpath) {
+  ClusterSet a = ClusterSet::leaf(0, sig(1, 10));
+  a.absorb(ClusterSet::leaf(1, sig(1, 20)));
+  a.absorb(ClusterSet::leaf(2, sig(2, 30)));
+  EXPECT_EQ(a.num_callpaths(), 2u);
+  EXPECT_EQ(a.total_clusters(), 3u);
+  EXPECT_EQ(a.total_members(), 3u);
+}
+
+TEST(ClusterSet, ShrinkRespectsBudgetAndKeepsAllMembers) {
+  ClusterSet set;
+  for (int r = 0; r < 16; ++r)
+    set.absorb(ClusterSet::leaf(r, sig(0x1, static_cast<std::uint64_t>(r * 100))));
+  const std::size_t total = set.shrink(3, SelectPolicy::kFarthest);
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(set.total_clusters(), 3u);
+  // No rank may be lost: dropped clusters merge into survivors.
+  EXPECT_EQ(set.total_members(), 16u);
+  for (int r = 0; r < 16; ++r) EXPECT_NE(set.cluster_of(r), nullptr);
+}
+
+TEST(ClusterSet, ShrinkKeepsOnePerCallpathMinimum) {
+  // 5 call paths but budget 3: dynamic K grows to one per call path so no
+  // event class loses its representative.
+  ClusterSet set;
+  for (int cp = 0; cp < 5; ++cp)
+    for (int r = 0; r < 4; ++r)
+      set.absorb(ClusterSet::leaf(cp * 4 + r,
+                                  sig(static_cast<std::uint64_t>(cp + 1),
+                                      static_cast<std::uint64_t>(r))));
+  const std::size_t total = set.shrink(3, SelectPolicy::kFarthest);
+  EXPECT_EQ(set.num_callpaths(), 5u);
+  EXPECT_EQ(total, 5u);  // one lead per call path
+  EXPECT_EQ(set.total_members(), 20u);
+}
+
+TEST(ClusterSet, ShrinkSplitsBudgetAcrossCallpaths) {
+  // 2 call paths, budget 9 -> up to 4 clusters each (9/2 = 4).
+  ClusterSet set;
+  for (int r = 0; r < 10; ++r)
+    set.absorb(ClusterSet::leaf(r, sig(1, static_cast<std::uint64_t>(r * 50))));
+  for (int r = 10; r < 20; ++r)
+    set.absorb(ClusterSet::leaf(r, sig(2, static_cast<std::uint64_t>(r * 50))));
+  set.shrink(9, SelectPolicy::kFarthest);
+  for (const auto& [callpath, entries] : set.groups()) {
+    EXPECT_LE(entries.size(), 4u);
+    EXPECT_GE(entries.size(), 1u);
+  }
+  EXPECT_EQ(set.total_members(), 20u);
+}
+
+TEST(ClusterSet, LeadsSortedUnique) {
+  ClusterSet set;
+  set.absorb(ClusterSet::leaf(9, sig(1, 0)));
+  set.absorb(ClusterSet::leaf(3, sig(2, 0)));
+  set.absorb(ClusterSet::leaf(7, sig(1, 1000)));
+  const auto leads = set.leads();
+  const std::vector<sim::Rank> expected = {3, 7, 9};
+  EXPECT_EQ(leads, expected);
+}
+
+TEST(ClusterSet, EncodeDecodeRoundTrip) {
+  ClusterSet set;
+  for (int r = 0; r < 12; ++r)
+    set.absorb(ClusterSet::leaf(
+        r, sig(static_cast<std::uint64_t>(r % 3), static_cast<std::uint64_t>(r * 11),
+               static_cast<std::uint64_t>(r * 7))));
+  set.shrink(6, SelectPolicy::kFarthest);
+  const auto bytes = set.encode();
+  const ClusterSet decoded = ClusterSet::decode(bytes);
+  EXPECT_EQ(decoded, set);
+}
+
+TEST(ClusterSet, HierarchicalMergeMatchesFlatClustering) {
+  // Tree-merging leaf sets (with intermediate shrinks) must still cover all
+  // ranks and respect the budget at the root — the invariant Algorithm 3
+  // depends on regardless of merge order.
+  const int p = 32;
+  const std::size_t k = 4;
+  std::vector<ClusterSet> level;
+  for (int r = 0; r < p; ++r)
+    level.push_back(ClusterSet::leaf(
+        r, sig(0x1, static_cast<std::uint64_t>((r % 4) * 1000 + r))));
+  while (level.size() > 1) {
+    std::vector<ClusterSet> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      ClusterSet merged = std::move(level[i]);
+      merged.absorb(level[i + 1]);
+      merged.shrink(k, SelectPolicy::kFarthest);
+      next.push_back(std::move(merged));
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  const ClusterSet& root = level[0];
+  EXPECT_LE(root.total_clusters(), k);
+  EXPECT_EQ(root.total_members(), static_cast<std::size_t>(p));
+  EXPECT_EQ(root.leads().size(), root.total_clusters());
+}
+
+TEST(ClusterSet, GarbageDecodeRejected) {
+  std::vector<std::uint8_t> garbage = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_THROW(ClusterSet::decode(garbage), trace::DecodeError);
+}
+
+}  // namespace
+}  // namespace cham::cluster

@@ -1,0 +1,116 @@
+#include "cluster/select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace cham::cluster {
+namespace {
+
+RankSignature sig(std::uint64_t src, std::uint64_t dest = 0) {
+  return RankSignature{0x1, src, dest};
+}
+
+class SelectPolicies : public ::testing::TestWithParam<SelectPolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SelectPolicies,
+                         ::testing::Values(SelectPolicy::kFarthest,
+                                           SelectPolicy::kMedoid,
+                                           SelectPolicy::kRandom),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SelectPolicy::kFarthest: return "Farthest";
+                             case SelectPolicy::kMedoid: return "Medoid";
+                             case SelectPolicy::kRandom: return "Random";
+                           }
+                           return "?";
+                         });
+
+TEST_P(SelectPolicies, ReturnsExactlyKDistinctIndices) {
+  std::vector<RankSignature> points;
+  for (int i = 0; i < 20; ++i) points.push_back(sig(static_cast<std::uint64_t>(i * 7)));
+  for (std::size_t k : {1u, 2u, 5u, 19u}) {
+    const auto picked = find_top_k(points, k, GetParam(), 42);
+    EXPECT_EQ(picked.size(), k);
+    std::set<std::size_t> unique(picked.begin(), picked.end());
+    EXPECT_EQ(unique.size(), k);
+    for (std::size_t idx : picked) EXPECT_LT(idx, points.size());
+  }
+}
+
+TEST_P(SelectPolicies, KAtLeastNReturnsEveryone) {
+  std::vector<RankSignature> points = {sig(1), sig(2), sig(3)};
+  const auto picked = find_top_k(points, 10, GetParam(), 1);
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST_P(SelectPolicies, DeterministicAcrossCalls) {
+  std::vector<RankSignature> points;
+  for (int i = 0; i < 30; ++i)
+    points.push_back(sig(static_cast<std::uint64_t>(i * i), static_cast<std::uint64_t>(i)));
+  const auto a = find_top_k(points, 5, GetParam(), 7);
+  const auto b = find_top_k(points, 5, GetParam(), 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(KFarthest, SpreadsAcrossWellSeparatedGroups) {
+  // Three tight groups far apart: k=3 must pick one from each.
+  std::vector<RankSignature> points;
+  for (std::uint64_t base : {0ull, 1000000ull, 2000000ull}) {
+    for (int i = 0; i < 5; ++i) points.push_back(sig(base + static_cast<std::uint64_t>(i)));
+  }
+  const auto picked = find_top_k(points, 3, SelectPolicy::kFarthest);
+  std::set<std::uint64_t> groups;
+  for (std::size_t idx : picked) groups.insert(points[idx].src / 1000000);
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(KMedoid, PicksCentersOfTightGroups) {
+  // Two groups; the medoid of each is its middle point.
+  std::vector<RankSignature> points = {
+      sig(10), sig(11), sig(12),          // group A, center idx 1
+      sig(1000), sig(1001), sig(1002)};   // group B, center idx 4
+  const auto picked = find_top_k(points, 2, SelectPolicy::kMedoid);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0], 1u);
+  EXPECT_EQ(picked[1], 4u);
+}
+
+TEST(KRandom, SeedChangesSelection) {
+  std::vector<RankSignature> points;
+  for (int i = 0; i < 50; ++i) points.push_back(sig(static_cast<std::uint64_t>(i)));
+  const auto a = find_top_k(points, 5, SelectPolicy::kRandom, 1);
+  const auto b = find_top_k(points, 5, SelectPolicy::kRandom, 2);
+  EXPECT_NE(a, b);  // overwhelmingly likely with 50 choose 5
+}
+
+TEST(NearestPick, FindsClosest) {
+  std::vector<RankSignature> points = {sig(0), sig(100), sig(200)};
+  const std::vector<std::size_t> picked = {0, 2};
+  EXPECT_EQ(nearest_pick(points, picked, sig(30)), 0u);
+  EXPECT_EQ(nearest_pick(points, picked, sig(180)), 1u);
+}
+
+TEST(FindTopK, SinglePointSingleK) {
+  std::vector<RankSignature> points = {sig(5)};
+  const auto picked = find_top_k(points, 1, SelectPolicy::kFarthest);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], 0u);
+}
+
+TEST(FindTopK, IdenticalPointsStillPickK) {
+  std::vector<RankSignature> points(10, sig(7));
+  const auto picked = find_top_k(points, 3, SelectPolicy::kFarthest);
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(PolicyName, AllNamed) {
+  EXPECT_STREQ(policy_name(SelectPolicy::kFarthest), "k-farthest");
+  EXPECT_STREQ(policy_name(SelectPolicy::kMedoid), "k-medoid");
+  EXPECT_STREQ(policy_name(SelectPolicy::kRandom), "k-random");
+}
+
+}  // namespace
+}  // namespace cham::cluster

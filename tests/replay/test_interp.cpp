@@ -1,0 +1,87 @@
+#include "replay/interp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cham::replay {
+namespace {
+
+trace::EventRecord ev(std::uint64_t stack, std::vector<sim::Rank> ranks) {
+  trace::EventRecord record;
+  record.op = sim::Op::kBarrier;
+  record.stack_sig = stack;
+  record.ranks = trace::RankList::from_ranks(std::move(ranks));
+  return record;
+}
+
+TEST(EventCursor, FlatSequence) {
+  std::vector<trace::TraceNode> trace = {
+      trace::TraceNode::leaf(ev(1, {0, 1})),
+      trace::TraceNode::leaf(ev(2, {0})),
+      trace::TraceNode::leaf(ev(3, {0, 1}))};
+  EventCursor c0(trace, 0);
+  std::vector<std::uint64_t> seen;
+  while (!c0.done()) {
+    seen.push_back(c0.current()->stack_sig);
+    c0.next();
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));
+
+  EventCursor c1(trace, 1);
+  seen.clear();
+  while (!c1.done()) {
+    seen.push_back(c1.current()->stack_sig);
+    c1.next();
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 3}));  // rank 1 skips event 2
+}
+
+TEST(EventCursor, LoopExpandsInOrder) {
+  std::vector<trace::TraceNode> trace = {trace::TraceNode::loop(
+      3, {trace::TraceNode::leaf(ev(1, {0})), trace::TraceNode::leaf(ev(2, {0}))})};
+  EventCursor cursor(trace, 0);
+  std::vector<std::uint64_t> seen;
+  while (!cursor.done()) {
+    seen.push_back(cursor.current()->stack_sig);
+    cursor.next();
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(EventCursor, NestedLoops) {
+  // loop 2 { loop 3 { A } B }
+  std::vector<trace::TraceNode> trace = {trace::TraceNode::loop(
+      2, {trace::TraceNode::loop(3, {trace::TraceNode::leaf(ev(0xA, {0}))}),
+          trace::TraceNode::leaf(ev(0xB, {0}))})};
+  EventCursor cursor(trace, 0);
+  std::vector<std::uint64_t> seen;
+  while (!cursor.done()) {
+    seen.push_back(cursor.current()->stack_sig);
+    cursor.next();
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0xA, 0xA, 0xA, 0xB, 0xA, 0xA,
+                                              0xA, 0xB}));
+  EXPECT_EQ(cursor.yielded(), 8u);
+}
+
+TEST(EventCursor, NonParticipantSeesNothing) {
+  std::vector<trace::TraceNode> trace = {
+      trace::TraceNode::loop(10, {trace::TraceNode::leaf(ev(1, {0, 1, 2}))})};
+  EventCursor cursor(trace, 7);
+  EXPECT_TRUE(cursor.done());
+  EXPECT_EQ(cursor.yielded(), 0u);
+}
+
+TEST(EventCursor, EmptyTrace) {
+  std::vector<trace::TraceNode> trace;
+  EventCursor cursor(trace, 0);
+  EXPECT_TRUE(cursor.done());
+}
+
+TEST(ExpandedPairs, CountsRanksTimesIterations) {
+  std::vector<trace::TraceNode> trace = {trace::TraceNode::loop(
+      5, {trace::TraceNode::leaf(ev(1, {0, 1, 2, 3}))})};
+  EXPECT_EQ(expanded_event_rank_pairs(trace), 20u);
+}
+
+}  // namespace
+}  // namespace cham::replay

@@ -1,0 +1,186 @@
+// End-to-end replay: trace an app, replay the trace, compare virtual times.
+#include "replay/replayer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "replay/interp.hpp"
+
+#include "core/chameleon.hpp"
+#include "sim/engine.hpp"
+#include "sim/mpi.hpp"
+#include "trace/tracer.hpp"
+
+namespace cham::replay {
+namespace {
+
+using trace::CallScope;
+using trace::CallSiteRegistry;
+using trace::site_id;
+
+/// Ring stencil with compute: the app whose time replay must reproduce.
+void stencil_app(sim::Mpi& mpi, CallSiteRegistry* stacks, int steps) {
+  const int p = mpi.size();
+  for (int step = 0; step < steps; ++step) {
+    std::optional<CallScope> scope;
+    if (stacks != nullptr)
+      scope.emplace(stacks->stack(mpi.rank()), site_id("stencil.step"));
+    const sim::Rank next = (mpi.rank() + 1) % p;
+    const sim::Rank prev = (mpi.rank() + p - 1) % p;
+    mpi.compute(0.002);
+    mpi.isend(next, 4096, 1);
+    mpi.recv(prev, 4096, 1);
+    mpi.allreduce(8);
+    mpi.marker();
+  }
+}
+
+double app_time(int p, int steps) {
+  sim::Engine engine({.nprocs = p});
+  engine.run([&](sim::Mpi& mpi) { stencil_app(mpi, nullptr, steps); });
+  return engine.max_vtime();
+}
+
+TEST(Replay, ScalaTraceTraceReproducesAppTime) {
+  const int p = 8;
+  const int steps = 20;
+  const double t_app = app_time(p, steps);
+
+  sim::Engine engine({.nprocs = p});
+  CallSiteRegistry stacks(p);
+  trace::ScalaTraceTool tool(p, &stacks);
+  engine.set_tool(&tool);
+  engine.run([&](sim::Mpi& mpi) { stencil_app(mpi, &stacks, steps); });
+
+  const ReplayResult replayed =
+      replay_trace(tool.global_trace(), {.nprocs = p});
+  EXPECT_GT(replay_accuracy(t_app, replayed.vtime), 0.9);
+}
+
+TEST(Replay, ChameleonOnlineTraceReproducesAppTime) {
+  // Observation 3: clustered traces of lead processes represent application
+  // execution time as accurately as per-node traces.
+  const int p = 16;
+  const int steps = 20;
+  const double t_app = app_time(p, steps);
+
+  sim::Engine engine({.nprocs = p});
+  CallSiteRegistry stacks(p);
+  core::ChameleonTool tool(p, &stacks, {.k = 3});
+  engine.set_tool(&tool);
+  engine.run([&](sim::Mpi& mpi) { stencil_app(mpi, &stacks, steps); });
+
+  const ReplayResult replayed =
+      replay_trace(tool.online_trace(), {.nprocs = p});
+  EXPECT_GT(replay_accuracy(t_app, replayed.vtime), 0.85);
+  EXPECT_GT(replayed.events_replayed, 0u);
+}
+
+TEST(Replay, ReplaysEveryRecordedEvent) {
+  const int p = 8;
+  const int steps = 10;
+  sim::Engine engine({.nprocs = p});
+  CallSiteRegistry stacks(p);
+  trace::ScalaTraceTool tool(p, &stacks);
+  engine.set_tool(&tool);
+  engine.run([&](sim::Mpi& mpi) { stencil_app(mpi, &stacks, steps); });
+
+  const auto expected = expanded_event_rank_pairs(tool.global_trace());
+  const ReplayResult replayed =
+      replay_trace(tool.global_trace(), {.nprocs = p});
+  EXPECT_EQ(replayed.events_replayed, expected);
+  // isend+recv per rank per step -> p*steps messages.
+  EXPECT_EQ(replayed.messages, static_cast<std::uint64_t>(p * steps));
+  // allreduce + marker per step.
+  EXPECT_EQ(replayed.collectives, static_cast<std::uint64_t>(2 * steps));
+}
+
+TEST(Replay, MasterWorkerClusterTraceReplays) {
+  // The EMF pattern: workers talk to an absolute master; the clustered
+  // trace must replay without deadlock on every rank.
+  const int p = 8;
+  const int rounds = 6;
+  auto app = [&](sim::Mpi& mpi, CallSiteRegistry* stacks) {
+    for (int round = 0; round < rounds; ++round) {
+      std::optional<CallScope> scope;
+      if (mpi.rank() == 0) {
+        if (stacks != nullptr)
+          scope.emplace(stacks->stack(0), site_id("emf.master"));
+        for (int w = 1; w < p; ++w) mpi.recv(sim::kAnySource, 256);
+        for (int w = 1; w < p; ++w)
+          mpi.send(w, 64, 0, {}, /*absolute_peer=*/false);
+      } else {
+        if (stacks != nullptr)
+          scope.emplace(stacks->stack(mpi.rank()), site_id("emf.worker"));
+        mpi.compute(0.001);
+        mpi.send(0, 256, 0, {}, /*absolute_peer=*/true);
+        mpi.recv(0, 64, 0, nullptr, /*absolute_peer=*/true);
+      }
+      mpi.marker();
+    }
+  };
+
+  sim::Engine app_engine({.nprocs = p});
+  app_engine.run([&](sim::Mpi& mpi) { app(mpi, nullptr); });
+  const double t_app = app_engine.max_vtime();
+
+  sim::Engine engine({.nprocs = p});
+  CallSiteRegistry stacks(p);
+  core::ChameleonTool tool(p, &stacks, {.k = 2});
+  engine.set_tool(&tool);
+  engine.run([&](sim::Mpi& mpi) { app(mpi, &stacks); });
+
+  EXPECT_EQ(tool.num_callpath_clusters(), 2u);
+  const ReplayResult replayed =
+      replay_trace(tool.online_trace(), {.nprocs = p});
+  EXPECT_GT(replay_accuracy(t_app, replayed.vtime), 0.7);
+}
+
+TEST(Replay, LoadImbalanceSurvivesHistogramAveraging) {
+  // Sweep3D-style imbalance: rank-dependent compute times. The histogram
+  // representative flattens the distribution but the replay must stay in
+  // the right ballpark (the paper reports 98% for S3D).
+  const int p = 8;
+  const int steps = 16;
+  auto app = [&](sim::Mpi& mpi, CallSiteRegistry* stacks) {
+    for (int step = 0; step < steps; ++step) {
+      std::optional<CallScope> scope;
+      if (stacks != nullptr)
+        scope.emplace(stacks->stack(mpi.rank()), site_id("imbalanced"));
+      mpi.compute(0.001 * (1 + mpi.rank() % 3));
+      mpi.barrier();
+      mpi.marker();
+    }
+  };
+  sim::Engine app_engine({.nprocs = p});
+  app_engine.run([&](sim::Mpi& mpi) { app(mpi, nullptr); });
+  const double t_app = app_engine.max_vtime();
+
+  sim::Engine engine({.nprocs = p});
+  CallSiteRegistry stacks(p);
+  core::ChameleonTool tool(p, &stacks, {.k = 3});
+  engine.set_tool(&tool);
+  engine.run([&](sim::Mpi& mpi) { app(mpi, &stacks); });
+
+  const ReplayResult replayed =
+      replay_trace(tool.online_trace(), {.nprocs = p});
+  EXPECT_GT(replay_accuracy(t_app, replayed.vtime), 0.6);
+}
+
+TEST(ReplayAccuracy, Formula) {
+  EXPECT_DOUBLE_EQ(replay_accuracy(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(replay_accuracy(10.0, 9.0), 0.9);
+  EXPECT_DOUBLE_EQ(replay_accuracy(10.0, 11.0), 0.9);
+  EXPECT_DOUBLE_EQ(replay_accuracy(10.0, 25.0), 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(replay_accuracy(0.0, 1.0), 0.0);
+}
+
+TEST(Replay, EmptyTraceIsTrivial) {
+  const ReplayResult r = replay_trace({}, {.nprocs = 4});
+  EXPECT_EQ(r.events_replayed, 0u);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+}  // namespace
+}  // namespace cham::replay

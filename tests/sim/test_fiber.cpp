@@ -1,0 +1,132 @@
+#include "sim/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cham::sim {
+namespace {
+
+TEST(Fiber, RunsAllToCompletion) {
+  FiberScheduler sched;
+  std::vector<int> done;
+  for (int i = 0; i < 5; ++i)
+    sched.spawn([&done, i] { done.push_back(i); }, 64 * 1024);
+  sched.run();
+  EXPECT_EQ(done.size(), 5u);
+  EXPECT_EQ(sched.finished_count(), 5u);
+}
+
+TEST(Fiber, RoundRobinIsDeterministicFifo) {
+  FiberScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sched.spawn(
+        [&sched, &order, i] {
+          order.push_back(i);
+          sched.yield();
+          order.push_back(i + 10);
+        },
+        64 * 1024);
+  }
+  sched.run();
+  const std::vector<int> expected = {0, 1, 2, 10, 11, 12};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Fiber, BlockUnblockHandshake) {
+  FiberScheduler sched;
+  std::vector<std::string> events;
+  // Fiber 0 blocks; fiber 1 unblocks it.
+  sched.spawn(
+      [&] {
+        events.push_back("a-before");
+        sched.block("waiting for b");
+        events.push_back("a-after");
+      },
+      64 * 1024);
+  sched.spawn(
+      [&] {
+        events.push_back("b");
+        sched.unblock(0);
+      },
+      64 * 1024);
+  sched.run();
+  const std::vector<std::string> expected = {"a-before", "b", "a-after"};
+  EXPECT_EQ(events, expected);
+}
+
+TEST(Fiber, UnblockOfReadyFiberIsNoop) {
+  FiberScheduler sched;
+  sched.spawn([&sched] { sched.unblock(1); }, 64 * 1024);
+  sched.spawn([] {}, 64 * 1024);
+  EXPECT_NO_THROW(sched.run());
+}
+
+TEST(Fiber, DeadlockDetected) {
+  FiberScheduler sched;
+  sched.spawn([&sched] { sched.block("forever"); }, 64 * 1024);
+  EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+TEST(Fiber, DeadlockReportNamesBlockedFiber) {
+  FiberScheduler sched;
+  sched.spawn([&sched] { sched.block("waiting for godot"); }, 64 * 1024);
+  try {
+    sched.run();
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("waiting for godot"),
+              std::string::npos);
+  }
+}
+
+TEST(Fiber, ExceptionPropagatesToRun) {
+  FiberScheduler sched;
+  sched.spawn([] { throw std::logic_error("boom"); }, 64 * 1024);
+  sched.spawn([] {}, 64 * 1024);
+  EXPECT_THROW(sched.run(), std::logic_error);
+}
+
+TEST(Fiber, CurrentIdInsideFiber) {
+  FiberScheduler sched;
+  std::vector<int> ids;
+  for (int i = 0; i < 4; ++i)
+    sched.spawn([&] { ids.push_back(sched.current()); }, 64 * 1024);
+  sched.run();
+  const std::vector<int> expected = {0, 1, 2, 3};
+  EXPECT_EQ(ids, expected);
+  EXPECT_EQ(sched.current(), -1);
+}
+
+TEST(Fiber, ManyFibersScale) {
+  FiberScheduler sched;
+  int counter = 0;
+  const int n = 1024;
+  for (int i = 0; i < n; ++i)
+    sched.spawn(
+        [&sched, &counter] {
+          ++counter;
+          sched.yield();
+          ++counter;
+        },
+        64 * 1024);
+  sched.run();
+  EXPECT_EQ(counter, 2 * n);
+  EXPECT_GE(sched.switch_count(), static_cast<std::uint64_t>(2 * n));
+}
+
+TEST(Fiber, NestedSpawnRejected) {
+  FiberScheduler sched;
+  sched.spawn(
+      [&sched] {
+        EXPECT_ANY_THROW(sched.spawn([] {}, 64 * 1024));
+      },
+      64 * 1024);
+  sched.run();
+}
+
+}  // namespace
+}  // namespace cham::sim

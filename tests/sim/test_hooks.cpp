@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/mpi.hpp"
+#include "sim/tool.hpp"
+
+namespace cham::sim {
+namespace {
+
+/// Records every hook invocation.
+class RecordingTool : public Tool {
+ public:
+  struct Entry {
+    Rank rank;
+    Op op;
+    bool pre;
+    bool marker;
+  };
+
+  void on_init(Rank rank, Pmpi&) override { init_ranks.push_back(rank); }
+  void on_pre(Rank rank, const CallInfo& info, Pmpi&) override {
+    entries.push_back({rank, info.op, true, info.is_marker});
+  }
+  void on_post(Rank rank, const CallInfo& info, Pmpi&) override {
+    entries.push_back({rank, info.op, false, info.is_marker});
+  }
+
+  std::vector<Rank> init_ranks;
+  std::vector<Entry> entries;
+
+  [[nodiscard]] std::size_t count(Op op, bool pre) const {
+    std::size_t n = 0;
+    for (const auto& e : entries)
+      if (e.op == op && e.pre == pre) ++n;
+    return n;
+  }
+};
+
+TEST(Hooks, InitAndFinalizeFirePerRank) {
+  Engine engine({.nprocs = 3});
+  RecordingTool tool;
+  engine.set_tool(&tool);
+  engine.run([](Mpi&) {});
+  EXPECT_EQ(tool.init_ranks.size(), 3u);
+  EXPECT_EQ(tool.count(Op::kInit, true), 3u);
+  EXPECT_EQ(tool.count(Op::kInit, false), 3u);
+  EXPECT_EQ(tool.count(Op::kFinalize, true), 3u);
+  EXPECT_EQ(tool.count(Op::kFinalize, false), 3u);
+}
+
+TEST(Hooks, PreAndPostWrapEveryTracedCall) {
+  Engine engine({.nprocs = 2});
+  RecordingTool tool;
+  engine.set_tool(&tool);
+  engine.run([](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(1, 16);
+    } else {
+      mpi.recv(0, 16);
+    }
+    mpi.barrier();
+  });
+  EXPECT_EQ(tool.count(Op::kSend, true), 1u);
+  EXPECT_EQ(tool.count(Op::kSend, false), 1u);
+  EXPECT_EQ(tool.count(Op::kRecv, true), 1u);
+  EXPECT_EQ(tool.count(Op::kRecv, false), 1u);
+  EXPECT_EQ(tool.count(Op::kBarrier, true), 2u);
+  EXPECT_EQ(tool.count(Op::kBarrier, false), 2u);
+}
+
+TEST(Hooks, MarkerFlagVisibleOnlyOnMarkerBarrier) {
+  Engine engine({.nprocs = 2});
+  RecordingTool tool;
+  engine.set_tool(&tool);
+  engine.run([](Mpi& mpi) {
+    mpi.barrier();
+    mpi.marker();
+  });
+  std::size_t marked = 0, unmarked = 0;
+  for (const auto& e : tool.entries) {
+    if (e.op != Op::kBarrier) continue;
+    (e.marker ? marked : unmarked) += 1;
+  }
+  EXPECT_EQ(marked, 4u);    // pre+post on both ranks
+  EXPECT_EQ(unmarked, 4u);
+}
+
+TEST(Hooks, ToolTrafficInvisibleToHooks) {
+  // A tool that performs Pmpi communication inside hooks must not trigger
+  // further hooks (the PMPI recursion guard the paper's design relies on).
+  class ChattyTool : public Tool {
+   public:
+    void on_post(Rank /*rank*/, const CallInfo& info, Pmpi& pmpi) override {
+      ++posts;
+      if (info.op != Op::kBarrier) return;
+      // A vote like Algorithm 1's Reduce+Bcast.
+      const std::uint64_t sum = pmpi.reduce_u64(1, ReduceOp::kSum, 0);
+      const std::uint64_t all = pmpi.bcast_u64(sum, 0);
+      if (pmpi.rank() == 0) {
+        EXPECT_EQ(all, static_cast<std::uint64_t>(pmpi.size()));
+      }
+    }
+    int posts = 0;
+  };
+  Engine engine({.nprocs = 4});
+  ChattyTool tool;
+  engine.set_tool(&tool);
+  engine.run([](Mpi& mpi) { mpi.barrier(); });
+  // init + barrier + finalize per rank, nothing from the tool's own traffic.
+  EXPECT_EQ(tool.posts, 3 * 4);
+}
+
+TEST(Hooks, WildcardRecvReportsMatchedPeerInPost) {
+  class PeerTool : public Tool {
+   public:
+    void on_post(Rank, const CallInfo& info, Pmpi&) override {
+      if (info.op == Op::kRecv) matched = info.matched_peer;
+    }
+    Rank matched = -42;
+  };
+  Engine engine({.nprocs = 2});
+  PeerTool tool;
+  engine.set_tool(&tool);
+  engine.run([](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.recv(kAnySource, 8);
+    } else {
+      mpi.send(0, 8);
+    }
+  });
+  EXPECT_EQ(tool.matched, 1);
+}
+
+TEST(Hooks, NoToolMeansNoDispatchAndNoCrash) {
+  Engine engine({.nprocs = 2});
+  EXPECT_NO_THROW(engine.run([](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(1, 4);
+    } else {
+      mpi.recv(0, 4);
+    }
+  }));
+}
+
+}  // namespace
+}  // namespace cham::sim

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/mpi.hpp"
+
+namespace cham::sim {
+namespace {
+
+std::vector<std::uint8_t> blob(std::initializer_list<std::uint8_t> b) {
+  return std::vector<std::uint8_t>(b);
+}
+
+TEST(P2P, BlockingSendRecvDeliversPayload) {
+  Engine engine({.nprocs = 2});
+  std::vector<std::uint8_t> got;
+  engine.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(1, 8, /*tag=*/7, blob({1, 2, 3}));
+    } else {
+      RecvStatus st = mpi.recv(0, 8, 7, &got);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+    }
+  });
+  EXPECT_EQ(got, blob({1, 2, 3}));
+}
+
+TEST(P2P, RecvBeforeSend) {
+  // Receiver posts first and blocks; sender arrives later.
+  Engine engine({.nprocs = 2});
+  bool received = false;
+  engine.run([&](Mpi& mpi) {
+    if (mpi.rank() == 1) {
+      mpi.recv(0, 4, 3);
+      received = true;
+    } else {
+      mpi.compute(1.0);  // delay the send
+      mpi.send(1, 4, 3);
+    }
+  });
+  EXPECT_TRUE(received);
+}
+
+TEST(P2P, TagMatchingIsSelective) {
+  Engine engine({.nprocs = 2});
+  std::vector<int> arrival_order;
+  engine.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(1, 4, /*tag=*/10);
+      mpi.send(1, 4, /*tag=*/20);
+    } else {
+      // Receive in reverse tag order: matching must honor tags, not FIFO.
+      RecvStatus st1 = mpi.recv(0, 4, 20);
+      arrival_order.push_back(st1.tag);
+      RecvStatus st2 = mpi.recv(0, 4, 10);
+      arrival_order.push_back(st2.tag);
+    }
+  });
+  const std::vector<int> expected = {20, 10};
+  EXPECT_EQ(arrival_order, expected);
+}
+
+TEST(P2P, AnySourceMatchesFirstArrival) {
+  Engine engine({.nprocs = 3});
+  std::vector<Rank> sources;
+  engine.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      for (int i = 0; i < 2; ++i) {
+        RecvStatus st = mpi.recv(kAnySource, 4, kAnyTag);
+        sources.push_back(st.source);
+      }
+    } else {
+      mpi.send(0, 4, mpi.rank());
+    }
+  });
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_NE(sources[0], sources[1]);
+}
+
+TEST(P2P, FifoOrderPreservedPerSenderAndTag) {
+  Engine engine({.nprocs = 2});
+  std::vector<std::uint8_t> order;
+  engine.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      for (std::uint8_t i = 0; i < 5; ++i) mpi.send(1, 1, 0, {i});
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        std::vector<std::uint8_t> payload;
+        mpi.recv(0, 1, 0, &payload);
+        ASSERT_EQ(payload.size(), 1u);
+        order.push_back(payload[0]);
+      }
+    }
+  });
+  const std::vector<std::uint8_t> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(P2P, NonblockingExchangeCompletes) {
+  // Classic halo exchange: both ranks Irecv, Isend, Waitall.
+  Engine engine({.nprocs = 2});
+  engine.run([&](Mpi& mpi) {
+    const Rank peer = 1 - mpi.rank();
+    std::vector<Request> reqs;
+    reqs.push_back(mpi.irecv(peer, 64, 5));
+    reqs.push_back(mpi.isend(peer, 64, 5));
+    mpi.waitall(reqs);
+  });
+  EXPECT_EQ(engine.messages_sent(), 2u);
+}
+
+TEST(P2P, WaitReturnsMatchedSource) {
+  Engine engine({.nprocs = 2});
+  Rank matched = -99;
+  engine.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      Request r = mpi.irecv(kAnySource, 4);
+      RecvStatus st = mpi.wait(r);
+      matched = st.source;
+    } else {
+      mpi.send(0, 4);
+    }
+  });
+  EXPECT_EQ(matched, 1);
+}
+
+TEST(P2P, UnmatchedRecvDeadlocks) {
+  Engine engine({.nprocs = 2});
+  EXPECT_THROW(engine.run([](Mpi& mpi) {
+    if (mpi.rank() == 0) mpi.recv(1, 4, 99);  // nobody sends tag 99
+  }),
+               std::runtime_error);
+}
+
+TEST(P2P, SendToInvalidRankRejected) {
+  Engine engine({.nprocs = 2});
+  EXPECT_ANY_THROW(engine.run([](Mpi& mpi) {
+    if (mpi.rank() == 0) mpi.send(5, 4);
+  }));
+}
+
+TEST(P2P, ByteAccountingTracksDeclaredSizes) {
+  Engine engine({.nprocs = 2});
+  engine.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(1, 1000);
+      mpi.send(1, 24);
+    } else {
+      mpi.recv(0, 1000);
+      mpi.recv(0, 24);
+    }
+  });
+  EXPECT_EQ(engine.messages_sent(), 2u);
+  EXPECT_EQ(engine.bytes_sent(), 1024u);
+}
+
+TEST(P2P, RingPassesTokenAroundManyRanks) {
+  const int p = 64;
+  Engine engine({.nprocs = p});
+  int hops = 0;
+  engine.run([&](Mpi& mpi) {
+    const Rank next = (mpi.rank() + 1) % p;
+    const Rank prev = (mpi.rank() + p - 1) % p;
+    if (mpi.rank() == 0) {
+      mpi.send(next, 8);
+      mpi.recv(prev, 8);
+      ++hops;
+    } else {
+      mpi.recv(prev, 8);
+      ++hops;
+      mpi.send(next, 8);
+    }
+  });
+  EXPECT_EQ(hops, p);
+  EXPECT_EQ(engine.messages_sent(), static_cast<std::uint64_t>(p));
+}
+
+TEST(P2P, ToolAndWorldTrafficDoNotMix) {
+  // A tool-comm message must not satisfy a world-comm receive.
+  Engine engine({.nprocs = 2});
+  int world_payload = -1;
+  engine.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.pmpi().send_bytes(1, 0, {9});  // tool comm
+      mpi.send(1, 1, 0, {42});           // world comm
+    } else {
+      std::vector<std::uint8_t> payload;
+      mpi.recv(0, 1, 0, &payload);  // world recv sees only the world message
+      ASSERT_EQ(payload.size(), 1u);
+      world_payload = payload[0];
+      auto tool_payload = mpi.pmpi().recv_bytes(0, 0);
+      ASSERT_EQ(tool_payload.size(), 1u);
+      EXPECT_EQ(tool_payload[0], 9);
+    }
+  });
+  EXPECT_EQ(world_payload, 42);
+}
+
+}  // namespace
+}  // namespace cham::sim

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/engine.hpp"
+#include "sim/mpi.hpp"
+#include "sim/netmodel.hpp"
+
+namespace cham::sim {
+namespace {
+
+TEST(NetModel, Log2Ceil) {
+  EXPECT_EQ(NetModel::log2_ceil(1), 0);
+  EXPECT_EQ(NetModel::log2_ceil(2), 1);
+  EXPECT_EQ(NetModel::log2_ceil(3), 2);
+  EXPECT_EQ(NetModel::log2_ceil(4), 2);
+  EXPECT_EQ(NetModel::log2_ceil(1024), 10);
+  EXPECT_EQ(NetModel::log2_ceil(1025), 11);
+}
+
+TEST(NetModel, TransferScalesWithBytes) {
+  NetModel net;
+  EXPECT_GT(net.p2p_transfer(1 << 20), net.p2p_transfer(64));
+  EXPECT_GE(net.p2p_transfer(0), net.latency);
+}
+
+TEST(NetModel, CollectiveScalesLogarithmically) {
+  NetModel net;
+  const double c16 = net.collective(16, 8);
+  const double c1024 = net.collective(1024, 8);
+  EXPECT_NEAR(c1024 / c16, 10.0 / 4.0, 1e-9);
+}
+
+TEST(VTime, ComputeAdvancesOnlyOwnClock) {
+  // Sample clocks inside rank_main: MPI_Finalize synchronizes them at exit.
+  Engine engine({.nprocs = 2});
+  std::array<double, 2> mid{};
+  engine.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) mpi.compute(5.0);
+    mid[static_cast<std::size_t>(mpi.rank())] = mpi.vtime();
+  });
+  EXPECT_GT(mid[0], 4.9);
+  EXPECT_LT(mid[1], 0.1);
+  EXPECT_GE(engine.max_vtime(), 5.0);
+  // Finalize is collective: final clocks agree.
+  EXPECT_DOUBLE_EQ(engine.vtime(0), engine.vtime(1));
+}
+
+TEST(VTime, RecvWaitsForMessageArrival) {
+  // Receiver posts immediately; sender computes 2s first. Receiver's clock
+  // must jump past 2s + transfer.
+  Engine engine({.nprocs = 2});
+  engine.run([](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.compute(2.0);
+      mpi.send(1, 100);
+    } else {
+      mpi.recv(0, 100);
+    }
+  });
+  EXPECT_GT(engine.vtime(1), 2.0);
+}
+
+TEST(VTime, LateRecvNotDelayedByEarlySend) {
+  // Sender sends at t=0; receiver computes 3s then receives: message already
+  // arrived, so the receive costs only the receive overhead.
+  Engine engine({.nprocs = 2});
+  engine.run([](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(1, 8);
+    } else {
+      mpi.compute(3.0);
+      mpi.recv(0, 8);
+    }
+  });
+  EXPECT_LT(engine.vtime(1), 3.001);
+  EXPECT_GT(engine.vtime(1), 3.0);
+}
+
+TEST(VTime, NegativeComputeRejected) {
+  Engine engine({.nprocs = 1});
+  EXPECT_ANY_THROW(engine.run([](Mpi& mpi) { mpi.compute(-1.0); }));
+}
+
+TEST(VTime, BigTransfersDominateLatency) {
+  Engine engine({.nprocs = 2});
+  engine.run([](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(1, 1 << 30);  // 1 GiB at ~3.2 GB/s ≈ 0.33 s
+    } else {
+      mpi.recv(0, 1 << 30);
+    }
+  });
+  EXPECT_GT(engine.vtime(1), 0.2);
+  EXPECT_LT(engine.vtime(1), 0.5);
+}
+
+TEST(VTime, PipelineAccumulatesLatency) {
+  // A chain 0 -> 1 -> 2 -> 3: rank 3 finishes after three hops; rank 0 is
+  // long done by then (sampled before the synchronizing finalize).
+  Engine engine({.nprocs = 4});
+  std::array<double, 4> mid{};
+  engine.run([&](Mpi& mpi) {
+    const int r = mpi.rank();
+    if (r > 0) mpi.recv(r - 1, 8);
+    mpi.compute(1.0);
+    if (r < 3) mpi.send(r + 1, 8);
+    mid[static_cast<std::size_t>(r)] = mpi.vtime();
+  });
+  EXPECT_GT(mid[3], 4.0);  // 4 compute stages serialized
+  EXPECT_LT(mid[0], 1.1);
+  EXPECT_GT(engine.vtime(0), 4.0);  // finalize drags everyone to the max
+}
+
+}  // namespace
+}  // namespace cham::sim

@@ -1,0 +1,67 @@
+#include "support/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cham::support {
+namespace {
+
+TEST(Hash, Fnv1aMatchesKnownVectors) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(fnv1a64(std::string_view{""}), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64(std::string_view{"a"}), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64(std::string_view{"foobar"}), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, FnvBytesAgreesWithStringView) {
+  const std::string s = "chameleon";
+  EXPECT_EQ(fnv1a64(s.data(), s.size()), fnv1a64(std::string_view{s}));
+}
+
+TEST(Hash, Mix64IsBijectiveOnSamples) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Hash, Mix64AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int samples = 256;
+  for (int i = 0; i < samples; ++i) {
+    const auto a = mix64(static_cast<std::uint64_t>(i));
+    const auto b = mix64(static_cast<std::uint64_t>(i) ^ 1u);
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total_flips) / samples;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Hash, CombineChainsDistinctly) {
+  // Hashing sequences [1,2,3] vs [1,3,2] vs [1,2] must all differ.
+  auto chain = [](const std::vector<std::uint64_t>& xs) {
+    std::uint64_t h = 0;
+    for (auto x : xs) h = hash_combine(h, x);
+    return h;
+  };
+  EXPECT_NE(chain({1, 2, 3}), chain({1, 3, 2}));
+  EXPECT_NE(chain({1, 2, 3}), chain({1, 2}));
+  EXPECT_NE(chain({1, 2}), chain({2, 1}));
+}
+
+TEST(Hash, ConstexprUsable) {
+  constexpr auto h = fnv1a64(std::string_view{"compile-time"});
+  static_assert(h != 0);
+  EXPECT_NE(h, 0u);
+}
+
+}  // namespace
+}  // namespace cham::support

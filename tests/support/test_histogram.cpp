@@ -1,0 +1,104 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace cham::support {
+namespace {
+
+TEST(Histogram, EmptyState) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.add(3.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.5);
+  EXPECT_DOUBLE_EQ(h.max(), 3.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+}
+
+TEST(Histogram, TracksRangeAndMean) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, CountConservedAcrossRebins) {
+  Histogram h;
+  Rng rng(5);
+  // Values arriving in a widening pattern force repeated rebinning.
+  for (int i = 0; i < 1000; ++i) {
+    h.add(rng.next_double() * static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  std::uint64_t binned = 0;
+  for (int i = 0; i < Histogram::kBins; ++i) binned += h.bin(i);
+  EXPECT_EQ(binned, 1000u);
+}
+
+TEST(Histogram, MergeConservesCountAndSum) {
+  Histogram a, b;
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) a.add(rng.next_double());
+  for (int i = 0; i < 500; ++i) b.add(10.0 + rng.next_double());
+  const double sum = a.total() + b.total();
+  a.merge(b);
+  EXPECT_EQ(a.count(), 800u);
+  EXPECT_NEAR(a.total(), sum, 1e-9);
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+  std::uint64_t binned = 0;
+  for (int i = 0; i < Histogram::kBins; ++i) binned += a.bin(i);
+  EXPECT_EQ(binned, 800u);
+}
+
+TEST(Histogram, MergeWithEmpty) {
+  Histogram a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  Histogram c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.0);
+}
+
+TEST(Histogram, EqualityOnIdenticalStreams) {
+  Histogram a, b;
+  for (double v : {0.1, 0.2, 0.9, 0.4}) {
+    a.add(v);
+    b.add(v);
+  }
+  EXPECT_TRUE(a == b);
+  b.add(0.5);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Histogram, RepresentativeIsMean) {
+  Histogram h;
+  h.add(2.0);
+  h.add(4.0);
+  EXPECT_DOUBLE_EQ(h.representative(), 3.0);
+}
+
+TEST(Histogram, ConstantStreamLandsInOneBin) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.add(7.0);
+  int nonzero = 0;
+  for (int i = 0; i < Histogram::kBins; ++i)
+    if (h.bin(i) > 0) ++nonzero;
+  EXPECT_EQ(nonzero, 1);
+}
+
+}  // namespace
+}  // namespace cham::support

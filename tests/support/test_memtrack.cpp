@@ -1,0 +1,54 @@
+#include "support/memtrack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cham::support {
+namespace {
+
+TEST(MemTracker, ChargesAndRefunds) {
+  MemTracker t;
+  t.charge(100);
+  EXPECT_EQ(t.current(), 100);
+  EXPECT_EQ(t.peak(), 100);
+  t.charge(-40);
+  EXPECT_EQ(t.current(), 60);
+  EXPECT_EQ(t.peak(), 100);
+  EXPECT_EQ(t.allocated_total(), 100u);
+}
+
+TEST(MemTracker, PeakFollowsHighWater) {
+  MemTracker t;
+  t.charge(10);
+  t.charge(-10);
+  t.charge(50);
+  EXPECT_EQ(t.peak(), 50);
+  EXPECT_EQ(t.allocated_total(), 60u);
+}
+
+TEST(MemTracker, ScopedChargeRefundsOnExit) {
+  MemTracker t;
+  {
+    ScopedCharge guard(t, 64);
+    EXPECT_EQ(t.current(), 64);
+  }
+  EXPECT_EQ(t.current(), 0);
+  EXPECT_EQ(t.peak(), 64);
+}
+
+TEST(MemTracker, ResetClearsEverything) {
+  MemTracker t;
+  t.charge(10);
+  t.reset();
+  EXPECT_EQ(t.current(), 0);
+  EXPECT_EQ(t.peak(), 0);
+  EXPECT_EQ(t.allocated_total(), 0u);
+}
+
+TEST(FormatBytes, HumanReadable) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+}  // namespace
+}  // namespace cham::support

@@ -1,0 +1,62 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cham::support {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsSafe) {
+  Rng r(0);
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 100; ++i) vals.insert(r.next_u64());
+  EXPECT_GT(vals.size(), 95u);  // not stuck at a fixed point
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundReturnsZero) {
+  Rng r(7);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // roughly uniform
+}
+
+}  // namespace
+}  // namespace cham::support

@@ -1,0 +1,110 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace cham::support {
+namespace {
+
+TEST(RunningMean, ExactForConstantStream) {
+  RunningMean m;
+  for (int i = 0; i < 1000; ++i) m.add(42);
+  EXPECT_EQ(m.mean(), 42u);
+  EXPECT_EQ(m.count(), 1000u);
+}
+
+TEST(RunningMean, NoOverflowNearU64Max) {
+  // This is the paper's motivating case: summing would overflow, the
+  // estimation function must not.
+  RunningMean m;
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max() - 5;
+  for (int i = 0; i < 100; ++i) m.add(big);
+  EXPECT_EQ(m.mean(), big);
+}
+
+TEST(RunningMean, ApproximatesTrueMean) {
+  RunningMean m;
+  Rng rng(9);
+  unsigned __int128 sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.next_below(1000000);
+    sum += v;
+    m.add(v);
+  }
+  const auto true_mean = static_cast<std::uint64_t>(sum / n);
+  const std::uint64_t diff =
+      m.mean() > true_mean ? m.mean() - true_mean : true_mean - m.mean();
+  EXPECT_LE(diff, 2u);  // integer estimation drift stays tiny
+}
+
+TEST(RunningMean, MergeMatchesSequential) {
+  RunningMean whole, a, b;
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.next_below(10000);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  // The estimation function trades exactness for overflow safety; drift on
+  // merge stays within a handful of units for ~10k-scale means.
+  const std::uint64_t diff =
+      a.mean() > whole.mean() ? a.mean() - whole.mean() : whole.mean() - a.mean();
+  EXPECT_LE(diff, 16u);
+}
+
+TEST(RunningMean, MergeWithEmpty) {
+  RunningMean a, empty;
+  a.add(5);
+  a.add(7);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 6u);
+  RunningMean b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 6u);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole, a, b;
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 100.0;
+    whole.add(v);
+    (i < 300 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+}  // namespace
+}  // namespace cham::support

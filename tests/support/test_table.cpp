@@ -1,0 +1,65 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/csv.hpp"
+
+namespace cham::support {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.header({"Pgm", "K"});
+  t.row({"BT", "3"});
+  t.row({"LU", "9"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("Pgm"), std::string::npos);
+  EXPECT_NE(out.find("BT"), std::string::npos);
+  EXPECT_NE(out.find("LU"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t;
+  t.header({"a", "bbbb"});
+  t.row({"cccc", "d"});
+  const std::string out = t.render();
+  // Both lines should have the same position for the second column.
+  const auto first_line_end = out.find('\n');
+  const std::string l1 = out.substr(0, first_line_end);
+  EXPECT_EQ(l1.find("bbbb"), 6u);  // "cccc" width + 2 spaces
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<std::uint64_t>(42)), "42");
+  EXPECT_EQ(Table::percent(0.9775, 2), "97.75%");
+}
+
+TEST(Table, RaggedRowsTolerated) {
+  Table t;
+  t.header({"x", "y", "z"});
+  t.row({"1"});
+  EXPECT_NO_THROW({ auto s = t.render(); (void)s; });
+}
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter w({"prog", "p", "overhead"});
+  w.row({"BT", "1024", "1.5"});
+  EXPECT_EQ(w.content(), "prog,p,overhead\nBT,1024,1.5\n");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, PadsShortRows) {
+  CsvWriter w({"a", "b"});
+  w.row({"1"});
+  EXPECT_EQ(w.content(), "a,b\n1,\n");
+}
+
+}  // namespace
+}  // namespace cham::support

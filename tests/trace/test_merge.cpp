@@ -1,0 +1,192 @@
+#include "trace/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/rsd.hpp"
+
+namespace cham::trace {
+namespace {
+
+EventRecord ev(std::uint64_t stack, sim::Rank rank, sim::Op op = sim::Op::kSend,
+               std::int32_t off = 1) {
+  EventRecord record;
+  record.op = op;
+  record.stack_sig = stack;
+  if (op == sim::Op::kSend) record.dest = Endpoint{Endpoint::Kind::kRelative, off};
+  record.bytes = 8;
+  record.ranks = RankList::single(rank);
+  return record;
+}
+
+TEST(InterMerge, IdenticalSequencesUnionRanklists) {
+  std::vector<TraceNode> a = {TraceNode::leaf(ev(1, 0)),
+                              TraceNode::leaf(ev(2, 0, sim::Op::kRecv))};
+  std::vector<TraceNode> b = {TraceNode::leaf(ev(1, 1)),
+                              TraceNode::leaf(ev(2, 1, sim::Op::kRecv))};
+  const auto merged = inter_merge(a, b);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].event.ranks, RankList::from_ranks({0, 1}));
+  EXPECT_EQ(merged[1].event.ranks, RankList::from_ranks({0, 1}));
+}
+
+TEST(InterMerge, DisjointSequencesConcatenate) {
+  std::vector<TraceNode> a = {TraceNode::leaf(ev(1, 0))};
+  std::vector<TraceNode> b = {TraceNode::leaf(ev(99, 1))};
+  const auto merged = inter_merge(a, b);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(InterMerge, PartialOverlapSplicesInOrder) {
+  // a: X Y Z ; b: X W Z  ->  X {Y,W} Z with X and Z unioned.
+  std::vector<TraceNode> a = {TraceNode::leaf(ev(1, 0)),
+                              TraceNode::leaf(ev(2, 0)),
+                              TraceNode::leaf(ev(3, 0))};
+  std::vector<TraceNode> b = {TraceNode::leaf(ev(1, 5)),
+                              TraceNode::leaf(ev(7, 5)),
+                              TraceNode::leaf(ev(3, 5))};
+  const auto merged = inter_merge(a, b);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].event.stack_sig, 1u);
+  EXPECT_EQ(merged[0].event.ranks.count(), 2u);
+  EXPECT_EQ(merged[3].event.stack_sig, 3u);
+  EXPECT_EQ(merged[3].event.ranks.count(), 2u);
+}
+
+TEST(InterMerge, EmptySidesAreIdentity) {
+  std::vector<TraceNode> a = {TraceNode::leaf(ev(1, 0))};
+  EXPECT_EQ(inter_merge(a, {}).size(), 1u);
+  EXPECT_EQ(inter_merge({}, a).size(), 1u);
+  EXPECT_TRUE(inter_merge({}, {}).empty());
+}
+
+TEST(InterMerge, LoopsWithSameShapeMergeRecursively) {
+  auto make_loop = [](sim::Rank r) {
+    return TraceNode::loop(100, {TraceNode::leaf(ev(1, r)),
+                                 TraceNode::leaf(ev(2, r, sim::Op::kRecv))});
+  };
+  const auto merged = inter_merge({make_loop(0)}, {make_loop(3)});
+  ASSERT_EQ(merged.size(), 1u);
+  ASSERT_TRUE(merged[0].is_loop());
+  EXPECT_EQ(merged[0].body[0].event.ranks, RankList::from_ranks({0, 3}));
+}
+
+TEST(InterMerge, LoopsWithDifferentItersStaySeparate) {
+  auto loop_of = [](std::uint64_t iters, sim::Rank r) {
+    return TraceNode::loop(iters, {TraceNode::leaf(ev(1, r))});
+  };
+  const auto merged = inter_merge({loop_of(10, 0)}, {loop_of(20, 1)});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(InterMerge, DifferentRelativeOffsetsStaySeparate) {
+  // Rank 0 sends +1, rank 1 sends -1: structurally different events.
+  std::vector<TraceNode> a = {TraceNode::leaf(ev(1, 0, sim::Op::kSend, +1))};
+  std::vector<TraceNode> b = {TraceNode::leaf(ev(1, 1, sim::Op::kSend, -1))};
+  const auto merged = inter_merge(a, b);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(InterMerge, ManyRanksFoldToConstantSize) {
+  // The SPMD ideal: P identical traces merge into one sequence whose size
+  // does not depend on P and whose ranklist covers everyone.
+  std::vector<TraceNode> acc;
+  const int p = 64;
+  for (int r = 0; r < p; ++r) {
+    std::vector<TraceNode> mine = {
+        TraceNode::leaf(ev(1, r)),
+        TraceNode::loop(50, {TraceNode::leaf(ev(2, r, sim::Op::kRecv))})};
+    acc = inter_merge(std::move(acc), std::move(mine));
+  }
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[0].event.ranks.count(), static_cast<std::size_t>(p));
+  EXPECT_EQ(acc[1].body[0].event.ranks.count(), static_cast<std::size_t>(p));
+  // And the ranklist factors to one section: footprint is P-independent.
+  EXPECT_EQ(acc[0].event.ranks.sections().size(), 1u);
+}
+
+TEST(InterMerge, HistogramsMergeOnAlignment) {
+  EventRecord ea = ev(1, 0);
+  ea.delta.add(1.0);
+  EventRecord eb = ev(1, 1);
+  eb.delta.add(3.0);
+  const auto merged =
+      inter_merge({TraceNode::leaf(ea)}, {TraceNode::leaf(eb)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].event.delta.count(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].event.delta.mean(), 2.0);
+}
+
+TEST(AppendOnline, RepeatedIntervalsFoldIntoLoop) {
+  // The online trace must compress repeated per-marker intervals the same
+  // way intra-node compression compresses repeated loop bodies.
+  std::vector<TraceNode> online;
+  for (int interval = 0; interval < 10; ++interval) {
+    std::vector<TraceNode> chunk = {
+        TraceNode::leaf(ev(1, 0)),
+        TraceNode::leaf(ev(2, 0, sim::Op::kRecv))};
+    append_online(online, std::move(chunk));
+  }
+  ASSERT_EQ(online.size(), 1u);
+  ASSERT_TRUE(online[0].is_loop());
+  EXPECT_EQ(online[0].iters, 10u);
+}
+
+TEST(InterMerge, MasterWorkerSendsGeneralizeToAbsolute) {
+  // Worker i records "send offset -i" (all targeting rank 0): singleton
+  // ranklists let the merge discover the common absolute target.
+  std::vector<TraceNode> acc;
+  for (sim::Rank r = 1; r <= 6; ++r) {
+    EventRecord e;
+    e.op = sim::Op::kSend;
+    e.stack_sig = 0x77;
+    e.dest = Endpoint::relative(r, 0);  // -r
+    e.bytes = 16;
+    e.ranks = RankList::single(r);
+    acc = inter_merge(std::move(acc), {TraceNode::leaf(e)});
+  }
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_EQ(acc[0].event.dest.kind, Endpoint::Kind::kAbsolute);
+  EXPECT_EQ(acc[0].event.dest.value, 0);
+  EXPECT_EQ(acc[0].event.ranks.count(), 6u);
+}
+
+TEST(InterMerge, AbsoluteAndMatchingRelativeGeneralize) {
+  EventRecord abs_ev;
+  abs_ev.op = sim::Op::kSend;
+  abs_ev.stack_sig = 0x9;
+  abs_ev.dest = Endpoint::absolute(0);
+  abs_ev.ranks = RankList::single(3);
+  EventRecord rel_ev = abs_ev;
+  rel_ev.dest = Endpoint::relative(5, 0);  // -5, still targets 0
+  rel_ev.ranks = RankList::single(5);
+  const auto merged =
+      inter_merge({TraceNode::leaf(abs_ev)}, {TraceNode::leaf(rel_ev)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].event.dest, Endpoint::absolute(0));
+}
+
+TEST(InterMerge, MultiRankRelativeDoesNotFalselyGeneralize) {
+  // A relative endpoint over a multi-rank list has no single target; only
+  // identical offsets may merge.
+  EventRecord a;
+  a.op = sim::Op::kSend;
+  a.stack_sig = 0x5;
+  a.dest = Endpoint{Endpoint::Kind::kRelative, +1};
+  a.ranks = RankList::from_ranks({1, 2, 3});
+  EventRecord b = a;
+  b.dest = Endpoint{Endpoint::Kind::kRelative, -1};
+  b.ranks = RankList::from_ranks({4, 5});
+  const auto merged = inter_merge({TraceNode::leaf(a)}, {TraceNode::leaf(b)});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(AppendOnline, DistinctPhasesStaySequential) {
+  std::vector<TraceNode> online;
+  append_online(online, {TraceNode::leaf(ev(1, 0))});
+  append_online(online, {TraceNode::leaf(ev(2, 0))});
+  append_online(online, {TraceNode::leaf(ev(3, 0))});
+  EXPECT_EQ(online.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cham::trace

@@ -1,0 +1,128 @@
+#include "trace/ranklist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace cham::trace {
+namespace {
+
+TEST(RankList, SingletonBasics) {
+  RankList list = RankList::single(7);
+  EXPECT_EQ(list.count(), 1u);
+  EXPECT_TRUE(list.contains(7));
+  EXPECT_FALSE(list.contains(6));
+  EXPECT_EQ(list.first(), 7);
+}
+
+TEST(RankList, FromRanksDeduplicatesAndSorts) {
+  RankList list = RankList::from_ranks({5, 1, 3, 1, 5});
+  EXPECT_EQ(list.count(), 3u);
+  const std::vector<sim::Rank> expected = {1, 3, 5};
+  EXPECT_EQ(list.members(), expected);
+}
+
+TEST(RankList, MergeIsSetUnion) {
+  RankList a = RankList::from_ranks({0, 2, 4});
+  RankList b = RankList::from_ranks({1, 2, 3});
+  a.merge(b);
+  const std::vector<sim::Rank> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(a.members(), expected);
+}
+
+TEST(RankList, ContiguousRangeFactorsToOneSection) {
+  std::vector<sim::Rank> ranks;
+  for (int i = 0; i < 64; ++i) ranks.push_back(i);
+  RankList list = RankList::from_ranks(std::move(ranks));
+  const auto sections = list.sections();
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].start, 0);
+  ASSERT_EQ(sections[0].dims.size(), 1u);
+  EXPECT_EQ(sections[0].dims[0], (std::pair<int, int>{64, 1}));
+}
+
+TEST(RankList, StridedRangeFactorsToOneSection) {
+  std::vector<sim::Rank> ranks;
+  for (int i = 0; i < 16; ++i) ranks.push_back(3 + 4 * i);
+  RankList list = RankList::from_ranks(std::move(ranks));
+  const auto sections = list.sections();
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].start, 3);
+  EXPECT_EQ(sections[0].dims[0], (std::pair<int, int>{16, 4}));
+}
+
+TEST(RankList, GridInteriorFactorsTo2D) {
+  // Interior of an 8x8 grid: rows 1..6, cols 1..6 -> 36 ranks.
+  std::vector<sim::Rank> ranks;
+  for (int row = 1; row <= 6; ++row)
+    for (int col = 1; col <= 6; ++col) ranks.push_back(row * 8 + col);
+  RankList list = RankList::from_ranks(std::move(ranks));
+  const auto sections = list.sections();
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].start, 9);
+  ASSERT_EQ(sections[0].dims.size(), 2u);
+  EXPECT_EQ(sections[0].dims[0], (std::pair<int, int>{6, 8}));  // rows
+  EXPECT_EQ(sections[0].dims[1], (std::pair<int, int>{6, 1}));  // cols
+  EXPECT_EQ(sections[0].count(), 36u);
+}
+
+TEST(RankList, SectionsExpandBackExactly) {
+  support::Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<sim::Rank> ranks;
+    const int n = 1 + static_cast<int>(rng.next_below(40));
+    for (int i = 0; i < n; ++i)
+      ranks.push_back(static_cast<sim::Rank>(rng.next_below(200)));
+    RankList list = RankList::from_ranks(ranks);
+    std::vector<sim::Rank> expanded;
+    for (const auto& sec : list.sections()) sec.expand_into(expanded);
+    RankList rebuilt = RankList::from_ranks(std::move(expanded));
+    EXPECT_EQ(rebuilt, list) << "trial " << trial;
+  }
+}
+
+TEST(RankList, FootprintIndependentOfSizeForRegularSets) {
+  // The compressed encoding of [0, P) must not grow with P.
+  std::vector<sim::Rank> small_ranks, big_ranks;
+  for (int i = 0; i < 16; ++i) small_ranks.push_back(i);
+  for (int i = 0; i < 1024; ++i) big_ranks.push_back(i);
+  const RankList small = RankList::from_ranks(std::move(small_ranks));
+  const RankList big = RankList::from_ranks(std::move(big_ranks));
+  EXPECT_EQ(small.footprint_bytes(), big.footprint_bytes());
+}
+
+TEST(RankList, ToStringEbnfShape) {
+  RankList list = RankList::from_ranks({0, 1, 2, 3});
+  EXPECT_EQ(list.to_string(), "<1 0 4 1>");
+  RankList single = RankList::single(5);
+  EXPECT_EQ(single.to_string(), "<0 5>");
+}
+
+TEST(RankList, EmptyListBehaves) {
+  RankList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.count(), 0u);
+  EXPECT_TRUE(list.sections().empty());
+  EXPECT_FALSE(list.contains(0));
+}
+
+TEST(RankList, MergeManySingletonsMatchesRange) {
+  RankList acc;
+  for (int i = 0; i < 100; ++i) acc.merge(RankList::single(i));
+  std::vector<sim::Rank> all;
+  for (int i = 0; i < 100; ++i) all.push_back(i);
+  EXPECT_EQ(acc, RankList::from_ranks(std::move(all)));
+  EXPECT_EQ(acc.sections().size(), 1u);
+}
+
+TEST(RankSection, CountMultiplies) {
+  RankSection sec;
+  sec.start = 0;
+  sec.dims = {{4, 8}, {4, 1}};
+  EXPECT_EQ(sec.count(), 16u);
+}
+
+}  // namespace
+}  // namespace cham::trace

@@ -1,0 +1,145 @@
+#include "trace/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/rsd.hpp"
+
+namespace cham::trace {
+namespace {
+
+EventRecord sample_event(std::uint64_t stack, sim::Op op = sim::Op::kSend) {
+  EventRecord ev;
+  ev.op = op;
+  ev.stack_sig = stack;
+  ev.src = Endpoint::any();
+  ev.dest = Endpoint{Endpoint::Kind::kRelative, -3};
+  ev.bytes = 4096;
+  ev.tag = 17;
+  ev.comm = sim::kCommWorld;
+  ev.ranks = RankList::from_ranks({0, 1, 2, 3, 8, 16});
+  ev.delta.add(0.5);
+  ev.delta.add(1.5);
+  return ev;
+}
+
+/// Deep equality including stats (same_shape ignores ranklist/histogram).
+bool deep_equal(const TraceNode& a, const TraceNode& b) {
+  if (a.iters != b.iters) return false;
+  if (a.is_loop()) {
+    if (a.body.size() != b.body.size()) return false;
+    for (std::size_t i = 0; i < a.body.size(); ++i)
+      if (!deep_equal(a.body[i], b.body[i])) return false;
+    return true;
+  }
+  return a.event.same_shape(b.event) && a.event.ranks == b.event.ranks &&
+         a.event.delta == b.event.delta;
+}
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.f64(3.14159);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, TruncationThrows) {
+  ByteWriter w;
+  w.u32(7);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  r.u16();
+  EXPECT_THROW(r.u64(), DecodeError);
+}
+
+TEST(Serialize, RanklistRoundTrip) {
+  const RankList list = RankList::from_ranks({0, 1, 2, 3, 10, 20, 30, 41});
+  ByteWriter w;
+  encode_ranklist(w, list);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(decode_ranklist(r), list);
+}
+
+TEST(Serialize, LeafRoundTrip) {
+  const TraceNode node = TraceNode::leaf(sample_event(0x1234));
+  const auto buf = encode_trace({node});
+  const auto decoded = decode_trace(buf);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_TRUE(deep_equal(decoded[0], node));
+}
+
+TEST(Serialize, NestedLoopRoundTrip) {
+  TraceNode inner = TraceNode::loop(
+      100, {TraceNode::leaf(sample_event(1)),
+            TraceNode::leaf(sample_event(2, sim::Op::kRecv))});
+  TraceNode outer = TraceNode::loop(
+      1000,
+      {std::move(inner), TraceNode::leaf(sample_event(3, sim::Op::kBarrier))});
+  const auto buf = encode_trace({outer});
+  const auto decoded = decode_trace(buf);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_TRUE(deep_equal(decoded[0], outer));
+}
+
+TEST(Serialize, MultiNodeSequenceRoundTrip) {
+  std::vector<TraceNode> nodes;
+  for (int i = 0; i < 5; ++i)
+    nodes.push_back(TraceNode::leaf(sample_event(static_cast<std::uint64_t>(i))));
+  const auto buf = encode_trace(nodes);
+  const auto decoded = decode_trace(buf);
+  ASSERT_EQ(decoded.size(), nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    EXPECT_TRUE(deep_equal(decoded[i], nodes[i]));
+}
+
+TEST(Serialize, EmptyTraceRoundTrip) {
+  const auto buf = encode_trace({});
+  EXPECT_TRUE(decode_trace(buf).empty());
+}
+
+TEST(Serialize, GarbageRejected) {
+  std::vector<std::uint8_t> garbage = {1, 0, 0, 0, 0x55};
+  EXPECT_THROW(decode_trace(garbage), DecodeError);
+}
+
+TEST(Serialize, TrailingBytesRejected) {
+  auto buf = encode_trace({TraceNode::leaf(sample_event(9))});
+  buf.push_back(0);
+  EXPECT_THROW(decode_trace(buf), DecodeError);
+}
+
+TEST(Serialize, HistogramStatsSurviveRoundTrip) {
+  EventRecord ev = sample_event(5);
+  for (int i = 0; i < 100; ++i) ev.delta.add(static_cast<double>(i) * 0.01);
+  const auto buf = encode_trace({TraceNode::leaf(ev)});
+  const auto decoded = decode_trace(buf);
+  const auto& h = decoded[0].event.delta;
+  EXPECT_EQ(h.count(), ev.delta.count());
+  EXPECT_DOUBLE_EQ(h.mean(), ev.delta.mean());
+  EXPECT_DOUBLE_EQ(h.min(), ev.delta.min());
+  EXPECT_DOUBLE_EQ(h.max(), ev.delta.max());
+}
+
+TEST(Serialize, CompressedTraceIsCompact) {
+  // 10k folded events must serialize to well under a kilobyte.
+  IntraTrace trace;
+  EventRecord ev = sample_event(0xF00D);
+  for (int i = 0; i < 10000; ++i) trace.append(ev);
+  const auto buf = encode_trace(trace.nodes());
+  EXPECT_LT(buf.size(), 1024u);
+}
+
+}  // namespace
+}  // namespace cham::trace

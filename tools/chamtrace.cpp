@@ -1,0 +1,237 @@
+// chamtrace — command-line front end for the Chameleon tracing library.
+//
+//   chamtrace list
+//       List the built-in benchmark workloads.
+//   chamtrace run --workload lu --procs 64 [--tool chameleon|scalatrace|
+//       acurdion] [--k K] [--freq N] [--class A-D] [--steps N]
+//       [--auto-marker] [--out trace.bin] [--text]
+//       Trace a workload and write the global/online trace.
+//   chamtrace show trace.bin
+//       Print a trace file in the human-readable PRSD form plus statistics.
+//   chamtrace replay trace.bin --procs 64
+//       Replay a trace at the given scale and report virtual time.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/acurdion.hpp"
+#include "core/chameleon.hpp"
+#include "replay/interp.hpp"
+#include "replay/replayer.hpp"
+#include "sim/engine.hpp"
+#include "sim/mpi.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/workload.hpp"
+
+using namespace cham;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  chamtrace list\n"
+      "  chamtrace run --workload <name> --procs <P> [--tool chameleon|"
+      "scalatrace|acurdion]\n"
+      "               [--k <K>] [--freq <N>] [--class A|B|C|D] [--steps <N>]"
+      " [--auto-marker]\n"
+      "               [--out <file>] [--text]\n"
+      "  chamtrace show <trace-file>\n"
+      "  chamtrace replay <trace-file> --procs <P>\n",
+      stderr);
+  return 2;
+}
+
+/// Minimal flag parser: --name value / --name (boolean).
+class Args {
+ public:
+  Args(int argc, char** argv, int from) {
+    for (int i = from; i < argc; ++i) tokens_.emplace_back(argv[i]);
+  }
+  std::optional<std::string> value(const std::string& flag) const {
+    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i)
+      if (tokens_[i] == flag) return tokens_[i + 1];
+    return std::nullopt;
+  }
+  bool has(const std::string& flag) const {
+    for (const auto& token : tokens_)
+      if (token == flag) return true;
+    return false;
+  }
+  std::optional<std::string> positional() const {
+    for (const auto& token : tokens_)
+      if (token.rfind("--", 0) != 0) return token;
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+};
+
+int cmd_list() {
+  std::printf("%-8s %-4s %-6s %s\n", "name", "K", "freq", "description");
+  for (const auto& info : workloads::all_workloads()) {
+    std::printf("%-8s %-4zu %-6d %s\n", std::string(info.name).c_str(),
+                info.default_k, info.default_freq,
+                std::string(info.description).c_str());
+  }
+  return 0;
+}
+
+std::vector<trace::TraceNode> load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<std::uint8_t> bytes(std::istreambuf_iterator<char>(in), {});
+  return trace::decode_trace(bytes);
+}
+
+void print_stats(const std::vector<trace::TraceNode>& nodes) {
+  std::size_t leaves = 0;
+  std::uint64_t expanded = 0;
+  for (const auto& node : nodes) {
+    leaves += node.leaf_count();
+    expanded += node.expanded_count();
+  }
+  std::printf("# top-level nodes: %zu, compressed events: %zu, expanded "
+              "events: %llu\n",
+              nodes.size(), leaves,
+              static_cast<unsigned long long>(expanded));
+  std::printf("# event-rank pairs on replay: %llu, encoded size: %zu bytes\n",
+              static_cast<unsigned long long>(
+                  replay::expanded_event_rank_pairs(nodes)),
+              trace::encode_trace(nodes).size());
+}
+
+int cmd_run(const Args& args) {
+  const auto workload_name = args.value("--workload");
+  const auto procs = args.value("--procs");
+  if (!workload_name || !procs) return usage();
+  const workloads::WorkloadInfo* info = workloads::find_workload(*workload_name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (try: chamtrace list)\n",
+                 workload_name->c_str());
+    return 2;
+  }
+  const int p = std::stoi(*procs);
+  const std::string tool_name = args.value("--tool").value_or("chameleon");
+
+  workloads::WorkloadParams params;
+  params.cls = args.value("--class").value_or("D")[0];
+  params.timesteps = std::stoi(args.value("--steps").value_or("0"));
+
+  core::ChameleonConfig config;
+  config.k = static_cast<std::size_t>(
+      std::stoul(args.value("--k").value_or(std::to_string(info->default_k))));
+  config.call_frequency =
+      std::stoi(args.value("--freq").value_or(std::to_string(info->default_freq)));
+  config.auto_marker = args.has("--auto-marker");
+
+  sim::Engine engine({.nprocs = p});
+  trace::CallSiteRegistry stacks(p);
+  std::optional<trace::ScalaTraceTool> scalatrace;
+  std::optional<core::ChameleonTool> chameleon;
+  std::optional<core::AcurdionTool> acurdion;
+  if (tool_name == "scalatrace") {
+    scalatrace.emplace(p, &stacks);
+    engine.set_tool(&*scalatrace);
+  } else if (tool_name == "acurdion") {
+    acurdion.emplace(p, &stacks, config);
+    engine.set_tool(&*acurdion);
+  } else if (tool_name == "chameleon") {
+    chameleon.emplace(p, &stacks, config);
+    engine.set_tool(&*chameleon);
+  } else {
+    std::fprintf(stderr, "unknown tool '%s'\n", tool_name.c_str());
+    return 2;
+  }
+
+  engine.run([&](sim::Mpi& mpi) { info->run(mpi, stacks, params); });
+
+  const std::vector<trace::TraceNode>& nodes =
+      chameleon ? chameleon->online_trace()
+                : scalatrace ? scalatrace->global_trace()
+                             : acurdion->global_trace();
+
+  std::printf("traced %s on %d ranks with %s\n", workload_name->c_str(), p,
+              tool_name.c_str());
+  print_stats(nodes);
+  if (chameleon) {
+    std::printf("markers processed: %llu (C=%llu L=%llu AT=%llu), clusters: "
+                "%zu over %zu call-paths\n",
+                static_cast<unsigned long long>(chameleon->marker_calls_processed()),
+                static_cast<unsigned long long>(
+                    chameleon->state_count(core::MarkerState::kClustering)),
+                static_cast<unsigned long long>(
+                    chameleon->state_count(core::MarkerState::kLead)),
+                static_cast<unsigned long long>(
+                    chameleon->state_count(core::MarkerState::kAllTracing)),
+                chameleon->effective_k(), chameleon->num_callpath_clusters());
+  }
+  if (args.has("--text")) {
+    std::fputs(trace::format_trace(nodes).c_str(), stdout);
+  }
+  if (const auto out = args.value("--out")) {
+    const auto bytes = trace::encode_trace(nodes);
+    std::ofstream file(*out, std::ios::binary | std::ios::trunc);
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!file) {
+      std::fprintf(stderr, "failed to write %s\n", out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu bytes to %s\n", bytes.size(), out->c_str());
+  }
+  return 0;
+}
+
+int cmd_show(const Args& args) {
+  const auto path = args.positional();
+  if (!path) return usage();
+  const auto nodes = load_trace(*path);
+  print_stats(nodes);
+  std::fputs(trace::format_trace(nodes).c_str(), stdout);
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const auto path = args.positional();
+  const auto procs = args.value("--procs");
+  if (!path || !procs) return usage();
+  const auto nodes = load_trace(*path);
+  const auto result =
+      replay::replay_trace(nodes, {.nprocs = std::stoi(*procs)});
+  std::printf("replayed %llu events (%llu messages, %llu collectives)\n",
+              static_cast<unsigned long long>(result.events_replayed),
+              static_cast<unsigned long long>(result.messages),
+              static_cast<unsigned long long>(result.collectives));
+  std::printf("virtual completion time: %.6f s\n", result.vtime);
+  if (result.cancelled_recvs != 0 || result.forced_collectives != 0) {
+    std::printf("approximation: %llu cancelled recvs, %llu forced "
+                "collectives\n",
+                static_cast<unsigned long long>(result.cancelled_recvs),
+                static_cast<unsigned long long>(result.forced_collectives));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    Args args(argc, argv, 2);
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(args);
+    if (command == "show") return cmd_show(args);
+    if (command == "replay") return cmd_replay(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chamtrace: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

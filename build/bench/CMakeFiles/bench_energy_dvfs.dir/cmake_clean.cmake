@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_dvfs.dir/bench_energy_dvfs.cpp.o"
+  "CMakeFiles/bench_energy_dvfs.dir/bench_energy_dvfs.cpp.o.d"
+  "bench_energy_dvfs"
+  "bench_energy_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_reclustering.dir/bench_fig10_reclustering.cpp.o"
+  "CMakeFiles/bench_fig10_reclustering.dir/bench_fig10_reclustering.cpp.o.d"
+  "bench_fig10_reclustering"
+  "bench_fig10_reclustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_reclustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_strong_replay.dir/bench_fig5_strong_replay.cpp.o"
+  "CMakeFiles/bench_fig5_strong_replay.dir/bench_fig5_strong_replay.cpp.o.d"
+  "bench_fig5_strong_replay"
+  "bench_fig5_strong_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_strong_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

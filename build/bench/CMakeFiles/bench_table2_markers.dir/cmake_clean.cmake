@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_markers.dir/bench_table2_markers.cpp.o"
+  "CMakeFiles/bench_table2_markers.dir/bench_table2_markers.cpp.o.d"
+  "bench_table2_markers"
+  "bench_table2_markers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_markers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_acurdion.dir/bench_table3_acurdion.cpp.o"
+  "CMakeFiles/bench_table3_acurdion.dir/bench_table3_acurdion.cpp.o.d"
+  "bench_table3_acurdion"
+  "bench_table3_acurdion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_acurdion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

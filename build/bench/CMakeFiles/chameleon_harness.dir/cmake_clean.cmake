@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libchameleon_harness.a"
+  "../lib/libchameleon_harness.pdb"
+  "CMakeFiles/chameleon_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/chameleon_harness.dir/harness/experiment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libchameleon_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_demo.dir/replay_demo.cpp.o"
+  "CMakeFiles/replay_demo.dir/replay_demo.cpp.o.d"
+  "replay_demo"
+  "replay_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

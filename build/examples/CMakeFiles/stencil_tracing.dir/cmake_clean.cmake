@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_tracing.dir/stencil_tracing.cpp.o"
+  "CMakeFiles/stencil_tracing.dir/stencil_tracing.cpp.o.d"
+  "stencil_tracing"
+  "stencil_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/taskfarm_tracing.cpp" "examples/CMakeFiles/taskfarm_tracing.dir/taskfarm_tracing.cpp.o" "gcc" "examples/CMakeFiles/taskfarm_tracing.dir/taskfarm_tracing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chameleon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/chameleon_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/chameleon_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/chameleon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chameleon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chameleon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

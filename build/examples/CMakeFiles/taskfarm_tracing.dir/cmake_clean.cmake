@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskfarm_tracing.dir/taskfarm_tracing.cpp.o"
+  "CMakeFiles/taskfarm_tracing.dir/taskfarm_tracing.cpp.o.d"
+  "taskfarm_tracing"
+  "taskfarm_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskfarm_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for taskfarm_tracing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/clusterset.cpp" "src/cluster/CMakeFiles/chameleon_cluster.dir/clusterset.cpp.o" "gcc" "src/cluster/CMakeFiles/chameleon_cluster.dir/clusterset.cpp.o.d"
+  "/root/repo/src/cluster/select.cpp" "src/cluster/CMakeFiles/chameleon_cluster.dir/select.cpp.o" "gcc" "src/cluster/CMakeFiles/chameleon_cluster.dir/select.cpp.o.d"
+  "/root/repo/src/cluster/signature.cpp" "src/cluster/CMakeFiles/chameleon_cluster.dir/signature.cpp.o" "gcc" "src/cluster/CMakeFiles/chameleon_cluster.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/chameleon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chameleon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

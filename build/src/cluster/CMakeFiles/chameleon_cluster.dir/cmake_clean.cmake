@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_cluster.dir/clusterset.cpp.o"
+  "CMakeFiles/chameleon_cluster.dir/clusterset.cpp.o.d"
+  "CMakeFiles/chameleon_cluster.dir/select.cpp.o"
+  "CMakeFiles/chameleon_cluster.dir/select.cpp.o.d"
+  "CMakeFiles/chameleon_cluster.dir/signature.cpp.o"
+  "CMakeFiles/chameleon_cluster.dir/signature.cpp.o.d"
+  "libchameleon_cluster.a"
+  "libchameleon_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

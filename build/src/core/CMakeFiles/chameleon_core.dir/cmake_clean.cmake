@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_core.dir/acurdion.cpp.o"
+  "CMakeFiles/chameleon_core.dir/acurdion.cpp.o.d"
+  "CMakeFiles/chameleon_core.dir/chameleon.cpp.o"
+  "CMakeFiles/chameleon_core.dir/chameleon.cpp.o.d"
+  "CMakeFiles/chameleon_core.dir/energy.cpp.o"
+  "CMakeFiles/chameleon_core.dir/energy.cpp.o.d"
+  "CMakeFiles/chameleon_core.dir/protocol.cpp.o"
+  "CMakeFiles/chameleon_core.dir/protocol.cpp.o.d"
+  "libchameleon_core.a"
+  "libchameleon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_replay.dir/interp.cpp.o"
+  "CMakeFiles/chameleon_replay.dir/interp.cpp.o.d"
+  "CMakeFiles/chameleon_replay.dir/replayer.cpp.o"
+  "CMakeFiles/chameleon_replay.dir/replayer.cpp.o.d"
+  "libchameleon_replay.a"
+  "libchameleon_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_sim.dir/engine.cpp.o"
+  "CMakeFiles/chameleon_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/chameleon_sim.dir/fiber.cpp.o"
+  "CMakeFiles/chameleon_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/chameleon_sim.dir/mpi.cpp.o"
+  "CMakeFiles/chameleon_sim.dir/mpi.cpp.o.d"
+  "CMakeFiles/chameleon_sim.dir/types.cpp.o"
+  "CMakeFiles/chameleon_sim.dir/types.cpp.o.d"
+  "libchameleon_sim.a"
+  "libchameleon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_support.dir/csv.cpp.o"
+  "CMakeFiles/chameleon_support.dir/csv.cpp.o.d"
+  "CMakeFiles/chameleon_support.dir/histogram.cpp.o"
+  "CMakeFiles/chameleon_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/chameleon_support.dir/logging.cpp.o"
+  "CMakeFiles/chameleon_support.dir/logging.cpp.o.d"
+  "CMakeFiles/chameleon_support.dir/memtrack.cpp.o"
+  "CMakeFiles/chameleon_support.dir/memtrack.cpp.o.d"
+  "CMakeFiles/chameleon_support.dir/stats.cpp.o"
+  "CMakeFiles/chameleon_support.dir/stats.cpp.o.d"
+  "CMakeFiles/chameleon_support.dir/table.cpp.o"
+  "CMakeFiles/chameleon_support.dir/table.cpp.o.d"
+  "libchameleon_support.a"
+  "libchameleon_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

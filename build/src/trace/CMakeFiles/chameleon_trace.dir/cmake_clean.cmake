@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_trace.dir/event.cpp.o"
+  "CMakeFiles/chameleon_trace.dir/event.cpp.o.d"
+  "CMakeFiles/chameleon_trace.dir/merge.cpp.o"
+  "CMakeFiles/chameleon_trace.dir/merge.cpp.o.d"
+  "CMakeFiles/chameleon_trace.dir/ranklist.cpp.o"
+  "CMakeFiles/chameleon_trace.dir/ranklist.cpp.o.d"
+  "CMakeFiles/chameleon_trace.dir/rsd.cpp.o"
+  "CMakeFiles/chameleon_trace.dir/rsd.cpp.o.d"
+  "CMakeFiles/chameleon_trace.dir/serialize.cpp.o"
+  "CMakeFiles/chameleon_trace.dir/serialize.cpp.o.d"
+  "CMakeFiles/chameleon_trace.dir/tracer.cpp.o"
+  "CMakeFiles/chameleon_trace.dir/tracer.cpp.o.d"
+  "libchameleon_trace.a"
+  "libchameleon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

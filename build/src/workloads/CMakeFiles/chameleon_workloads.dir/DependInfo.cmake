@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/emf.cpp" "src/workloads/CMakeFiles/chameleon_workloads.dir/emf.cpp.o" "gcc" "src/workloads/CMakeFiles/chameleon_workloads.dir/emf.cpp.o.d"
+  "/root/repo/src/workloads/npb.cpp" "src/workloads/CMakeFiles/chameleon_workloads.dir/npb.cpp.o" "gcc" "src/workloads/CMakeFiles/chameleon_workloads.dir/npb.cpp.o.d"
+  "/root/repo/src/workloads/pop.cpp" "src/workloads/CMakeFiles/chameleon_workloads.dir/pop.cpp.o" "gcc" "src/workloads/CMakeFiles/chameleon_workloads.dir/pop.cpp.o.d"
+  "/root/repo/src/workloads/sweep3d.cpp" "src/workloads/CMakeFiles/chameleon_workloads.dir/sweep3d.cpp.o" "gcc" "src/workloads/CMakeFiles/chameleon_workloads.dir/sweep3d.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/chameleon_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/chameleon_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/chameleon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chameleon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

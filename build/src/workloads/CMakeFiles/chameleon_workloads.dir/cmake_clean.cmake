@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_workloads.dir/emf.cpp.o"
+  "CMakeFiles/chameleon_workloads.dir/emf.cpp.o.d"
+  "CMakeFiles/chameleon_workloads.dir/npb.cpp.o"
+  "CMakeFiles/chameleon_workloads.dir/npb.cpp.o.d"
+  "CMakeFiles/chameleon_workloads.dir/pop.cpp.o"
+  "CMakeFiles/chameleon_workloads.dir/pop.cpp.o.d"
+  "CMakeFiles/chameleon_workloads.dir/sweep3d.cpp.o"
+  "CMakeFiles/chameleon_workloads.dir/sweep3d.cpp.o.d"
+  "CMakeFiles/chameleon_workloads.dir/workload.cpp.o"
+  "CMakeFiles/chameleon_workloads.dir/workload.cpp.o.d"
+  "libchameleon_workloads.a"
+  "libchameleon_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_collectives.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_collectives.cpp.o.d"
+  "/root/repo/tests/sim/test_fiber.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_fiber.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_fiber.cpp.o.d"
+  "/root/repo/tests/sim/test_hooks.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_hooks.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_hooks.cpp.o.d"
+  "/root/repo/tests/sim/test_p2p.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_p2p.cpp.o.d"
+  "/root/repo/tests/sim/test_vtime.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_vtime.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_vtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/chameleon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

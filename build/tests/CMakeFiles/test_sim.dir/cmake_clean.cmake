@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_collectives.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_collectives.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_fiber.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_fiber.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_hooks.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_hooks.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_p2p.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_p2p.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_vtime.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_vtime.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_merge.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_merge.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_merge.cpp.o.d"
+  "/root/repo/tests/trace/test_properties.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_properties.cpp.o.d"
+  "/root/repo/tests/trace/test_ranklist.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_ranklist.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_ranklist.cpp.o.d"
+  "/root/repo/tests/trace/test_rsd.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_rsd.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_rsd.cpp.o.d"
+  "/root/repo/tests/trace/test_serialize.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_serialize.cpp.o.d"
+  "/root/repo/tests/trace/test_tracer.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_tracer.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/chameleon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chameleon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chameleon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_merge.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_merge.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_properties.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_properties.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_ranklist.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_ranklist.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_rsd.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_rsd.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_serialize.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_serialize.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_tracer.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_tracer.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

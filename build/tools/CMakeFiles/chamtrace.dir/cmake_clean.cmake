@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chamtrace.dir/chamtrace.cpp.o"
+  "CMakeFiles/chamtrace.dir/chamtrace.cpp.o.d"
+  "chamtrace"
+  "chamtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chamtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

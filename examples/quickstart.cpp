@@ -31,11 +31,9 @@ int main() {
   // 4. The application: a ring exchange with a compute phase per timestep
   //    and a marker at each timestep boundary.
   engine.run([&](sim::Mpi& mpi) {
-    trace::CallScope main_scope(stacks.stack(mpi.rank()),
-                                trace::site_id("main"));
+    trace::CallScope main_scope(stacks.stack(mpi.rank()), "main");
     for (int step = 0; step < kSteps; ++step) {
-      trace::CallScope loop_scope(stacks.stack(mpi.rank()),
-                                  trace::site_id("main.timestep"));
+      trace::CallScope loop_scope(stacks.stack(mpi.rank()), "main.timestep");
       const sim::Rank next = (mpi.rank() + 1) % mpi.size();
       const sim::Rank prev = (mpi.rank() + mpi.size() - 1) % mpi.size();
       mpi.compute(0.002);

@@ -1,0 +1,56 @@
+#include "analysis/diagnostic.hpp"
+
+#include <sstream>
+
+namespace cham::analysis {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << severity_name(severity) << '[' << code << ']';
+  if (rank >= 0) os << " rank " << rank;
+  os << ": " << message;
+  return os.str();
+}
+
+void DiagnosticSink::report(Severity severity, std::string code, int rank,
+                            std::string message) {
+  if (severity == Severity::kError) ++errors_;
+  if (severity == Severity::kWarning) ++warnings_;
+  diags_.push_back({severity, std::move(code), rank, std::move(message)});
+}
+
+std::size_t DiagnosticSink::count(std::string_view code) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_)
+    if (d.code == code) ++n;
+  return n;
+}
+
+const Diagnostic* DiagnosticSink::find(std::string_view code) const {
+  for (const Diagnostic& d : diags_)
+    if (d.code == code) return &d;
+  return nullptr;
+}
+
+std::string DiagnosticSink::format_report() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) os << d.to_string() << '\n';
+  return os.str();
+}
+
+void DiagnosticSink::clear() {
+  diags_.clear();
+  errors_ = 0;
+  warnings_ = 0;
+}
+
+}  // namespace cham::analysis

@@ -1,0 +1,62 @@
+// Machine-readable diagnostics for the correctness analysis layer.
+//
+// Both halves of ChamVerify — the runtime VerifierTool and the static
+// TraceLint pass — report through a DiagnosticSink. Each diagnostic carries
+// a severity, a stable dotted code (e.g. "deadlock.cycle",
+// "ranklist.overlap") suitable for grepping and for test assertions, the
+// rank it concerns (-1 when not rank-specific) and a human-readable
+// message. The sink aggregates counts so callers can gate on "zero
+// errors/warnings" without parsing text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cham::analysis {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+const char* severity_name(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;   ///< stable dotted identifier, e.g. "deadlock.cycle"
+  int rank = -1;      ///< world rank concerned, -1 if not rank-specific
+  std::string message;
+
+  /// One line: "error[deadlock.cycle] rank 3: ...".
+  [[nodiscard]] std::string to_string() const;
+};
+
+class DiagnosticSink {
+ public:
+  void report(Severity severity, std::string code, int rank,
+              std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t errors() const { return errors_; }
+  [[nodiscard]] std::size_t warnings() const { return warnings_; }
+  /// No errors and no warnings (info diagnostics do not count).
+  [[nodiscard]] bool clean() const { return errors_ == 0 && warnings_ == 0; }
+
+  /// Number of diagnostics carrying `code`.
+  [[nodiscard]] std::size_t count(std::string_view code) const;
+  /// First diagnostic carrying `code`, or nullptr.
+  [[nodiscard]] const Diagnostic* find(std::string_view code) const;
+
+  /// All diagnostics, one to_string() line each.
+  [[nodiscard]] std::string format_report() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+}  // namespace cham::analysis

@@ -1,0 +1,64 @@
+// ChamVerify static half: TraceLint, a validity checker for compressed
+// RSD/PRSD traces.
+//
+// Two entry points at two levels of trust:
+//
+//   * lint_trace() walks an already-decoded node tree and checks the
+//     semantic invariants of well-formed ScalaTrace output: loop structure
+//     (no zero-iteration or empty-body RSDs), event validity (operation,
+//     communicator, marker flag, endpoint kinds and bounds), ranklist
+//     well-formedness and rank bounds, and delta-histogram consistency
+//     (bin sums match counts, min <= max).
+//
+//   * lint_trace_bytes() re-walks the *wire format* byte-by-byte with a
+//     reporting mini-decoder. This catches corruptions the canonicalizing
+//     decoder silently repairs or rejects wholesale: overlapping ranklist
+//     sections (decode_ranklist sorts and dedups, destroying the
+//     evidence), non-positive section iterations, bad node marks,
+//     truncation and trailing garbage — each as a diagnostic instead of a
+//     DecodeError, so one corrupt trace yields a full report.
+//
+// lint_signature() closes the loop with the clustering layer: the
+// Call-Path half of an interval signature is exactly recomputable from the
+// compressed trace (XOR over distinct stack signatures in first-seen
+// order, position-weighted), so a recorded signature that disagrees with
+// its own trace indicates corruption or a tracer/clusterer bug.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "trace/event.hpp"
+
+namespace cham::analysis {
+
+struct LintOptions {
+  /// World size; > 0 enables rank-bound checks on ranklists and absolute
+  /// endpoints.
+  int nprocs = 0;
+  /// Expect a fully merged global trace: every rank of [0, nprocs) must
+  /// appear in at least one leaf's ranklist. Leave off for per-cluster
+  /// lead traces, which legitimately cover only their members.
+  bool expect_full_cover = false;
+};
+
+/// Semantic checks over a decoded trace. Appends to `sink`.
+void lint_trace(const std::vector<trace::TraceNode>& nodes,
+                const LintOptions& opts, DiagnosticSink& sink);
+
+/// Wire-level checks over an encoded trace. Appends to `sink`. Returns
+/// false if the walk had to stop early (unrecoverable corruption).
+bool lint_trace_bytes(const std::vector<std::uint8_t>& bytes,
+                      const LintOptions& opts, DiagnosticSink& sink);
+
+/// The Call-Path signature the clustering layer would compute for a rank
+/// that observed exactly the events of this compressed trace, in order.
+std::uint64_t recompute_callpath(const std::vector<trace::TraceNode>& nodes);
+
+/// Compare the recorded Call-Path signature against the trace's own events;
+/// reports "signature.mismatch" on disagreement.
+void lint_signature(const std::vector<trace::TraceNode>& nodes,
+                    std::uint64_t recorded_callpath, DiagnosticSink& sink);
+
+}  // namespace cham::analysis

@@ -1,0 +1,341 @@
+#include "analysis/verifier.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "sim/engine.hpp"
+#include "sim/mpi.hpp"
+#include "trace/callsite.hpp"
+
+namespace cham::analysis {
+
+namespace {
+
+constexpr int kTracedComms = 2;  // kCommWorld, kCommMarker
+
+bool op_is_send(sim::Op op) {
+  return op == sim::Op::kSend || op == sim::Op::kIsend;
+}
+
+bool op_is_recv(sim::Op op) {
+  return op == sim::Op::kRecv || op == sim::Op::kIrecv;
+}
+
+bool op_has_root(sim::Op op) {
+  return op == sim::Op::kBcast || op == sim::Op::kReduce ||
+         op == sim::Op::kGather || op == sim::Op::kScatter;
+}
+
+}  // namespace
+
+VerifierTool::VerifierTool(int nprocs, const trace::CallSiteRegistry* stacks,
+                           VerifierOptions opts)
+    : nprocs_(nprocs),
+      stacks_(stacks),
+      opts_(opts),
+      coll_seq_(static_cast<std::size_t>(kTracedComms * nprocs), 0),
+      current_call_(static_cast<std::size_t>(nprocs)),
+      in_call_(static_cast<std::size_t>(nprocs), false) {}
+
+void VerifierTool::error(std::string code, sim::Rank rank,
+                         std::string message) {
+  sink_.report(Severity::kError, code, rank, message);
+  if (opts_.fail_fast) {
+    throw VerificationError(sink_.diagnostics().back().to_string());
+  }
+}
+
+void VerifierTool::on_pre(sim::Rank rank, const sim::CallInfo& info,
+                          sim::Pmpi& pmpi) {
+  ++calls_checked_;
+  current_call_[static_cast<std::size_t>(rank)] = info;
+  in_call_[static_cast<std::size_t>(rank)] = true;
+  check_arguments(rank, info);
+  if (sim::op_is_collective(info.op)) check_collective(rank, info);
+  if (info.op == sim::Op::kFinalize && ++finalized_ranks_ == nprocs_ &&
+      !leaks_checked_) {
+    // Every rank has entered MPI_Finalize: no further application traffic
+    // can appear, so anything still queued in the engine is leaked.
+    leaks_checked_ = true;
+    check_finalize_leaks(pmpi);
+  }
+}
+
+void VerifierTool::on_post(sim::Rank rank, const sim::CallInfo& info,
+                           sim::Pmpi& /*pmpi*/) {
+  in_call_[static_cast<std::size_t>(rank)] = false;
+  // MPI_ERR_TRUNCATE: the matched message is larger than the posted buffer.
+  // A declared size of zero means "size unknown" (payload-carrying recv
+  // through the raw facade) and is not checked.
+  if ((info.op == sim::Op::kRecv || info.op == sim::Op::kWait) &&
+      info.bytes > 0 && info.matched_bytes > info.bytes) {
+    std::ostringstream os;
+    os << op_name(info.op) << " posted " << info.bytes
+       << " bytes but matched a " << info.matched_bytes << "-byte message"
+       << " from rank " << info.matched_peer << " (truncation)";
+    error("recv.truncation", rank, os.str());
+  }
+}
+
+void VerifierTool::check_arguments(sim::Rank rank, const sim::CallInfo& info) {
+  if (info.comm != sim::kCommWorld && info.comm != sim::kCommMarker) {
+    std::ostringstream os;
+    os << op_name(info.op) << " on invalid communicator " << info.comm
+       << (info.comm == sim::kCommTool
+               ? " (tool-internal traffic must not be traced)"
+               : "");
+    error("comm.invalid", rank, os.str());
+    return;  // comm-indexed checks below would be out of bounds
+  }
+  if (info.is_marker &&
+      (info.op != sim::Op::kBarrier || info.comm != sim::kCommMarker)) {
+    error("comm.marker_misuse", rank,
+          std::string(op_name(info.op)) +
+              " flagged as marker but is not a barrier on the marker "
+              "communicator");
+  }
+  if (!info.is_marker && info.comm == sim::kCommMarker) {
+    error("comm.marker_misuse", rank,
+          std::string(op_name(info.op)) +
+              " on the marker communicator without the marker flag");
+  }
+  if (op_is_send(info.op)) {
+    if (info.peer < 0 || info.peer >= nprocs_) {
+      std::ostringstream os;
+      os << op_name(info.op) << " to invalid rank " << info.peer << " (world "
+         << nprocs_ << ")";
+      error("send.invalid_peer", rank, os.str());
+    }
+    if (info.tag < 0) {
+      std::ostringstream os;
+      os << op_name(info.op) << " with invalid tag " << info.tag
+         << " (wildcards are receive-only)";
+      error("send.invalid_tag", rank, os.str());
+    }
+  }
+  if (op_is_recv(info.op)) {
+    if (info.peer != sim::kAnySource && (info.peer < 0 || info.peer >= nprocs_)) {
+      std::ostringstream os;
+      os << op_name(info.op) << " from invalid rank " << info.peer
+         << " (world " << nprocs_ << ")";
+      error("recv.invalid_peer", rank, os.str());
+    }
+    if (info.tag < 0 && info.tag != sim::kAnyTag) {
+      std::ostringstream os;
+      os << op_name(info.op) << " with invalid tag " << info.tag;
+      error("recv.invalid_tag", rank, os.str());
+    }
+  }
+  if (op_has_root(info.op) && (info.root < 0 || info.root >= nprocs_)) {
+    std::ostringstream os;
+    os << op_name(info.op) << " with invalid root " << info.root << " (world "
+       << nprocs_ << ")";
+    error("collective.invalid_root", rank, os.str());
+  }
+}
+
+void VerifierTool::check_collective(sim::Rank rank,
+                                    const sim::CallInfo& info) {
+  if (info.comm != sim::kCommWorld && info.comm != sim::kCommMarker) return;
+  auto& seq = coll_seq_[static_cast<std::size_t>(info.comm * nprocs_ + rank)];
+  const auto key = std::make_pair(info.comm, seq);
+  ++seq;
+
+  auto [it, inserted] = coll_sites_.try_emplace(key);
+  CollRecord& rec = it->second;
+  if (inserted) {
+    rec.op = info.op;
+    rec.root = info.root;
+    rec.bytes = info.bytes;
+    rec.first_rank = rank;
+  } else {
+    if (rec.op != info.op) {
+      std::ostringstream os;
+      os << "collective #" << key.second << " on comm " << info.comm
+         << " diverges: rank " << rank << " calls " << op_name(info.op)
+         << " but rank " << rec.first_rank << " called " << op_name(rec.op);
+      error("collective.divergence", rank, os.str());
+    } else if (op_has_root(info.op) && rec.root != info.root) {
+      std::ostringstream os;
+      os << op_name(info.op) << " #" << key.second << " on comm " << info.comm
+         << " diverges on root: rank " << rank << " names root " << info.root
+         << " but rank " << rec.first_rank << " named root " << rec.root;
+      error("collective.root_divergence", rank, os.str());
+    } else if (rec.bytes != info.bytes) {
+      std::ostringstream os;
+      os << op_name(info.op) << " #" << key.second << " on comm " << info.comm
+         << ": rank " << rank << " declares " << info.bytes
+         << " bytes but rank " << rec.first_rank << " declared " << rec.bytes;
+      sink_.report(Severity::kWarning, "collective.bytes_divergence", rank,
+                   os.str());
+    }
+  }
+  if (++rec.arrived == nprocs_) coll_sites_.erase(it);
+}
+
+void VerifierTool::check_finalize_leaks(sim::Pmpi& pmpi) {
+  sim::Engine& engine = pmpi.engine();
+  for (int comm = 0; comm < kTracedComms; ++comm) {
+    for (sim::Rank r = 0; r < nprocs_; ++r) {
+      for (const sim::Message& msg : engine.unexpected_messages(comm, r)) {
+        std::ostringstream os;
+        os << "message leak: " << msg.bytes << " bytes from rank " << msg.src
+           << " tag " << msg.tag << " on comm " << comm
+           << " were never received";
+        error("finalize.message_leak", r, os.str());
+      }
+      for (const sim::PendingRecvInfo& p : engine.pending_recvs(comm, r)) {
+        std::ostringstream os;
+        os << "receive posted for src ";
+        if (p.src_match == sim::kAnySource)
+          os << "ANY";
+        else
+          os << p.src_match;
+        os << " tag ";
+        if (p.tag_match == sim::kAnyTag)
+          os << "ANY";
+        else
+          os << p.tag_match;
+        os << " on comm " << comm << " never matched a send";
+        error("finalize.pending_recv", r, os.str());
+      }
+    }
+  }
+  for (sim::Rank r = 0; r < nprocs_; ++r) {
+    // Unwaited send requests are benign under the engine's eager-send
+    // semantics (the transfer completed at post time); unwaited receive
+    // requests park a matched message — or a pending slot — forever.
+    const auto counts = engine.active_requests(r);
+    if (counts.recvs > 0) {
+      std::ostringstream os;
+      os << counts.recvs << " receive request(s) never completed by "
+         << "MPI_Wait/MPI_Waitall";
+      error("finalize.unwaited_recv", r, os.str());
+    }
+  }
+  // Collectives some ranks entered and others will never reach: every
+  // record still alive saw fewer than nprocs arrivals and no arrivals can
+  // follow finalize.
+  for (const auto& [key, rec] : coll_sites_) {
+    std::ostringstream os;
+    os << op_name(rec.op) << " #" << key.second << " on comm " << key.first
+       << " was entered by only " << rec.arrived << '/' << nprocs_
+       << " ranks";
+    error("finalize.incomplete_collective", rec.first_rank, os.str());
+  }
+}
+
+std::string VerifierTool::backtrace(sim::Rank rank) const {
+  if (stacks_ == nullptr) return {};
+  const auto& frames = stacks_->stack(rank).frames();
+  if (frames.empty()) return "<no frames>";
+  std::string out;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i > 0) out += " > ";
+    out += trace::site_name(frames[i]);
+  }
+  return out;
+}
+
+void VerifierTool::on_stall(sim::Engine& engine) {
+  if (stall_reported_) return;
+  stall_reported_ = true;
+
+  // Build the wait-for graph from the engine's blocked-fiber state: an edge
+  // r -> s means "r cannot proceed until s acts".
+  const int p = engine.nprocs();
+  std::vector<std::vector<int>> edges(static_cast<std::size_t>(p));
+  std::vector<bool> finished(static_cast<std::size_t>(p), false);
+  for (sim::Rank r = 0; r < p; ++r)
+    finished[static_cast<std::size_t>(r)] = engine.rank_finished(r);
+
+  for (sim::Rank r = 0; r < p; ++r) {
+    if (finished[static_cast<std::size_t>(r)]) continue;
+    const sim::BlockedState& bs = engine.blocked_state(r);
+    auto& out = edges[static_cast<std::size_t>(r)];
+    switch (bs.kind) {
+      case sim::BlockedState::Kind::kRecv:
+        if (bs.src_match != sim::kAnySource) {
+          out.push_back(bs.src_match);
+        } else {
+          // Wildcard: conservatively, any live rank could unblock it.
+          for (sim::Rank s = 0; s < p; ++s)
+            if (s != r && !finished[static_cast<std::size_t>(s)])
+              out.push_back(s);
+        }
+        break;
+      case sim::BlockedState::Kind::kCollective:
+        // Waits for every live rank that has not yet reached this slot.
+        for (sim::Rank s = 0; s < p; ++s) {
+          if (s == r || finished[static_cast<std::size_t>(s)]) continue;
+          if (engine.collective_seq(bs.comm, s) <= bs.slot) out.push_back(s);
+        }
+        break;
+      case sim::BlockedState::Kind::kNone:
+        break;
+    }
+  }
+
+  // DFS cycle detection (0 = unvisited, 1 = on stack, 2 = done).
+  std::vector<int> color(static_cast<std::size_t>(p), 0);
+  std::vector<int> parent(static_cast<std::size_t>(p), -1);
+  std::vector<int> cycle;
+  const std::function<bool(int)> dfs = [&](int u) {
+    color[static_cast<std::size_t>(u)] = 1;
+    for (int v : edges[static_cast<std::size_t>(u)]) {
+      if (color[static_cast<std::size_t>(v)] == 1) {
+        cycle.push_back(v);
+        for (int w = u; w != v && w != -1;
+             w = parent[static_cast<std::size_t>(w)])
+          cycle.push_back(w);
+        std::reverse(cycle.begin(), cycle.end());
+        return true;
+      }
+      if (color[static_cast<std::size_t>(v)] == 0) {
+        parent[static_cast<std::size_t>(v)] = u;
+        if (dfs(v)) return true;
+      }
+    }
+    color[static_cast<std::size_t>(u)] = 2;
+    return false;
+  };
+  for (int r = 0; r < p && cycle.empty(); ++r)
+    if (color[static_cast<std::size_t>(r)] == 0) dfs(r);
+
+  std::ostringstream os;
+  if (!cycle.empty()) {
+    os << "wait-for cycle: ";
+    for (std::size_t i = 0; i < cycle.size(); ++i) os << cycle[i] << " -> ";
+    os << cycle.front() << '\n';
+  } else {
+    os << "no rank can make progress (no wait-for cycle: a partner exited "
+          "or never arrived)\n";
+  }
+  int blocked_count = 0;
+  for (sim::Rank r = 0; r < p; ++r) {
+    if (finished[static_cast<std::size_t>(r)]) continue;
+    ++blocked_count;
+    os << "  rank " << r << ": blocked in ";
+    const sim::BlockedState& bs = engine.blocked_state(r);
+    if (in_call_[static_cast<std::size_t>(r)]) {
+      os << current_call_[static_cast<std::size_t>(r)].to_string();
+    } else if (bs.kind == sim::BlockedState::Kind::kCollective) {
+      os << op_name(bs.op) << " comm=" << bs.comm << " slot=" << bs.slot;
+    } else {
+      os << "internal communication";
+    }
+    const std::string bt = backtrace(r);
+    if (!bt.empty()) os << "\n    at " << bt;
+    os << '\n';
+  }
+  os << "  (" << blocked_count << '/' << p << " ranks blocked)";
+
+  // Record only: the engine unwinds the fibers and throws DeadlockError
+  // right after this hook returns; fail-fast must not preempt that.
+  sink_.report(Severity::kError,
+               cycle.empty() ? "deadlock.stall" : "deadlock.cycle",
+               cycle.empty() ? -1 : cycle.front(), os.str());
+}
+
+}  // namespace cham::analysis

@@ -1,0 +1,113 @@
+// ChamVerify runtime half: an MPI correctness checker as a PMPI tool.
+//
+// VerifierTool observes every traced call through the same pre/post hooks
+// the tracer uses, so it composes with ChameleonTool in a sim::ToolChain —
+// the standard "correctness tool rides along with the tracing tool" PMPI
+// stacking. It checks, online:
+//
+//   * call-argument sanity: peer/root/tag bounds, communicator validity
+//     (tool-internal traffic must never reach the hooks);
+//   * collective call-sequence agreement: every rank's i-th collective on a
+//     communicator must name the same operation and root (the engine aborts
+//     the whole process on op mismatch, so this check fires first and, in
+//     fail-fast mode, throws VerificationError instead);
+//   * receive truncation: a matched message larger than the posted buffer;
+//   * finalize-time leaks: messages sent but never received, receives
+//     posted but never matched, request handles never waited on;
+//   * deadlock: when the engine stalls, on_stall() builds a wait-for graph
+//     from the engine's blocked-fiber introspection, finds cycles and
+//     reports every blocked rank with its symbolic call-path backtrace —
+//     so a deadlocked run produces a report instead of a hang.
+//
+// The tool only records diagnostics (see DiagnosticSink); it never repairs
+// or alters the run. With fail_fast, errors detected inside a pre/post hook
+// throw VerificationError out of the offending rank's fiber.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "sim/tool.hpp"
+#include "sim/types.hpp"
+
+namespace cham::trace {
+class CallSiteRegistry;
+}
+
+namespace cham::analysis {
+
+/// Thrown (fail-fast mode only) from the hook that detected an error.
+class VerificationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct VerifierOptions {
+  /// Throw VerificationError from the offending hook on the first error.
+  /// Required to catch collective divergence before the engine's own
+  /// fatal-abort consistency check runs.
+  bool fail_fast = false;
+};
+
+class VerifierTool : public sim::Tool {
+ public:
+  /// `stacks` (optional) enables symbolic backtraces in deadlock reports;
+  /// it must outlive the tool and be the registry the workload brands.
+  explicit VerifierTool(int nprocs,
+                        const trace::CallSiteRegistry* stacks = nullptr,
+                        VerifierOptions opts = {});
+
+  void on_pre(sim::Rank rank, const sim::CallInfo& info,
+              sim::Pmpi& pmpi) override;
+  void on_post(sim::Rank rank, const sim::CallInfo& info,
+               sim::Pmpi& pmpi) override;
+  void on_stall(sim::Engine& engine) override;
+
+  [[nodiscard]] const DiagnosticSink& sink() const { return sink_; }
+  /// True when no errors and no warnings were recorded.
+  [[nodiscard]] bool clean() const { return sink_.clean(); }
+
+  [[nodiscard]] std::uint64_t calls_checked() const { return calls_checked_; }
+
+ private:
+  /// One collective rendezvous as first described by the earliest arrival.
+  struct CollRecord {
+    sim::Op op = sim::Op::kBarrier;
+    sim::Rank root = 0;
+    std::size_t bytes = 0;
+    sim::Rank first_rank = 0;
+    int arrived = 0;
+  };
+
+  void error(std::string code, sim::Rank rank, std::string message);
+  void check_arguments(sim::Rank rank, const sim::CallInfo& info);
+  void check_collective(sim::Rank rank, const sim::CallInfo& info);
+  void check_finalize_leaks(sim::Pmpi& pmpi);
+  [[nodiscard]] std::string backtrace(sim::Rank rank) const;
+
+  int nprocs_;
+  const trace::CallSiteRegistry* stacks_;
+  VerifierOptions opts_;
+  DiagnosticSink sink_;
+  std::uint64_t calls_checked_ = 0;
+
+  // Per-rank collective sequence numbers on the traced communicators,
+  // counted at pre-hook time (the engine's own counters advance too late
+  // to catch divergence before its fatal consistency check).
+  std::vector<std::uint64_t> coll_seq_;  // [comm * nprocs + rank]
+  std::map<std::pair<int, std::uint64_t>, CollRecord> coll_sites_;
+
+  // The traced call each rank is currently inside (between pre and post);
+  // names the blocking call in deadlock reports.
+  std::vector<sim::CallInfo> current_call_;  // [rank]
+  std::vector<bool> in_call_;                // [rank]
+
+  int finalized_ranks_ = 0;
+  bool leaks_checked_ = false;
+  bool stall_reported_ = false;
+};
+
+}  // namespace cham::analysis

@@ -14,6 +14,7 @@ Engine::Engine(EngineOptions opts) : opts_(opts) {
   const auto p = static_cast<std::size_t>(opts_.nprocs);
   vtime_.assign(p, 0.0);
   wait_.assign(p, 0.0);
+  blocked_.assign(p, BlockedState{});
   unexpected_.resize(kNumComms * p);
   pending_.resize(kNumComms * p);
   requests_.resize(p);
@@ -62,9 +63,14 @@ void Engine::run(const std::function<void(Mpi&)>& rank_main) {
         },
         opts_.stack_bytes);
   }
-  if (approximate_) {
-    scheduler_->set_stall_handler([this] { return approximate_progress_step(); });
-  }
+  scheduler_->set_stall_handler([this] {
+    if (approximate_ && approximate_progress_step()) return true;
+    // Last chance for analysis tools to inspect the stalled configuration
+    // (wait-for graph, queue contents) before the scheduler unwinds all
+    // fibers and throws DeadlockError.
+    if (tool_ != nullptr) tool_->on_stall(*this);
+    return false;
+  });
   scheduler_->run();
 }
 
@@ -149,6 +155,8 @@ Request Engine::pmpi_irecv(Rank self, int comm, Rank src, int tag,
   state.is_recv = true;
   state.comm = comm;
   state.declared_bytes = declared_bytes;
+  state.src_match = src;
+  state.tag_match = tag;
 
   auto& backlog = unexpected_[box(comm, self)];
   PendingRecv want{src, tag, req};
@@ -168,10 +176,18 @@ Request Engine::pmpi_irecv(Rank self, int comm, Rank src, int tag,
 Message Engine::pmpi_wait(Rank self, Request req, RecvStatus* status) {
   RequestState& state = request_state(self, req);
   CHAM_CHECK_MSG(state.active, "wait on inactive request");
-  while (!state.complete) {
-    std::ostringstream why;
-    why << "MPI_Wait(request=" << req << ")";
-    scheduler_->block(why.str());
+  if (!state.complete) {
+    auto& blocked = blocked_[static_cast<std::size_t>(self)];
+    blocked.kind = BlockedState::Kind::kRecv;
+    blocked.comm = state.comm;
+    blocked.src_match = state.src_match;
+    blocked.tag_match = state.tag_match;
+    while (!state.complete) {
+      std::ostringstream why;
+      why << "MPI_Wait(request=" << req << ")";
+      scheduler_->block(why.str());
+    }
+    blocked = BlockedState{};
   }
   Message msg = std::move(state.msg);
   auto& t = vtime_[static_cast<std::size_t>(self)];
@@ -233,12 +249,18 @@ void Engine::collective_arrive(
     for (Rank r = 0; r < opts_.nprocs; ++r)
       if (r != self) scheduler_->unblock(r);
   } else {
+    auto& blocked = blocked_[static_cast<std::size_t>(self)];
+    blocked.kind = BlockedState::Kind::kCollective;
+    blocked.comm = comm;
+    blocked.op = op;
+    blocked.slot = key.second;
     while (!site.done) {
       std::ostringstream why;
       why << op_name(op) << " comm=" << comm << " slot=" << key.second << " ("
           << site.arrived << '/' << opts_.nprocs << " arrived)";
       scheduler_->block(why.str());
     }
+    blocked = BlockedState{};
   }
   if (site.max_arrive > own_arrive)
     wait_[static_cast<std::size_t>(self)] += site.max_arrive - own_arrive;
@@ -444,6 +466,34 @@ bool Engine::approximate_progress_step() {
 void Engine::advance_compute(Rank self, double seconds) {
   CHAM_CHECK_MSG(seconds >= 0.0, "compute time must be non-negative");
   vtime_[static_cast<std::size_t>(self)] += seconds;
+}
+
+// --------------------------------------------------------------------------
+// Introspection
+// --------------------------------------------------------------------------
+
+bool Engine::rank_finished(Rank r) const {
+  if (!scheduler_) return false;
+  return scheduler_->finished(r);
+}
+
+std::vector<PendingRecvInfo> Engine::pending_recvs(int comm, Rank r) const {
+  std::vector<PendingRecvInfo> out;
+  for (const PendingRecv& p : pending_.at(box(comm, r)))
+    out.push_back({p.src_match, p.tag_match});
+  return out;
+}
+
+Engine::RequestCounts Engine::active_requests(Rank r) const {
+  RequestCounts counts;
+  for (const RequestState& state : requests_.at(static_cast<std::size_t>(r))) {
+    if (!state.active || state.comm == kCommTool) continue;
+    if (state.is_recv)
+      ++counts.recvs;
+    else
+      ++counts.sends;
+  }
+  return counts;
 }
 
 // --------------------------------------------------------------------------

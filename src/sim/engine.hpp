@@ -49,6 +49,29 @@ struct Message {
 using Request = int;
 inline constexpr Request kNullRequest = -1;
 
+/// What a rank is blocked on right now. Exposed so analysis tools can build
+/// a wait-for graph from the engine's blocked-fiber state instead of parsing
+/// the human-readable block notes.
+struct BlockedState {
+  enum class Kind : std::uint8_t { kNone, kRecv, kCollective };
+
+  Kind kind = Kind::kNone;
+  int comm = kCommWorld;
+  // kRecv: the posted matching criteria of the awaited request.
+  Rank src_match = kAnySource;
+  int tag_match = kAnyTag;
+  // kCollective: the operation and the per-comm rendezvous slot.
+  Op op = Op::kBarrier;
+  std::uint64_t slot = 0;
+};
+
+/// A posted-but-unmatched receive (introspection mirror of the engine's
+/// pending queue entries).
+struct PendingRecvInfo {
+  Rank src_match = kAnySource;
+  int tag_match = kAnyTag;
+};
+
 class Engine {
  public:
   explicit Engine(EngineOptions opts);
@@ -163,6 +186,40 @@ class Engine {
   /// Per-rank untraced facade (valid during run()).
   Pmpi& pmpi(Rank r);
 
+  // --- introspection (for analysis tools; valid during run()) ------------
+
+  /// What rank r is blocked on (Kind::kNone while it is runnable/finished).
+  [[nodiscard]] const BlockedState& blocked_state(Rank r) const {
+    return blocked_.at(static_cast<std::size_t>(r));
+  }
+  /// True once rank r's fiber has returned from rank_main + finalize.
+  [[nodiscard]] bool rank_finished(Rank r) const;
+  /// Sent-but-never-received messages queued at rank r on `comm` — any
+  /// entry surviving MPI_Finalize is a message leak.
+  [[nodiscard]] const std::deque<Message>& unexpected_messages(int comm,
+                                                              Rank r) const {
+    return unexpected_.at(box(comm, r));
+  }
+  /// Posted receives still waiting for a matching send.
+  [[nodiscard]] std::vector<PendingRecvInfo> pending_recvs(int comm,
+                                                           Rank r) const;
+  /// Active (never waited / never completed) requests of rank r on traced
+  /// communicators, counted separately for sends and receives. Requests on
+  /// the tool communicator are a tool's own business and excluded — one
+  /// PMPI layer cannot see another layer's internal traffic. Eager isend
+  /// requests complete immediately, so an unwaited send request is benign;
+  /// an unwaited receive request holds a message (or a pending slot)
+  /// forever.
+  struct RequestCounts {
+    int sends = 0;
+    int recvs = 0;
+  };
+  [[nodiscard]] RequestCounts active_requests(Rank r) const;
+  /// Number of collectives rank r has entered on `comm` (its next slot).
+  [[nodiscard]] std::uint64_t collective_seq(int comm, Rank r) const {
+    return coll_seq_.at(box(comm, r));
+  }
+
  private:
   struct PendingRecv {
     Rank src_match = kAnySource;
@@ -177,6 +234,9 @@ class Engine {
     Message msg;
     std::size_t declared_bytes = 0;
     int comm = kCommWorld;
+    /// Posted matching criteria (receives only; feeds BlockedState).
+    Rank src_match = kAnySource;
+    int tag_match = kAnyTag;
   };
 
   [[nodiscard]] std::size_t box(int comm, Rank r) const {
@@ -215,6 +275,7 @@ class Engine {
   std::vector<Pmpi> pmpis_;
   std::vector<double> vtime_;
   std::vector<double> wait_;
+  std::vector<BlockedState> blocked_;  // [rank]
 
   static constexpr int kNumComms = 3;
   std::vector<std::deque<Message>> unexpected_;     // [comm*P + rank]

@@ -5,6 +5,54 @@
 
 #include "support/logging.hpp"
 
+// AddressSanitizer tracks one stack per thread; ucontext switches move
+// execution to a different stack behind its back, so every switch must be
+// announced via the fiber annotations — otherwise exception unwinding on a
+// fiber stack (__asan_handle_no_return) produces false positives.
+#if defined(__SANITIZE_ADDRESS__)
+#define CHAM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CHAM_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(CHAM_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace {
+
+/// Announce a switch away from the current stack onto [bottom, bottom+size).
+/// `save` receives the departing context's fake-stack handle (nullptr when
+/// the departing context is about to die).
+inline void sanitizer_pre_switch(void** save, const void* bottom,
+                                 std::size_t size) {
+#if defined(CHAM_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(save, bottom, size);
+#else
+  (void)save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+/// Complete a switch: `restore` is the handle saved when the now-current
+/// context last departed (nullptr on first entry); the out-params receive
+/// the bounds of the stack we came from.
+inline void sanitizer_post_switch(void* restore, const void** old_bottom,
+                                  std::size_t* old_size) {
+#if defined(CHAM_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(restore, old_bottom, old_size);
+#else
+  (void)restore;
+  (void)old_bottom;
+  (void)old_size;
+#endif
+}
+
+}  // namespace
+
 namespace cham::sim {
 
 namespace detail {
@@ -18,8 +66,13 @@ void FiberScheduler::trampoline(unsigned hi, unsigned lo) {
   auto* fiber = reinterpret_cast<detail::Fiber*>(
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
   FiberScheduler* sched = fiber->scheduler;
+  // First time on this stack; the stack we came from is the scheduler's.
+  sanitizer_post_switch(nullptr, &sched->main_stack_bottom_,
+                        &sched->main_stack_size_);
   try {
     fiber->entry();
+  } catch (const detail::FiberCancelled&) {
+    // Deliberate unwind during cancellation; not an application error.
   } catch (...) {
     if (!sched->pending_exception_)
       sched->pending_exception_ = std::current_exception();
@@ -27,6 +80,9 @@ void FiberScheduler::trampoline(unsigned hi, unsigned lo) {
   fiber->state = detail::FiberState::kFinished;
   ++sched->finished_;
   // Falling off the trampoline returns to uc_link (the scheduler context).
+  // This stack is dying: release its fake stack (nullptr save slot).
+  sanitizer_pre_switch(nullptr, sched->main_stack_bottom_,
+                       sched->main_stack_size_);
 }
 
 int FiberScheduler::spawn(std::function<void()> entry,
@@ -50,23 +106,51 @@ int FiberScheduler::spawn(std::function<void()> entry,
   return fibers_.back()->id;
 }
 
+void FiberScheduler::cancel_survivors() {
+  cancelling_ = true;
+  for (auto& fiber : fibers_) {
+    if (fiber->state != detail::FiberState::kBlocked) continue;
+    fiber->state = detail::FiberState::kReady;
+    ready_.push_back(fiber->id);
+  }
+}
+
 void FiberScheduler::run() {
   while (finished_ < fibers_.size()) {
+    if (pending_exception_ && !cancelling_) {
+      // A fiber raised: unwind everyone else, then rethrow below.
+      cancel_survivors();
+    }
     if (ready_.empty()) {
-      if (pending_exception_) break;  // a fiber died; report that instead
-      if (stall_handler_ && stall_handler_() && !ready_.empty()) continue;
-      throw std::runtime_error(deadlock_report());
+      if (!cancelling_ && stall_handler_ && stall_handler_() &&
+          !ready_.empty()) {
+        continue;
+      }
+      if (!cancelling_) {
+        deadlock_message_ = deadlock_report();
+        cancel_survivors();
+      }
+      if (ready_.empty()) break;  // nothing left that can be unwound
     }
     const int id = ready_.front();
     ready_.pop_front();
     detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(id)];
     if (fiber.state == detail::FiberState::kFinished) continue;
+    if (cancelling_ && !fiber.started) {
+      // Never entered: no stack to unwind, retire in place.
+      fiber.state = detail::FiberState::kFinished;
+      ++finished_;
+      continue;
+    }
     fiber.state = detail::FiberState::kRunning;
+    fiber.started = true;
     current_ = id;
     ++switches_;
+    sanitizer_pre_switch(&main_sanitizer_stack_, fiber.stack.get(),
+                         fiber.stack_bytes);
     CHAM_CHECK(swapcontext(&main_context_, &fiber.context) == 0);
+    sanitizer_post_switch(main_sanitizer_stack_, nullptr, nullptr);
     current_ = -1;
-    if (pending_exception_) break;
     if (fiber.state == detail::FiberState::kRunning) {
       // The fiber yielded cooperatively: still runnable.
       fiber.state = detail::FiberState::kReady;
@@ -78,19 +162,26 @@ void FiberScheduler::run() {
     pending_exception_ = nullptr;
     std::rethrow_exception(ex);
   }
+  if (!deadlock_message_.empty()) {
+    throw DeadlockError(deadlock_message_);
+  }
 }
 
 void FiberScheduler::yield() {
   CHAM_CHECK(current_ >= 0);
+  if (cancelling_) throw detail::FiberCancelled{};
   switch_to_scheduler();
+  if (cancelling_) throw detail::FiberCancelled{};
 }
 
 void FiberScheduler::block(std::string reason) {
   CHAM_CHECK(current_ >= 0);
+  if (cancelling_) throw detail::FiberCancelled{};
   detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(current_)];
   fiber.state = detail::FiberState::kBlocked;
   fiber.block_reason = std::move(reason);
   switch_to_scheduler();
+  if (cancelling_) throw detail::FiberCancelled{};
 }
 
 void FiberScheduler::unblock(int id) {
@@ -102,9 +193,26 @@ void FiberScheduler::unblock(int id) {
   ready_.push_back(id);
 }
 
+bool FiberScheduler::finished(int id) const {
+  return fibers_.at(static_cast<std::size_t>(id))->state ==
+         detail::FiberState::kFinished;
+}
+
+bool FiberScheduler::blocked(int id) const {
+  return fibers_.at(static_cast<std::size_t>(id))->state ==
+         detail::FiberState::kBlocked;
+}
+
+const std::string& FiberScheduler::block_note(int id) const {
+  return fibers_.at(static_cast<std::size_t>(id))->block_reason;
+}
+
 void FiberScheduler::switch_to_scheduler() {
   detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(current_)];
+  sanitizer_pre_switch(&fiber.sanitizer_stack, main_stack_bottom_,
+                       main_stack_size_);
   CHAM_CHECK(swapcontext(&fiber.context, &main_context_) == 0);
+  sanitizer_post_switch(fiber.sanitizer_stack, nullptr, nullptr);
 }
 
 std::string FiberScheduler::deadlock_report() const {

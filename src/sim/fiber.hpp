@@ -4,8 +4,10 @@
 // is strictly deterministic: ready fibers run in FIFO order, so a given
 // (workload, P, seed) triple always produces the identical interleaving and
 // therefore bit-identical traces. Blocking MPI semantics map to
-// block()/unblock(); a drained ready-queue with live fibers is a deadlock
-// and reported as such with per-fiber diagnostics.
+// block()/unblock(); a drained ready-queue with live fibers is a deadlock:
+// the scheduler captures per-fiber diagnostics, unwinds every surviving
+// fiber stack (so destructors run and nothing leaks), and throws
+// DeadlockError instead of hanging.
 #pragma once
 
 #include <ucontext.h>
@@ -15,6 +17,7 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -22,9 +25,21 @@ namespace cham::sim {
 
 class FiberScheduler;
 
+/// Thrown by FiberScheduler::run once every live fiber has been unwound
+/// after a confirmed deadlock (no runnable fiber, stall handler exhausted).
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 
 enum class FiberState : std::uint8_t { kReady, kRunning, kBlocked, kFinished };
+
+/// Thrown inside a fiber to force a clean stack unwind during cancellation.
+/// Deliberately not derived from std::exception so application-level
+/// `catch (const std::exception&)` handlers cannot swallow it.
+struct FiberCancelled {};
 
 struct Fiber {
   Fiber(std::size_t stack_bytes, std::function<void()> entry);
@@ -35,9 +50,12 @@ struct Fiber {
   std::function<void()> entry;
   FiberState state = FiberState::kReady;
   int id = -1;
+  bool started = false;  ///< context entered at least once
   FiberScheduler* scheduler = nullptr;
   /// Human-readable note set by the blocker (for deadlock reports).
   std::string block_reason;
+  /// ASan fake-stack handle saved across switches away from this fiber.
+  void* sanitizer_stack = nullptr;
 };
 
 }  // namespace detail
@@ -53,7 +71,8 @@ class FiberScheduler {
   int spawn(std::function<void()> entry, std::size_t stack_bytes);
 
   /// Drive all fibers to completion. Rethrows the first exception a fiber
-  /// raised. Throws std::runtime_error on deadlock.
+  /// raised. Throws DeadlockError on deadlock — in both cases only after
+  /// every remaining fiber stack has been unwound (destructors run).
   void run();
 
   /// Installed handler is consulted when no fiber is runnable but some are
@@ -82,20 +101,35 @@ class FiberScheduler {
   [[nodiscard]] std::size_t fiber_count() const { return fibers_.size(); }
   [[nodiscard]] std::size_t finished_count() const { return finished_; }
 
+  /// Introspection for analysis tools: fiber lifecycle state and the
+  /// blocker's note (empty unless blocked).
+  [[nodiscard]] bool finished(int id) const;
+  [[nodiscard]] bool blocked(int id) const;
+  [[nodiscard]] const std::string& block_note(int id) const;
+
   /// Total fiber context switches performed (diagnostics).
   [[nodiscard]] std::uint64_t switch_count() const { return switches_; }
 
  private:
   static void trampoline(unsigned hi, unsigned lo);
   void switch_to_scheduler();
+  /// Enter cancellation: every surviving fiber is resumed one last time and
+  /// unwound via FiberCancelled (never-started fibers are retired in place).
+  void cancel_survivors();
   [[nodiscard]] std::string deadlock_report() const;
 
   std::vector<std::unique_ptr<detail::Fiber>> fibers_;
   std::deque<int> ready_;
   ucontext_t main_context_{};
+  /// ASan bookkeeping for the scheduler's own (thread) stack.
+  void* main_sanitizer_stack_ = nullptr;
+  const void* main_stack_bottom_ = nullptr;
+  std::size_t main_stack_size_ = 0;
   int current_ = -1;
   std::size_t finished_ = 0;
   std::uint64_t switches_ = 0;
+  bool cancelling_ = false;
+  std::string deadlock_message_;
   std::exception_ptr pending_exception_;
   std::function<bool()> stall_handler_;
 };

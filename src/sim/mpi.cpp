@@ -116,6 +116,7 @@ RecvStatus Mpi::recv(Rank src, std::size_t bytes, int tag,
   Message msg = engine_->pmpi_recv(rank_, kCommWorld, src, tag, &status);
   if (payload != nullptr) *payload = std::move(msg.payload);
   info.matched_peer = status.source;
+  info.matched_bytes = status.bytes;
   engine_->tool_post(rank_, info);
   return status;
 }
@@ -162,6 +163,7 @@ RecvStatus Mpi::wait(Request req) {
   RecvStatus status;
   engine_->pmpi_wait(rank_, req, &status);
   info.matched_peer = status.source;
+  info.matched_bytes = status.bytes;
   engine_->tool_post(rank_, info);
   return status;
 }

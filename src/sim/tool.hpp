@@ -5,12 +5,19 @@
 // facade — the same powers a PMPI wrapper library has under real MPI.
 // Because the engine is single-threaded, one Tool instance serves all ranks;
 // per-rank state lives inside the tool, keyed by rank.
+//
+// Tools compose: ToolChain stacks several tools the way PMPI wrapper
+// libraries stack on a real MPI, so a correctness verifier can ride along
+// with the Chameleon tracer on the same run.
 #pragma once
+
+#include <vector>
 
 #include "sim/types.hpp"
 
 namespace cham::sim {
 
+class Engine;
 class Pmpi;
 
 class Tool {
@@ -27,6 +34,42 @@ class Tool {
                       Pmpi& /*pmpi*/) {}
   virtual void on_post(Rank /*rank*/, const CallInfo& /*info*/,
                        Pmpi& /*pmpi*/) {}
+
+  /// Fired outside any fiber when no rank can make progress and the run is
+  /// about to be aborted with a DeadlockError. The engine's introspection
+  /// API (blocked_state, pending/unexpected queues) describes the stalled
+  /// configuration; implementations must only inspect and record — the
+  /// engine unwinds all fibers and throws once this returns.
+  virtual void on_stall(Engine& /*engine*/) {}
+};
+
+/// Dispatches to a stack of tools. Pre-side hooks (on_init, on_pre) run
+/// first-to-last; on_post runs last-to-first — the nesting a stack of PMPI
+/// interposition layers produces on a real MPI. Does not own the tools.
+class ToolChain : public Tool {
+ public:
+  ToolChain() = default;
+  explicit ToolChain(std::vector<Tool*> tools) : tools_(std::move(tools)) {}
+
+  void add(Tool* tool) { tools_.push_back(tool); }
+  [[nodiscard]] std::size_t size() const { return tools_.size(); }
+
+  void on_init(Rank rank, Pmpi& pmpi) override {
+    for (Tool* tool : tools_) tool->on_init(rank, pmpi);
+  }
+  void on_pre(Rank rank, const CallInfo& info, Pmpi& pmpi) override {
+    for (Tool* tool : tools_) tool->on_pre(rank, info, pmpi);
+  }
+  void on_post(Rank rank, const CallInfo& info, Pmpi& pmpi) override {
+    for (auto it = tools_.rbegin(); it != tools_.rend(); ++it)
+      (*it)->on_post(rank, info, pmpi);
+  }
+  void on_stall(Engine& engine) override {
+    for (Tool* tool : tools_) tool->on_stall(engine);
+  }
+
+ private:
+  std::vector<Tool*> tools_;
 };
 
 }  // namespace cham::sim

@@ -68,6 +68,9 @@ struct CallInfo {
   int tag = kAnyTag;
   /// Declared transfer size in bytes (count * datatype extent).
   std::size_t bytes = 0;
+  /// Actual size of the matched message (post hook of recv/wait only);
+  /// analysis tools compare it against `bytes` to flag truncation.
+  std::size_t matched_bytes = 0;
   int comm = kCommWorld;
   Rank root = 0;
   bool is_marker = false;

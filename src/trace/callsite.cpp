@@ -1,0 +1,30 @@
+#include "trace/callsite.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace cham::trace {
+
+namespace {
+// Single-process engine: one global table, no locking needed.
+std::map<std::uint64_t, std::string>& site_names() {
+  static std::map<std::uint64_t, std::string> names;
+  return names;
+}
+}  // namespace
+
+std::uint64_t intern_site(std::string_view name) {
+  const std::uint64_t id = site_id(name);
+  site_names().emplace(id, std::string(name));
+  return id;
+}
+
+std::string site_name(std::uint64_t site) {
+  const auto& names = site_names();
+  if (const auto it = names.find(site); it != names.end()) return it->second;
+  std::ostringstream os;
+  os << "site:0x" << std::hex << site;
+  return os.str();
+}
+
+}  // namespace cham::trace

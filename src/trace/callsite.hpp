@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -25,14 +26,26 @@ constexpr std::uint64_t site_id(std::string_view name) {
   return support::fnv1a64(name);
 }
 
+/// Record the id→name mapping of a call site so analysis tools can render
+/// backtraces symbolically (the hash is one-way). Returns site_id(name).
+std::uint64_t intern_site(std::string_view name);
+
+/// Name of an interned site, or "site:0x<hex>" for ids never interned
+/// (e.g. scopes branded with a bare site_id()).
+std::string site_name(std::uint64_t site);
+
 class CallStack {
  public:
   void push(std::uint64_t site) {
     const std::uint64_t prev = prefix_.empty() ? kEmptySignature : prefix_.back();
     prefix_.push_back(support::hash_combine(prev, site));
+    sites_.push_back(site);
   }
 
-  void pop() { prefix_.pop_back(); }
+  void pop() {
+    prefix_.pop_back();
+    sites_.pop_back();
+  }
 
   /// Signature of the current calling sequence. O(1): prefix hashes are
   /// maintained incrementally.
@@ -42,10 +55,17 @@ class CallStack {
 
   [[nodiscard]] std::size_t depth() const { return prefix_.size(); }
 
+  /// Raw site ids of the active frames, outermost first. Render with
+  /// site_name() for symbolic backtraces.
+  [[nodiscard]] const std::vector<std::uint64_t>& frames() const {
+    return sites_;
+  }
+
   static constexpr std::uint64_t kEmptySignature = 0x9ae16a3b2f90404full;
 
  private:
   std::vector<std::uint64_t> prefix_;
+  std::vector<std::uint64_t> sites_;
 };
 
 /// One shadow stack per rank; shared between the workload (which pushes
@@ -74,6 +94,9 @@ class CallScope {
   CallScope(CallStack& stack, std::uint64_t site) : stack_(stack) {
     stack_.push(site);
   }
+  /// Named variant: also interns the id→name mapping for backtraces.
+  CallScope(CallStack& stack, std::string_view name)
+      : CallScope(stack, intern_site(name)) {}
   ~CallScope() { stack_.pop(); }
   CallScope(const CallScope&) = delete;
   CallScope& operator=(const CallScope&) = delete;

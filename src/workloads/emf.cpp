@@ -17,7 +17,6 @@
 namespace cham::workloads::kernels {
 
 using trace::CallScope;
-using trace::site_id;
 
 int emf_steps(char /*cls*/) { return 36; }  // overridden per P by the bench
 
@@ -35,25 +34,25 @@ void run_emf(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
   support::Rng task_mix(params.seed ^ static_cast<std::uint64_t>(mpi.rank()));
 
   if (mpi.rank() == 0) {
-    CallScope master_scope(stack, site_id("emf.master"));
+    CallScope master_scope(stack, "emf.master");
     for (int iter = 0; iter < iterations; ++iter) {
       {
-        CallScope scope(stack, site_id("emf.master.dispatch"));
+        CallScope scope(stack, "emf.master.dispatch");
         for (sim::Rank w = 1; w < mpi.size(); ++w)
           mpi.send(w, kTaskBytes, /*tag=*/71);
       }
       {
-        CallScope scope(stack, site_id("emf.master.collect"));
+        CallScope scope(stack, "emf.master.collect");
         for (sim::Rank w = 1; w < mpi.size(); ++w)
           mpi.recv(sim::kAnySource, kResultBytes, 72);
       }
       mpi.marker();
     }
   } else {
-    CallScope worker_scope(stack, site_id("emf.worker"));
+    CallScope worker_scope(stack, "emf.worker");
     for (int iter = 0; iter < iterations; ++iter) {
       {
-        CallScope scope(stack, site_id("emf.worker.stage"));
+        CallScope scope(stack, "emf.worker.stage");
         mpi.recv(0, kTaskBytes, 71, nullptr, /*absolute_peer=*/true);
         // Pipeline stage cost varies moderately with the dataset
         // (alignment depth); the per-iteration bottleneck is the slowest

@@ -17,7 +17,6 @@
 namespace cham::workloads::kernels {
 
 using trace::CallScope;
-using trace::site_id;
 
 namespace {
 
@@ -73,27 +72,27 @@ void run_bt(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
   const double compute = chain_compute_seconds(params.cls, mpi.size(), params.weak);
   trace::CallStack& stack = stacks.stack(mpi.rank());
 
-  CallScope main_scope(stack, site_id("bt.adi"));
+  CallScope main_scope(stack, "bt.adi");
   for (int step = 0; step < steps; ++step) {
     {
-      CallScope scope(stack, site_id("bt.x_solve"));
+      CallScope scope(stack, "bt.x_solve");
       mpi.compute(compute / 3);
       chain_exchange(mpi, bytes, 11);
     }
     {
-      CallScope scope(stack, site_id("bt.y_solve"));
+      CallScope scope(stack, "bt.y_solve");
       mpi.compute(compute / 3);
       chain_exchange(mpi, bytes, 12);
     }
     {
-      CallScope scope(stack, site_id("bt.z_solve"));
+      CallScope scope(stack, "bt.z_solve");
       mpi.compute(compute / 3);
       chain_exchange(mpi, bytes, 13);
     }
     mpi.marker();
   }
   // Verification norm, once at the end (NPB computes norms at itmax only).
-  CallScope verify_scope(stack, site_id("bt.verify"));
+  CallScope verify_scope(stack, "bt.verify");
   mpi.allreduce(5 * 8);
 }
 
@@ -112,16 +111,16 @@ void run_sp(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
       chain_compute_seconds(params.cls, mpi.size(), params.weak) / 2;
   trace::CallStack& stack = stacks.stack(mpi.rank());
 
-  CallScope main_scope(stack, site_id("sp.adi"));
+  CallScope main_scope(stack, "sp.adi");
   for (int step = 0; step < steps; ++step) {
     {
-      CallScope scope(stack, site_id("sp.solve"));
+      CallScope scope(stack, "sp.solve");
       mpi.compute(compute);
       chain_exchange(mpi, bytes, 21);
     }
     mpi.marker();
   }
-  CallScope verify_scope(stack, site_id("sp.verify"));
+  CallScope verify_scope(stack, "sp.verify");
   mpi.allreduce(5 * 8);
 }
 
@@ -176,18 +175,18 @@ void run_lu(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
           : static_cast<double>(n) * n * n / mpi.size() * 2.5e-9;
   trace::CallStack& stack = stacks.stack(mpi.rank());
 
-  CallScope main_scope(stack, site_id("lu.ssor"));
+  CallScope main_scope(stack, "lu.ssor");
   for (int step = 0; step < steps; ++step) {
     {
-      CallScope scope(stack, site_id("lu.blts"));  // lower triangular sweep
+      CallScope scope(stack, "lu.blts");  // lower triangular sweep
       lu_sweep(mpi, grid, +1, +1, bytes, compute / 3, 31);
     }
     {
-      CallScope scope(stack, site_id("lu.buts"));  // upper triangular sweep
+      CallScope scope(stack, "lu.buts");  // upper triangular sweep
       lu_sweep(mpi, grid, -1, -1, bytes, compute / 3, 32);
     }
     {
-      CallScope scope(stack, site_id("lu.rhs"));  // full halo for the RHS
+      CallScope scope(stack, "lu.rhs");  // full halo for the RHS
       mpi.compute(compute / 3);
       std::vector<sim::Request> reqs;
       constexpr std::array<std::pair<int, int>, 4> kDirs = {
@@ -203,13 +202,13 @@ void run_lu(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
     if (params.perturb_every > 0 && (step + 1) % params.perturb_every == 0) {
       // Figure 10: an extra barrier from a distinct call site makes the
       // interval's Call-Path differ, forcing a phase change + re-cluster.
-      CallScope scope(stack, site_id("lu.injected_phase"));
+      CallScope scope(stack, "lu.injected_phase");
       mpi.barrier();
     }
     mpi.marker();
   }
   // Convergence norm once at the end (NPB LU's inorm defaults to itmax).
-  CallScope verify_scope(stack, site_id("lu.norm"));
+  CallScope verify_scope(stack, "lu.norm");
   mpi.allreduce(5 * 8);
 }
 
@@ -230,11 +229,11 @@ void run_cg(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
   trace::CallStack& stack = stacks.stack(mpi.rank());
   support::Rng rng(params.seed ^ static_cast<std::uint64_t>(mpi.rank()));
 
-  CallScope main_scope(stack, site_id("cg.solve"));
+  CallScope main_scope(stack, "cg.solve");
   const int p = mpi.size();
   for (int step = 0; step < steps; ++step) {
     {
-      CallScope scope(stack, site_id("cg.spmv"));
+      CallScope scope(stack, "cg.spmv");
       // Sparse rows make compute irregular; communication stays regular.
       const double nnz_factor = 0.5 + rng.next_double();
       mpi.compute(static_cast<double>(n) * n / p * 1e-9 * nnz_factor);
@@ -246,7 +245,7 @@ void run_cg(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
       mpi.waitall(reqs);
     }
     {
-      CallScope scope(stack, site_id("cg.dot"));
+      CallScope scope(stack, "cg.dot");
       mpi.allreduce(8);
       mpi.allreduce(8);
     }

@@ -17,7 +17,6 @@
 namespace cham::workloads::kernels {
 
 using trace::CallScope;
-using trace::site_id;
 
 int pop_steps(char cls) { return cls == 'D' ? 20 : 15; }
 
@@ -37,10 +36,10 @@ void run_pop(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
   const sim::Rank lo = mpi.rank() - 1;
   const sim::Rank hi = mpi.rank() + 1;
 
-  CallScope main_scope(stack, site_id("pop.timestep"));
+  CallScope main_scope(stack, "pop.timestep");
   for (int step = 0; step < steps; ++step) {
     {
-      CallScope scope(stack, site_id("pop.baroclinic"));
+      CallScope scope(stack, "pop.baroclinic");
       mpi.compute(0.01 * (0.8 + 0.4 * load.next_double()));
       std::vector<sim::Request> reqs;
       if (lo >= 0) reqs.push_back(mpi.irecv(lo, halo_bytes, 51));
@@ -50,11 +49,11 @@ void run_pop(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
       mpi.waitall(reqs);
     }
     {
-      CallScope scope(stack, site_id("pop.barotropic"));
+      CallScope scope(stack, "pop.barotropic");
       // Conjugate-gradient solver: depth varies per timestep (3..10).
       const int inner = 3 + static_cast<int>(convergence.next_below(8));
       for (int it = 0; it < inner; ++it) {
-        CallScope inner_scope(stack, site_id("pop.barotropic.cg"));
+        CallScope inner_scope(stack, "pop.barotropic.cg");
         mpi.compute(0.001 * (0.8 + 0.4 * load.next_double()));
         std::vector<sim::Request> reqs;
         if (lo >= 0) reqs.push_back(mpi.irecv(lo, halo_bytes / 4, 52));
@@ -66,7 +65,7 @@ void run_pop(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
       }
     }
     {
-      CallScope scope(stack, site_id("pop.diagnostics"));
+      CallScope scope(stack, "pop.diagnostics");
       mpi.allreduce(3 * 8);
     }
     mpi.marker();

@@ -10,6 +10,7 @@
 // notes is absorbed by the delta-time histograms.
 #include <algorithm>
 #include <array>
+#include <string_view>
 
 #include "workloads/grid.hpp"
 #include "workloads/kernels.hpp"
@@ -17,7 +18,6 @@
 namespace cham::workloads::kernels {
 
 using trace::CallScope;
-using trace::site_id;
 
 int sweep3d_steps(char cls) { return cls == 'D' ? 10 : 8; }
 
@@ -34,11 +34,11 @@ void run_sweep3d(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
 
   constexpr std::array<std::pair<int, int>, 4> kOctants = {
       {{+1, +1}, {-1, +1}, {+1, -1}, {-1, -1}}};
-  constexpr std::array<std::uint64_t, 4> kOctantSites = {
-      site_id("sweep3d.octant_pp"), site_id("sweep3d.octant_mp"),
-      site_id("sweep3d.octant_pm"), site_id("sweep3d.octant_mm")};
+  constexpr std::array<std::string_view, 4> kOctantSites = {
+      "sweep3d.octant_pp", "sweep3d.octant_mp", "sweep3d.octant_pm",
+      "sweep3d.octant_mm"};
 
-  CallScope main_scope(stack, site_id("sweep3d.timestep"));
+  CallScope main_scope(stack, "sweep3d.timestep");
   for (int step = 0; step < steps; ++step) {
     for (std::size_t oct = 0; oct < kOctants.size(); ++oct) {
       const auto [dx, dy] = kOctants[oct];
@@ -62,7 +62,7 @@ void run_sweep3d(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
       }
     }
     {
-      CallScope scope(stack, site_id("sweep3d.flux_norm"));
+      CallScope scope(stack, "sweep3d.flux_norm");
       mpi.allreduce(8);
     }
     mpi.marker();

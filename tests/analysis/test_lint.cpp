@@ -1,0 +1,330 @@
+// TraceLint: semantic and wire-level trace validation. Corrupt traces are
+// hand-built byte streams seeded with exactly one defect each; the linter
+// must flag the intended diagnostic. Real tracer output must pass clean.
+#include "analysis/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/signature.hpp"
+#include "sim/engine.hpp"
+#include "sim/mpi.hpp"
+#include "trace/callsite.hpp"
+#include "trace/serialize.hpp"
+#include "trace/tracer.hpp"
+
+namespace cham::analysis {
+namespace {
+
+using trace::ByteWriter;
+
+// --- wire-format builders (mirror trace/serialize.cpp) -------------------
+
+void put_endpoint(ByteWriter& w, std::uint8_t kind, std::int32_t value) {
+  w.u8(kind);
+  w.i32(value);
+}
+
+void put_empty_histogram(ByteWriter& w) {
+  for (int i = 0; i < 16; ++i) w.u64(0);
+  w.u64(0);   // count
+  w.f64(0);   // min
+  w.f64(0);   // max
+  w.f64(0);   // sum
+}
+
+/// A singleton-section ranklist per rank in `starts` (no dims = {start}).
+void put_ranklist(ByteWriter& w, const std::vector<std::int32_t>& starts) {
+  w.u16(static_cast<std::uint16_t>(starts.size()));
+  for (std::int32_t start : starts) {
+    w.i32(start);
+    w.u16(0);
+  }
+}
+
+/// A minimal well-formed barrier leaf covering `ranks`.
+void put_leaf(ByteWriter& w, const std::vector<std::int32_t>& ranks,
+              std::uint8_t op = 6 /* kBarrier */, std::uint8_t comm = 0) {
+  w.u8(0xE1);
+  w.u8(op);
+  w.u64(0x1234);  // stack_sig
+  put_endpoint(w, 0, 0);
+  put_endpoint(w, 0, 0);
+  w.u64(0);  // bytes
+  w.i32(0);  // tag
+  w.u8(comm);
+  w.u8(0);  // is_marker
+  put_ranklist(w, ranks);
+  put_empty_histogram(w);
+}
+
+TEST(WireLint, WellFormedLeafPasses) {
+  ByteWriter w;
+  w.u32(1);
+  put_leaf(w, {0, 1});
+  DiagnosticSink sink;
+  EXPECT_TRUE(lint_trace_bytes(w.take(), {.nprocs = 2}, sink));
+  EXPECT_TRUE(sink.clean()) << sink.format_report();
+}
+
+TEST(WireLint, OverlappingRanklistSectionsAreFlagged) {
+  // Two sections both claiming rank 0: the canonicalizing decoder would
+  // silently dedup this — only the wire-level pass can see it.
+  ByteWriter w;
+  w.u32(1);
+  put_leaf(w, {0, 0});
+  DiagnosticSink sink;
+  lint_trace_bytes(w.take(), {.nprocs = 2}, sink);
+  EXPECT_EQ(sink.count("ranklist.overlap"), 1u);
+  const Diagnostic* d = sink.find("ranklist.overlap");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("covered more than once"), std::string::npos);
+}
+
+TEST(WireLint, ZeroIterationLoopIsFlagged) {
+  ByteWriter w;
+  w.u32(1);
+  w.u8(0xE2);  // loop mark
+  w.u64(0);    // iters = 0: invalid
+  w.u32(1);    // body length
+  put_leaf(w, {0});
+  DiagnosticSink sink;
+  EXPECT_TRUE(lint_trace_bytes(w.take(), {}, sink));
+  EXPECT_EQ(sink.count("rsd.zero_iterations"), 1u);
+}
+
+TEST(WireLint, InconsistentLoopBodyLengthIsFlagged) {
+  // The loop claims three body nodes but the stream holds only one: the
+  // walk runs off the end of the buffer.
+  ByteWriter w;
+  w.u32(1);
+  w.u8(0xE2);
+  w.u64(4);
+  w.u32(3);  // claims 3 children
+  put_leaf(w, {0});
+  DiagnosticSink sink;
+  EXPECT_FALSE(lint_trace_bytes(w.take(), {}, sink));
+  EXPECT_EQ(sink.count("wire.truncated"), 1u);
+}
+
+TEST(WireLint, EmptyLoopBodyIsFlagged) {
+  ByteWriter w;
+  w.u32(1);
+  w.u8(0xE2);
+  w.u64(5);
+  w.u32(0);
+  DiagnosticSink sink;
+  lint_trace_bytes(w.take(), {}, sink);
+  EXPECT_EQ(sink.count("rsd.empty_body"), 1u);
+}
+
+TEST(WireLint, NonPositiveRanklistIterationIsFlagged) {
+  ByteWriter w;
+  w.u32(1);
+  w.u8(0xE1);
+  w.u8(6);
+  w.u64(0x1234);
+  put_endpoint(w, 0, 0);
+  put_endpoint(w, 0, 0);
+  w.u64(0);
+  w.i32(0);
+  w.u8(0);
+  w.u8(0);
+  w.u16(1);   // 1 section
+  w.i32(0);   // start
+  w.u16(1);   // 1 dim
+  w.i32(-3);  // iters <= 0: invalid
+  w.i32(1);   // stride
+  put_empty_histogram(w);
+  DiagnosticSink sink;
+  lint_trace_bytes(w.take(), {}, sink);
+  EXPECT_EQ(sink.count("ranklist.nonpositive_iters"), 1u);
+}
+
+TEST(WireLint, BadNodeMarkAbortsWalk) {
+  ByteWriter w;
+  w.u32(1);
+  w.u8(0xAA);
+  DiagnosticSink sink;
+  EXPECT_FALSE(lint_trace_bytes(w.take(), {}, sink));
+  EXPECT_EQ(sink.count("wire.bad_mark"), 1u);
+}
+
+TEST(WireLint, TrailingBytesAreFlagged) {
+  ByteWriter w;
+  w.u32(1);
+  put_leaf(w, {0});
+  w.u8(0xFF);  // junk after the declared node count
+  DiagnosticSink sink;
+  lint_trace_bytes(w.take(), {}, sink);
+  EXPECT_EQ(sink.count("wire.trailing_bytes"), 1u);
+}
+
+TEST(WireLint, RanklistBeyondWorldIsFlagged) {
+  ByteWriter w;
+  w.u32(1);
+  put_leaf(w, {0, 9});
+  DiagnosticSink sink;
+  lint_trace_bytes(w.take(), {.nprocs = 4}, sink);
+  EXPECT_EQ(sink.count("ranklist.out_of_range"), 1u);
+}
+
+TEST(WireLint, ToolCommunicatorEventIsFlagged) {
+  ByteWriter w;
+  w.u32(1);
+  put_leaf(w, {0}, 6, /*comm=*/2);
+  DiagnosticSink sink;
+  lint_trace_bytes(w.take(), {}, sink);
+  EXPECT_EQ(sink.count("event.bad_comm"), 1u);
+}
+
+TEST(WireLint, CorruptHistogramCountIsFlagged) {
+  ByteWriter w;
+  w.u32(1);
+  w.u8(0xE1);
+  w.u8(6);
+  w.u64(0x1234);
+  put_endpoint(w, 0, 0);
+  put_endpoint(w, 0, 0);
+  w.u64(0);
+  w.i32(0);
+  w.u8(0);
+  w.u8(0);
+  put_ranklist(w, {0});
+  for (int i = 0; i < 16; ++i) w.u64(0);  // all bins empty...
+  w.u64(5);                               // ...but count claims 5 samples
+  w.f64(0);
+  w.f64(0);
+  w.f64(0);
+  DiagnosticSink sink;
+  lint_trace_bytes(w.take(), {}, sink);
+  EXPECT_EQ(sink.count("histogram.bin_sum"), 1u);
+}
+
+// --- semantic lint over decoded nodes ------------------------------------
+
+trace::EventRecord make_event(std::uint64_t sig) {
+  trace::EventRecord ev;
+  ev.op = sim::Op::kBarrier;
+  ev.stack_sig = sig;
+  ev.ranks = trace::RankList::from_ranks({0, 1});
+  return ev;
+}
+
+TEST(Lint, EmptyRanklistIsFlagged) {
+  trace::EventRecord ev = make_event(1);
+  ev.ranks = trace::RankList();
+  DiagnosticSink sink;
+  lint_trace({trace::TraceNode::leaf(ev)}, {}, sink);
+  EXPECT_EQ(sink.count("ranklist.empty"), 1u);
+}
+
+TEST(Lint, MarkerFlagMismatchIsFlagged) {
+  trace::EventRecord ev = make_event(1);
+  ev.op = sim::Op::kAllreduce;
+  ev.is_marker = true;  // markers are barriers on the marker communicator
+  DiagnosticSink sink;
+  lint_trace({trace::TraceNode::leaf(ev)}, {}, sink);
+  EXPECT_EQ(sink.count("event.marker_mismatch"), 1u);
+}
+
+TEST(Lint, AbsoluteEndpointBeyondWorldIsFlagged) {
+  trace::EventRecord ev = make_event(1);
+  ev.op = sim::Op::kBcast;
+  ev.dest = trace::Endpoint::absolute(12);
+  DiagnosticSink sink;
+  lint_trace({trace::TraceNode::leaf(ev)}, {.nprocs = 8}, sink);
+  EXPECT_EQ(sink.count("endpoint.out_of_range"), 1u);
+}
+
+TEST(Lint, EmptyLoopBodyIsFlagged) {
+  DiagnosticSink sink;
+  lint_trace({trace::TraceNode::loop(4, {})}, {}, sink);
+  EXPECT_EQ(sink.count("rsd.empty_body"), 1u);
+}
+
+TEST(Lint, FullCoverDetectsMissingRanks) {
+  DiagnosticSink sink;
+  lint_trace({trace::TraceNode::leaf(make_event(1))},
+             {.nprocs = 4, .expect_full_cover = true}, sink);
+  const Diagnostic* d = sink.find("merge.missing_ranks");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("2 3"), std::string::npos) << d->message;
+}
+
+// --- signature consistency -----------------------------------------------
+
+TEST(Signature, RecomputedCallpathMatchesIntervalSignature) {
+  // The Call-Path half of the interval signature must be exactly
+  // recomputable from the compressed trace: distinct stack signatures in
+  // first-seen order, position-weighted. Loop iterations add no distinct
+  // signatures, so compressed and expanded orders agree.
+  cluster::IntervalSignature interval;
+  std::vector<trace::TraceNode> nodes;
+  // Expanded: A, (B, C) x3, A, D  — first-seen order A, B, C, D.
+  const auto a = make_event(0xA);
+  const auto b = make_event(0xB);
+  const auto c = make_event(0xC);
+  const auto d = make_event(0xD);
+  nodes.push_back(trace::TraceNode::leaf(a));
+  nodes.push_back(trace::TraceNode::loop(
+      3, {trace::TraceNode::leaf(b), trace::TraceNode::leaf(c)}));
+  nodes.push_back(trace::TraceNode::leaf(a));
+  nodes.push_back(trace::TraceNode::leaf(d));
+  interval.observe(a);
+  for (int i = 0; i < 3; ++i) {
+    interval.observe(b);
+    interval.observe(c);
+  }
+  interval.observe(a);
+  interval.observe(d);
+  EXPECT_EQ(recompute_callpath(nodes), interval.current().callpath);
+}
+
+TEST(Signature, MismatchIsFlaggedAndMatchIsClean) {
+  std::vector<trace::TraceNode> nodes;
+  nodes.push_back(trace::TraceNode::leaf(make_event(0xBEEF)));
+  const std::uint64_t good = recompute_callpath(nodes);
+
+  DiagnosticSink clean_sink;
+  lint_signature(nodes, good, clean_sink);
+  EXPECT_TRUE(clean_sink.clean());
+
+  DiagnosticSink bad_sink;
+  lint_signature(nodes, good ^ 1, bad_sink);
+  EXPECT_EQ(bad_sink.count("signature.mismatch"), 1u);
+}
+
+// --- real tracer output must pass ----------------------------------------
+
+TEST(Lint, ScalaTraceOutputPassesBothLintLevels) {
+  const int p = 8;
+  sim::Engine engine({.nprocs = p});
+  trace::CallSiteRegistry stacks(p);
+  trace::ScalaTraceTool tracer(p, &stacks);
+  engine.set_tool(&tracer);
+  engine.run([&](sim::Mpi& mpi) {
+    trace::CallScope scope(stacks.stack(mpi.rank()), "lint.app");
+    const sim::Rank next = (mpi.rank() + 1) % mpi.size();
+    const sim::Rank prev = (mpi.rank() + mpi.size() - 1) % mpi.size();
+    for (int step = 0; step < 5; ++step) {
+      const sim::Request req = mpi.irecv(prev, 128, 4);
+      mpi.send(next, 128, 4);
+      mpi.wait(req);
+      mpi.allreduce(8);
+    }
+  });
+  const auto& nodes = tracer.global_trace();
+  ASSERT_FALSE(nodes.empty());
+
+  DiagnosticSink sink;
+  const LintOptions opts{.nprocs = p, .expect_full_cover = true};
+  lint_trace(nodes, opts, sink);
+  EXPECT_EQ(sink.errors(), 0u) << sink.format_report();
+  EXPECT_EQ(sink.warnings(), 0u) << sink.format_report();
+
+  EXPECT_TRUE(lint_trace_bytes(trace::encode_trace(nodes), opts, sink));
+  EXPECT_EQ(sink.errors(), 0u) << sink.format_report();
+}
+
+}  // namespace
+}  // namespace cham::analysis

@@ -1,0 +1,203 @@
+// VerifierTool: argument checks, collective agreement, finalize leaks,
+// truncation — and composition with the Chameleon tracer on the paper's
+// workloads (a clean run must produce zero diagnostics).
+#include "analysis/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/chameleon.hpp"
+#include "sim/engine.hpp"
+#include "sim/mpi.hpp"
+#include "sim/tool.hpp"
+#include "workloads/workload.hpp"
+
+namespace cham::analysis {
+namespace {
+
+TEST(Verifier, CleanRingExchangeProducesZeroDiagnostics) {
+  const int p = 4;
+  sim::Engine engine({.nprocs = p});
+  VerifierTool verifier(p);
+  engine.set_tool(&verifier);
+  engine.run([&](sim::Mpi& mpi) {
+    const sim::Rank next = (mpi.rank() + 1) % mpi.size();
+    const sim::Rank prev = (mpi.rank() + mpi.size() - 1) % mpi.size();
+    for (int step = 0; step < 3; ++step) {
+      const sim::Request req = mpi.irecv(prev, 256, 9);
+      mpi.send(next, 256, 9);
+      mpi.wait(req);
+      mpi.allreduce(8);
+    }
+  });
+  EXPECT_TRUE(verifier.clean()) << verifier.sink().format_report();
+  EXPECT_EQ(verifier.sink().diagnostics().size(), 0u);
+  EXPECT_GT(verifier.calls_checked(), 0u);
+}
+
+TEST(Verifier, DetectsCollectiveOperationDivergence) {
+  // Rank 0 enters a barrier where everyone else enters an allreduce. The
+  // engine itself aborts the whole process on this, so the verifier must
+  // catch it in the pre hook and (fail-fast) throw first.
+  const int p = 4;
+  sim::Engine engine({.nprocs = p});
+  VerifierTool verifier(p, nullptr, {.fail_fast = true});
+  engine.set_tool(&verifier);
+  EXPECT_THROW(engine.run([&](sim::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.barrier();
+    } else {
+      mpi.allreduce(8);
+    }
+  }),
+               VerificationError);
+  EXPECT_GE(verifier.sink().count("collective.divergence"), 1u);
+}
+
+TEST(Verifier, DetectsCollectiveRootDivergence) {
+  // All ranks bcast, but they disagree about the root. The engine computes
+  // something anyway; the verifier must flag every dissenting rank.
+  const int p = 4;
+  sim::Engine engine({.nprocs = p});
+  VerifierTool verifier(p);
+  engine.set_tool(&verifier);
+  engine.run([&](sim::Mpi& mpi) {
+    mpi.bcast(64, mpi.rank() == 0 ? 0 : 1);
+  });
+  EXPECT_FALSE(verifier.clean());
+  EXPECT_EQ(verifier.sink().count("collective.root_divergence"), 3u);
+}
+
+TEST(Verifier, WarnsOnCollectiveBytesDivergence) {
+  const int p = 2;
+  sim::Engine engine({.nprocs = p});
+  VerifierTool verifier(p);
+  engine.set_tool(&verifier);
+  engine.run([&](sim::Mpi& mpi) {
+    mpi.allreduce(mpi.rank() == 0 ? 8 : 16);
+  });
+  EXPECT_EQ(verifier.sink().count("collective.bytes_divergence"), 1u);
+  EXPECT_EQ(verifier.sink().errors(), 0u);
+  EXPECT_EQ(verifier.sink().warnings(), 1u);
+}
+
+TEST(Verifier, FlagsMessageLeakAtFinalize) {
+  // Rank 0 sends a message nobody ever receives: eager delivery lets the
+  // run complete, and the verifier finds the orphan at finalize.
+  const int p = 2;
+  sim::Engine engine({.nprocs = p});
+  VerifierTool verifier(p);
+  engine.set_tool(&verifier);
+  engine.run([&](sim::Mpi& mpi) {
+    if (mpi.rank() == 0) mpi.send(1, 512, 3);
+  });
+  EXPECT_FALSE(verifier.clean());
+  EXPECT_EQ(verifier.sink().count("finalize.message_leak"), 1u);
+  const Diagnostic* d = verifier.sink().find("finalize.message_leak");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->rank, 1);  // leaked at the would-be receiver
+  EXPECT_NE(d->message.find("512"), std::string::npos);
+}
+
+TEST(Verifier, FlagsUnmatchedRecvAtFinalize) {
+  // Rank 1 posts a receive that never matches and never waits on it.
+  const int p = 2;
+  sim::Engine engine({.nprocs = p});
+  VerifierTool verifier(p);
+  engine.set_tool(&verifier);
+  engine.run([&](sim::Mpi& mpi) {
+    if (mpi.rank() == 1) (void)mpi.irecv(0, 64, 5);
+  });
+  EXPECT_FALSE(verifier.clean());
+  EXPECT_EQ(verifier.sink().count("finalize.pending_recv"), 1u);
+  EXPECT_EQ(verifier.sink().count("finalize.unwaited_recv"), 1u);
+}
+
+TEST(Verifier, FlagsReceiveTruncation) {
+  // A 1 KiB message lands in a 16-byte receive: MPI_ERR_TRUNCATE.
+  const int p = 2;
+  sim::Engine engine({.nprocs = p});
+  VerifierTool verifier(p);
+  engine.set_tool(&verifier);
+  engine.run([&](sim::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(1, 1024, 7);
+    } else {
+      mpi.recv(0, 16, 7);
+    }
+  });
+  EXPECT_EQ(verifier.sink().count("recv.truncation"), 1u);
+  const Diagnostic* d = verifier.sink().find("recv.truncation");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->rank, 1);
+}
+
+TEST(Verifier, FailFastThrowsOnInvalidPeerBeforeEngineAborts) {
+  // Sending to rank 99 in a 2-rank world trips a fatal engine check; the
+  // fail-fast verifier must throw out of the pre hook first.
+  const int p = 2;
+  sim::Engine engine({.nprocs = p});
+  VerifierTool verifier(p, nullptr, {.fail_fast = true});
+  engine.set_tool(&verifier);
+  EXPECT_THROW(engine.run([&](sim::Mpi& mpi) {
+    if (mpi.rank() == 0) mpi.send(99, 8, 0);
+  }),
+               VerificationError);
+  EXPECT_EQ(verifier.sink().count("send.invalid_peer"), 1u);
+}
+
+TEST(Verifier, FlagsInvalidSendTag) {
+  const int p = 2;
+  sim::Engine engine({.nprocs = p});
+  VerifierTool verifier(p, nullptr, {.fail_fast = true});
+  engine.set_tool(&verifier);
+  EXPECT_THROW(engine.run([&](sim::Mpi& mpi) {
+    if (mpi.rank() == 0) mpi.send(1, 8, sim::kAnyTag);
+  }),
+               VerificationError);
+  EXPECT_EQ(verifier.sink().count("send.invalid_tag"), 1u);
+}
+
+TEST(Verifier, FlagsInvalidCollectiveRoot) {
+  const int p = 2;
+  sim::Engine engine({.nprocs = p});
+  VerifierTool verifier(p, nullptr, {.fail_fast = true});
+  engine.set_tool(&verifier);
+  EXPECT_THROW(engine.run([&](sim::Mpi& mpi) { mpi.bcast(8, 7); }),
+               VerificationError);
+  EXPECT_GE(verifier.sink().count("collective.invalid_root"), 1u);
+}
+
+// --- composition with the tracer on the paper's workloads ----------------
+
+class VerifiedWorkloads : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Chained, VerifiedWorkloads,
+                         ::testing::Values("bt", "pop", "sweep3d", "emf"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST_P(VerifiedWorkloads, ChameleonPlusVerifierIsClean) {
+  const workloads::WorkloadInfo* info = workloads::find_workload(GetParam());
+  ASSERT_NE(info, nullptr);
+  const int p = 8;
+  sim::Engine engine({.nprocs = p});
+  trace::CallSiteRegistry stacks(p);
+  core::ChameleonTool chameleon(p, &stacks, {.k = info->default_k});
+  VerifierTool verifier(p, &stacks);
+  sim::ToolChain chain({&verifier, &chameleon});
+  engine.set_tool(&chain);
+  workloads::WorkloadParams params{.cls = 'A', .timesteps = 6};
+  engine.run([&](sim::Mpi& mpi) { info->run(mpi, stacks, params); });
+
+  // A correct workload under a correct tracer: zero diagnostics of any
+  // severity, while the tracer still produced its online trace.
+  EXPECT_TRUE(verifier.clean()) << verifier.sink().format_report();
+  EXPECT_EQ(verifier.sink().diagnostics().size(), 0u)
+      << verifier.sink().format_report();
+  EXPECT_GT(chameleon.events_recorded_total(), 0u);
+  EXPECT_GT(verifier.calls_checked(), 0u);
+}
+
+}  // namespace
+}  // namespace cham::analysis

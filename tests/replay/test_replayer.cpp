@@ -19,6 +19,28 @@ using trace::CallScope;
 using trace::CallSiteRegistry;
 using trace::site_id;
 
+// The tracer charges its real CPU overhead into virtual time (as on a real
+// cluster), so accuracy thresholds assume tracing overhead is small relative
+// to the modeled compute. Sanitizer instrumentation slows the tracer by an
+// order of magnitude and breaks that assumption — keep the structural
+// assertions but skip the numeric thresholds there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kTimingExact = false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kTimingExact = false;
+#else
+constexpr bool kTimingExact = true;
+#endif
+#else
+constexpr bool kTimingExact = true;
+#endif
+
+void expect_accuracy_above(double t_app, double t_replay, double threshold) {
+  if (!kTimingExact) return;
+  EXPECT_GT(replay_accuracy(t_app, t_replay), threshold);
+}
+
 /// Ring stencil with compute: the app whose time replay must reproduce.
 void stencil_app(sim::Mpi& mpi, CallSiteRegistry* stacks, int steps) {
   const int p = mpi.size();
@@ -55,7 +77,7 @@ TEST(Replay, ScalaTraceTraceReproducesAppTime) {
 
   const ReplayResult replayed =
       replay_trace(tool.global_trace(), {.nprocs = p});
-  EXPECT_GT(replay_accuracy(t_app, replayed.vtime), 0.9);
+  expect_accuracy_above(t_app, replayed.vtime, 0.9);
 }
 
 TEST(Replay, ChameleonOnlineTraceReproducesAppTime) {
@@ -73,7 +95,7 @@ TEST(Replay, ChameleonOnlineTraceReproducesAppTime) {
 
   const ReplayResult replayed =
       replay_trace(tool.online_trace(), {.nprocs = p});
-  EXPECT_GT(replay_accuracy(t_app, replayed.vtime), 0.85);
+  expect_accuracy_above(t_app, replayed.vtime, 0.85);
   EXPECT_GT(replayed.events_replayed, 0u);
 }
 
@@ -134,7 +156,7 @@ TEST(Replay, MasterWorkerClusterTraceReplays) {
   EXPECT_EQ(tool.num_callpath_clusters(), 2u);
   const ReplayResult replayed =
       replay_trace(tool.online_trace(), {.nprocs = p});
-  EXPECT_GT(replay_accuracy(t_app, replayed.vtime), 0.7);
+  expect_accuracy_above(t_app, replayed.vtime, 0.7);
 }
 
 TEST(Replay, LoadImbalanceSurvivesHistogramAveraging) {
@@ -165,7 +187,7 @@ TEST(Replay, LoadImbalanceSurvivesHistogramAveraging) {
 
   const ReplayResult replayed =
       replay_trace(tool.online_trace(), {.nprocs = p});
-  EXPECT_GT(replay_accuracy(t_app, replayed.vtime), 0.6);
+  expect_accuracy_above(t_app, replayed.vtime, 0.6);
 }
 
 TEST(ReplayAccuracy, Formula) {

@@ -1,0 +1,95 @@
+// ToolChain: composing tools must preserve the sandwich ordering — pre
+// hooks run first-to-last, post hooks last-to-first — and forward stall
+// notifications to every link in order.
+#include "sim/tool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/mpi.hpp"
+
+namespace cham::sim {
+namespace {
+
+class RecordingTool : public Tool {
+ public:
+  RecordingTool(std::string name, std::vector<std::string>* log)
+      : name_(std::move(name)), log_(log) {}
+
+  void on_init(Rank rank, Pmpi&) override {
+    log_->push_back(name_ + ".init:" + std::to_string(rank));
+  }
+  void on_pre(Rank, const CallInfo& info, Pmpi&) override {
+    if (info.op == Op::kBarrier) log_->push_back(name_ + ".pre");
+  }
+  void on_post(Rank, const CallInfo& info, Pmpi&) override {
+    if (info.op == Op::kBarrier) log_->push_back(name_ + ".post");
+  }
+  void on_stall(Engine&) override { log_->push_back(name_ + ".stall"); }
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+};
+
+TEST(ToolChain, PreRunsForwardPostRunsReverse) {
+  std::vector<std::string> log;
+  RecordingTool a("A", &log);
+  RecordingTool b("B", &log);
+  ToolChain chain({&a, &b});
+  ASSERT_EQ(chain.size(), 2u);
+
+  Engine engine({.nprocs = 1});
+  engine.set_tool(&chain);
+  engine.run([](Mpi& mpi) { mpi.barrier(); });
+
+  const std::vector<std::string> expected = {
+      "A.init:0", "B.init:0",          // init forwards (rank 0)
+      "A.pre",    "B.pre",             // pre: first-to-last
+      "B.post",   "A.post",            // post: last-to-first (sandwich)
+  };
+  ASSERT_GE(log.size(), expected.size());
+  EXPECT_EQ(std::vector<std::string>(log.begin(),
+                                     log.begin() + expected.size()),
+            expected);
+}
+
+TEST(ToolChain, StallIsForwardedToEveryToolInOrder) {
+  std::vector<std::string> log;
+  RecordingTool a("A", &log);
+  RecordingTool b("B", &log);
+  ToolChain chain({&a, &b});
+
+  Engine engine({.nprocs = 2});
+  engine.set_tool(&chain);
+  EXPECT_THROW(
+      engine.run([](Mpi& mpi) { mpi.recv(1 - mpi.rank(), 8, 0); }),
+      DeadlockError);
+
+  std::vector<std::string> stalls;
+  for (const std::string& entry : log)
+    if (entry.find(".stall") != std::string::npos) stalls.push_back(entry);
+  EXPECT_EQ(stalls, (std::vector<std::string>{"A.stall", "B.stall"}));
+}
+
+TEST(ToolChain, AddAppendsAfterConstruction) {
+  std::vector<std::string> log;
+  RecordingTool a("A", &log);
+  RecordingTool b("B", &log);
+  ToolChain chain;
+  chain.add(&a);
+  chain.add(&b);
+  EXPECT_EQ(chain.size(), 2u);
+
+  Engine engine({.nprocs = 1});
+  engine.set_tool(&chain);
+  engine.run([](Mpi&) {});
+  EXPECT_EQ(log.front(), "A.init:0");
+}
+
+}  // namespace
+}  // namespace cham::sim

@@ -1,0 +1,134 @@
+// chamlint — static validity checker for Chameleon/ScalaTrace trace files.
+//
+//   chamlint [--procs P] [--full-cover] [--callpath 0xHEX] [--quiet]
+//            <trace-file>...
+//
+// Runs the TraceLint pass over each file twice: once at the wire level
+// (catching corruptions the canonicalizing decoder would repair or reject
+// wholesale — overlapping ranklist sections, zero-iteration loops,
+// truncation, trailing bytes) and once over the decoded node tree
+// (semantic invariants: operation/communicator/marker validity, endpoint
+// and ranklist bounds, histogram consistency).
+//
+//   --procs P      enable rank-bound checks against world size P
+//   --full-cover   expect a fully merged global trace: every rank of
+//                  [0, P) must appear in some leaf's ranklist
+//   --callpath S   verify the recorded Call-Path signature S (hex) against
+//                  the trace's own events
+//   --quiet        suppress per-diagnostic lines; print only summaries
+//
+// Diagnostics are machine-readable, one per line:
+//   <file>: <severity>[<code>]: <message>
+// Exit status: 0 = no errors, 1 = errors found, 2 = usage/IO failure.
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/lint.hpp"
+#include "trace/serialize.hpp"
+
+using namespace cham;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: chamlint [--procs <P>] [--full-cover] [--callpath <hex>]"
+      " [--quiet] <trace-file>...\n",
+      stderr);
+  return 2;
+}
+
+struct Options {
+  analysis::LintOptions lint;
+  bool quiet = false;
+  bool check_callpath = false;
+  std::uint64_t callpath = 0;
+  std::vector<std::string> files;
+};
+
+bool parse_args(int argc, char** argv, Options& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--procs" && i + 1 < argc) {
+      try {
+        out.lint.nprocs = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "chamlint: --procs needs an integer, got '%s'\n",
+                     argv[i]);
+        return false;
+      }
+      if (out.lint.nprocs <= 0) {
+        std::fprintf(stderr, "chamlint: --procs must be positive\n");
+        return false;
+      }
+    } else if (arg == "--full-cover") {
+      out.lint.expect_full_cover = true;
+    } else if (arg == "--callpath" && i + 1 < argc) {
+      out.check_callpath = true;
+      try {
+        out.callpath = std::stoull(argv[++i], nullptr, 16);
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "chamlint: --callpath needs a hex signature, got '%s'\n",
+                     argv[i]);
+        return false;
+      }
+    } else if (arg == "--quiet") {
+      out.quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return false;
+    } else {
+      out.files.push_back(arg);
+    }
+  }
+  return !out.files.empty();
+}
+
+int lint_file(const std::string& path, const Options& opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "chamlint: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::vector<std::uint8_t> bytes(std::istreambuf_iterator<char>(in), {});
+
+  analysis::DiagnosticSink sink;
+  const bool wire_ok = analysis::lint_trace_bytes(bytes, opts.lint, sink);
+  if (wire_ok && sink.errors() == 0) {
+    // Wire format is sound: decode and run the semantic checks too.
+    try {
+      const auto nodes = trace::decode_trace(bytes);
+      analysis::lint_trace(nodes, opts.lint, sink);
+      if (opts.check_callpath)
+        analysis::lint_signature(nodes, opts.callpath, sink);
+    } catch (const trace::DecodeError& e) {
+      sink.report(analysis::Severity::kError, "wire.decode", -1, e.what());
+    }
+  }
+
+  if (!opts.quiet) {
+    for (const auto& d : sink.diagnostics())
+      std::printf("%s: %s\n", path.c_str(), d.to_string().c_str());
+  }
+  std::printf("%s: %zu error(s), %zu warning(s)\n", path.c_str(),
+              sink.errors(), sink.warnings());
+  return sink.errors() > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return usage();
+  int status = 0;
+  for (const auto& file : opts.files) {
+    const int rc = lint_file(file, opts);
+    if (rc == 2) return 2;
+    if (rc > status) status = rc;
+  }
+  return status;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full verification sweep: builds the tree in three configurations and runs
+# the complete test suite in each.
+#
+#   1. Release          — the shipping configuration
+#   2. ASan + UBSan     — memory and UB errors (fiber unwinding, wire decoding)
+#   3. Werror           — warning-clean build enforced
+#
+# Usage: tools/check.sh [jobs]
+# Build trees live under build-check/ (gitignored).
+
+set -euo pipefail
+
+jobs=${1:-2}
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+
+run_config() {
+  local name=$1
+  shift
+  local dir="build-check/$name"
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== [$name] test ==="
+  (cd "$dir" && ctest --output-on-failure -j "$jobs")
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCHAMELEON_ASAN=ON -DCHAMELEON_UBSAN=ON
+run_config werror -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHAMELEON_WERROR=ON
+
+echo "=== all configurations green ==="

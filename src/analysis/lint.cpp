@@ -43,11 +43,17 @@ void check_histogram(const support::Histogram& h, const std::string& path,
 void check_event(const trace::EventRecord& ev, const LintOptions& opts,
                  const std::string& path, DiagnosticSink& sink) {
   if (static_cast<std::uint8_t>(ev.op) >
-      static_cast<std::uint8_t>(sim::Op::kFinalize)) {
+      static_cast<std::uint8_t>(sim::Op::kGap)) {
     std::ostringstream os;
     os << "event carries invalid operation code "
        << static_cast<int>(static_cast<std::uint8_t>(ev.op)) << at(path);
     sink.report(Severity::kError, "event.bad_op", -1, os.str());
+  }
+  if (ev.op == sim::Op::kGap) {
+    std::ostringstream os;
+    os << "gap: interval of failed lead rank " << ev.tag
+       << " lost for ranks " << ev.ranks.to_string() << at(path);
+    sink.report(Severity::kInfo, "trace.gap", -1, os.str());
   }
   if (ev.comm != sim::kCommWorld && ev.comm != sim::kCommMarker) {
     std::ostringstream os;
@@ -281,7 +287,7 @@ class WireLinter {
 
   void leaf(const std::string& path) {
     const std::uint8_t op = reader_.u8();
-    if (op > static_cast<std::uint8_t>(sim::Op::kFinalize)) {
+    if (op > static_cast<std::uint8_t>(sim::Op::kGap)) {
       sink_.report(Severity::kError, "event.bad_op", -1,
                    "invalid operation code " + std::to_string(op) + at(path));
     }

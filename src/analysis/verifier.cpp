@@ -53,10 +53,12 @@ void VerifierTool::on_pre(sim::Rank rank, const sim::CallInfo& info,
   in_call_[static_cast<std::size_t>(rank)] = true;
   check_arguments(rank, info);
   if (sim::op_is_collective(info.op)) check_collective(rank, info);
-  if (info.op == sim::Op::kFinalize && ++finalized_ranks_ == nprocs_ &&
-      !leaks_checked_) {
-    // Every rank has entered MPI_Finalize: no further application traffic
-    // can appear, so anything still queued in the engine is leaked.
+  if (info.op == sim::Op::kFinalize && !leaks_checked_ &&
+      ++finalized_ranks_ >= nprocs_ - pmpi.engine().failed_count()) {
+    // Every surviving rank has entered MPI_Finalize: no further application
+    // traffic can appear, so anything still queued in the engine is leaked.
+    // Crashed ranks never reach finalize; they are discounted from the
+    // quorum and their residue is excused below.
     leaks_checked_ = true;
     check_finalize_leaks(pmpi);
   }
@@ -176,16 +178,35 @@ void VerifierTool::check_collective(sim::Rank rank,
 
 void VerifierTool::check_finalize_leaks(sim::Pmpi& pmpi) {
   sim::Engine& engine = pmpi.engine();
+  // Under fault injection a crashed rank's residue is expected, not a bug:
+  // messages it sent before dying may sit unreceived forever, and anything
+  // queued at the dead rank itself can no longer be drained.
+  const bool ft = engine.fault_injection_enabled();
+  const auto dead = [&](sim::Rank r) { return ft && engine.is_failed(r); };
   for (int comm = 0; comm < kTracedComms; ++comm) {
     for (sim::Rank r = 0; r < nprocs_; ++r) {
+      if (dead(r)) continue;
       for (const sim::Message& msg : engine.unexpected_messages(comm, r)) {
         std::ostringstream os;
         os << "message leak: " << msg.bytes << " bytes from rank " << msg.src
            << " tag " << msg.tag << " on comm " << comm
            << " were never received";
+        if (dead(msg.src)) {
+          sink_.report(Severity::kInfo, "finalize.failed_peer_leak", r,
+                       os.str() + " (sender crashed)");
+          continue;
+        }
         error("finalize.message_leak", r, os.str());
       }
       for (const sim::PendingRecvInfo& p : engine.pending_recvs(comm, r)) {
+        if (p.src_match != sim::kAnySource && dead(p.src_match)) {
+          std::ostringstream os;
+          os << "receive posted for crashed rank " << p.src_match
+             << " on comm " << comm << " will never match";
+          sink_.report(Severity::kInfo, "finalize.failed_peer_leak", r,
+                       os.str());
+          continue;
+        }
         std::ostringstream os;
         os << "receive posted for src ";
         if (p.src_match == sim::kAnySource)
@@ -203,6 +224,7 @@ void VerifierTool::check_finalize_leaks(sim::Pmpi& pmpi) {
     }
   }
   for (sim::Rank r = 0; r < nprocs_; ++r) {
+    if (dead(r)) continue;
     // Unwaited send requests are benign under the engine's eager-send
     // semantics (the transfer completed at post time); unwaited receive
     // requests park a matched message — or a pending slot — forever.
@@ -216,8 +238,11 @@ void VerifierTool::check_finalize_leaks(sim::Pmpi& pmpi) {
   }
   // Collectives some ranks entered and others will never reach: every
   // record still alive saw fewer than nprocs arrivals and no arrivals can
-  // follow finalize.
+  // follow finalize. With injected failures a site every survivor entered
+  // is complete (the engine routes collectives around dead ranks).
+  const int live = nprocs_ - engine.failed_count();
   for (const auto& [key, rec] : coll_sites_) {
+    if (ft && rec.arrived >= live) continue;
     std::ostringstream os;
     os << op_name(rec.op) << " #" << key.second << " on comm " << key.first
        << " was entered by only " << rec.arrived << '/' << nprocs_

@@ -69,6 +69,13 @@ class ClusterSet {
     return groups_;
   }
 
+  /// Mutable access for in-place repair (lead failover re-points a dead
+  /// cluster lead at a surviving member without re-running the reduction).
+  [[nodiscard]] std::map<std::uint64_t, std::vector<ClusterEntry>>&
+  groups_mutable() {
+    return groups_;
+  }
+
   /// Wire format for the tree exchange and the final broadcast.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static ClusterSet decode(const std::vector<std::uint8_t>& bytes);

@@ -67,6 +67,70 @@ const cluster::ClusterSet& ChameleonTool::clusters() const {
   return cham_.front().clusters;
 }
 
+sim::Rank ChameleonTool::home_rank(sim::Pmpi& pmpi) {
+  sim::Engine& eng = pmpi.engine();
+  if (!eng.fault_injection_enabled() || eng.failed_count() == 0) return 0;
+  return eng.live_ranks().front();
+}
+
+void ChameleonTool::handle_failures(sim::Rank rank, sim::Pmpi& pmpi) {
+  sim::Engine& eng = pmpi.engine();
+  if (!eng.fault_injection_enabled() || eng.failed_count() == 0) return;
+  RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  if (cs.clusters.total_clusters() == 0) return;
+
+  // Every survivor runs this after the same synchronization point (marker
+  // barrier or the finalize settle barrier) and before the next crash
+  // opportunity (the first tool-comm send/recv), so all observe the
+  // identical failed set and repair their cluster-table copies identically.
+  const sim::Rank home = cs.epoch_home;
+  std::size_t lead_total = 0;
+  std::size_t lead_dead = 0;
+  for (auto& [callpath, entries] : cs.clusters.groups_mutable()) {
+    for (cluster::ClusterEntry& entry : entries) {
+      ++lead_total;
+      if (!eng.is_failed(entry.lead)) continue;
+      ++lead_dead;
+      const sim::Rank dead = entry.lead;
+      if (rank == home && gaps_emitted_.insert(dead).second) {
+        // The dead lead's partial trace is gone; the interval it covered
+        // for its cluster becomes an explicit gap in the online trace so
+        // downstream consumers see the loss instead of silent absence.
+        trace::EventRecord gap;
+        gap.op = sim::Op::kGap;
+        gap.tag = dead;
+        gap.comm = sim::kCommWorld;
+        gap.ranks = entry.members;
+        online_.push_back(trace::TraceNode::leaf(std::move(gap)));
+      }
+      // The paper picks the cluster head as the group's representative;
+      // under failure that rule degrades to the lowest-rank survivor of
+      // the same group.
+      sim::Rank promoted = sim::kAnySource;
+      for (sim::Rank member : entry.members.members()) {
+        if (!eng.is_failed(member)) {
+          promoted = member;
+          break;
+        }
+      }
+      if (promoted == sim::kAnySource) continue;  // whole cluster died
+      entry.lead = promoted;
+      if (rank == promoted) state(rank).storing = true;
+    }
+  }
+  if (lead_dead == 0) return;
+  const double fraction =
+      static_cast<double>(lead_dead) / static_cast<double>(lead_total);
+  if (fraction > config_.degrade_fraction) {
+    // Too much representative coverage is gone: abandon lead-only tracing
+    // and have every survivor trace for itself until the next clustering.
+    cs.clusters = cluster::ClusterSet{};
+    cs.lead_phase = false;
+    cs.reclustering = true;
+    state(rank).storing = true;
+  }
+}
+
 void ChameleonTool::on_post(sim::Rank rank, const sim::CallInfo& info,
                             sim::Pmpi& pmpi) {
   ScalaTraceTool::on_post(rank, info, pmpi);
@@ -113,10 +177,11 @@ MarkerAction ChameleonTool::algorithm1(sim::Rank rank, sim::Pmpi& pmpi,
 
   const std::uint64_t mismatch = cs.old_callpath != sig.callpath ? 1 : 0;
   // The collective vote: MPI_Reduce + MPI_Bcast, O(log P). Communication is
-  // deliberately untimed (blocking); only local work counts as CPU.
-  const std::uint64_t sum =
-      pmpi.reduce_u64(mismatch, sim::ReduceOp::kSum, /*root=*/0);
-  const std::uint64_t glob = pmpi.bcast_u64(sum, /*root=*/0);
+  // deliberately untimed (blocking); only local work counts as CPU. The
+  // root is rank 0 until it dies, then the lowest survivor.
+  const sim::Rank home = cs.epoch_home;
+  const std::uint64_t sum = pmpi.reduce_u64(mismatch, sim::ReduceOp::kSum, home);
+  const std::uint64_t glob = pmpi.bcast_u64(sum, home);
 
   // The local vote bookkeeping below is a handful of instructions — far
   // below timer resolution; only the clustering path (*cpu via
@@ -145,7 +210,7 @@ void ChameleonTool::run_clustering(sim::Rank rank, sim::Pmpi& pmpi,
   cs.clusters = hierarchical_cluster(rank, pmpi, sig, config_.k,
                                      config_.policy, config_.seed, &stats);
   *cpu += stats.cpu_seconds;
-  if (rank == 0) {
+  if (rank == cs.epoch_home) {
     num_callpaths_ = stats.num_callpaths;
     effective_k_ = stats.effective_k;
   }
@@ -153,7 +218,14 @@ void ChameleonTool::run_clustering(sim::Rank rank, sim::Pmpi& pmpi,
   // Non-leads stop storing traces from here on; their cluster's lead stands
   // in for them (this is where the Table IV zeros come from).
   const cluster::ClusterEntry* entry = cs.clusters.cluster_of(rank);
-  CHAM_CHECK_MSG(entry != nullptr, "clustering lost a rank");
+  if (entry == nullptr) {
+    // Only possible when a crash dropped this rank's table mid-reduction:
+    // unrepresented survivors trace for themselves (bounded degradation).
+    CHAM_CHECK_MSG(pmpi.engine().fault_injection_enabled(),
+                   "clustering lost a rank");
+    state(rank).storing = true;
+    return;
+  }
   state(rank).storing = entry->lead == rank;
 }
 
@@ -175,24 +247,30 @@ void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
     merged = radix_merge(rank, leads, std::move(nodes), pmpi);
   }
 
-  // Hand the interval's global trace to rank 0 (Algorithm 3 lines 36–44).
+  // Hand the interval's global trace to the home rank (Algorithm 3 lines
+  // 36–44; rank 0 unless it died).
+  const sim::Rank home = cs.epoch_home;
   const sim::Rank merge_root = leads.front();
-  if (merge_root != 0) {
+  if (merge_root != home) {
     if (rank == merge_root) {
       std::vector<std::uint8_t> payload;
       {
         trace::ChargedSection timed(st.inter_timer, pmpi);
         payload = trace::encode_trace(merged);
       }
-      pmpi.send_bytes(0, kOnlineTag, std::move(payload));
+      pmpi.send_bytes(home, kOnlineTag, std::move(payload));
       merged.clear();
-    } else if (rank == 0) {
-      std::vector<std::uint8_t> payload = pmpi.recv_bytes(merge_root, kOnlineTag);
+    } else if (rank == home) {
+      sim::RecvStatus status;
+      std::vector<std::uint8_t> payload =
+          pmpi.recv_bytes(merge_root, kOnlineTag, &status);
       trace::ChargedSection timed(st.inter_timer, pmpi);
-      merged = trace::decode_trace(payload);
+      // A merge root that died mid-handoff takes the interval with it; the
+      // loss surfaces as a gap node at the next failure handling.
+      if (!status.peer_failed) merged = trace::decode_trace(payload);
     }
   }
-  if (rank == 0 && !merged.empty()) {
+  if (rank == home && !merged.empty()) {
     trace::ChargedSection timed(st.inter_timer, pmpi);
     trace::append_online(online_, std::move(merged), config_.max_window);
   }
@@ -215,7 +293,13 @@ void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
   ++cs.markers_seen;
   if (cs.markers_seen % static_cast<std::uint64_t>(config_.call_frequency) != 0)
     return;
-  if (rank == 0) ++processed_markers_;
+  cs.epoch_home = home_rank(pmpi);
+  if (rank == cs.epoch_home) ++processed_markers_;
+
+  // Dead leads are detected at the next processed marker: the marker
+  // barrier is the synchronization point after which every survivor sees
+  // the same failed set.
+  handle_failures(rank, pmpi);
 
   trace::RankTraceState& st = state(rank);
   const std::uint64_t intra_bytes_before = st.intra.footprint_bytes();
@@ -267,6 +351,19 @@ void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
 
 void ChameleonTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
   RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  const bool ft = pmpi.engine().fault_injection_enabled();
+  if (ft) {
+    // Settle barrier: ranks crashing at finalize entry are dead by the
+    // time this completes, so every survivor repairs against the same
+    // failed set; the second barrier holds everyone until all repairs are
+    // done before any merge traffic (a survivor crashing mid-merge must
+    // not be half-repaired). Both are skipped without an injector to keep
+    // fault-free runs bit-identical.
+    pmpi.barrier();
+    cs.epoch_home = home_rank(pmpi);
+    handle_failures(rank, pmpi);
+    pmpi.barrier();
+  }
   trace::RankTraceState& st = state(rank);
   const std::uint64_t intra_bytes_before = st.intra.footprint_bytes();
 

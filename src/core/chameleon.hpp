@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -116,11 +117,27 @@ class ChameleonTool : public trace::ScalaTraceTool {
     bool reclustering = true;
     bool lead_phase = false;  // between C and its flush
     std::uint64_t markers_seen = 0;
+    /// Home rank for the current marker epoch, captured right after the
+    /// epoch's synchronization point while no crash can intervene — later
+    /// protocol steps reuse it so every survivor agrees even if the home
+    /// itself dies mid-protocol (consistency over freshness).
+    sim::Rank epoch_home = 0;
     cluster::ClusterSet clusters;  // own copy, as broadcast
     // --- §VII auto-marker detection ---
     std::uint64_t auto_site = 0;  // chosen recurring collective site
     std::unordered_map<std::uint64_t, int> site_counts;
   };
+
+  /// Fault tolerance: detect cluster leads that died since the last
+  /// processed marker, promote the lowest-rank surviving member of each
+  /// affected cluster, record an explicit gap node for the interval the
+  /// dead lead's partial trace covered, and fall back to all-ranks tracing
+  /// when more than config_.degrade_fraction of the leads are gone. No-op
+  /// without an installed fault injector.
+  void handle_failures(sim::Rank rank, sim::Pmpi& pmpi);
+  /// Rank that owns the online trace and roots the vote: rank 0 until it
+  /// dies, then the lowest surviving rank.
+  [[nodiscard]] static sim::Rank home_rank(sim::Pmpi& pmpi);
 
   MarkerAction algorithm1(sim::Rank rank, sim::Pmpi& pmpi,
                           const cluster::RankSignature& sig, double* cpu);
@@ -135,6 +152,10 @@ class ChameleonTool : public trace::ScalaTraceTool {
   ChameleonConfig config_;
   std::vector<RankChamState> cham_;
   std::vector<trace::TraceNode> online_;
+
+  /// Dead leads already covered by a gap node in the online trace (gaps
+  /// are emitted once per dead lead, by the home rank).
+  std::set<sim::Rank> gaps_emitted_;
 
   std::uint64_t processed_markers_ = 0;
   std::array<std::uint64_t, 4> state_counts_{};

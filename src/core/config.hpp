@@ -25,6 +25,13 @@ struct ChameleonConfig {
   /// Seed for the k-random policy.
   std::uint64_t seed = 0;
 
+  /// Fault tolerance: when more than this fraction of cluster leads have
+  /// died, the current clustering is abandoned and every survivor falls
+  /// back to all-ranks tracing until the next clustering pass (too much of
+  /// the representative coverage is gone for lead-only tracing to stand in
+  /// for the groups).
+  double degrade_fraction = 0.5;
+
   /// §VII automation: when no explicit markers are inserted, detect the
   /// application's iterative structure and synthesize interim execution
   /// points. Heuristic: the first world-collective call site observed to

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sim/fault.hpp"
 #include "sim/mpi.hpp"
 #include "sim/tool.hpp"
 #include "support/logging.hpp"
@@ -19,6 +20,10 @@ Engine::Engine(EngineOptions opts) : opts_(opts) {
   pending_.resize(kNumComms * p);
   requests_.resize(p);
   coll_seq_.assign(kNumComms * p, 0);
+  failed_.assign(p, false);
+  call_count_.assign(p, 0);
+  marker_count_.assign(p, 0);
+  toolop_count_.assign(p, 0);
 }
 
 Engine::~Engine() = default;
@@ -64,6 +69,7 @@ void Engine::run(const std::function<void(Mpi&)>& rank_main) {
         opts_.stack_bytes);
   }
   scheduler_->set_stall_handler([this] {
+    if (failed_count_ > 0 && fault_progress_step()) return true;
     if (approximate_ && approximate_progress_step()) return true;
     // Last chance for analysis tools to inspect the stalled configuration
     // (wait-for graph, queue contents) before the scheduler unwinds all
@@ -105,16 +111,36 @@ void Engine::deliver(Rank dest, Request req, Message&& msg) {
   scheduler_->unblock(dest);
 }
 
-void Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
-                       std::size_t bytes, std::vector<std::uint8_t> payload) {
+CommResult Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
+                             std::size_t bytes,
+                             std::vector<std::uint8_t> payload) {
   CHAM_CHECK_MSG(dest >= 0 && dest < opts_.nprocs, "send to invalid rank");
+  if (injector_ != nullptr && comm == kCommTool) tool_op_fault_point(self);
   auto& t = vtime_[static_cast<std::size_t>(self)];
   t += opts_.net.send_overhead;
+  if (injector_ != nullptr && failed_[static_cast<std::size_t>(dest)]) {
+    // Detected only after exhausting the full acknowledgement-retry budget.
+    t += opts_.ft.recv_fail_delay();
+    ++messages_lost_;
+    return CommResult::kPeerFailed;
+  }
   Message msg;
   msg.src = self;
   msg.tag = tag;
   msg.bytes = std::max(bytes, payload.size());
   msg.payload = std::move(payload);
+  if (injector_ != nullptr) {
+    int attempt = 0;
+    while (injector_->drop_message(self, dest)) {
+      // Each dropped attempt costs a full transfer plus one timeout window.
+      ++retransmissions_;
+      t += opts_.net.p2p_transfer(msg.bytes) + opts_.ft.recv_timeout;
+      if (++attempt > opts_.ft.retries) {
+        ++messages_lost_;
+        return CommResult::kLost;
+      }
+    }
+  }
   msg.arrive_vtime = t + opts_.net.p2p_transfer(msg.bytes);
   ++messages_sent_;
   bytes_sent_ += msg.bytes;
@@ -125,10 +151,11 @@ void Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
       const Request req = it->req;
       posted.erase(it);
       deliver(dest, req, std::move(msg));
-      return;
+      return CommResult::kOk;
     }
   }
   unexpected_[box(comm, dest)].push_back(std::move(msg));
+  return CommResult::kOk;
 }
 
 Request Engine::pmpi_isend(Rank self, int comm, Rank dest, int tag,
@@ -150,6 +177,7 @@ Request Engine::pmpi_irecv(Rank self, int comm, Rank src, int tag,
                            std::size_t declared_bytes) {
   CHAM_CHECK_MSG(src == kAnySource || (src >= 0 && src < opts_.nprocs),
                  "recv from invalid rank");
+  if (injector_ != nullptr && comm == kCommTool) tool_op_fault_point(self);
   const Request req = alloc_request(self);
   RequestState& state = request_state(self, req);
   state.is_recv = true;
@@ -199,6 +227,7 @@ Message Engine::pmpi_wait(Rank self, Request req, RecvStatus* status) {
       status->source = msg.src;
       status->tag = msg.tag;
       status->bytes = msg.bytes;
+      status->peer_failed = msg.peer_failed;
     }
   }
   state.active = false;
@@ -209,6 +238,24 @@ Message Engine::pmpi_recv(Rank self, int comm, Rank src, int tag,
                           RecvStatus* status) {
   const Request req = pmpi_irecv(self, comm, src, tag, 0);
   return pmpi_wait(self, req, status);
+}
+
+bool Engine::pmpi_try_recv(Rank self, int comm, Rank src, int tag,
+                           Message* out) {
+  auto& backlog = unexpected_[box(comm, self)];
+  const PendingRecv want{src, tag, kNullRequest};
+  for (auto it = backlog.begin(); it != backlog.end(); ++it) {
+    if (!matches(want, *it)) continue;
+    Message msg = std::move(*it);
+    backlog.erase(it);
+    auto& t = vtime_[static_cast<std::size_t>(self)];
+    if (msg.arrive_vtime > t)
+      wait_[static_cast<std::size_t>(self)] += msg.arrive_vtime - t;
+    t = std::max(t, msg.arrive_vtime) + opts_.net.recv_overhead;
+    if (out != nullptr) *out = std::move(msg);
+    return true;
+  }
+  return false;
 }
 
 // --------------------------------------------------------------------------
@@ -238,9 +285,17 @@ void Engine::collective_arrive(
   site.max_arrive = std::max(site.max_arrive, own_arrive);
   ++site.arrived;
 
-  if (site.arrived == opts_.nprocs) {
+  // With fault injection dead ranks are routed around: the rendezvous
+  // completes once every *live* rank arrived (a crashed rank is never inside
+  // a collective, so all arrivals are live). Without an injector the
+  // condition reduces to the original arrived == nprocs.
+  const int need = injector_ == nullptr ? opts_.nprocs : live_expected();
+  if (site.arrived >= need) {
+    site.expected = site.arrived;
     site.complete_vtime =
-        site.max_arrive + opts_.net.collective(opts_.nprocs, site.bytes);
+        site.max_arrive + opts_.net.collective(site.arrived, site.bytes);
+    if (site.arrived < opts_.nprocs)
+      site.complete_vtime += opts_.ft.recv_fail_delay();
     finish(site);
     site.done = true;
     // Application-level statistic: tool-comm collectives (clustering votes,
@@ -266,7 +321,7 @@ void Engine::collective_arrive(
     wait_[static_cast<std::size_t>(self)] += site.max_arrive - own_arrive;
   vtime_[static_cast<std::size_t>(self)] = site.complete_vtime;
   extract(site);
-  if (++site.extracted == opts_.nprocs) coll_sites_.erase(it);
+  if (++site.extracted == site.expected) coll_sites_.erase(it);
 }
 
 void Engine::pmpi_barrier(Rank self, int comm) {
@@ -451,6 +506,7 @@ bool Engine::approximate_progress_step() {
   // Force-complete collectives some ranks never reached.
   for (auto& [key, site] : coll_sites_) {
     if (site.done || site.arrived == 0) continue;
+    site.expected = site.arrived;
     site.complete_vtime = site.max_arrive;
     if (site.op == Op::kReduce || site.op == Op::kAllreduce) {
       fold_u64_contribs(site);
@@ -459,6 +515,109 @@ bool Engine::approximate_progress_step() {
     ++forced_collectives_;
     progressed = true;
     for (Rank r = 0; r < opts_.nprocs; ++r) scheduler_->unblock(r);
+  }
+  return progressed;
+}
+
+// --------------------------------------------------------------------------
+// Fault injection
+// --------------------------------------------------------------------------
+
+std::vector<Rank> Engine::live_ranks() const {
+  std::vector<Rank> out;
+  for (Rank r = 0; r < opts_.nprocs; ++r)
+    if (!failed_[static_cast<std::size_t>(r)]) out.push_back(r);
+  return out;
+}
+
+std::vector<Rank> Engine::failed_ranks() const {
+  std::vector<Rank> out;
+  for (Rank r = 0; r < opts_.nprocs; ++r)
+    if (failed_[static_cast<std::size_t>(r)]) out.push_back(r);
+  return out;
+}
+
+void Engine::fault_point(Rank self, const CallInfo& info) {
+  const auto s = static_cast<std::size_t>(self);
+  const std::uint64_t call_index = ++call_count_[s];
+  if (info.is_marker) ++marker_count_[s];
+  const double slow = injector_->slowdown(self, call_index);
+  if (slow > 0.0) vtime_[s] += slow;
+  const std::uint64_t site = site_probe_ ? site_probe_(self) : 0;
+  if (injector_->crash_at_call(self, call_index, marker_count_[s], site)) {
+    fail_rank(self);
+    scheduler_->exit_current();
+  }
+}
+
+void Engine::tool_op_fault_point(Rank self) {
+  const auto s = static_cast<std::size_t>(self);
+  const std::uint64_t op_index = ++toolop_count_[s];
+  if (injector_->crash_at_tool_op(self, op_index)) {
+    fail_rank(self);
+    scheduler_->exit_current();
+  }
+}
+
+void Engine::fail_rank(Rank r) {
+  const auto s = static_cast<std::size_t>(r);
+  if (failed_[s]) return;
+  failed_[s] = true;
+  ++failed_count_;
+  // A dead rank will never consume anything: purge its posted receives so a
+  // live sender cannot match one (the send fails fast instead), and retire
+  // its outstanding requests.
+  for (int comm = 0; comm < kNumComms; ++comm) pending_[box(comm, r)].clear();
+  for (auto& state : requests_[s]) state.active = false;
+}
+
+bool Engine::complete_ready_sites() {
+  bool progressed = false;
+  for (auto& [key, site] : coll_sites_) {
+    if (site.done || site.arrived == 0) continue;
+    if (site.arrived < live_expected()) continue;
+    site.expected = site.arrived;
+    site.complete_vtime = site.max_arrive +
+                          opts_.net.collective(site.arrived, site.bytes) +
+                          opts_.ft.recv_fail_delay();
+    if (site.op == Op::kReduce || site.op == Op::kAllreduce)
+      fold_u64_contribs(site);
+    site.done = true;
+    if (key.first != kCommTool) ++collectives_run_;
+    progressed = true;
+    for (Rank r = 0; r < opts_.nprocs; ++r) scheduler_->unblock(r);
+  }
+  return progressed;
+}
+
+bool Engine::fault_progress_step() {
+  // First route collectives around the dead: any site where every survivor
+  // already arrived completes short-handed.
+  bool progressed = complete_ready_sites();
+  // Then time out receives whose awaited source is dead: deliver a
+  // synthetic peer_failed completion after the full backoff budget.
+  for (int comm = 0; comm < kNumComms; ++comm) {
+    for (Rank r = 0; r < opts_.nprocs; ++r) {
+      if (failed_[static_cast<std::size_t>(r)]) continue;
+      auto& posted = pending_[box(comm, r)];
+      for (auto it = posted.begin(); it != posted.end();) {
+        if (it->src_match == kAnySource ||
+            !failed_[static_cast<std::size_t>(it->src_match)]) {
+          ++it;
+          continue;
+        }
+        const PendingRecv want = *it;
+        it = posted.erase(it);
+        Message msg;
+        msg.src = want.src_match;
+        msg.tag = want.tag_match == kAnyTag ? 0 : want.tag_match;
+        msg.peer_failed = true;
+        msg.arrive_vtime = vtime_[static_cast<std::size_t>(r)] +
+                           opts_.ft.recv_fail_delay();
+        deliver(r, want.req, std::move(msg));
+        progressed = true;
+      }
+    }
   }
   return progressed;
 }
@@ -501,6 +660,9 @@ Engine::RequestCounts Engine::active_requests(Rank r) const {
 // --------------------------------------------------------------------------
 
 void Engine::tool_pre(Rank self, const CallInfo& info) {
+  // Crashes fire at traced-call entry, before any tool hook runs: the rank
+  // dies as if it never made the call, and the tool never observes it.
+  if (injector_ != nullptr) fault_point(self, info);
   if (tool_ != nullptr) tool_->on_pre(self, info, pmpi(self));
 }
 

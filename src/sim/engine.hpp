@@ -26,14 +26,38 @@
 
 namespace cham::sim {
 
+class FaultInjector;
 class Mpi;
 class Pmpi;
 class Tool;
+
+/// Virtual-time budgets governing how survivors detect and ride out dead
+/// peers (used only when a FaultInjector is installed).
+struct FaultTolerance {
+  /// Base virtual-time budget charged when a receive's source is dead: the
+  /// receiver retries `retries` times with exponentially backed-off waits
+  /// (recv_timeout * backoff^i) before giving up with peer_failed.
+  double recv_timeout = 1.0e-4;
+  int retries = 3;
+  double backoff = 2.0;
+
+  /// Total wait a failed receive costs: sum of all backed-off retries.
+  [[nodiscard]] double recv_fail_delay() const {
+    double total = 0.0;
+    double step = recv_timeout;
+    for (int i = 0; i < retries; ++i) {
+      total += step;
+      step *= backoff;
+    }
+    return total;
+  }
+};
 
 struct EngineOptions {
   int nprocs = 4;
   std::size_t stack_bytes = 256 * 1024;
   NetModel net{};
+  FaultTolerance ft{};
 };
 
 /// An in-flight or delivered message.
@@ -43,6 +67,8 @@ struct Message {
   std::size_t bytes = 0;            ///< declared size (drives the time model)
   std::vector<std::uint8_t> payload;  ///< actual data (may be empty)
   double arrive_vtime = 0.0;
+  /// Synthetic completion: the sender crashed, no data ever arrived.
+  bool peer_failed = false;
 };
 
 /// Nonblocking-operation handle, indexed per rank.
@@ -83,6 +109,37 @@ class Engine {
   /// called before run().
   void set_tool(Tool* tool) { tool_ = tool; }
 
+  /// Install a fault injector (or nullptr). Must be called before run().
+  /// With no injector the engine takes none of the fault-tolerance code
+  /// paths, so fault-free runs are bit-identical to pre-fault-support runs.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] bool fault_injection_enabled() const {
+    return injector_ != nullptr;
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+
+  /// Optional probe mapping a rank to its innermost call-site id; enables
+  /// `crash ... site=` triggers. The sim layer cannot see the trace layer's
+  /// CallSiteRegistry, so the harness wires this up.
+  void set_site_probe(std::function<std::uint64_t(Rank)> probe) {
+    site_probe_ = std::move(probe);
+  }
+
+  // --- liveness (fault injection) ----------------------------------------
+
+  /// True once rank r was killed by an injected crash.
+  [[nodiscard]] bool is_failed(Rank r) const {
+    return failed_.at(static_cast<std::size_t>(r));
+  }
+  [[nodiscard]] int failed_count() const { return failed_count_; }
+  /// Surviving ranks, ascending. Equals [0, nprocs) with no failures.
+  [[nodiscard]] std::vector<Rank> live_ranks() const;
+  [[nodiscard]] std::vector<Rank> failed_ranks() const;
+  [[nodiscard]] std::uint64_t messages_lost() const { return messages_lost_; }
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return retransmissions_;
+  }
+
   /// Launch nprocs ranks, each executing rank_main, and drive them to
   /// completion. May be called once per Engine.
   void run(const std::function<void(Mpi&)>& rank_main);
@@ -119,10 +176,14 @@ class Engine {
 
   // --- PMPI layer (used by the Mpi/Pmpi facades and by tools) -------------
 
-  void pmpi_send(Rank self, int comm, Rank dest, int tag, std::size_t bytes,
-                 std::vector<std::uint8_t> payload);
+  CommResult pmpi_send(Rank self, int comm, Rank dest, int tag,
+                       std::size_t bytes, std::vector<std::uint8_t> payload);
   Message pmpi_recv(Rank self, int comm, Rank src, int tag,
                     RecvStatus* status);
+  /// Nonblocking probe-and-receive: succeeds only when a matching message
+  /// is already queued. Used by fault-tolerant protocols to drain re-homed
+  /// payloads after a synchronization point.
+  bool pmpi_try_recv(Rank self, int comm, Rank src, int tag, Message* out);
   Request pmpi_isend(Rank self, int comm, Rank dest, int tag,
                      std::size_t bytes, std::vector<std::uint8_t> payload);
   Request pmpi_irecv(Rank self, int comm, Rank src, int tag,
@@ -170,6 +231,10 @@ class Engine {
     std::size_t bytes = 0;
     int arrived = 0;
     int extracted = 0;
+    /// Participants this site waits for before completing and how many
+    /// extractions destroy it. Set at completion time: nprocs normally,
+    /// fewer when dead ranks are routed around.
+    int expected = 0;
     double max_arrive = 0.0;
     bool done = false;
     double complete_vtime = 0.0;
@@ -253,6 +318,29 @@ class Engine {
   void deliver(Rank dest, Request req, Message&& msg);
   bool approximate_progress_step();
 
+  // --- fault machinery (active only with an installed injector) -----------
+
+  /// Consulted at every traced-call entry; kills the calling fiber if the
+  /// plan says so (never returns in that case).
+  void fault_point(Rank self, const CallInfo& info);
+  /// Consulted at tool-communicator p2p entries (`toolop=` triggers) so a
+  /// rank can die mid-protocol; never inside a collective.
+  void tool_op_fault_point(Rank self);
+  /// Mark r dead, cancel its posted receives, complete any collective sites
+  /// it already joined, and fail live peers blocked on it.
+  void fail_rank(Rank r);
+  /// Complete collectives whose live participants have all arrived (dead
+  /// ranks are routed around). Returns true if any site completed.
+  bool complete_ready_sites();
+  /// Stall-handler step for faulty runs: synthesises peer_failed completions
+  /// for receives whose source is dead and force-completes short-handed
+  /// collectives. Returns true if it unblocked someone.
+  bool fault_progress_step();
+  /// Ranks a collective must wait for: everyone still alive.
+  [[nodiscard]] int live_expected() const {
+    return opts_.nprocs - failed_count_;
+  }
+
   /// Collective rendezvous: blocks until all ranks of `comm` arrive at the
   /// same per-comm slot. The last arrival runs `finish` on the site; every
   /// participant then runs `extract` on the completed site to copy out its
@@ -265,6 +353,8 @@ class Engine {
 
   EngineOptions opts_;
   Tool* tool_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  std::function<std::uint64_t(Rank)> site_probe_;
   bool ran_ = false;
   bool approximate_ = false;
   std::uint64_t cancelled_recvs_ = 0;
@@ -287,6 +377,15 @@ class Engine {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t collectives_run_ = 0;
+
+  // Fault-injection state (all zero/empty without an installed injector).
+  std::vector<bool> failed_;                 // [rank]
+  int failed_count_ = 0;
+  std::vector<std::uint64_t> call_count_;    // [rank] traced calls entered
+  std::vector<std::uint64_t> marker_count_;  // [rank] markers entered
+  std::vector<std::uint64_t> toolop_count_;  // [rank] tool-comm p2p ops
+  std::uint64_t messages_lost_ = 0;
+  std::uint64_t retransmissions_ = 0;
 };
 
 }  // namespace cham::sim

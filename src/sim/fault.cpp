@@ -1,0 +1,218 @@
+#include "sim/fault.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/hash.hpp"
+
+namespace cham::sim {
+
+namespace {
+
+/// Uniform double in [0, 1) from a deterministic hash stream.
+double hash_unit(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                 std::uint64_t n) {
+  std::uint64_t h = support::mix64(seed ^ support::hash_combine(a, b));
+  h = support::hash_combine(h, n);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+[[noreturn]] void bad_plan(const std::string& token, const std::string& why) {
+  throw std::invalid_argument("fault plan: " + why + " ('" + token + "')");
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& value) {
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    bad_plan(token, "expected an integer");
+  }
+}
+
+double parse_f64(const std::string& token, const std::string& value) {
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    bad_plan(token, "expected a number");
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  // Strip comments per physical line first, so a '#' comment may contain
+  // ';' without spawning a bogus spec; only then split the rest on ';'.
+  std::string normalized;
+  std::istringstream raw_lines(text);
+  std::string raw;
+  while (std::getline(raw_lines, raw)) {
+    if (const auto hash = raw.find('#'); hash != std::string::npos)
+      raw.erase(hash);
+    for (char& c : raw)
+      if (c == ';') c = '\n';
+    normalized += raw;
+    normalized += '\n';
+  }
+
+  std::istringstream lines(normalized);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word)) continue;  // blank line
+
+    FaultSpec spec;
+    if (word == "crash") {
+      spec.kind = FaultKind::kCrash;
+    } else if (word == "drop") {
+      spec.kind = FaultKind::kDrop;
+    } else if (word == "slow") {
+      spec.kind = FaultKind::kSlowdown;
+    } else {
+      bad_plan(word, "unknown fault kind");
+    }
+
+    while (words >> word) {
+      const auto eq = word.find('=');
+      if (eq == std::string::npos) bad_plan(word, "expected key=value");
+      const std::string key = word.substr(0, eq);
+      const std::string value = word.substr(eq + 1);
+      if (key == "rank") {
+        spec.rank = static_cast<Rank>(parse_u64(word, value));
+      } else if (key == "call") {
+        spec.at_call = parse_u64(word, value);
+      } else if (key == "marker") {
+        spec.at_marker = parse_u64(word, value);
+      } else if (key == "site") {
+        spec.at_site = support::fnv1a64(value);
+      } else if (key == "toolop") {
+        spec.at_toolop = parse_u64(word, value);
+      } else if (key == "src") {
+        spec.rank = static_cast<Rank>(parse_u64(word, value));
+      } else if (key == "dest") {
+        spec.dest = static_cast<Rank>(parse_u64(word, value));
+      } else if (key == "prob") {
+        spec.probability = parse_f64(word, value);
+      } else if (key == "span") {
+        spec.span_calls = parse_u64(word, value);
+      } else if (key == "secs") {
+        spec.slow_seconds = parse_f64(word, value);
+      } else {
+        bad_plan(word, "unknown key");
+      }
+    }
+
+    if (spec.kind == FaultKind::kCrash) {
+      if (spec.rank < 0) bad_plan(line, "crash needs rank=");
+      if (spec.at_call + spec.at_marker + spec.at_site + spec.at_toolop == 0)
+        bad_plan(line, "crash needs one of call=/marker=/site=/toolop=");
+    }
+    if (spec.kind == FaultKind::kSlowdown) {
+      if (spec.rank < 0) bad_plan(line, "slow needs rank=");
+      if (spec.slow_seconds < 0) bad_plan(line, "slow needs secs >= 0");
+    }
+    if (spec.kind == FaultKind::kDrop &&
+        (spec.probability < 0.0 || spec.probability > 1.0)) {
+      bad_plan(line, "drop probability must be in [0, 1]");
+    }
+    plan.faults.push_back(spec);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  for (const FaultSpec& f : faults) {
+    switch (f.kind) {
+      case FaultKind::kCrash:
+        os << "crash rank=" << f.rank;
+        if (f.at_call) os << " call=" << f.at_call;
+        if (f.at_marker) os << " marker=" << f.at_marker;
+        if (f.at_site) os << " site=0x" << std::hex << f.at_site << std::dec;
+        if (f.at_toolop) os << " toolop=" << f.at_toolop;
+        break;
+      case FaultKind::kDrop:
+        os << "drop";
+        if (f.rank != kAnySource) os << " src=" << f.rank;
+        if (f.dest != kAnySource) os << " dest=" << f.dest;
+        os << " prob=" << f.probability;
+        break;
+      case FaultKind::kSlowdown:
+        os << "slow rank=" << f.rank << " call=" << f.at_call
+           << " span=" << f.span_calls << " secs=" << f.slow_seconds;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), fired_(plan_.faults.size(), false) {}
+
+bool FaultInjector::fire_crash(std::size_t spec_index) {
+  if (fired_[spec_index]) return false;
+  fired_[spec_index] = true;
+  ++crashes_;
+  return true;
+}
+
+bool FaultInjector::crash_at_call(Rank rank, std::uint64_t call_index,
+                                  std::uint64_t marker_number,
+                                  std::uint64_t site) {
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& f = plan_.faults[i];
+    if (f.kind != FaultKind::kCrash || f.rank != rank) continue;
+    if ((f.at_call != 0 && f.at_call == call_index) ||
+        (f.at_marker != 0 && marker_number != 0 &&
+         f.at_marker == marker_number) ||
+        (f.at_site != 0 && f.at_site == site)) {
+      if (fire_crash(i)) return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::crash_at_tool_op(Rank rank, std::uint64_t op_index) {
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& f = plan_.faults[i];
+    if (f.kind != FaultKind::kCrash || f.rank != rank) continue;
+    if (f.at_toolop != 0 && f.at_toolop == op_index && fire_crash(i))
+      return true;
+  }
+  return false;
+}
+
+double FaultInjector::slowdown(Rank rank, std::uint64_t call_index) const {
+  double penalty = 0.0;
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::kSlowdown || f.rank != rank) continue;
+    const std::uint64_t first = f.at_call == 0 ? 1 : f.at_call;
+    if (call_index >= first && call_index < first + f.span_calls)
+      penalty += f.slow_seconds;
+  }
+  return penalty;
+}
+
+bool FaultInjector::drop_message(Rank src, Rank dest) {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::kDrop) continue;
+    if (f.rank != kAnySource && f.rank != src) continue;
+    if (f.dest != kAnySource && f.dest != dest) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+        static_cast<std::uint32_t>(dest);
+    const std::uint64_t attempt = drop_attempts_[key]++;
+    if (hash_unit(plan_.seed, static_cast<std::uint64_t>(src),
+                  static_cast<std::uint64_t>(dest),
+                  attempt) < f.probability) {
+      ++drops_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cham::sim

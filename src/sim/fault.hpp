@@ -1,0 +1,108 @@
+// Deterministic fault injection for the minimpi engine.
+//
+// A FaultPlan is a seeded list of fault specifications — rank crashes
+// (triggered at a traced-call index, at a marker number, inside a named
+// call site, or at a tool-communicator operation so faults can land in the
+// middle of a clustering reduction), message drops with bounded retry, and
+// transient per-call slowdowns. The engine consults a FaultInjector built
+// from the plan at well-defined points; given the same plan, seed and
+// workload, the injected faults (and therefore the whole run) are
+// bit-reproducible. With no injector installed the engine's behaviour is
+// unchanged.
+//
+// Plans have a one-line-per-fault text form (see docs/FAULTS.md):
+//
+//   crash rank=3 marker=2        # die entering the 2nd marker call
+//   crash rank=5 call=17         # die entering the 17th traced call
+//   crash rank=2 site=phase.halo # die entering the named call site
+//   crash rank=4 toolop=6        # die at the 6th tool-comm p2p operation
+//   drop src=1 dest=2 prob=0.5   # drop matching sends with probability 0.5
+//   slow rank=0 call=5 span=10 secs=1e-4  # +100us/call for 10 calls
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace cham::sim {
+
+enum class FaultKind : std::uint8_t { kCrash, kDrop, kSlowdown };
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+
+  /// Target rank (crash/slowdown); drop filter when kind == kDrop
+  /// (kAnySource matches every sender).
+  Rank rank = kAnySource;
+
+  // --- crash / slowdown trigger (exactly one nonzero for crashes) ---
+  std::uint64_t at_call = 0;    ///< 1-based traced-call index (0 = unused)
+  std::uint64_t at_marker = 0;  ///< 1-based marker number (0 = unused)
+  std::uint64_t at_site = 0;    ///< call-site id, fnv1a64(name) (0 = unused)
+  std::uint64_t at_toolop = 0;  ///< 1-based tool-comm p2p op (0 = unused)
+
+  // --- drop parameters ---
+  Rank dest = kAnySource;     ///< receiver filter (kAnySource = any)
+  double probability = 1.0;   ///< per-attempt drop probability
+
+  // --- slowdown parameters ---
+  std::uint64_t span_calls = 1;  ///< how many traced calls the slowdown lasts
+  double slow_seconds = 0.0;     ///< extra virtual seconds per affected call
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+
+  /// Parse the text form: one spec per line (or ';'-separated), '#' starts
+  /// a comment. Throws std::invalid_argument on malformed input.
+  static FaultPlan parse(const std::string& text, std::uint64_t seed = 0);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Consulted by the engine at fault points. Stateful (each crash fires at
+/// most once; drop rolls consume RNG draws) but fully deterministic: the
+/// RNG stream is a hash of (seed, src, dest, per-pair attempt counter).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Traced-call entry of `rank`. `call_index` and `marker_number` are
+  /// 1-based engine counters; `site` is the innermost call-site id (0 when
+  /// no site probe is installed). True => the rank crashes here.
+  bool crash_at_call(Rank rank, std::uint64_t call_index,
+                     std::uint64_t marker_number, std::uint64_t site);
+
+  /// Tool-communicator p2p operation entry (send/irecv); `op_index` is a
+  /// 1-based per-rank counter. Lets crashes land mid-reduction.
+  bool crash_at_tool_op(Rank rank, std::uint64_t op_index);
+
+  /// Extra virtual seconds to charge at this traced call (0 when no
+  /// slowdown window covers it).
+  [[nodiscard]] double slowdown(Rank rank, std::uint64_t call_index) const;
+
+  /// One transmission attempt of a message src -> dest; true => dropped.
+  bool drop_message(Rank src, Rank dest);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t crashes_injected() const { return crashes_; }
+  [[nodiscard]] std::uint64_t drops_injected() const { return drops_; }
+
+ private:
+  bool fire_crash(std::size_t spec_index);
+
+  FaultPlan plan_;
+  std::vector<bool> fired_;  ///< per-spec: crash already delivered
+  /// Per-(src,dest) attempt counters feeding the drop RNG stream.
+  std::unordered_map<std::uint64_t, std::uint64_t> drop_attempts_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace cham::sim

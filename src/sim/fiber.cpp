@@ -184,6 +184,11 @@ void FiberScheduler::block(std::string reason) {
   if (cancelling_) throw detail::FiberCancelled{};
 }
 
+void FiberScheduler::exit_current() {
+  CHAM_CHECK_MSG(current_ >= 0, "exit_current must be called from a fiber");
+  throw detail::FiberCancelled{};
+}
+
 void FiberScheduler::unblock(int id) {
   CHAM_CHECK(id >= 0 && id < static_cast<int>(fibers_.size()));
   detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(id)];

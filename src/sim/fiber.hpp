@@ -95,6 +95,12 @@ class FiberScheduler {
   /// Make a blocked fiber runnable again. No-op if it is not blocked.
   void unblock(int id);
 
+  /// Terminate the calling fiber immediately by unwinding its stack (the
+  /// same FiberCancelled path cancellation uses; destructors run, the
+  /// trampoline retires the fiber). Used to kill a single rank — e.g. an
+  /// injected crash — without disturbing the others.
+  [[noreturn]] void exit_current();
+
   /// Id of the fiber currently executing; -1 when in the scheduler itself.
   [[nodiscard]] int current() const { return current_; }
 

@@ -28,10 +28,16 @@ class Pmpi {
   [[nodiscard]] double vtime() const { return engine_->vtime(rank_); }
   [[nodiscard]] Engine& engine() const { return *engine_; }
 
-  // Point-to-point on the tool communicator.
-  void send_bytes(Rank dest, int tag, std::vector<std::uint8_t> data) const;
+  // Point-to-point on the tool communicator. Sends report delivery failure
+  // (dead destination, retry budget exhausted) via CommResult; fault-aware
+  // protocols branch on it, everything else can ignore the result.
+  CommResult send_bytes(Rank dest, int tag,
+                        std::vector<std::uint8_t> data) const;
   std::vector<std::uint8_t> recv_bytes(Rank src, int tag,
                                        RecvStatus* status = nullptr) const;
+  /// Nonblocking drain of an already-queued message; false if none matches.
+  bool try_recv_bytes(Rank src, int tag, std::vector<std::uint8_t>* data,
+                      RecvStatus* status = nullptr) const;
 
   // Collectives on the tool communicator.
   void barrier() const;
@@ -64,8 +70,9 @@ class Mpi {
   // --- traced point-to-point (world communicator) ---
   // `absolute_peer` marks the partner as a fixed rank (master/root) rather
   // than an offset from the caller; tracing tools encode it absolutely.
-  void send(Rank dest, std::size_t bytes, int tag = 0,
-            std::vector<std::uint8_t> payload = {}, bool absolute_peer = false);
+  CommResult send(Rank dest, std::size_t bytes, int tag = 0,
+                  std::vector<std::uint8_t> payload = {},
+                  bool absolute_peer = false);
   RecvStatus recv(Rank src, std::size_t bytes, int tag = kAnyTag,
                   std::vector<std::uint8_t>* payload = nullptr,
                   bool absolute_peer = false);

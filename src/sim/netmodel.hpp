@@ -35,10 +35,12 @@ struct NetModel {
     return levels;
   }
 
-  /// Completion cost of a tree collective after the last participant arrives.
+  /// Completion cost of a tree collective after the last participant
+  /// arrives. A single-process communicator needs zero rounds: nothing
+  /// crosses the wire, so the collective is free.
   [[nodiscard]] double collective(int nprocs, std::size_t bytes) const {
     const int rounds = log2_ceil(nprocs);
-    return static_cast<double>(rounds == 0 ? 1 : rounds) *
+    return static_cast<double>(rounds) *
            (latency + per_byte * static_cast<double>(bytes));
   }
 };

@@ -11,6 +11,7 @@
 // with the Chameleon tracer on the same run.
 #pragma once
 
+#include <exception>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -61,8 +62,19 @@ class ToolChain : public Tool {
     for (Tool* tool : tools_) tool->on_pre(rank, info, pmpi);
   }
   void on_post(Rank rank, const CallInfo& info, Pmpi& pmpi) override {
-    for (auto it = tools_.rbegin(); it != tools_.rend(); ++it)
-      (*it)->on_post(rank, info, pmpi);
+    // A layer that throws (tool bug, or a fiber cancelled by an injected
+    // crash inside a tool-side Pmpi call) must not starve the outer layers
+    // of their post hook — on a real MPI the stack unwinds through every
+    // PMPI wrapper. Finish the chain, then rethrow the first failure.
+    std::exception_ptr failure;
+    for (auto it = tools_.rbegin(); it != tools_.rend(); ++it) {
+      try {
+        (*it)->on_post(rank, info, pmpi);
+      } catch (...) {
+        if (!failure) failure = std::current_exception();
+      }
+    }
+    if (failure) std::rethrow_exception(failure);
   }
   void on_stall(Engine& engine) override {
     for (Tool* tool : tools_) tool->on_stall(engine);

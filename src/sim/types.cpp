@@ -22,6 +22,7 @@ const char* op_name(Op op) {
     case Op::kAlltoall: return "MPI_Alltoall";
     case Op::kInit: return "MPI_Init";
     case Op::kFinalize: return "MPI_Finalize";
+    case Op::kGap: return "GAP";
   }
   return "MPI_?";
 }

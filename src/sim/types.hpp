@@ -32,6 +32,10 @@ enum class Op : std::uint8_t {
   kAlltoall,
   kInit,
   kFinalize,
+  /// Not an MPI call: a trace-level placeholder for an interval lost to a
+  /// rank failure (a dead lead's unmerged partial trace). Emitted by the
+  /// fault-tolerant Chameleon protocol, never observed at runtime hooks.
+  kGap,
 };
 
 const char* op_name(Op op);
@@ -83,6 +87,17 @@ struct RecvStatus {
   Rank source = kAnySource;
   int tag = kAnyTag;
   std::size_t bytes = 0;
+  /// The posted source rank crashed: the receive completed with an empty
+  /// synthetic message after the fault-tolerance timeout budget elapsed.
+  bool peer_failed = false;
+};
+
+/// Outcome of a send under fault injection. Fault-free runs always return
+/// kOk; callers that never inject faults may ignore it.
+enum class CommResult : std::uint8_t {
+  kOk,
+  kPeerFailed,  ///< destination rank crashed before the send
+  kLost,        ///< dropped by fault injection after exhausting retries
 };
 
 }  // namespace cham::sim

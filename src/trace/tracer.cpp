@@ -153,8 +153,12 @@ std::vector<TraceNode> ScalaTraceTool::radix_merge(
     if (idx + mask < n) {
       // Receive the child's partial result (the blocking wait shows up in
       // virtual time, not CPU time) and fold it in (timed + charged).
+      sim::RecvStatus status;
       std::vector<std::uint8_t> payload =
-          pmpi.recv_bytes(participants[idx + mask], kMergeTag);
+          pmpi.recv_bytes(participants[idx + mask], kMergeTag, &status);
+      // A crashed child takes its subtree's partials with it; the merge
+      // continues with what the survivors hold.
+      if (status.peer_failed) continue;
       ++merge_ops_;
       merge_bytes_ += payload.size();
       ChargedSection timed(st.inter_timer, pmpi);

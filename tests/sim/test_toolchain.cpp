@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,36 @@ TEST(ToolChain, StallIsForwardedToEveryToolInOrder) {
   for (const std::string& entry : log)
     if (entry.find(".stall") != std::string::npos) stalls.push_back(entry);
   EXPECT_EQ(stalls, (std::vector<std::string>{"A.stall", "B.stall"}));
+}
+
+class ThrowingTool : public RecordingTool {
+ public:
+  using RecordingTool::RecordingTool;
+  void on_post(Rank rank, const CallInfo& info, Pmpi& pmpi) override {
+    RecordingTool::on_post(rank, info, pmpi);
+    if (info.op == Op::kBarrier) throw std::runtime_error("mid-chain failure");
+  }
+};
+
+TEST(ToolChain, PostChainRunsEveryLayerWhenOneThrows) {
+  // B (innermost in post order) throws; the outer layer A must still get
+  // its post hook — a real PMPI stack unwinds through every wrapper — and
+  // the failure must surface to the caller afterwards.
+  std::vector<std::string> log;
+  RecordingTool a("A", &log);
+  ThrowingTool b("B", &log);
+  ToolChain chain({&a, &b});
+
+  Engine engine({.nprocs = 1});
+  engine.set_tool(&chain);
+  EXPECT_THROW(engine.run([](Mpi& mpi) { mpi.barrier(); }),
+               std::runtime_error);
+
+  const std::vector<std::string> posts = {"B.post", "A.post"};
+  std::vector<std::string> seen;
+  for (const std::string& entry : log)
+    if (entry.find(".post") != std::string::npos) seen.push_back(entry);
+  EXPECT_EQ(seen, posts);
 }
 
 TEST(ToolChain, AddAppendsAfterConstruction) {

@@ -9,6 +9,24 @@
 namespace cham::sim {
 namespace {
 
+TEST(NetModel, SingleProcessCollectiveIsFree) {
+  // Regression: a P=1 communicator needs zero tree rounds — nothing
+  // crosses the wire, so collectives cost no network time regardless of
+  // the payload size.
+  const NetModel net;
+  EXPECT_EQ(net.collective(1, 0), 0.0);
+  EXPECT_EQ(net.collective(1, 1 << 20), 0.0);
+  EXPECT_GT(net.collective(2, 0), 0.0);
+
+  Engine engine({.nprocs = 1});
+  engine.run([](Mpi& mpi) {
+    mpi.barrier();
+    mpi.allreduce(1 << 20);
+    mpi.bcast(1 << 20, 0);
+  });
+  EXPECT_EQ(engine.vtime(0), 0.0);
+}
+
 TEST(NetModel, Log2Ceil) {
   EXPECT_EQ(NetModel::log2_ceil(1), 0);
   EXPECT_EQ(NetModel::log2_ceil(2), 1);

@@ -16,9 +16,14 @@
 //   --callpath S   verify the recorded Call-Path signature S (hex) against
 //                  the trace's own events
 //   --quiet        suppress per-diagnostic lines; print only summaries
+//   --json         emit one JSON document on stdout instead of text
 //
 // Diagnostics are machine-readable, one per line:
 //   <file>: <severity>[<code>]: <message>
+// With --json the whole report is a single JSON object:
+//   {"files": [{"file": ..., "errors": N, "warnings": N, "infos": N,
+//               "diagnostics": [{"severity", "code", "rank", "message"}]}],
+//    "errors": N, "warnings": N}
 // Exit status: 0 = no errors, 1 = errors found, 2 = usage/IO failure.
 #include <cstdio>
 #include <fstream>
@@ -37,7 +42,7 @@ namespace {
 int usage() {
   std::fputs(
       "usage: chamlint [--procs <P>] [--full-cover] [--callpath <hex>]"
-      " [--quiet] <trace-file>...\n",
+      " [--quiet] [--json] <trace-file>...\n",
       stderr);
   return 2;
 }
@@ -45,10 +50,57 @@ int usage() {
 struct Options {
   analysis::LintOptions lint;
   bool quiet = false;
+  bool json = false;
   bool check_callpath = false;
   std::uint64_t callpath = 0;
   std::vector<std::string> files;
 };
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_json_file(std::string& out, const std::string& path,
+                      const analysis::DiagnosticSink& sink) {
+  if (!out.empty()) out += ",\n";
+  std::size_t infos = 0;
+  for (const auto& d : sink.diagnostics())
+    if (d.severity == analysis::Severity::kInfo) ++infos;
+  out += "    {\"file\": \"" + json_escape(path) + "\", \"errors\": " +
+         std::to_string(sink.errors()) + ", \"warnings\": " +
+         std::to_string(sink.warnings()) + ", \"infos\": " +
+         std::to_string(infos) + ", \"diagnostics\": [";
+  for (std::size_t i = 0; i < sink.diagnostics().size(); ++i) {
+    const auto& d = sink.diagnostics()[i];
+    if (i > 0) out += ", ";
+    out += "\n      {\"severity\": \"" +
+           std::string(analysis::severity_name(d.severity)) +
+           "\", \"code\": \"" + json_escape(d.code) +
+           "\", \"rank\": " + std::to_string(d.rank) + ", \"message\": \"" +
+           json_escape(d.message) + "\"}";
+  }
+  if (!sink.diagnostics().empty()) out += "\n    ";
+  out += "]}";
+}
 
 bool parse_args(int argc, char** argv, Options& out) {
   for (int i = 1; i < argc; ++i) {
@@ -79,6 +131,8 @@ bool parse_args(int argc, char** argv, Options& out) {
       }
     } else if (arg == "--quiet") {
       out.quiet = true;
+    } else if (arg == "--json") {
+      out.json = true;
     } else if (arg.rfind("--", 0) == 0) {
       return false;
     } else {
@@ -88,7 +142,9 @@ bool parse_args(int argc, char** argv, Options& out) {
   return !out.files.empty();
 }
 
-int lint_file(const std::string& path, const Options& opts) {
+int lint_file(const std::string& path, const Options& opts,
+              std::string* json_files, std::size_t* total_errors,
+              std::size_t* total_warnings) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "chamlint: cannot open %s\n", path.c_str());
@@ -110,12 +166,18 @@ int lint_file(const std::string& path, const Options& opts) {
     }
   }
 
-  if (!opts.quiet) {
-    for (const auto& d : sink.diagnostics())
-      std::printf("%s: %s\n", path.c_str(), d.to_string().c_str());
+  if (opts.json) {
+    append_json_file(*json_files, path, sink);
+    *total_errors += sink.errors();
+    *total_warnings += sink.warnings();
+  } else {
+    if (!opts.quiet) {
+      for (const auto& d : sink.diagnostics())
+        std::printf("%s: %s\n", path.c_str(), d.to_string().c_str());
+    }
+    std::printf("%s: %zu error(s), %zu warning(s)\n", path.c_str(),
+                sink.errors(), sink.warnings());
   }
-  std::printf("%s: %zu error(s), %zu warning(s)\n", path.c_str(),
-              sink.errors(), sink.warnings());
   return sink.errors() > 0 ? 1 : 0;
 }
 
@@ -125,10 +187,19 @@ int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) return usage();
   int status = 0;
+  std::string json_files;
+  std::size_t total_errors = 0;
+  std::size_t total_warnings = 0;
   for (const auto& file : opts.files) {
-    const int rc = lint_file(file, opts);
+    const int rc =
+        lint_file(file, opts, &json_files, &total_errors, &total_warnings);
     if (rc == 2) return 2;
     if (rc > status) status = rc;
+  }
+  if (opts.json) {
+    std::printf("{\n  \"files\": [\n%s\n  ],\n  \"errors\": %zu,\n"
+                "  \"warnings\": %zu\n}\n",
+                json_files.c_str(), total_errors, total_warnings);
   }
   return status;
 }

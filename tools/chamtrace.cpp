@@ -4,8 +4,12 @@
 //       List the built-in benchmark workloads.
 //   chamtrace run --workload lu --procs 64 [--tool chameleon|scalatrace|
 //       acurdion] [--k K] [--freq N] [--class A-D] [--steps N]
-//       [--auto-marker] [--out trace.bin] [--text]
-//       Trace a workload and write the global/online trace.
+//       [--auto-marker] [--fault plan] [--fault-seed N]
+//       [--out trace.bin] [--text]
+//       Trace a workload and write the global/online trace. --fault takes a
+//       fault-plan file, or an inline ';'-separated plan (docs/FAULTS.md);
+//       the run then exercises the fault-tolerant protocol and the merged
+//       trace may contain GAP nodes for intervals lost with dead leads.
 //   chamtrace show trace.bin
 //       Print a trace file in the human-readable PRSD form plus statistics.
 //   chamtrace replay trace.bin --procs 64
@@ -23,6 +27,7 @@
 #include "replay/interp.hpp"
 #include "replay/replayer.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/mpi.hpp"
 #include "trace/serialize.hpp"
 #include "workloads/workload.hpp"
@@ -39,6 +44,7 @@ int usage() {
       "scalatrace|acurdion]\n"
       "               [--k <K>] [--freq <N>] [--class A|B|C|D] [--steps <N>]"
       " [--auto-marker]\n"
+      "               [--fault <plan-file-or-inline>] [--fault-seed <N>]\n"
       "               [--out <file>] [--text]\n"
       "  chamtrace show <trace-file>\n"
       "  chamtrace replay <trace-file> --procs <P>\n",
@@ -80,6 +86,17 @@ int cmd_list() {
                 std::string(info.description).c_str());
   }
   return 0;
+}
+
+/// --fault accepts either a fault-plan file or an inline ';'-separated
+/// plan string ("crash rank=3 marker=2; drop src=1 dest=2 prob=0.5").
+sim::FaultPlan load_fault_plan(const std::string& arg, std::uint64_t seed) {
+  std::ifstream in(arg);
+  if (in) {
+    const std::string text{std::istreambuf_iterator<char>(in), {}};
+    return sim::FaultPlan::parse(text, seed);
+  }
+  return sim::FaultPlan::parse(arg, seed);
 }
 
 std::vector<trace::TraceNode> load_trace(const std::string& path) {
@@ -132,6 +149,17 @@ int cmd_run(const Args& args) {
 
   sim::Engine engine({.nprocs = p});
   trace::CallSiteRegistry stacks(p);
+  std::optional<sim::FaultInjector> injector;
+  if (const auto fault = args.value("--fault")) {
+    const std::uint64_t seed =
+        std::stoull(args.value("--fault-seed").value_or("0"));
+    injector.emplace(load_fault_plan(*fault, seed));
+    engine.set_fault_injector(&*injector);
+    engine.set_site_probe([&stacks](sim::Rank rank) {
+      const auto& frames = stacks.stack(rank).frames();
+      return frames.empty() ? 0 : frames.back();
+    });
+  }
   std::optional<trace::ScalaTraceTool> scalatrace;
   std::optional<core::ChameleonTool> chameleon;
   std::optional<core::AcurdionTool> acurdion;
@@ -158,6 +186,16 @@ int cmd_run(const Args& args) {
 
   std::printf("traced %s on %d ranks with %s\n", workload_name->c_str(), p,
               tool_name.c_str());
+  if (injector) {
+    std::printf(
+        "faults: %llu crash(es), %llu drop(s); %d rank(s) dead, %llu "
+        "message(s) lost, %llu retransmission(s)\n",
+        static_cast<unsigned long long>(injector->crashes_injected()),
+        static_cast<unsigned long long>(injector->drops_injected()),
+        engine.failed_count(),
+        static_cast<unsigned long long>(engine.messages_lost()),
+        static_cast<unsigned long long>(engine.retransmissions()));
+  }
   print_stats(nodes);
   if (chameleon) {
     std::printf("markers processed: %llu (C=%llu L=%llu AT=%llu), clusters: "

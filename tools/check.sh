@@ -30,6 +30,17 @@ run_config() {
 run_config release -DCMAKE_BUILD_TYPE=Release
 run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCHAMELEON_ASAN=ON -DCHAMELEON_UBSAN=ON
+
+# Fault matrix: replay the fault-labelled slice (injected crashes, drops,
+# failover, the chamlint smoke) under ASan+UBSan with rotating base seeds —
+# fiber cancellation and the salvage/retry paths are exactly where memory
+# bugs would hide. Override the seed list with CHAMELEON_FAULT_SEEDS.
+for seed in ${CHAMELEON_FAULT_SEEDS:-1 11 29}; do
+  echo "=== [sanitize] fault matrix, seed $seed ==="
+  (cd build-check/sanitize &&
+    CHAMELEON_FAULT_SEED="$seed" ctest -L fault --output-on-failure -j "$jobs")
+done
+
 run_config werror -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHAMELEON_WERROR=ON
 
 echo "=== all configurations green ==="

@@ -1,0 +1,272 @@
+// Hot-path regression benchmark for the shape-hash compression fast path.
+//
+// Drives a synthetic 100k+-event workload through the three compression hot
+// loops — online append/fold (IntraTrace), inter-node merge (inter_merge),
+// and trace encode/decode — once with the fast path disabled (the
+// pre-optimization deep-comparison code) and once enabled, on identical
+// inputs. Both modes must produce byte-identical traces; the speedups and
+// the optimized run's PerfCounters land in bench_results/BENCH_hotpath.json
+// (schema documented in docs/PERF.md).
+//
+// The event stream is adversarial on purpose: repeated phases whose nested
+// loops match structurally but differ in message size deep inside (adaptive
+// message sizes), so the baseline's window comparisons descend into loop
+// bodies before failing — the case the O(1) hash precheck eliminates.
+// Every 16 phases the sizes cycle, so long windows genuinely fold and the
+// deep-verify path runs too.
+//
+// Usage: bench_hotpath [--events N] [--reps R] [--smoke] [--out FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "trace/merge.hpp"
+#include "trace/perf.hpp"
+#include "trace/rsd.hpp"
+#include "trace/serialize.hpp"
+
+using namespace cham;
+using trace::EventRecord;
+using trace::TraceNode;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+EventRecord make_event(sim::Op op, std::uint64_t stack, std::uint64_t bytes,
+                       int peer) {
+  EventRecord ev;
+  ev.op = op;
+  ev.stack_sig = stack;
+  ev.bytes = bytes;
+  ev.tag = 7;
+  if (op == sim::Op::kSend) ev.dest = trace::Endpoint::relative(0, peer);
+  if (op == sim::Op::kRecv) ev.src = trace::Endpoint::relative(0, peer);
+  ev.ranks = trace::RankList::single(0);
+  ev.delta.add(1e-6 + 1e-9 * static_cast<double>(bytes % 97));
+  return ev;
+}
+
+/// One halo-exchange "timestep": eight distinct exchanges repeated twice,
+/// folding into loop_2{8 leaves}. Seven of the eight sizes are fixed; the
+/// eighth is the timestep's adaptive message size `c`, so timesteps with
+/// equal c fold together while timesteps with different c only *nearly*
+/// match — a baseline window comparison descends through the loop and
+/// through seven equal leaves before failing on the eighth, the exact cost
+/// the O(1) hash precheck removes.
+void emit_timestep(std::vector<EventRecord>& out, std::uint64_t c) {
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int d = 0; d < 7; ++d)
+      out.push_back(make_event(sim::Op::kSend, 0x11, 1000 + d, 1));
+    out.push_back(make_event(sim::Op::kSend, 0x11, c, 1));
+  }
+}
+
+/// Adaptive-message-size stream: c cycles with period 16 (clean cycles fold
+/// into big nested loops) plus a seeded jitter lane that keeps a fraction
+/// of timesteps unique per stream.
+std::vector<EventRecord> make_stream(std::size_t min_events,
+                                     std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<EventRecord> out;
+  out.reserve(min_events + 64);
+  std::uint64_t t = 0;
+  while (out.size() < min_events) {
+    std::uint64_t c = 1000000 + 8 * (t % 16);
+    if (rng.next_below(32) == 0) c = 2000000 + 8 * rng.next_below(1u << 16);
+    emit_timestep(out, c);
+    ++t;
+  }
+  return out;
+}
+
+std::vector<TraceNode> fold_stream(const std::vector<EventRecord>& stream,
+                                   trace::PerfCounters* pc) {
+  trace::IntraTrace intra(32, pc);
+  for (const EventRecord& ev : stream) intra.append(ev);
+  return intra.take();
+}
+
+/// Binomial-style reduction over per-rank traces, mirroring radix_merge's
+/// merge order without the message passing.
+std::vector<TraceNode> merge_all(std::vector<std::vector<TraceNode>> traces,
+                                 trace::PerfCounters* pc) {
+  for (std::size_t step = 1; step < traces.size(); step <<= 1)
+    for (std::size_t i = 0; i + step < traces.size(); i += 2 * step)
+      traces[i] = trace::inter_merge(std::move(traces[i]),
+                                     std::move(traces[i + step]), pc);
+  return std::move(traces.front());
+}
+
+struct Timed {
+  double seconds = 0.0;
+  std::vector<std::uint8_t> encoded;  ///< byte-identity witness
+};
+
+template <typename Fn>
+Timed time_best_of(int reps, Fn&& fn) {
+  Timed best;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    std::vector<TraceNode> result = fn();
+    const double dt = now_seconds() - t0;
+    if (r == 0 || dt < best.seconds) best.seconds = dt;
+    if (r == 0) best.encoded = trace::encode_trace(result);
+  }
+  return best;
+}
+
+void json_section(std::string& out, const char* name, double base,
+                  double fast) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  \"%s\": {\"baseline_seconds\": %.6f, "
+                "\"optimized_seconds\": %.6f, \"speedup\": %.2f},\n",
+                name, base, fast, base / fast);
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t events = 120000;
+  int reps = 3;
+  std::string out_path = "bench_results/BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--events" && i + 1 < argc) {
+      events = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (arg == "--smoke") {
+      events = 8000;
+      reps = 1;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_hotpath [--events N] [--reps R] [--smoke] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  // --- append/fold -------------------------------------------------------
+  const std::vector<EventRecord> stream = make_stream(events, 0xC0FFEE);
+  trace::PerfCounters counters;
+
+  trace::set_fast_path_enabled(false);
+  const Timed fold_base =
+      time_best_of(reps, [&] { return fold_stream(stream, nullptr); });
+  trace::set_fast_path_enabled(true);
+  const Timed fold_fast =
+      time_best_of(reps, [&] { return fold_stream(stream, &counters); });
+  bool identical = fold_base.encoded == fold_fast.encoded;
+
+  // --- inter-merge -------------------------------------------------------
+  // 16 per-rank traces: shared phase skeleton, rank-seeded jitter, distinct
+  // endpoints — the LCS has long matching runs and a quadratic fringe of
+  // near-matching pairs.
+  constexpr std::size_t kRanks = 16;
+  std::vector<std::vector<TraceNode>> rank_traces(kRanks);
+  {
+    const std::size_t per_rank = std::max<std::size_t>(events / kRanks, 1000);
+    for (std::size_t r = 0; r < kRanks; ++r) {
+      std::vector<EventRecord> s = make_stream(per_rank, 0xACE0 + r);
+      for (EventRecord& ev : s)
+        ev.ranks = trace::RankList::single(static_cast<sim::Rank>(r));
+      rank_traces[r] = fold_stream(s, nullptr);
+    }
+  }
+
+  trace::set_fast_path_enabled(false);
+  const Timed merge_base =
+      time_best_of(reps, [&] { return merge_all(rank_traces, nullptr); });
+  trace::set_fast_path_enabled(true);
+  const Timed merge_fast =
+      time_best_of(reps, [&] { return merge_all(rank_traces, &counters); });
+  identical = identical && merge_base.encoded == merge_fast.encoded;
+
+  // --- encode/decode -----------------------------------------------------
+  const std::vector<TraceNode> merged = trace::decode_trace(merge_fast.encoded);
+  double codec_seconds = 0.0;
+  std::uint64_t codec_bytes = 0;
+  {
+    const double t0 = now_seconds();
+    for (int r = 0; r < std::max(reps, 1) * 8; ++r) {
+      const std::vector<std::uint8_t> bytes = trace::encode_trace(merged);
+      counters.bytes_encoded += bytes.size();
+      const std::vector<TraceNode> back = trace::decode_trace(bytes);
+      counters.bytes_decoded += bytes.size();
+      codec_bytes += 2 * bytes.size();
+    }
+    codec_seconds = now_seconds() - t0;
+  }
+
+  // --- report ------------------------------------------------------------
+  std::string json = "{\n  \"schema\": \"chameleon.bench_hotpath.v1\",\n";
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "  \"events\": %zu,\n  \"reps\": %d,\n",
+                  stream.size(), reps);
+    json += buf;
+  }
+  json_section(json, "append_fold", fold_base.seconds, fold_fast.seconds);
+  json_section(json, "inter_merge", merge_base.seconds, merge_fast.seconds);
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "  \"encode_decode\": {\"seconds\": %.6f, \"bytes\": %llu, "
+                  "\"mb_per_second\": %.1f},\n",
+                  codec_seconds, static_cast<unsigned long long>(codec_bytes),
+                  static_cast<double>(codec_bytes) / 1e6 / codec_seconds);
+    json += buf;
+  }
+  {
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "  \"counters\": {\"fold_windows_tested\": %llu, "
+        "\"fold_hash_rejects\": %llu, \"fold_hash_hits\": %llu, "
+        "\"fold_false_positives\": %llu, \"fold_deep_compares\": %llu, "
+        "\"folds_performed\": %llu, \"merge_prechecks\": %llu, "
+        "\"merge_hash_rejects\": %llu, \"merge_deep_compares\": %llu, "
+        "\"merge_memo_hits\": %llu, \"bytes_encoded\": %llu, "
+        "\"bytes_decoded\": %llu},\n",
+        static_cast<unsigned long long>(counters.fold_windows_tested),
+        static_cast<unsigned long long>(counters.fold_hash_rejects),
+        static_cast<unsigned long long>(counters.fold_hash_hits),
+        static_cast<unsigned long long>(counters.fold_false_positives),
+        static_cast<unsigned long long>(counters.fold_deep_compares),
+        static_cast<unsigned long long>(counters.folds_performed),
+        static_cast<unsigned long long>(counters.merge_prechecks),
+        static_cast<unsigned long long>(counters.merge_hash_rejects),
+        static_cast<unsigned long long>(counters.merge_deep_compares),
+        static_cast<unsigned long long>(counters.merge_memo_hits),
+        static_cast<unsigned long long>(counters.bytes_encoded),
+        static_cast<unsigned long long>(counters.bytes_decoded));
+    json += buf;
+  }
+  json += std::string("  \"byte_identical\": ") +
+          (identical ? "true" : "false") + "\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream file(out_path, std::ios::trunc);
+    if (file) {
+      file << json;
+      std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
+    }
+  }
+  return identical ? 0 : 1;
+}

@@ -88,6 +88,13 @@ const ClusterEntry* ClusterSet::cluster_of(sim::Rank rank) const {
 
 std::vector<std::uint8_t> ClusterSet::encode() const {
   trace::ByteWriter w;
+  std::size_t hint = 4;
+  for (const auto& [callpath, entries] : groups_) {
+    hint += 8 + 2;
+    for (const auto& entry : entries)
+      hint += 4 + 8 + 8 + trace::encoded_size_hint(entry.members);
+  }
+  w.reserve(hint);
   w.u32(static_cast<std::uint32_t>(groups_.size()));
   for (const auto& [callpath, entries] : groups_) {
     w.u64(callpath);

@@ -9,17 +9,6 @@ namespace cham::core {
 
 namespace {
 constexpr int kOnlineTag = 0x7A02;
-
-void substitute_ranks(std::vector<trace::TraceNode>& nodes,
-                      const trace::RankList& ranks) {
-  for (auto& node : nodes) {
-    if (node.is_loop()) {
-      substitute_ranks(node.body, ranks);
-    } else {
-      node.event.ranks = ranks;
-    }
-  }
-}
 }  // namespace
 
 AcurdionTool::AcurdionTool(int nprocs, trace::CallSiteRegistry* stacks,
@@ -46,6 +35,8 @@ void AcurdionTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
   cluster::ClusterSet table = hierarchical_cluster(
       rank, pmpi, sig, config_.k, config_.policy, config_.seed, &stats);
   clustering_seconds_ += stats.cpu_seconds;
+  perf_.bytes_encoded += stats.bytes_encoded;
+  perf_.bytes_decoded += stats.bytes_decoded;
   if (rank == 0) {
     clusters_ = table;
     effective_k_ = stats.effective_k;
@@ -61,7 +52,7 @@ void AcurdionTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
     std::vector<trace::TraceNode> nodes = st.intra.take();
     {
       trace::ChargedSection timed(st.inter_timer, pmpi);
-      substitute_ranks(nodes, entry->members);
+      trace::substitute_ranks(nodes, entry->members);
     }
     merged = radix_merge(rank, leads, std::move(nodes), pmpi);
   } else {
@@ -76,15 +67,23 @@ void AcurdionTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
         trace::ChargedSection timed(st.inter_timer, pmpi);
         payload = trace::encode_trace(merged);
       }
+      perf_.bytes_encoded += payload.size();
       pmpi.send_bytes(0, kOnlineTag, std::move(payload));
       merged.clear();
     } else if (rank == 0) {
       std::vector<std::uint8_t> payload = pmpi.recv_bytes(merge_root, kOnlineTag);
+      perf_.bytes_decoded += payload.size();
       trace::ChargedSection timed(st.inter_timer, pmpi);
       merged = trace::decode_trace(payload);
     }
   }
   if (rank == 0) global_ = std::move(merged);
+}
+
+const trace::PerfCounters& AcurdionTool::perf_counters() const {
+  (void)ScalaTraceTool::perf_counters();  // fills the intra/inter seconds
+  perf_.clustering_seconds = clustering_seconds_;
+  return perf_;
 }
 
 }  // namespace cham::core

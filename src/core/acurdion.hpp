@@ -30,6 +30,9 @@ class AcurdionTool : public trace::ScalaTraceTool {
     return intra_seconds() + clustering_seconds() + inter_seconds();
   }
 
+  /// Base counters plus the clustering phase time.
+  [[nodiscard]] const trace::PerfCounters& perf_counters() const override;
+
  protected:
   void observe_event(sim::Rank rank, const trace::EventRecord& record,
                      sim::Pmpi& pmpi) override;

@@ -12,20 +12,6 @@ namespace {
 /// Tool-comm tag for the rank-0 handoff of the per-interval global trace.
 constexpr int kOnlineTag = 0x7A02;
 
-/// Replace every event's ranklist in a compressed trace with the cluster's
-/// ranklist (Algorithm 3: "replace ranklist of collected events with my
-/// cluster ranklist").
-void substitute_ranks(std::vector<trace::TraceNode>& nodes,
-                      const trace::RankList& ranks) {
-  for (auto& node : nodes) {
-    if (node.is_loop()) {
-      substitute_ranks(node.body, ranks);
-    } else {
-      node.event.ranks = ranks;
-    }
-  }
-}
-
 class CpuSection {
  public:
   explicit CpuSection(double* sink)
@@ -210,6 +196,8 @@ void ChameleonTool::run_clustering(sim::Rank rank, sim::Pmpi& pmpi,
   cs.clusters = hierarchical_cluster(rank, pmpi, sig, config_.k,
                                      config_.policy, config_.seed, &stats);
   *cpu += stats.cpu_seconds;
+  perf_.bytes_encoded += stats.bytes_encoded;
+  perf_.bytes_decoded += stats.bytes_decoded;
   if (rank == cs.epoch_home) {
     num_callpaths_ = stats.num_callpaths;
     effective_k_ = stats.effective_k;
@@ -242,7 +230,7 @@ void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
     std::vector<trace::TraceNode> nodes = st.intra.take();
     {
       trace::ChargedSection timed(st.inter_timer, pmpi);
-      substitute_ranks(nodes, entry->members);
+      trace::substitute_ranks(nodes, entry->members);
     }
     merged = radix_merge(rank, leads, std::move(nodes), pmpi);
   }
@@ -258,12 +246,14 @@ void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
         trace::ChargedSection timed(st.inter_timer, pmpi);
         payload = trace::encode_trace(merged);
       }
+      perf_.bytes_encoded += payload.size();
       pmpi.send_bytes(home, kOnlineTag, std::move(payload));
       merged.clear();
     } else if (rank == home) {
       sim::RecvStatus status;
       std::vector<std::uint8_t> payload =
           pmpi.recv_bytes(merge_root, kOnlineTag, &status);
+      perf_.bytes_decoded += payload.size();
       trace::ChargedSection timed(st.inter_timer, pmpi);
       // A merge root that died mid-handoff takes the interval with it; the
       // loss surfaces as a gap node at the next failure handling.
@@ -272,7 +262,8 @@ void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
   }
   if (rank == home && !merged.empty()) {
     trace::ChargedSection timed(st.inter_timer, pmpi);
-    trace::append_online(online_, std::move(merged), config_.max_window);
+    trace::append_online(online_, std::move(merged), config_.max_window,
+                         &perf_);
   }
 
   // All processes start over (line 47): partial intra-node traces vanish;
@@ -396,6 +387,12 @@ void ChameleonTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
   bucket.bytes_total += intra_bytes_before;
   if (rank == 0 && !online_.empty())
     bucket.bytes_total += trace::footprint_bytes(online_);
+}
+
+const trace::PerfCounters& ChameleonTool::perf_counters() const {
+  (void)ScalaTraceTool::perf_counters();  // fills the intra/inter seconds
+  perf_.clustering_seconds = clustering_seconds_;
+  return perf_;
 }
 
 }  // namespace cham::core

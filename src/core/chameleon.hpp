@@ -76,6 +76,9 @@ class ChameleonTool : public trace::ScalaTraceTool {
     return intra_seconds() + clustering_seconds() + inter_seconds();
   }
 
+  /// Base counters plus the clustering phase time.
+  [[nodiscard]] const trace::PerfCounters& perf_counters() const override;
+
   // --- per-rank, per-state memory accounting (Table IV) -------------------
   struct StateBytes {
     std::uint64_t calls = 0;

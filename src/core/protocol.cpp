@@ -40,6 +40,8 @@ cluster::ClusterSet hierarchical_cluster(sim::Rank rank, sim::Pmpi& pmpi,
                                          std::uint64_t seed,
                                          ClusterProtocolStats* stats) {
   double cpu = 0.0;
+  std::uint64_t enc = 0;
+  std::uint64_t dec = 0;
   cluster::ClusterSet mine = cluster::ClusterSet::leaf(rank, sig);
   sim::Engine& eng = pmpi.engine();
   const bool ft = eng.fault_injection_enabled();
@@ -56,6 +58,7 @@ cluster::ClusterSet hierarchical_cluster(sim::Rank rank, sim::Pmpi& pmpi,
         CpuSection section(&cpu, pmpi);
         payload = mine.encode();
       }
+      enc += payload.size();
       const sim::CommResult sent = pmpi.send_bytes(
           static_cast<sim::Rank>(idx - mask), kClusterTag, std::move(payload));
       if (ft && sent != sim::CommResult::kOk) orphaned = true;
@@ -69,6 +72,7 @@ cluster::ClusterSet hierarchical_cluster(sim::Rank rank, sim::Pmpi& pmpi,
         // re-home themselves via the salvage round).
         std::vector<std::uint8_t> payload;
         if (pmpi.try_recv_bytes(child, kClusterTag, &payload)) {
+          dec += payload.size();
           CpuSection section(&cpu, pmpi);
           mine.absorb(cluster::ClusterSet::decode(payload));
           if (mine.total_clusters() > k) mine.shrink(k, policy, seed);
@@ -79,6 +83,7 @@ cluster::ClusterSet hierarchical_cluster(sim::Rank rank, sim::Pmpi& pmpi,
       std::vector<std::uint8_t> payload = pmpi.recv_bytes(
           static_cast<sim::Rank>(idx + mask), kClusterTag, &status);
       if (status.peer_failed) continue;  // child died before sending
+      dec += payload.size();
       CpuSection section(&cpu, pmpi);
       mine.absorb(cluster::ClusterSet::decode(payload));
       if (mine.total_clusters() > k) mine.shrink(k, policy, seed);
@@ -102,6 +107,7 @@ cluster::ClusterSet hierarchical_cluster(sim::Rank rank, sim::Pmpi& pmpi,
           CpuSection section(&cpu, pmpi);
           payload = mine.encode();
         }
+        enc += payload.size();
         pmpi.send_bytes(refreshed, kSalvageTag, std::move(payload));
         mine = cluster::ClusterSet{};  // handed off
       }
@@ -109,6 +115,7 @@ cluster::ClusterSet hierarchical_cluster(sim::Rank rank, sim::Pmpi& pmpi,
       if (rank == eng.live_ranks().front()) {
         std::vector<std::uint8_t> payload;
         while (pmpi.try_recv_bytes(sim::kAnySource, kSalvageTag, &payload)) {
+          dec += payload.size();
           CpuSection section(&cpu, pmpi);
           mine.absorb(cluster::ClusterSet::decode(payload));
           if (mine.total_clusters() > k) mine.shrink(k, policy, seed);
@@ -129,15 +136,21 @@ cluster::ClusterSet hierarchical_cluster(sim::Rank rank, sim::Pmpi& pmpi,
       stats->effective_k = mine.total_clusters();
     }
     table = mine.encode();
+    enc += table.size();
   }
   table = pmpi.bcast_bytes(std::move(table), root);
+  if (rank != root) dec += table.size();
 
   cluster::ClusterSet result;
   {
     CpuSection section(&cpu, pmpi);
     result = cluster::ClusterSet::decode(table);
   }
-  if (stats != nullptr) stats->cpu_seconds += cpu;
+  if (stats != nullptr) {
+    stats->cpu_seconds += cpu;
+    stats->bytes_encoded += enc;
+    stats->bytes_decoded += dec;
+  }
   return result;
 }
 

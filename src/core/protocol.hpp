@@ -20,6 +20,10 @@ struct ClusterProtocolStats {
   double cpu_seconds = 0.0;       ///< local (non-blocking) work on this rank
   std::size_t num_callpaths = 0;  ///< valid at rank 0
   std::size_t effective_k = 0;    ///< valid at rank 0
+  /// Cluster-table wire traffic originated/absorbed by this rank (feeds the
+  /// tool-wide PerfCounters wire totals).
+  std::uint64_t bytes_encoded = 0;
+  std::uint64_t bytes_decoded = 0;
 };
 
 /// Runs the reduction + broadcast; every rank returns its copy of the final

@@ -80,7 +80,8 @@ void replay_rank(sim::Mpi& mpi, const std::vector<trace::TraceNode>& trace,
         break;
       case sim::Op::kInit:
       case sim::Op::kFinalize:
-        break;  // structural markers; nothing to re-issue
+      case sim::Op::kGap:
+        break;  // structural markers / lost intervals; nothing to re-issue
     }
     cursor.next();
   }

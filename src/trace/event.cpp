@@ -33,6 +33,73 @@ std::string EventRecord::to_string() const {
   return os.str();
 }
 
+namespace {
+
+/// Salts keep a leaf's event hash, a loop's structural hash, and a loop's
+/// merge-class hash in distinct hash families.
+constexpr std::uint64_t kLoopShapeSalt = 0x5cf2ba21a7d3e901ull;
+constexpr std::uint64_t kLoopMergeSalt = 0x8d1e44f0c3b79a57ull;
+
+/// 0 is reserved as the "not computed" sentinel on TraceNode.
+constexpr std::uint64_t nonzero(std::uint64_t h) { return h == 0 ? 1 : h; }
+
+std::uint64_t endpoint_word(const Endpoint& ep) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint8_t>(ep.kind)) << 32) |
+         static_cast<std::uint32_t>(ep.value);
+}
+
+}  // namespace
+
+std::uint64_t EventRecord::shape_hash() const {
+  std::uint64_t h = support::mix64(
+      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(op)) << 1) |
+      (is_marker ? 1u : 0u));
+  h = support::hash_combine(h, stack_sig);
+  h = support::hash_combine(h, endpoint_word(src));
+  h = support::hash_combine(h, endpoint_word(dest));
+  h = support::hash_combine(h, bytes);
+  h = support::hash_combine(
+      h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) << 8) ^
+             static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm)));
+  return nonzero(h);
+}
+
+std::uint64_t EventRecord::merge_class_hash() const {
+  std::uint64_t h = support::mix64(
+      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(op)) << 1) |
+      (is_marker ? 1u : 0u));
+  h = support::hash_combine(h, stack_sig);
+  h = support::hash_combine(h, bytes);
+  h = support::hash_combine(
+      h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) << 8) ^
+             static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm)));
+  return nonzero(h);
+}
+
+void TraceNode::rehash_shallow() {
+  if (is_loop()) {
+    std::uint64_t seq = 0;
+    std::uint64_t mh = support::mix64(iters ^ kLoopMergeSalt);
+    for (const TraceNode& child : body) {
+      seq = seq * kShapeSeqBase + child.shape_hash;
+      mh = support::hash_combine(mh, child.merge_hash);
+    }
+    body_seq = seq;
+    shape_hash =
+        nonzero(support::hash_combine(support::mix64(iters ^ kLoopShapeSalt), seq));
+    merge_hash = nonzero(mh);
+  } else {
+    shape_hash = event.shape_hash();
+    merge_hash = event.merge_class_hash();
+    body_seq = 0;
+  }
+}
+
+void TraceNode::rehash_deep() {
+  for (TraceNode& child : body) child.rehash_deep();
+  rehash_shallow();
+}
+
 bool TraceNode::same_shape(const TraceNode& other) const {
   if (iters != other.iters) return false;
   if (is_loop()) {
@@ -55,6 +122,7 @@ void TraceNode::absorb_stats(const TraceNode& other) {
 
 void TraceNode::absorb_ranks(const TraceNode& other) {
   if (is_loop()) {
+    footprint_cache = 0;
     for (std::size_t i = 0; i < body.size(); ++i)
       body[i].absorb_ranks(other.body[i]);
   } else {
@@ -65,8 +133,10 @@ void TraceNode::absorb_ranks(const TraceNode& other) {
 
 std::size_t TraceNode::leaf_count() const {
   if (!is_loop()) return 1;
+  if (leaf_count_cache != 0) return leaf_count_cache;
   std::size_t n = 0;
   for (const auto& child : body) n += child.leaf_count();
+  leaf_count_cache = n;
   return n;
 }
 
@@ -79,8 +149,10 @@ std::uint64_t TraceNode::expanded_count() const {
 
 std::size_t TraceNode::footprint_bytes() const {
   if (is_loop()) {
+    if (footprint_cache != 0) return footprint_cache;
     std::size_t bytes = 16;  // iters + body length
     for (const auto& child : body) bytes += child.footprint_bytes();
+    footprint_cache = bytes;
     return bytes;
   }
   // op + stack sig + endpoints + bytes + tag + comm + flags
@@ -109,6 +181,17 @@ bool same_shape(const std::vector<TraceNode>& a,
   for (std::size_t i = 0; i < a.size(); ++i)
     if (!a[i].same_shape(b[i])) return false;
   return true;
+}
+
+void substitute_ranks(std::vector<TraceNode>& nodes, const RankList& ranks) {
+  for (auto& node : nodes) {
+    if (node.is_loop()) {
+      node.footprint_cache = 0;
+      substitute_ranks(node.body, ranks);
+    } else {
+      node.event.ranks = ranks;
+    }
+  }
 }
 
 std::size_t footprint_bytes(const std::vector<TraceNode>& nodes) {

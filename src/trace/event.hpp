@@ -13,11 +13,18 @@
 #include <vector>
 
 #include "sim/types.hpp"
+#include "support/hash.hpp"
 #include "support/histogram.hpp"
 #include "trace/endpoint.hpp"
 #include "trace/ranklist.hpp"
 
 namespace cham::trace {
+
+/// Multiplier for the order-sensitive polynomial combination of node shape
+/// hashes (a loop body's `body_seq` and fold_tail's rolling tail-window
+/// hashes use the same scheme so they compare directly). Odd, so the map
+/// x -> x * kShapeSeqBase is a bijection mod 2^64.
+inline constexpr std::uint64_t kShapeSeqBase = 0x100000001b3ull;
 
 struct EventRecord {
   sim::Op op = sim::Op::kSend;
@@ -40,6 +47,16 @@ struct EventRecord {
            is_marker == other.is_marker;
   }
 
+  /// 64-bit hash over exactly the same_shape() fields. Never 0 (0 is the
+  /// "not computed" sentinel on TraceNode), so equal shapes always yield
+  /// equal, nonzero hashes.
+  [[nodiscard]] std::uint64_t shape_hash() const;
+
+  /// Hash over the merge-invariant fields only (no endpoints): two events
+  /// that inter_merge can align always share it, so a mismatch proves
+  /// non-mergeability without recursing into endpoint generalization.
+  [[nodiscard]] std::uint64_t merge_class_hash() const;
+
   [[nodiscard]] std::string to_string() const;
 };
 
@@ -49,19 +66,50 @@ struct TraceNode {
   EventRecord event;            ///< valid for leaves
   std::vector<TraceNode> body;  ///< valid for loops
 
+  /// Cached structural hashes (docs/PERF.md). `shape_hash` covers the whole
+  /// subtree's same_shape() identity; `merge_hash` its merge-class identity
+  /// (endpoints excluded); `body_seq` is the kShapeSeqBase-polynomial
+  /// combination of the body's shape hashes, compared against fold_tail's
+  /// rolling tail-window hashes in O(1). 0 means "not computed": the fast
+  /// paths then fall back to deep comparison, never to a wrong answer. The
+  /// leaf()/loop() factories and every library mutator (absorb_*,
+  /// merge_into, fold rules, decode) keep these consistent; code that
+  /// mutates shape fields directly must call rehash_shallow()/rehash_deep().
+  std::uint64_t shape_hash = 0;
+  std::uint64_t merge_hash = 0;
+  std::uint64_t body_seq = 0;
+
+  /// Size caches for loop nodes (leaves are computed directly). leaf_count
+  /// only depends on the body structure, which is fixed at construction;
+  /// the footprint depends on ranklists and is invalidated by the ranklist
+  /// mutators (absorb_ranks, merge_into, substitute_ranks).
+  mutable std::size_t leaf_count_cache = 0;   ///< 0 = unset
+  mutable std::size_t footprint_cache = 0;    ///< 0 = unset
+
   [[nodiscard]] bool is_loop() const { return iters > 0; }
 
   static TraceNode leaf(EventRecord ev) {
     TraceNode n;
     n.event = std::move(ev);
+    n.rehash_shallow();
     return n;
   }
   static TraceNode loop(std::uint64_t iters, std::vector<TraceNode> body) {
     TraceNode n;
     n.iters = iters;
     n.body = std::move(body);
+    n.rehash_shallow();
     return n;
   }
+
+  /// Recompute this node's hashes from the event / the children's cached
+  /// hashes (children must already be consistent).
+  void rehash_shallow();
+
+  /// Recompute the whole subtree's hashes bottom-up.
+  void rehash_deep();
+
+  [[nodiscard]] bool hashed() const { return shape_hash != 0; }
 
   /// Structural equality ignoring ranklists and histograms ("same shape").
   [[nodiscard]] bool same_shape(const TraceNode& other) const;
@@ -89,6 +137,11 @@ struct TraceNode {
 /// Shape equality over node sequences.
 bool same_shape(const std::vector<TraceNode>& a,
                 const std::vector<TraceNode>& b);
+
+/// Replace every leaf's ranklist with `ranks` (Algorithm 3: a lead's trace
+/// stands in for its whole cluster). Invalidate loop footprint caches along
+/// the way; shape hashes are unaffected (ranklists are not shape).
+void substitute_ranks(std::vector<TraceNode>& nodes, const RankList& ranks);
 
 /// Sum of footprints (+ sequence overhead).
 std::size_t footprint_bytes(const std::vector<TraceNode>& nodes);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "trace/perf.hpp"
 #include "trace/rsd.hpp"
 
 namespace cham::trace {
@@ -51,24 +52,45 @@ bool events_mergeable(const EventRecord& a, const EventRecord& b,
          endpoints_mergeable(a.dest, a.ranks, b.dest, b.ranks, dest_out);
 }
 
-bool nodes_mergeable(const TraceNode& a, const TraceNode& b) {
+bool nodes_mergeable_deep(const TraceNode& a, const TraceNode& b) {
   if (a.iters != b.iters) return false;
   if (a.is_loop()) {
     if (b.body.size() != a.body.size()) return false;
     for (std::size_t i = 0; i < a.body.size(); ++i)
-      if (!nodes_mergeable(a.body[i], b.body[i])) return false;
+      if (!nodes_mergeable_deep(a.body[i], b.body[i])) return false;
     return true;
   }
   Endpoint src, dest;
   return events_mergeable(a.event, b.event, &src, &dest);
 }
 
+/// Hash-precheck-then-verify: mergeable nodes always share their
+/// (endpoint-independent) merge_hash, so a mismatch rejects in O(1); on a
+/// match the deep check still settles endpoint generalization.
+bool nodes_mergeable(const TraceNode& a, const TraceNode& b, bool fast,
+                     PerfCounters* pc) {
+  if (fast && a.hashed() && b.hashed()) {
+    if (pc != nullptr) ++pc->merge_prechecks;
+    if (a.merge_hash != b.merge_hash) {
+      if (pc != nullptr) ++pc->merge_hash_rejects;
+      return false;
+    }
+  }
+  if (pc != nullptr) ++pc->merge_deep_compares;
+  const bool ok = nodes_mergeable_deep(a, b);
+  if (fast && !ok && pc != nullptr) ++pc->merge_deep_rejects;
+  return ok;
+}
+
 /// Merge structurally-mergeable b into a: ranklist union, histogram merge,
-/// endpoint generalization.
+/// endpoint generalization. Rehashed bottom-up (endpoint generalization
+/// changes the shape) and loop size caches dropped (ranklists grew).
 void merge_into(TraceNode& a, const TraceNode& b) {
   if (a.is_loop()) {
     for (std::size_t i = 0; i < a.body.size(); ++i)
       merge_into(a.body[i], b.body[i]);
+    a.footprint_cache = 0;
+    a.rehash_shallow();
     return;
   }
   Endpoint src, dest;
@@ -78,17 +100,45 @@ void merge_into(TraceNode& a, const TraceNode& b) {
   a.event.dest = dest;
   a.event.ranks.merge(b.event.ranks);
   a.event.delta.merge(b.event.delta);
+  a.rehash_shallow();
 }
 
 }  // namespace
 
 std::vector<TraceNode> inter_merge(std::vector<TraceNode> a,
-                                   std::vector<TraceNode> b) {
+                                   std::vector<TraceNode> b,
+                                   PerfCounters* pc) {
   if (a.empty()) return b;
   if (b.empty()) return a;
 
+  const bool fast = fast_path_enabled();
+  if (fast) {
+    for (auto& node : a)
+      if (!node.hashed()) node.rehash_deep();
+    for (auto& node : b)
+      if (!node.hashed()) node.rehash_deep();
+  }
+
   const std::size_t na = a.size();
   const std::size_t nb = b.size();
+
+  // Mergeability memo shared between the DP fill and the backtrack pass:
+  // the fill evaluates every pair once, the backtrack replays its path from
+  // the memo instead of re-running the structural comparison.
+  std::vector<std::uint8_t> memo;
+  if (fast) memo.assign(na * nb, 0);
+  auto mergeable = [&](std::size_t i, std::size_t j) {
+    if (!fast) return nodes_mergeable(a[i], b[j], false, pc);
+    std::uint8_t& cell = memo[i * nb + j];
+    if (cell != 0) {
+      if (pc != nullptr) ++pc->merge_memo_hits;
+      return cell == 1;
+    }
+    const bool ok = nodes_mergeable(a[i], b[j], true, pc);
+    cell = ok ? 1 : 2;
+    return ok;
+  };
+
   // LCS table over mergeability (shape + endpoint generalization).
   std::vector<std::uint32_t> dp((na + 1) * (nb + 1), 0);
   auto at = [&dp, nb](std::size_t i, std::size_t j) -> std::uint32_t& {
@@ -96,7 +146,7 @@ std::vector<TraceNode> inter_merge(std::vector<TraceNode> a,
   };
   for (std::size_t i = na; i-- > 0;) {
     for (std::size_t j = nb; j-- > 0;) {
-      if (nodes_mergeable(a[i], b[j])) {
+      if (mergeable(i, j)) {
         at(i, j) = at(i + 1, j + 1) + 1;
       } else {
         at(i, j) = std::max(at(i + 1, j), at(i, j + 1));
@@ -108,7 +158,7 @@ std::vector<TraceNode> inter_merge(std::vector<TraceNode> a,
   merged.reserve(na + nb);
   std::size_t i = 0, j = 0;
   while (i < na && j < nb) {
-    if (nodes_mergeable(a[i], b[j])) {
+    if (mergeable(i, j)) {
       TraceNode node = std::move(a[i]);
       merge_into(node, b[j]);
       merged.push_back(std::move(node));
@@ -128,10 +178,11 @@ std::vector<TraceNode> inter_merge(std::vector<TraceNode> a,
 }
 
 void append_online(std::vector<TraceNode>& online,
-                   std::vector<TraceNode> interval, int max_window) {
+                   std::vector<TraceNode> interval, int max_window,
+                   PerfCounters* pc) {
   for (auto& node : interval) {
     online.push_back(std::move(node));
-    fold_tail(online, max_window);
+    fold_tail(online, max_window, pc);
   }
 }
 

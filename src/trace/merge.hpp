@@ -16,16 +16,23 @@
 
 namespace cham::trace {
 
+struct PerfCounters;
+
 /// Merge two compressed sequences into one. Commutative up to the order of
 /// spliced unmatched runs (a's runs precede b's at equal positions).
+/// Candidate pairs are prechecked against cached merge-class hashes and the
+/// mergeability verdicts are memoized across the DP fill and the backtrack;
+/// `pc` (optional) receives the precheck/memo counters.
 std::vector<TraceNode> inter_merge(std::vector<TraceNode> a,
-                                   std::vector<TraceNode> b);
+                                   std::vector<TraceNode> b,
+                                   PerfCounters* pc = nullptr);
 
 /// Append one interval's merged trace to the growing online trace (held at
 /// rank 0) and recompress the tail so repeated phases fold into loops —
 /// this is what makes the online trace converge to the MPI_Finalize output
 /// of plain ScalaTrace.
 void append_online(std::vector<TraceNode>& online,
-                   std::vector<TraceNode> interval, int max_window = 32);
+                   std::vector<TraceNode> interval, int max_window = 32,
+                   PerfCounters* pc = nullptr);
 
 }  // namespace cham::trace

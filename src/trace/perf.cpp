@@ -1,0 +1,55 @@
+#include "trace/perf.hpp"
+
+#include <sstream>
+
+namespace cham::trace {
+
+namespace {
+bool g_fast_path = true;
+}  // namespace
+
+bool fast_path_enabled() { return g_fast_path; }
+void set_fast_path_enabled(bool enabled) { g_fast_path = enabled; }
+
+void PerfCounters::add(const PerfCounters& other) {
+  fold_windows_tested += other.fold_windows_tested;
+  fold_hash_rejects += other.fold_hash_rejects;
+  fold_hash_hits += other.fold_hash_hits;
+  fold_false_positives += other.fold_false_positives;
+  fold_deep_compares += other.fold_deep_compares;
+  folds_performed += other.folds_performed;
+  merge_prechecks += other.merge_prechecks;
+  merge_hash_rejects += other.merge_hash_rejects;
+  merge_deep_compares += other.merge_deep_compares;
+  merge_deep_rejects += other.merge_deep_rejects;
+  merge_memo_hits += other.merge_memo_hits;
+  bytes_encoded += other.bytes_encoded;
+  bytes_decoded += other.bytes_decoded;
+  intra_seconds += other.intra_seconds;
+  inter_seconds += other.inter_seconds;
+  clustering_seconds += other.clustering_seconds;
+}
+
+std::string PerfCounters::to_string() const {
+  std::ostringstream os;
+  os << "fold: windows=" << fold_windows_tested
+     << " hash_rejects=" << fold_hash_rejects
+     << " hash_hits=" << fold_hash_hits
+     << " false_positives=" << fold_false_positives
+     << " deep_compares=" << fold_deep_compares
+     << " folds=" << folds_performed << '\n';
+  os << "merge: prechecks=" << merge_prechecks
+     << " hash_rejects=" << merge_hash_rejects
+     << " deep_compares=" << merge_deep_compares
+     << " deep_rejects=" << merge_deep_rejects
+     << " memo_hits=" << merge_memo_hits << '\n';
+  os << "wire: bytes_encoded=" << bytes_encoded
+     << " bytes_decoded=" << bytes_decoded << '\n';
+  os.precision(6);
+  os << std::fixed << "cpu: intra=" << intra_seconds
+     << "s inter=" << inter_seconds << "s clustering=" << clustering_seconds
+     << "s";
+  return os.str();
+}
+
+}  // namespace cham::trace

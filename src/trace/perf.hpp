@@ -1,0 +1,58 @@
+// Performance counters for the compression fast path.
+//
+// The shape-hash fast path (docs/PERF.md) turns the fold/merge hot loops
+// into hash-compare-then-verify. These counters expose how often the O(1)
+// prechecks fire, how often they are wrong (hash collisions / endpoint
+// mismatches), and how much wire traffic the reductions move — the raw
+// material for `chamtrace run --perf` and bench_hotpath's JSON trajectory.
+//
+// All tools in this repository run on the single-threaded fiber scheduler,
+// so one PerfCounters instance per tool, shared by every rank's trace
+// state, needs no synchronization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cham::trace {
+
+struct PerfCounters {
+  // --- intra-node folding (fold_tail) ---
+  std::uint64_t fold_windows_tested = 0;  ///< windows past the cheap length checks
+  std::uint64_t fold_hash_rejects = 0;    ///< rejected by the O(1) window hash
+  std::uint64_t fold_hash_hits = 0;       ///< window hash matched, deep verify ran
+  std::uint64_t fold_false_positives = 0; ///< hash matched but shapes differed
+  std::uint64_t fold_deep_compares = 0;   ///< full window comparisons performed
+  std::uint64_t folds_performed = 0;      ///< successful fold rules applied
+
+  // --- inter-node merging (inter_merge) ---
+  std::uint64_t merge_prechecks = 0;      ///< merge-hash prechecks evaluated
+  std::uint64_t merge_hash_rejects = 0;   ///< pairs rejected by hash in O(1)
+  std::uint64_t merge_deep_compares = 0;  ///< pairs that reached the deep check
+  std::uint64_t merge_deep_rejects = 0;   ///< deep check failed after hash match
+  std::uint64_t merge_memo_hits = 0;      ///< LCS cells answered from the memo
+
+  // --- wire traffic (encode/decode during reductions and handoffs) ---
+  std::uint64_t bytes_encoded = 0;
+  std::uint64_t bytes_decoded = 0;
+
+  // --- per-phase CPU seconds (filled by the owning tool at report time) ---
+  double intra_seconds = 0.0;
+  double inter_seconds = 0.0;
+  double clustering_seconds = 0.0;
+
+  void add(const PerfCounters& other);
+  void reset() { *this = PerfCounters{}; }
+
+  /// Multi-line human-readable summary (the `chamtrace run --perf` block).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Process-wide switch for the hash fast path. Disabling it restores the
+/// pre-optimization deep-comparison code paths bit-for-bit — bench_hotpath
+/// uses this to measure baseline-vs-optimized on identical inputs, and the
+/// byte-identity tests use it to prove both modes produce the same traces.
+[[nodiscard]] bool fast_path_enabled();
+void set_fast_path_enabled(bool enabled);
+
+}  // namespace cham::trace

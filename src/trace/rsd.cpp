@@ -1,78 +1,219 @@
 #include "trace/rsd.hpp"
 
 #include "support/logging.hpp"
+#include "trace/perf.hpp"
 
 namespace cham::trace {
 
 namespace {
 
-/// Rule (a): the loop node right before the last `len` nodes has a body that
-/// matches them — fold the window into one more iteration of that loop.
-bool try_increment_loop(std::vector<TraceNode>& nodes, std::size_t len) {
-  if (nodes.size() < len + 1) return false;
-  const std::size_t loop_at = nodes.size() - len - 1;
-  TraceNode& loop = nodes[loop_at];
-  if (!loop.is_loop() || loop.body.size() != len) return false;
-  for (std::size_t i = 0; i < len; ++i) {
-    if (!loop.body[i].same_shape(nodes[loop_at + 1 + i])) return false;
-  }
-  for (std::size_t i = 0; i < len; ++i) {
-    loop.body[i].absorb_stats(nodes[loop_at + 1 + i]);
-  }
-  ++loop.iters;
-  nodes.resize(loop_at + 1);
-  return true;
+/// Powers of kShapeSeqBase, grown on demand and cached across fold_tail
+/// calls (the window limit rarely changes within a process).
+const std::uint64_t* seq_powers(std::size_t limit) {
+  thread_local std::vector<std::uint64_t> powers{1};
+  while (powers.size() <= limit) powers.push_back(powers.back() * kShapeSeqBase);
+  return powers.data();
 }
 
-/// Rule (b): the last 2*len nodes form two structurally equal halves — fold
-/// them into a fresh loop of two iterations.
-bool try_fold_pair(std::vector<TraceNode>& nodes, std::size_t len) {
-  if (nodes.size() < 2 * len) return false;
-  const std::size_t first = nodes.size() - 2 * len;
-  const std::size_t second = nodes.size() - len;
-  for (std::size_t i = 0; i < len; ++i) {
-    if (!nodes[first + i].same_shape(nodes[second + i])) return false;
+/// Applies the two tail fold rules with the shape-hash fast path: a rolling
+/// polynomial hash over the node sequence (same kShapeSeqBase scheme as
+/// TraceNode::body_seq) makes every window test an O(1) compare; only
+/// windows whose hashes match are deep-verified, so a hash collision can
+/// cost time but never a wrong fold. With a persistent FoldState the prefix
+/// array carries over between calls and is maintained incrementally (one
+/// entry per append, one truncate-and-push per fold); without one, the tail
+/// region the rules can touch is rebuilt per pass. With the fast path
+/// disabled the folder runs the original deep comparisons — both modes take
+/// identical fold decisions and produce byte-identical traces.
+class TailFolder {
+ public:
+  TailFolder(std::vector<TraceNode>& nodes, std::size_t limit, bool fast,
+             PerfCounters* pc, FoldState* state)
+      : nodes_(nodes), limit_(limit), fast_(fast), pc_(pc),
+        state_(fast ? state : nullptr),
+        powers_(fast ? seq_powers(limit) : nullptr) {
+    if (state != nullptr && !fast) state->clear();  // do not survive a toggle
   }
-  std::vector<TraceNode> body;
-  body.reserve(len);
-  for (std::size_t i = 0; i < len; ++i) {
-    TraceNode merged = std::move(nodes[first + i]);
-    merged.absorb_stats(nodes[second + i]);
-    body.push_back(std::move(merged));
+
+  int run() {
+    if (state_ != nullptr) sync_state();
+    int folds = 0;
+    bool folded = true;
+    while (folded) {
+      folded = false;
+      if (fast_ && state_ == nullptr) rebuild_tail_hashes();
+      for (std::size_t len = 1; len <= limit_ && len <= nodes_.size(); ++len) {
+        if (try_increment_loop(len) || try_fold_pair(len)) {
+          folded = true;
+          ++folds;
+          if (pc_ != nullptr) ++pc_->folds_performed;
+          break;  // restart with the shortest window after any change
+        }
+      }
+    }
+    return folds;
   }
-  nodes.resize(first);
-  nodes.push_back(TraceNode::loop(2, std::move(body)));
-  return true;
-}
+
+ private:
+  /// Bring the persistent prefix in line with the node sequence: extend by
+  /// one entry after a plain append (the overwhelmingly common case), leave
+  /// alone when already aligned, rebuild from scratch otherwise (first call
+  /// or the sequence was mutated externally).
+  void sync_state() {
+    std::vector<std::uint64_t>& prefix = state_->prefix;
+    if (prefix.size() == nodes_.size() + 1) return;
+    if (!prefix.empty() && prefix.size() == nodes_.size()) {
+      extend_prefix(nodes_.size() - 1);
+      return;
+    }
+    prefix.assign(1, 0);
+    for (std::size_t k = 0; k < nodes_.size(); ++k) extend_prefix(k);
+  }
+
+  /// Append the prefix entry covering nodes_[k] (entries 0..k are in place).
+  void extend_prefix(std::size_t k) {
+    TraceNode& node = nodes_[k];
+    if (!node.hashed()) node.rehash_deep();
+    state_->prefix.push_back(state_->prefix[k] * kShapeSeqBase +
+                             node.shape_hash);
+  }
+
+  /// Non-persistent mode: recompute the rolling prefix hashes over the tail
+  /// region the fold rules can touch (the last 2*limit windows). prefix_[k]
+  /// combines the shape hashes of nodes_[base_ .. base_+k); window hashes
+  /// derived from it are independent of base_, so they compare against each
+  /// other and against loop body_seq values directly.
+  void rebuild_tail_hashes() {
+    const std::size_t region = std::min(nodes_.size(), 2 * limit_ + 1);
+    base_ = nodes_.size() - region;
+    prefix_.assign(region + 1, 0);
+    for (std::size_t k = 0; k < region; ++k) {
+      TraceNode& node = nodes_[base_ + k];
+      if (!node.hashed()) node.rehash_deep();
+      prefix_[k + 1] = prefix_[k] * kShapeSeqBase + node.shape_hash;
+    }
+  }
+
+  /// Polynomial hash of the window nodes_[at, at+len); at must be >= base_.
+  [[nodiscard]] std::uint64_t window_hash(std::size_t at,
+                                          std::size_t len) const {
+    const std::vector<std::uint64_t>& prefix =
+        state_ != nullptr ? state_->prefix : prefix_;
+    const std::size_t i = at - (state_ != nullptr ? 0 : base_);
+    return prefix[i + len] - prefix[i] * powers_[len];
+  }
+
+  /// After a fold rewrote the tail so that nodes_[at] is now the (hashed)
+  /// last node: discard the prefix entries the fold invalidated and append
+  /// the entry for the new tail node.
+  void refold_prefix(std::size_t at) {
+    if (state_ == nullptr) return;  // next rebuild_tail_hashes() covers it
+    state_->prefix.resize(at + 1);
+    extend_prefix(at);
+  }
+
+  [[nodiscard]] bool deep_equal(std::size_t lhs_at, std::size_t rhs_at,
+                                std::size_t len,
+                                const std::vector<TraceNode>& lhs) const {
+    for (std::size_t i = 0; i < len; ++i)
+      if (!lhs[lhs_at + i].same_shape(nodes_[rhs_at + i])) return false;
+    return true;
+  }
+
+  /// Window precheck-then-verify shared by both rules: lhs[lhs_at, +len)
+  /// vs nodes_[rhs_at, +len), where `lhs_hash` is the lhs window's rolling
+  /// hash (a loop's body_seq or another tail window).
+  bool windows_match(std::uint64_t lhs_hash, const std::vector<TraceNode>& lhs,
+                     std::size_t lhs_at, std::size_t rhs_at, std::size_t len) {
+    if (pc_ != nullptr) ++pc_->fold_windows_tested;
+    if (fast_) {
+      if (lhs_hash != window_hash(rhs_at, len)) {
+        if (pc_ != nullptr) ++pc_->fold_hash_rejects;
+        return false;
+      }
+      if (pc_ != nullptr) {
+        ++pc_->fold_hash_hits;
+        ++pc_->fold_deep_compares;
+      }
+      const bool ok = deep_equal(lhs_at, rhs_at, len, lhs);
+      if (!ok && pc_ != nullptr) ++pc_->fold_false_positives;
+      return ok;
+    }
+    if (pc_ != nullptr) ++pc_->fold_deep_compares;
+    return deep_equal(lhs_at, rhs_at, len, lhs);
+  }
+
+  /// Rule (a): the loop node right before the last `len` nodes has a body
+  /// matching them — fold the window into one more iteration of that loop.
+  bool try_increment_loop(std::size_t len) {
+    if (nodes_.size() < len + 1) return false;
+    const std::size_t loop_at = nodes_.size() - len - 1;
+    TraceNode& loop = nodes_[loop_at];
+    if (!loop.is_loop() || loop.body.size() != len) return false;
+    if (!windows_match(loop.body_seq, loop.body, 0, loop_at + 1, len))
+      return false;
+    for (std::size_t i = 0; i < len; ++i)
+      loop.body[i].absorb_stats(nodes_[loop_at + 1 + i]);
+    ++loop.iters;
+    loop.rehash_shallow();
+    nodes_.resize(loop_at + 1);
+    refold_prefix(loop_at);
+    return true;
+  }
+
+  /// Rule (b): the last 2*len nodes form two structurally equal halves —
+  /// fold them into a fresh loop of two iterations.
+  bool try_fold_pair(std::size_t len) {
+    if (nodes_.size() < 2 * len) return false;
+    const std::size_t first = nodes_.size() - 2 * len;
+    const std::size_t second = nodes_.size() - len;
+    const std::uint64_t first_hash = fast_ ? window_hash(first, len) : 0;
+    if (!windows_match(first_hash, nodes_, first, second, len)) return false;
+    std::vector<TraceNode> body;
+    body.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      TraceNode merged = std::move(nodes_[first + i]);
+      merged.absorb_stats(nodes_[second + i]);
+      body.push_back(std::move(merged));
+    }
+    nodes_.resize(first);
+    nodes_.push_back(TraceNode::loop(2, std::move(body)));
+    refold_prefix(first);
+    return true;
+  }
+
+  std::vector<TraceNode>& nodes_;
+  std::size_t limit_;
+  bool fast_;
+  PerfCounters* pc_;
+  FoldState* state_;
+  const std::uint64_t* powers_;
+  std::size_t base_ = 0;
+  std::vector<std::uint64_t> prefix_;  ///< non-persistent tail-region mode
+};
 
 }  // namespace
 
-int fold_tail(std::vector<TraceNode>& nodes, int max_window) {
-  int folds = 0;
-  bool folded = true;
-  while (folded) {
-    folded = false;
-    const auto limit = static_cast<std::size_t>(max_window);
-    for (std::size_t len = 1; len <= limit && len <= nodes.size(); ++len) {
-      if (try_increment_loop(nodes, len) || try_fold_pair(nodes, len)) {
-        folded = true;
-        ++folds;
-        break;  // restart with the shortest window after any change
-      }
-    }
-  }
-  return folds;
+int fold_tail(std::vector<TraceNode>& nodes, int max_window, PerfCounters* pc,
+              FoldState* state) {
+  // A non-positive window means "no folding", not "unbounded": the old
+  // static_cast turned negative windows into a near-infinite limit.
+  if (max_window <= 0) return 0;
+  TailFolder folder(nodes, static_cast<std::size_t>(max_window),
+                    fast_path_enabled(), pc, state);
+  return folder.run();
 }
 
 void IntraTrace::append(EventRecord ev) {
   ++recorded_;
   nodes_.push_back(TraceNode::leaf(std::move(ev)));
-  fold_tail(nodes_, max_window_);
+  fold_tail(nodes_, max_window_, perf_, &fold_state_);
 }
 
 std::vector<TraceNode> IntraTrace::take() {
   std::vector<TraceNode> out = std::move(nodes_);
   nodes_.clear();
+  fold_state_.clear();
   return out;
 }
 

@@ -21,14 +21,34 @@
 
 namespace cham::trace {
 
+struct PerfCounters;
+
+/// Persistent rolling-hash state for repeated fold_tail calls over the same
+/// growing node sequence. `prefix[k]` is the kShapeSeqBase-polynomial
+/// combination of nodes[0..k) shape hashes; fold_tail keeps it aligned with
+/// the sequence incrementally (O(1) per append and per fold) instead of
+/// rebuilding the tail window hashes on every call. Owned by IntraTrace;
+/// callers that mutate the node sequence behind fold_tail's back must
+/// clear() it.
+struct FoldState {
+  std::vector<std::uint64_t> prefix;
+  void clear() { prefix.clear(); }
+};
+
 /// Apply the two fold rules at the tail of `nodes` until neither fires.
-/// Window lengths 1..max_window are tried, shortest first. Returns the
-/// number of folds performed.
-int fold_tail(std::vector<TraceNode>& nodes, int max_window);
+/// Window lengths 1..max_window are tried, shortest first (a non-positive
+/// max_window disables folding entirely). Returns the number of folds
+/// performed. Window candidates are prechecked against rolling shape
+/// hashes and only deep-compared on a hash match; `pc` (optional) receives
+/// the precheck/verify counters and `state` (optional) carries the rolling
+/// prefix hashes across calls.
+int fold_tail(std::vector<TraceNode>& nodes, int max_window,
+              PerfCounters* pc = nullptr, FoldState* state = nullptr);
 
 class IntraTrace {
  public:
-  explicit IntraTrace(int max_window = 32) : max_window_(max_window) {}
+  explicit IntraTrace(int max_window = 32, PerfCounters* perf = nullptr)
+      : max_window_(max_window), perf_(perf) {}
 
   /// Append one event and recompress the tail.
   void append(EventRecord ev);
@@ -38,7 +58,10 @@ class IntraTrace {
   /// Move the compressed trace out, leaving this trace empty.
   [[nodiscard]] std::vector<TraceNode> take();
 
-  void clear() { nodes_.clear(); }
+  void clear() {
+    nodes_.clear();
+    fold_state_.clear();
+  }
 
   [[nodiscard]] bool empty() const { return nodes_.empty(); }
 
@@ -56,6 +79,8 @@ class IntraTrace {
  private:
   std::vector<TraceNode> nodes_;
   int max_window_;
+  PerfCounters* perf_ = nullptr;
+  FoldState fold_state_;
   std::uint64_t recorded_ = 0;
 };
 

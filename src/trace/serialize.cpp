@@ -101,6 +101,31 @@ RankList decode_ranklist(ByteReader& r) {
   return RankList::from_ranks(std::move(ranks));
 }
 
+std::size_t encoded_size_hint(const RankList& ranks) {
+  std::size_t n = 2;
+  for (const auto& sec : ranks.sections()) n += 4 + 2 + 8 * sec.dims.size();
+  return n;
+}
+
+std::size_t encoded_size_hint(const TraceNode& node) {
+  if (node.is_loop()) {
+    std::size_t n = 1 + 8 + 4;
+    for (const auto& child : node.body) n += encoded_size_hint(child);
+    return n;
+  }
+  // mark + op + stack + 2 endpoints + bytes + tag + comm + marker flag
+  constexpr std::size_t kLeafFixed = 1 + 1 + 8 + 2 * 5 + 8 + 4 + 1 + 1;
+  constexpr std::size_t kHistogram =
+      static_cast<std::size_t>(support::Histogram::kBins) * 8 + 8 + 3 * 8;
+  return kLeafFixed + encoded_size_hint(node.event.ranks) + kHistogram;
+}
+
+std::size_t encoded_size_hint(const std::vector<TraceNode>& nodes) {
+  std::size_t n = 4;
+  for (const auto& node : nodes) n += encoded_size_hint(node);
+  return n;
+}
+
 namespace {
 
 void encode_endpoint(ByteWriter& w, const Endpoint& ep) {
@@ -166,14 +191,15 @@ void encode_node(ByteWriter& w, const TraceNode& node) {
 TraceNode decode_node(ByteReader& r) {
   const std::uint8_t mark = r.u8();
   if (mark == kLoopMark) {
-    TraceNode node;
-    node.iters = r.u64();
-    if (node.iters == 0) throw DecodeError("loop with zero iterations");
+    const std::uint64_t iters = r.u64();
+    if (iters == 0) throw DecodeError("loop with zero iterations");
     const std::uint32_t len = r.u32();
     if (len > (1u << 20)) throw DecodeError("loop body length implausible");
-    node.body.reserve(len);
-    for (std::uint32_t i = 0; i < len; ++i) node.body.push_back(decode_node(r));
-    return node;
+    std::vector<TraceNode> body;
+    body.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) body.push_back(decode_node(r));
+    // The loop() factory rehashes, so decoded nodes come out hash-consistent.
+    return TraceNode::loop(iters, std::move(body));
   }
   if (mark != kLeafMark) throw DecodeError("bad node marker");
   EventRecord ev;
@@ -192,6 +218,7 @@ TraceNode decode_node(ByteReader& r) {
 
 std::vector<std::uint8_t> encode_trace(const std::vector<TraceNode>& nodes) {
   ByteWriter w;
+  w.reserve(encoded_size_hint(nodes));
   w.u32(static_cast<std::uint32_t>(nodes.size()));
   for (const auto& node : nodes) encode_node(w, node);
   return w.take();

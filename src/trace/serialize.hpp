@@ -17,6 +17,10 @@ namespace cham::trace {
 
 class ByteWriter {
  public:
+  /// Pre-size the buffer (encoded_size_hint) so encoding a trace performs
+  /// one allocation instead of a geometric growth series.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -59,6 +63,11 @@ class DecodeError : public std::runtime_error {
 
 void encode_ranklist(ByteWriter& w, const RankList& ranks);
 RankList decode_ranklist(ByteReader& r);
+
+/// Exact encoded sizes, used to reserve() writer buffers up front.
+std::size_t encoded_size_hint(const RankList& ranks);
+std::size_t encoded_size_hint(const TraceNode& node);
+std::size_t encoded_size_hint(const std::vector<TraceNode>& nodes);
 
 void encode_node(ByteWriter& w, const TraceNode& node);
 TraceNode decode_node(ByteReader& r);

@@ -29,7 +29,8 @@ ScalaTraceTool::ScalaTraceTool(int nprocs, CallSiteRegistry* stacks,
   CHAM_CHECK_MSG(stacks_->nprocs() == nprocs,
                  "registry size must match world size");
   state_.reserve(static_cast<std::size_t>(nprocs));
-  for (int r = 0; r < nprocs; ++r) state_.emplace_back(opts_.max_window);
+  for (int r = 0; r < nprocs; ++r)
+    state_.emplace_back(opts_.max_window, &perf_);
 }
 
 void ScalaTraceTool::on_init(sim::Rank rank, sim::Pmpi& pmpi) {
@@ -146,6 +147,7 @@ std::vector<TraceNode> ScalaTraceTool::radix_merge(
         ChargedSection timed(st.inter_timer, pmpi);
         payload = encode_trace(mine);
       }
+      perf_.bytes_encoded += payload.size();
       pmpi.send_bytes(participants[idx - mask], kMergeTag,
                       std::move(payload));
       return {};
@@ -161,9 +163,10 @@ std::vector<TraceNode> ScalaTraceTool::radix_merge(
       if (status.peer_failed) continue;
       ++merge_ops_;
       merge_bytes_ += payload.size();
+      perf_.bytes_decoded += payload.size();
       ChargedSection timed(st.inter_timer, pmpi);
       std::vector<TraceNode> theirs = decode_trace(payload);
-      mine = inter_merge(std::move(mine), std::move(theirs));
+      mine = inter_merge(std::move(mine), std::move(theirs), &perf_);
     }
   }
   return mine;
@@ -189,6 +192,12 @@ std::uint64_t ScalaTraceTool::events_recorded_total() const {
 
 std::size_t ScalaTraceTool::rank_trace_bytes(sim::Rank r) const {
   return state_.at(static_cast<std::size_t>(r)).intra.footprint_bytes();
+}
+
+const PerfCounters& ScalaTraceTool::perf_counters() const {
+  perf_.intra_seconds = intra_seconds();
+  perf_.inter_seconds = inter_seconds();
+  return perf_;
 }
 
 }  // namespace cham::trace

@@ -20,6 +20,7 @@
 #include "support/timer.hpp"
 #include "trace/callsite.hpp"
 #include "trace/merge.hpp"
+#include "trace/perf.hpp"
 #include "trace/rsd.hpp"
 
 namespace cham::sim {
@@ -37,7 +38,8 @@ struct TracerOptions {
 
 /// Per-rank tracing state (protected so Chameleon can drive it).
 struct RankTraceState {
-  explicit RankTraceState(int max_window) : intra(max_window) {}
+  explicit RankTraceState(int max_window, PerfCounters* perf = nullptr)
+      : intra(max_window, perf) {}
 
   IntraTrace intra;
   double last_event_end = 0.0;
@@ -102,6 +104,12 @@ class ScalaTraceTool : public sim::Tool {
     return state_.at(static_cast<std::size_t>(r));
   }
 
+  /// Tool-wide fast-path counters (single-threaded scheduler: one instance
+  /// shared by every rank's trace state needs no synchronization). The
+  /// per-phase seconds fields are filled lazily from the section timers;
+  /// derived tools add their clustering time.
+  [[nodiscard]] virtual const PerfCounters& perf_counters() const;
+
  protected:
   RankTraceState& state(sim::Rank r) {
     return state_.at(static_cast<std::size_t>(r));
@@ -131,6 +139,10 @@ class ScalaTraceTool : public sim::Tool {
   int nprocs_;
   CallSiteRegistry* stacks_;
   TracerOptions opts_;
+  /// Declared before state_: each RankTraceState's IntraTrace holds a
+  /// pointer to it. Mutable so the const perf_counters() accessor can fill
+  /// the derived seconds fields at report time.
+  mutable PerfCounters perf_;
   std::vector<RankTraceState> state_;
   std::vector<TraceNode> global_;
   std::uint64_t merge_ops_ = 0;

@@ -171,6 +171,26 @@ TEST(Rsd, TripleNesting) {
   EXPECT_EQ(innermost.iters, 5u);
 }
 
+TEST(Rsd, NonPositiveMaxWindowDisablesFolding) {
+  // Regression: a negative max_window used to be static_cast into a huge
+  // unsigned window limit ("fold everything") instead of "fold nothing".
+  std::vector<TraceNode> nodes;
+  for (int i = 0; i < 8; ++i)
+    nodes.push_back(TraceNode::leaf(ev(sim::Op::kSend, kSendSig)));
+
+  std::vector<TraceNode> zero = nodes;
+  EXPECT_EQ(fold_tail(zero, 0), 0);
+  EXPECT_EQ(zero.size(), 8u);
+
+  std::vector<TraceNode> negative = nodes;
+  EXPECT_EQ(fold_tail(negative, -3), 0);
+  EXPECT_EQ(negative.size(), 8u);
+
+  IntraTrace trace(-1);
+  for (int i = 0; i < 6; ++i) trace.append(ev(sim::Op::kSend, kSendSig));
+  EXPECT_EQ(trace.nodes().size(), 6u);
+}
+
 TEST(Rsd, FoldTailIdempotentOnCompressed) {
   IntraTrace trace;
   for (int i = 0; i < 30; ++i) trace.append(ev(sim::Op::kSend, kSendSig));

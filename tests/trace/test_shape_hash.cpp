@@ -1,0 +1,207 @@
+// Property tests for the structural shape hashes behind the compression
+// fast path (docs/PERF.md). The invariants the hot loops rely on:
+//
+//   soundness   equal shapes  =>  equal, nonzero hashes (exact, always)
+//   precision   different shapes => different hashes (w.h.p.; a collision
+//               costs a wasted deep compare, never a wrong fold/merge)
+//   maintenance every library mutation (folding, merging, decode) leaves
+//               cached hashes equal to a from-scratch rehash
+//   identity    fast path on/off produces byte-identical traces
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "support/rng.hpp"
+#include "trace/merge.hpp"
+#include "trace/perf.hpp"
+#include "trace/rsd.hpp"
+#include "trace/serialize.hpp"
+
+namespace cham::trace {
+namespace {
+
+/// Restore the process-wide fast-path switch on scope exit so a failing
+/// test cannot poison the rest of the suite.
+class FastPathGuard {
+ public:
+  FastPathGuard() : saved_(fast_path_enabled()) {}
+  ~FastPathGuard() { set_fast_path_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+EventRecord random_event(support::Rng& rng) {
+  EventRecord ev;
+  const std::uint64_t kind = rng.next_below(4);
+  ev.op = kind == 0   ? sim::Op::kSend
+          : kind == 1 ? sim::Op::kRecv
+          : kind == 2 ? sim::Op::kBarrier
+                      : sim::Op::kAllreduce;
+  ev.stack_sig = 0x4000 + rng.next_below(6);
+  if (ev.op == sim::Op::kSend)
+    ev.dest = Endpoint{Endpoint::Kind::kRelative,
+                       static_cast<std::int32_t>(rng.next_below(5)) - 2};
+  if (ev.op == sim::Op::kRecv)
+    ev.src = Endpoint{Endpoint::Kind::kRelative,
+                      static_cast<std::int32_t>(rng.next_below(5)) - 2};
+  ev.bytes = 8u << rng.next_below(5);
+  ev.tag = static_cast<std::int32_t>(rng.next_below(3));
+  ev.ranks = RankList::single(0);
+  ev.delta.add(rng.next_double() * 0.01);
+  return ev;
+}
+
+std::vector<TraceNode> fold_random_stream(std::uint64_t seed, int length) {
+  support::Rng rng(seed);
+  IntraTrace trace;
+  while (static_cast<int>(trace.recorded_events()) < length) {
+    const EventRecord ev = random_event(rng);
+    const int run = 1 + static_cast<int>(rng.next_below(5));
+    for (int i = 0; i < run; ++i) trace.append(ev);
+  }
+  return trace.take();
+}
+
+/// Recursively check a node's cached hashes against a from-scratch rehash
+/// of a private copy.
+void expect_hashes_consistent(const TraceNode& node) {
+  ASSERT_TRUE(node.hashed());
+  TraceNode copy = node;
+  copy.rehash_deep();
+  EXPECT_EQ(node.shape_hash, copy.shape_hash);
+  EXPECT_EQ(node.merge_hash, copy.merge_hash);
+  EXPECT_EQ(node.body_seq, copy.body_seq);
+  for (const TraceNode& child : node.body) expect_hashes_consistent(child);
+}
+
+class ShapeHashSeeds : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeHashSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(ShapeHashSeeds, EventHashEqualIffSameShape) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9E37);
+  std::vector<EventRecord> events;
+  for (int i = 0; i < 64; ++i) events.push_back(random_event(rng));
+  for (const EventRecord& a : events) {
+    for (const EventRecord& b : events) {
+      if (a.same_shape(b)) {
+        EXPECT_EQ(a.shape_hash(), b.shape_hash());  // soundness: exact
+      } else {
+        // Precision: a violation here is a 2^-64-scale collision inside a
+        // 64-event pool — report it, it means the hash lost a field.
+        EXPECT_NE(a.shape_hash(), b.shape_hash());
+      }
+      EXPECT_NE(a.shape_hash(), 0u);  // 0 is the "not computed" sentinel
+    }
+  }
+}
+
+TEST_P(ShapeHashSeeds, MergeClassHashIgnoresEndpointsOnly) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x51ED);
+  for (int i = 0; i < 64; ++i) {
+    EventRecord a = random_event(rng);
+    EventRecord b = a;
+    b.src = Endpoint::any();
+    b.dest = Endpoint{Endpoint::Kind::kRelative, 17};
+    // Endpoint changes never move an event out of its merge class...
+    EXPECT_EQ(a.merge_class_hash(), b.merge_class_hash());
+    // ...but any merge-invariant field does.
+    EventRecord c = a;
+    c.bytes += 1;
+    EXPECT_NE(a.merge_class_hash(), c.merge_class_hash());
+    EventRecord d = a;
+    d.stack_sig ^= 1;
+    EXPECT_NE(a.merge_class_hash(), d.merge_class_hash());
+  }
+}
+
+TEST_P(ShapeHashSeeds, FoldedTraceKeepsHashesConsistent) {
+  const auto nodes =
+      fold_random_stream(static_cast<std::uint64_t>(GetParam()), 400);
+  for (const TraceNode& node : nodes) expect_hashes_consistent(node);
+}
+
+TEST_P(ShapeHashSeeds, LoopBodySeqMatchesPolynomialOfChildren) {
+  const auto nodes =
+      fold_random_stream(static_cast<std::uint64_t>(GetParam()) * 3, 300);
+  std::function<void(const TraceNode&)> check = [&](const TraceNode& node) {
+    if (!node.is_loop()) return;
+    std::uint64_t seq = 0;
+    for (const TraceNode& child : node.body) {
+      seq = seq * kShapeSeqBase + child.shape_hash;
+      check(child);
+    }
+    EXPECT_EQ(node.body_seq, seq);
+  };
+  for (const TraceNode& node : nodes) check(node);
+}
+
+TEST_P(ShapeHashSeeds, DecodePreservesShapeHashes) {
+  const auto nodes =
+      fold_random_stream(static_cast<std::uint64_t>(GetParam()) * 7, 300);
+  const auto decoded = decode_trace(encode_trace(nodes));
+  ASSERT_EQ(decoded.size(), nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(decoded[i].shape_hash, nodes[i].shape_hash);
+    EXPECT_EQ(decoded[i].merge_hash, nodes[i].merge_hash);
+    expect_hashes_consistent(decoded[i]);
+  }
+}
+
+TEST_P(ShapeHashSeeds, MergedTraceKeepsHashesConsistent) {
+  auto a = fold_random_stream(static_cast<std::uint64_t>(GetParam()) * 11, 250);
+  auto b = fold_random_stream(static_cast<std::uint64_t>(GetParam()) * 13, 250);
+  substitute_ranks(a, RankList::single(0));
+  substitute_ranks(b, RankList::single(1));
+  const auto merged = inter_merge(std::move(a), std::move(b));
+  for (const TraceNode& node : merged) expect_hashes_consistent(node);
+}
+
+TEST_P(ShapeHashSeeds, FastPathProducesByteIdenticalTraces) {
+  FastPathGuard guard;
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 17;
+
+  set_fast_path_enabled(false);
+  auto base_a = fold_random_stream(seed, 350);
+  auto base_b = fold_random_stream(seed + 1, 350);
+  substitute_ranks(base_b, RankList::single(1));
+  const auto base_wire = encode_trace(
+      inter_merge(std::move(base_a), std::move(base_b)));
+
+  set_fast_path_enabled(true);
+  auto fast_a = fold_random_stream(seed, 350);
+  auto fast_b = fold_random_stream(seed + 1, 350);
+  substitute_ranks(fast_b, RankList::single(1));
+  const auto fast_wire = encode_trace(
+      inter_merge(std::move(fast_a), std::move(fast_b)));
+
+  EXPECT_EQ(base_wire, fast_wire);
+}
+
+TEST(ShapeHash, AbsorbStatsKeepsShape) {
+  // Histograms and ranklists are not shape: absorbing stats must not
+  // disturb any cached hash.
+  support::Rng rng(0xABCD);
+  TraceNode a = TraceNode::leaf(random_event(rng));
+  TraceNode b = a;
+  b.event.delta.add(0.5);
+  const std::uint64_t before = a.shape_hash;
+  a.absorb_stats(b);
+  EXPECT_EQ(a.shape_hash, before);
+  expect_hashes_consistent(a);
+}
+
+TEST(ShapeHash, SubstituteRanksKeepsShapeHashes) {
+  auto nodes = fold_random_stream(0x5EED, 300);
+  std::vector<std::uint64_t> before;
+  for (const TraceNode& node : nodes) before.push_back(node.shape_hash);
+  substitute_ranks(nodes, RankList::single(3));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i].shape_hash, before[i]);
+    expect_hashes_consistent(nodes[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cham::trace

@@ -29,6 +29,7 @@
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/mpi.hpp"
+#include "trace/perf.hpp"
 #include "trace/serialize.hpp"
 #include "workloads/workload.hpp"
 
@@ -45,7 +46,7 @@ int usage() {
       "               [--k <K>] [--freq <N>] [--class A|B|C|D] [--steps <N>]"
       " [--auto-marker]\n"
       "               [--fault <plan-file-or-inline>] [--fault-seed <N>]\n"
-      "               [--out <file>] [--text]\n"
+      "               [--out <file>] [--text] [--perf]\n"
       "  chamtrace show <trace-file>\n"
       "  chamtrace replay <trace-file> --procs <P>\n",
       stderr);
@@ -208,6 +209,15 @@ int cmd_run(const Args& args) {
                 static_cast<unsigned long long>(
                     chameleon->state_count(core::MarkerState::kAllTracing)),
                 chameleon->effective_k(), chameleon->num_callpath_clusters());
+  }
+  if (args.has("--perf")) {
+    const trace::PerfCounters& perf =
+        chameleon ? chameleon->perf_counters()
+                  : scalatrace ? scalatrace->perf_counters()
+                               : acurdion->perf_counters();
+    std::printf("perf counters (fast path %s):\n%s\n",
+                trace::fast_path_enabled() ? "on" : "off",
+                perf.to_string().c_str());
   }
   if (args.has("--text")) {
     std::fputs(trace::format_trace(nodes).c_str(), stdout);

@@ -43,4 +43,18 @@ done
 
 run_config werror -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHAMELEON_WERROR=ON
 
+# Hot-path benchmark smoke (release build): baseline and optimized runs must
+# produce byte-identical traces, and the JSON report must carry the schema
+# keys docs/PERF.md documents. Thresholded speedups are a full-scale,
+# quiet-machine measurement — run `bench_hotpath` without --smoke for those.
+echo "=== [release] bench_hotpath smoke ==="
+smoke_json="build-check/release/bench_smoke.json"
+build-check/release/bench/bench_hotpath --smoke --out "$smoke_json" >/dev/null
+for key in '"schema": "chameleon.bench_hotpath.v1"' '"append_fold"' \
+           '"inter_merge"' '"encode_decode"' '"counters"' \
+           '"byte_identical": true'; do
+  grep -qF "$key" "$smoke_json" ||
+    { echo "bench_hotpath smoke: missing $key in $smoke_json" >&2; exit 1; }
+done
+
 echo "=== all configurations green ==="

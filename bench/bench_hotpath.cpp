@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "trace/merge.hpp"
 #include "trace/perf.hpp"
@@ -124,14 +125,22 @@ Timed time_best_of(int reps, Fn&& fn) {
   return best;
 }
 
-void json_section(std::string& out, const char* name, double base,
+/// A float rendered with fixed precision (the report schema in docs/PERF.md
+/// shows 6-digit seconds and 2-digit speedups; Writer::value(double) would
+/// use shortest-round-trip formatting instead).
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+void json_section(support::json::Writer& w, const char* name, double base,
                   double fast) {
-  char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "  \"%s\": {\"baseline_seconds\": %.6f, "
-                "\"optimized_seconds\": %.6f, \"speedup\": %.2f},\n",
-                name, base, fast, base / fast);
-  out += buf;
+  w.key(name).begin_object();
+  w.key("baseline_seconds").raw(fixed(base, 6));
+  w.key("optimized_seconds").raw(fixed(fast, 6));
+  w.key("speedup").raw(fixed(base / fast, 2));
+  w.end_object();
 }
 
 }  // namespace
@@ -212,51 +221,36 @@ int main(int argc, char** argv) {
   }
 
   // --- report ------------------------------------------------------------
-  std::string json = "{\n  \"schema\": \"chameleon.bench_hotpath.v1\",\n";
-  {
-    char buf[128];
-    std::snprintf(buf, sizeof buf, "  \"events\": %zu,\n  \"reps\": %d,\n",
-                  stream.size(), reps);
-    json += buf;
-  }
-  json_section(json, "append_fold", fold_base.seconds, fold_fast.seconds);
-  json_section(json, "inter_merge", merge_base.seconds, merge_fast.seconds);
-  {
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "  \"encode_decode\": {\"seconds\": %.6f, \"bytes\": %llu, "
-                  "\"mb_per_second\": %.1f},\n",
-                  codec_seconds, static_cast<unsigned long long>(codec_bytes),
-                  static_cast<double>(codec_bytes) / 1e6 / codec_seconds);
-    json += buf;
-  }
-  {
-    char buf[1024];
-    std::snprintf(
-        buf, sizeof buf,
-        "  \"counters\": {\"fold_windows_tested\": %llu, "
-        "\"fold_hash_rejects\": %llu, \"fold_hash_hits\": %llu, "
-        "\"fold_false_positives\": %llu, \"fold_deep_compares\": %llu, "
-        "\"folds_performed\": %llu, \"merge_prechecks\": %llu, "
-        "\"merge_hash_rejects\": %llu, \"merge_deep_compares\": %llu, "
-        "\"merge_memo_hits\": %llu, \"bytes_encoded\": %llu, "
-        "\"bytes_decoded\": %llu},\n",
-        static_cast<unsigned long long>(counters.fold_windows_tested),
-        static_cast<unsigned long long>(counters.fold_hash_rejects),
-        static_cast<unsigned long long>(counters.fold_hash_hits),
-        static_cast<unsigned long long>(counters.fold_false_positives),
-        static_cast<unsigned long long>(counters.fold_deep_compares),
-        static_cast<unsigned long long>(counters.folds_performed),
-        static_cast<unsigned long long>(counters.merge_prechecks),
-        static_cast<unsigned long long>(counters.merge_hash_rejects),
-        static_cast<unsigned long long>(counters.merge_deep_compares),
-        static_cast<unsigned long long>(counters.merge_memo_hits),
-        static_cast<unsigned long long>(counters.bytes_encoded),
-        static_cast<unsigned long long>(counters.bytes_decoded));
-    json += buf;
-  }
-  json += std::string("  \"byte_identical\": ") +
-          (identical ? "true" : "false") + "\n}\n";
+  support::json::Writer w;
+  w.begin_object();
+  w.member("schema", "chameleon.bench_hotpath.v1");
+  w.member("events", static_cast<std::uint64_t>(stream.size()));
+  w.member("reps", reps);
+  json_section(w, "append_fold", fold_base.seconds, fold_fast.seconds);
+  json_section(w, "inter_merge", merge_base.seconds, merge_fast.seconds);
+  w.key("encode_decode").begin_object();
+  w.key("seconds").raw(fixed(codec_seconds, 6));
+  w.member("bytes", codec_bytes);
+  w.key("mb_per_second")
+      .raw(fixed(static_cast<double>(codec_bytes) / 1e6 / codec_seconds, 1));
+  w.end_object();
+  w.key("counters").begin_object();
+  w.member("fold_windows_tested", counters.fold_windows_tested);
+  w.member("fold_hash_rejects", counters.fold_hash_rejects);
+  w.member("fold_hash_hits", counters.fold_hash_hits);
+  w.member("fold_false_positives", counters.fold_false_positives);
+  w.member("fold_deep_compares", counters.fold_deep_compares);
+  w.member("folds_performed", counters.folds_performed);
+  w.member("merge_prechecks", counters.merge_prechecks);
+  w.member("merge_hash_rejects", counters.merge_hash_rejects);
+  w.member("merge_deep_compares", counters.merge_deep_compares);
+  w.member("merge_memo_hits", counters.merge_memo_hits);
+  w.member("bytes_encoded", counters.bytes_encoded);
+  w.member("bytes_decoded", counters.bytes_decoded);
+  w.end_object();
+  w.member("byte_identical", identical);
+  w.end_object();
+  const std::string json = w.str() + "\n";
 
   std::fputs(json.c_str(), stdout);
   if (!out_path.empty()) {

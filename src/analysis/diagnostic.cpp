@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/logging.hpp"
+
 namespace cham::analysis {
 
 const char* severity_name(Severity severity) {
@@ -26,6 +28,14 @@ void DiagnosticSink::report(Severity severity, std::string code, int rank,
   if (severity == Severity::kError) ++errors_;
   if (severity == Severity::kWarning) ++warnings_;
   diags_.push_back({severity, std::move(code), rank, std::move(message)});
+  if (log_forwarding_) {
+    const Diagnostic& d = diags_.back();
+    const support::LogLevel level =
+        severity == Severity::kError   ? support::LogLevel::kError
+        : severity == Severity::kWarning ? support::LogLevel::kWarn
+                                         : support::LogLevel::kInfo;
+    support::log_message(level, d.to_string());
+  }
 }
 
 std::size_t DiagnosticSink::count(std::string_view code) const {

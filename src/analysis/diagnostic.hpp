@@ -35,6 +35,12 @@ class DiagnosticSink {
   void report(Severity severity, std::string code, int rank,
               std::string message);
 
+  /// Forward every reported diagnostic through support::log_message (at the
+  /// matching log level) so findings land in the structured log stream —
+  /// and, when ChamScope is attached there, on the timeline. Off by
+  /// default: lint/verifier tests assert on the sink contents alone.
+  void set_log_forwarding(bool enabled) { log_forwarding_ = enabled; }
+
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
     return diags_;
   }
@@ -57,6 +63,7 @@ class DiagnosticSink {
   std::vector<Diagnostic> diags_;
   std::size_t errors_ = 0;
   std::size_t warnings_ = 0;
+  bool log_forwarding_ = false;
 };
 
 }  // namespace cham::analysis

@@ -1,6 +1,7 @@
 #include "core/chameleon.hpp"
 
 #include "core/protocol.hpp"
+#include "obs/timeline.hpp"
 #include "sim/mpi.hpp"
 #include "support/logging.hpp"
 #include "support/timer.hpp"
@@ -44,7 +45,9 @@ ChameleonTool::ChameleonTool(int nprocs, trace::CallSiteRegistry* stacks,
                                           .merge_at_finalize = false}),
       config_(config),
       cham_(static_cast<std::size_t>(nprocs)),
-      bytes_(static_cast<std::size_t>(nprocs)) {
+      bytes_(static_cast<std::size_t>(nprocs)),
+      rank_state_seconds_(static_cast<std::size_t>(nprocs)),
+      mem_(static_cast<std::size_t>(nprocs)) {
   CHAM_CHECK_MSG(config_.k >= 1, "K must be at least 1");
   CHAM_CHECK_MSG(config_.call_frequency >= 1, "Call_Frequency must be >= 1");
 }
@@ -192,6 +195,7 @@ void ChameleonTool::run_clustering(sim::Rank rank, sim::Pmpi& pmpi,
                                    const cluster::RankSignature& sig,
                                    double* cpu) {
   RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  obs::Span span(obs::Timeline::rank_tid(rank), "clustering", "protocol");
   ClusterProtocolStats stats;
   cs.clusters = hierarchical_cluster(rank, pmpi, sig, config_.k,
                                      config_.policy, config_.seed, &stats);
@@ -219,6 +223,7 @@ void ChameleonTool::run_clustering(sim::Rank rank, sim::Pmpi& pmpi,
 
 void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
   RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  obs::Span span(obs::Timeline::rank_tid(rank), "lead_merge", "protocol");
   const std::vector<sim::Rank> leads = cs.clusters.leads();
   CHAM_CHECK_MSG(!leads.empty(), "merge without clusters");
   const cluster::ClusterEntry* entry = cs.clusters.cluster_of(rank);
@@ -261,6 +266,7 @@ void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
     }
   }
   if (rank == home && !merged.empty()) {
+    obs::Span fold_span(obs::Timeline::rank_tid(rank), "append_fold", "trace");
     trace::ChargedSection timed(st.inter_timer, pmpi);
     trace::append_online(online_, std::move(merged), config_.max_window,
                          &perf_);
@@ -276,7 +282,46 @@ void ChameleonTool::account_marker(sim::Rank rank, MarkerState state_tag,
   const auto s = static_cast<std::size_t>(state_tag);
   if (rank == 0) ++state_counts_[s];
   state_seconds_[s] += sig_cpu + cluster_cpu;
+  rank_state_seconds_[static_cast<std::size_t>(rank)][s] +=
+      sig_cpu + cluster_cpu;
   clustering_seconds_ += sig_cpu + cluster_cpu;
+}
+
+void ChameleonTool::record_epoch(sim::Rank rank, MarkerState state_tag,
+                                 MarkerAction action,
+                                 std::uint64_t intra_bytes) {
+  // Partial-trace footprint re-charge: current() follows the live interval,
+  // peak() keeps the worst epoch this rank ever held.
+  support::MemTracker& mem = mem_[static_cast<std::size_t>(rank)];
+  mem.charge(static_cast<std::int64_t>(intra_bytes) - mem.current());
+
+  const RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  if (obs::Timeline* tl = obs::timeline())
+    tl->instant(obs::Timeline::rank_tid(rank),
+                std::string("state.") + marker_state_name(state_tag),
+                "protocol",
+                {obs::arg_int("marker",
+                              static_cast<std::int64_t>(processed_markers_)),
+                 obs::arg_int("clusters", static_cast<std::int64_t>(
+                                              cs.clusters.total_clusters()))});
+
+  if (!config_.record_epochs || rank != cs.epoch_home) return;
+  obs::EpochRecord record;
+  record.marker = processed_markers_;
+  record.state = marker_state_name(state_tag);
+  record.action = action == MarkerAction::kNone      ? "none"
+                  : action == MarkerAction::kCluster ? "cluster"
+                                                     : "flush";
+  record.callpaths = num_callpaths_;
+  record.clusters = cs.clusters.total_clusters();
+  record.leads = cs.clusters.leads();
+  record.lead_of.assign(static_cast<std::size_t>(nprocs_), -1);
+  for (int r = 0; r < nprocs_; ++r) {
+    const cluster::ClusterEntry* entry = cs.clusters.cluster_of(r);
+    if (entry != nullptr)
+      record.lead_of[static_cast<std::size_t>(r)] = entry->lead;
+  }
+  epochs_.push_back(std::move(record));
 }
 
 void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
@@ -328,6 +373,8 @@ void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
   }
   const double inter_delta = st.inter_timer.total() - inter_before;
   state_seconds_[static_cast<std::size_t>(state_tag)] += inter_delta;
+  rank_state_seconds_[static_cast<std::size_t>(rank)]
+                     [static_cast<std::size_t>(state_tag)] += inter_delta;
   account_marker(rank, state_tag, sig_cpu, cluster_cpu);
 
   // Table IV bookkeeping: the partial trace held during this interval plus
@@ -338,6 +385,8 @@ void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
   bucket.bytes_total += intra_bytes_before;
   if (rank == 0 && !online_.empty())
     bucket.bytes_total += trace::footprint_bytes(online_);
+
+  record_epoch(rank, state_tag, action, intra_bytes_before);
 }
 
 void ChameleonTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
@@ -368,17 +417,22 @@ void ChameleonTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
 
   double cluster_cpu = 0.0;
   const double inter_before = st.inter_timer.total();
+  MarkerAction final_action = MarkerAction::kFlush;
   if (cs.lead_phase) {
     // A clustering is active: the trailing events live in the lead traces.
     lead_merge_into_online(rank, pmpi);
   } else {
     // Forced re-clustering — MPI_Finalize guarantees a new Call-Path, so
     // Algorithm 1 is skipped and clustering runs unconditionally.
+    final_action = MarkerAction::kCluster;
     run_clustering(rank, pmpi, sig, &cluster_cpu);
     lead_merge_into_online(rank, pmpi);
   }
   const double inter_delta = st.inter_timer.total() - inter_before;
   state_seconds_[static_cast<std::size_t>(MarkerState::kFinal)] += inter_delta;
+  rank_state_seconds_[static_cast<std::size_t>(rank)]
+                     [static_cast<std::size_t>(MarkerState::kFinal)] +=
+      inter_delta;
   account_marker(rank, MarkerState::kFinal, sig_cpu, cluster_cpu);
 
   StateBytes& bucket = bytes_[static_cast<std::size_t>(rank)]
@@ -387,12 +441,42 @@ void ChameleonTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
   bucket.bytes_total += intra_bytes_before;
   if (rank == 0 && !online_.empty())
     bucket.bytes_total += trace::footprint_bytes(online_);
+
+  record_epoch(rank, MarkerState::kFinal, final_action, intra_bytes_before);
 }
 
 const trace::PerfCounters& ChameleonTool::perf_counters() const {
   (void)ScalaTraceTool::perf_counters();  // fills the intra/inter seconds
   perf_.clustering_seconds = clustering_seconds_;
   return perf_;
+}
+
+obs::ReportInput build_report_input(const ChameleonTool& tool,
+                                    std::string workload) {
+  obs::ReportInput input;
+  input.workload = std::move(workload);
+  input.nranks = tool.nprocs();
+  input.epochs = tool.epochs();
+  for (int s = 0; s < 4; ++s) {
+    const auto state = static_cast<MarkerState>(s);
+    obs::StateMemoryRow row;
+    row.state = marker_state_name(state);
+    std::uint64_t mn = 0;
+    std::uint64_t mx = 0;
+    for (int r = 0; r < tool.nprocs(); ++r) {
+      const auto& sb = tool.rank_state_bytes(r, state);
+      if (sb.calls == 0 && sb.bytes_total == 0) continue;
+      if (row.ranks == 0 || sb.bytes_total < mn) mn = sb.bytes_total;
+      if (row.ranks == 0 || sb.bytes_total > mx) mx = sb.bytes_total;
+      ++row.ranks;
+      row.calls += sb.calls;
+      row.bytes_total += sb.bytes_total;
+    }
+    row.bytes_min = mn;
+    row.bytes_max = mx;
+    input.memory.push_back(std::move(row));
+  }
+  return input;
 }
 
 }  // namespace cham::core

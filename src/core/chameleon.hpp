@@ -31,6 +31,8 @@
 #include "cluster/clusterset.hpp"
 #include "cluster/signature.hpp"
 #include "core/config.hpp"
+#include "obs/report.hpp"
+#include "support/memtrack.hpp"
 #include "trace/tracer.hpp"
 
 namespace cham::core {
@@ -67,6 +69,12 @@ class ChameleonTool : public trace::ScalaTraceTool {
   [[nodiscard]] double state_seconds(MarkerState state) const {
     return state_seconds_[static_cast<std::size_t>(state)];
   }
+  /// Same accounting, kept per rank (ChamScope metrics export).
+  [[nodiscard]] double rank_state_seconds(sim::Rank rank,
+                                          MarkerState state) const {
+    return rank_state_seconds_.at(static_cast<std::size_t>(rank))
+        .at(static_cast<std::size_t>(state));
+  }
   /// Clustering work (signatures + vote bookkeeping + tree clustering).
   [[nodiscard]] double clustering_seconds() const { return clustering_seconds_; }
   /// Online inter-compression work (lead merges + online append).
@@ -91,6 +99,18 @@ class ChameleonTool : public trace::ScalaTraceTool {
                                                    MarkerState state) const {
     return bytes_.at(static_cast<std::size_t>(rank))
         .at(static_cast<std::size_t>(state));
+  }
+
+  /// Partial-trace footprint per rank, re-charged at every marker boundary:
+  /// current() tracks the live interval's bytes, peak() the worst epoch.
+  [[nodiscard]] const support::MemTracker& rank_mem(sim::Rank rank) const {
+    return mem_.at(static_cast<std::size_t>(rank));
+  }
+
+  /// Epoch-by-epoch protocol snapshots (only filled when
+  /// ChameleonConfig::record_epochs is set; recorded by the home rank).
+  [[nodiscard]] const std::vector<obs::EpochRecord>& epochs() const {
+    return epochs_;
   }
 
   [[nodiscard]] const ChameleonConfig& config() const { return config_; }
@@ -151,6 +171,11 @@ class ChameleonTool : public trace::ScalaTraceTool {
   void lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi);
   void account_marker(sim::Rank rank, MarkerState state, double sig_cpu,
                       double cluster_cpu);
+  /// ChamScope bookkeeping shared by marker and finalize processing: the
+  /// epoch record (home rank, when enabled), the state instant on the
+  /// timeline, and the per-rank partial-trace memory re-charge.
+  void record_epoch(sim::Rank rank, MarkerState state, MarkerAction action,
+                    std::uint64_t intra_bytes);
 
   ChameleonConfig config_;
   std::vector<RankChamState> cham_;
@@ -167,6 +192,16 @@ class ChameleonTool : public trace::ScalaTraceTool {
   std::size_t effective_k_ = 0;
   std::size_t num_callpaths_ = 0;
   std::vector<std::array<StateBytes, 4>> bytes_;
+  std::vector<std::array<double, 4>> rank_state_seconds_;
+  std::vector<support::MemTracker> mem_;
+  std::vector<obs::EpochRecord> epochs_;
 };
+
+/// Assemble the `chamtrace report` input from a finished run: the recorded
+/// epochs plus the per-state trace-memory table aggregated over ranks
+/// (min/max/total of each rank's bytes charged to the state). Everything in
+/// the result is deterministic for a fixed workload + config.
+[[nodiscard]] obs::ReportInput build_report_input(const ChameleonTool& tool,
+                                                  std::string workload);
 
 }  // namespace cham::core

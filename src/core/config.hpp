@@ -32,6 +32,11 @@ struct ChameleonConfig {
   /// for the groups).
   double degrade_fraction = 0.5;
 
+  /// ChamScope: record one obs::EpochRecord per processed marker (state,
+  /// cluster table, per-rank lead assignment) for `chamtrace report`. Off
+  /// by default — the records cost O(P) per marker.
+  bool record_epochs = false;
+
   /// §VII automation: when no explicit markers are inserted, detect the
   /// application's iterative structure and synthesize interim execution
   /// points. Heuristic: the first world-collective call site observed to

@@ -1,0 +1,142 @@
+#include "obs/metrics.hpp"
+
+#include "support/logging.hpp"
+
+namespace cham::obs {
+
+namespace {
+MetricsRegistry* g_metrics = nullptr;
+}  // namespace
+
+MetricsRegistry* metrics() { return g_metrics; }
+void set_metrics(MetricsRegistry* registry) { g_metrics = registry; }
+
+std::string MetricsRegistry::make_key(std::string_view name,
+                                      const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';  // unit separator — cannot appear in sane label text
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               const Labels& labels,
+                                               Kind kind) {
+  const std::string key = make_key(name, labels);
+  auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.name = std::string(name);
+    e.labels = labels;
+    e.kind = kind;
+    it = metrics_.emplace(key, std::move(e)).first;
+  }
+  CHAM_CHECK_MSG(it->second.kind == kind,
+                 "metric re-registered with a different kind: " + it->second.name);
+  return it->second;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(std::string_view name,
+                                                    const Labels& labels) const {
+  const auto it = metrics_.find(make_key(name, labels));
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::add_counter(std::string_view name, const Labels& labels,
+                                  std::uint64_t delta) {
+  entry(name, labels, Kind::kCounter).counter += delta;
+}
+
+void MetricsRegistry::set_counter(std::string_view name, const Labels& labels,
+                                  std::uint64_t value) {
+  entry(name, labels, Kind::kCounter).counter = value;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, const Labels& labels,
+                                double value) {
+  entry(name, labels, Kind::kGauge).gauge = value;
+}
+
+void MetricsRegistry::record(std::string_view name, const Labels& labels,
+                             double sample) {
+  entry(name, labels, Kind::kHistogram).histogram.add(sample);
+}
+
+void MetricsRegistry::merge_histogram(std::string_view name,
+                                      const Labels& labels,
+                                      const support::Histogram& histogram) {
+  entry(name, labels, Kind::kHistogram).histogram.merge(histogram);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name,
+                                       const Labels& labels) const {
+  const Entry* e = find(name, labels);
+  return e != nullptr && e->kind == Kind::kCounter ? e->counter : 0;
+}
+
+double MetricsRegistry::gauge(std::string_view name, const Labels& labels) const {
+  const Entry* e = find(name, labels);
+  return e != nullptr && e->kind == Kind::kGauge ? e->gauge : 0.0;
+}
+
+const support::Histogram* MetricsRegistry::histogram(std::string_view name,
+                                                     const Labels& labels) const {
+  const Entry* e = find(name, labels);
+  return e != nullptr && e->kind == Kind::kHistogram ? &e->histogram : nullptr;
+}
+
+void MetricsRegistry::to_json(support::json::Writer& w) const {
+  w.begin_object();
+  w.member("schema", "chameleon.metrics.v1");
+  w.key("metrics").begin_array();
+  for (const auto& [key, e] : metrics_) {
+    (void)key;
+    w.begin_object();
+    w.member("name", e.name);
+    switch (e.kind) {
+      case Kind::kCounter: w.member("type", "counter"); break;
+      case Kind::kGauge: w.member("type", "gauge"); break;
+      case Kind::kHistogram: w.member("type", "histogram"); break;
+    }
+    w.key("labels").begin_object();
+    for (const auto& [lk, lv] : e.labels) w.member(lk, lv);
+    w.end_object();
+    switch (e.kind) {
+      case Kind::kCounter:
+        w.member("value", e.counter);
+        break;
+      case Kind::kGauge:
+        w.member("value", e.gauge);
+        break;
+      case Kind::kHistogram: {
+        const support::Histogram& h = e.histogram;
+        w.key("value").begin_object();
+        w.member("count", h.count());
+        w.member("min", h.min());
+        w.member("max", h.max());
+        w.member("mean", h.mean());
+        w.member("total", h.total());
+        w.key("bins").begin_array();
+        for (int i = 0; i < support::Histogram::kBins; ++i) w.value(h.bin(i));
+        w.end_array();
+        w.end_object();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json_string(bool pretty) const {
+  support::json::Writer w(pretty);
+  to_json(w);
+  return w.str();
+}
+
+}  // namespace cham::obs

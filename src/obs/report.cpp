@@ -1,0 +1,129 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+
+#include "support/table.hpp"
+
+namespace cham::obs {
+
+namespace {
+
+int effective_lead(const EpochRecord& e, int rank) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= e.lead_of.size())
+    return rank;
+  const int lead = e.lead_of[static_cast<std::size_t>(rank)];
+  return lead >= 0 ? lead : rank;
+}
+
+std::string leads_to_string(const std::vector<int>& leads) {
+  std::string out;
+  for (const int lead : leads) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(lead);
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int churn(const EpochRecord& prev, const EpochRecord& cur) {
+  const int nranks = static_cast<int>(
+      std::max(prev.lead_of.size(), cur.lead_of.size()));
+  int changed = 0;
+  for (int r = 0; r < nranks; ++r)
+    if (effective_lead(prev, r) != effective_lead(cur, r)) ++changed;
+  return changed;
+}
+
+std::string render_text(const ReportInput& input) {
+  std::string out = "cluster evolution: " + input.workload + " (" +
+                    std::to_string(input.nranks) + " ranks, " +
+                    std::to_string(input.epochs.size()) + " epochs)\n";
+
+  support::Table epochs("per-marker epochs");
+  epochs.header({"epoch", "marker", "state", "action", "callpaths", "clusters",
+                 "churn", "leads"});
+  for (std::size_t i = 0; i < input.epochs.size(); ++i) {
+    const EpochRecord& e = input.epochs[i];
+    const int c = i == 0 ? 0 : churn(input.epochs[i - 1], e);
+    epochs.row({std::to_string(i + 1), std::to_string(e.marker), e.state,
+                e.action, std::to_string(e.callpaths),
+                std::to_string(e.clusters), std::to_string(c),
+                leads_to_string(e.leads)});
+  }
+  out += epochs.render();
+
+  if (!input.memory.empty()) {
+    support::Table mem("trace memory by state");
+    mem.header({"state", "ranks", "calls", "bytes_total", "bytes_min",
+                "bytes_max"});
+    for (const StateMemoryRow& row : input.memory)
+      mem.row({row.state, std::to_string(row.ranks), std::to_string(row.calls),
+               std::to_string(row.bytes_total), std::to_string(row.bytes_min),
+               std::to_string(row.bytes_max)});
+    out += '\n';
+    out += mem.render();
+  }
+  return out;
+}
+
+std::string render_csv(const ReportInput& input) {
+  std::string out =
+      "epoch,marker,state,action,callpaths,clusters,churn,leads\n";
+  for (std::size_t i = 0; i < input.epochs.size(); ++i) {
+    const EpochRecord& e = input.epochs[i];
+    const int c = i == 0 ? 0 : churn(input.epochs[i - 1], e);
+    std::string leads;
+    for (const int lead : e.leads) {
+      if (!leads.empty()) leads += ' ';
+      leads += std::to_string(lead);
+    }
+    out += std::to_string(i + 1) + ',' + std::to_string(e.marker) + ',' +
+           e.state + ',' + e.action + ',' + std::to_string(e.callpaths) + ',' +
+           std::to_string(e.clusters) + ',' + std::to_string(c) + ",\"" +
+           leads + "\"\n";
+  }
+  return out;
+}
+
+void render_json(const ReportInput& input, support::json::Writer& w) {
+  w.begin_object();
+  w.member("schema", "chameleon.report.v1");
+  w.member("workload", input.workload);
+  w.member("nranks", input.nranks);
+  w.key("epochs").begin_array();
+  for (std::size_t i = 0; i < input.epochs.size(); ++i) {
+    const EpochRecord& e = input.epochs[i];
+    w.begin_object();
+    w.member("epoch", i + 1);
+    w.member("marker", e.marker);
+    w.member("state", e.state);
+    w.member("action", e.action);
+    w.member("callpaths", e.callpaths);
+    w.member("clusters", e.clusters);
+    w.member("churn", i == 0 ? 0 : churn(input.epochs[i - 1], e));
+    w.key("leads").begin_array();
+    for (const int lead : e.leads) w.value(lead);
+    w.end_array();
+    w.key("lead_of").begin_array();
+    for (const int lead : e.lead_of) w.value(lead);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("memory_by_state").begin_array();
+  for (const StateMemoryRow& row : input.memory) {
+    w.begin_object();
+    w.member("state", row.state);
+    w.member("ranks", row.ranks);
+    w.member("calls", row.calls);
+    w.member("bytes_total", row.bytes_total);
+    w.member("bytes_min", row.bytes_min);
+    w.member("bytes_max", row.bytes_max);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace cham::obs

@@ -1,0 +1,113 @@
+#include "obs/timeline.hpp"
+
+#include "support/timer.hpp"
+
+namespace cham::obs {
+
+namespace {
+Timeline* g_timeline = nullptr;
+}  // namespace
+
+Timeline* timeline() { return g_timeline; }
+void set_timeline(Timeline* timeline) { g_timeline = timeline; }
+
+TimelineArg arg_str(std::string_view key, std::string_view value) {
+  return TimelineArg{std::string(key),
+                     '"' + support::json::escape(value) + '"'};
+}
+
+TimelineArg arg_num(std::string_view key, double value) {
+  return TimelineArg{std::string(key), support::json::number(value)};
+}
+
+TimelineArg arg_int(std::string_view key, std::int64_t value) {
+  return TimelineArg{std::string(key), std::to_string(value)};
+}
+
+Timeline::Timeline() : t0_(support::thread_cpu_seconds()) {}
+
+double Timeline::now_us() const {
+  return (support::thread_cpu_seconds() - t0_) * 1e6;
+}
+
+void Timeline::set_track_name(int tid, std::string_view name) {
+  track_names_[tid] = std::string(name);
+}
+
+void Timeline::begin(int tid, std::string_view name, std::string_view cat,
+                     std::vector<TimelineArg> args) {
+  events_.push_back(Event{'B', now_us(), tid, std::string(name),
+                          std::string(cat), std::move(args)});
+  ++open_depth_[tid];
+}
+
+void Timeline::end(int tid) {
+  auto it = open_depth_.find(tid);
+  if (it == open_depth_.end() || it->second == 0) return;
+  --it->second;
+  events_.push_back(Event{'E', now_us(), tid, {}, {}, {}});
+}
+
+void Timeline::instant(int tid, std::string_view name, std::string_view cat,
+                       std::vector<TimelineArg> args) {
+  events_.push_back(Event{'i', now_us(), tid, std::string(name),
+                          std::string(cat), std::move(args)});
+}
+
+std::size_t Timeline::open_spans() const {
+  std::size_t n = 0;
+  for (const auto& [tid, depth] : open_depth_) n += static_cast<std::size_t>(depth);
+  return n;
+}
+
+void Timeline::close_open_spans() {
+  // Crashed ranks and cancelled fibers can leave spans open; close them at
+  // the current time so the emitted document always balances.
+  const double ts = now_us();
+  for (auto& [tid, depth] : open_depth_) {
+    for (; depth > 0; --depth)
+      events_.push_back(Event{'E', ts, tid, {}, {}, {}});
+  }
+}
+
+std::string Timeline::to_json(bool pretty) {
+  close_open_spans();
+  support::json::Writer w(pretty);
+  w.begin_object();
+  w.member("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const auto& [tid, name] : track_names_) {
+    w.begin_object();
+    w.member("ph", "M");
+    w.member("name", "thread_name");
+    w.member("pid", 1);
+    w.member("tid", tid);
+    w.key("args").begin_object();
+    w.member("name", name);
+    w.end_object();
+    w.end_object();
+  }
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.member("ph", std::string_view(&e.ph, 1));
+    w.member("ts", e.ts);
+    w.member("pid", 1);
+    w.member("tid", e.tid);
+    if (e.ph != 'E') {
+      w.member("name", e.name);
+      if (!e.cat.empty()) w.member("cat", e.cat);
+      if (e.ph == 'i') w.member("s", "t");
+    }
+    if (!e.args.empty()) {
+      w.key("args").begin_object();
+      for (const TimelineArg& a : e.args) w.key(a.key).raw(a.token);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cham::obs

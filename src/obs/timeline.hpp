@@ -1,0 +1,118 @@
+// ChamScope timeline tracer — Chrome trace-event / Perfetto JSON.
+//
+// Records what the Chameleon *runtime itself* is doing as the simulation
+// executes: fiber scheduling slices, per-rank MPI calls, protocol state
+// transitions (AT→C→L→F), marker epochs, fold/inter-merge spans, and fault
+// events. The output ({"traceEvents": [...]}) loads directly in Perfetto or
+// chrome://tracing.
+//
+// Track layout (all events share pid 1):
+//   tid 0        — "scheduler": one slice per fiber dispatch, named "rank N"
+//   tid rank+1   — "rank N": MPI call spans, protocol spans, fault instants
+//
+// Enabling: the runtime consults a single global pointer (set_timeline).
+// When it is null — the default — every hook is one pointer compare and a
+// branch; no allocation, no clock read. The scheduler is single-threaded,
+// so no synchronization is needed anywhere.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace cham::obs {
+
+/// One event argument; `token` is a pre-rendered JSON value (use the
+/// arg_str/arg_num/arg_int helpers so escaping stays centralized).
+struct TimelineArg {
+  std::string key;
+  std::string token;
+};
+
+[[nodiscard]] TimelineArg arg_str(std::string_view key, std::string_view value);
+[[nodiscard]] TimelineArg arg_num(std::string_view key, double value);
+[[nodiscard]] TimelineArg arg_int(std::string_view key, std::int64_t value);
+
+class Timeline {
+ public:
+  /// Track id of the fiber-scheduler track; rank r's track is `r + 1`.
+  static constexpr int kSchedulerTid = 0;
+  static constexpr int rank_tid(int rank) { return rank + 1; }
+
+  Timeline();
+
+  /// Set the human-readable name of a track (emitted as thread_name
+  /// metadata so Perfetto labels the row).
+  void set_track_name(int tid, std::string_view name);
+
+  /// Open a duration span ("B"). Every begin must be matched by end();
+  /// spans left open (crashed ranks, cancelled fibers) are force-closed by
+  /// to_json() so the document always has matched B/E pairs.
+  void begin(int tid, std::string_view name, std::string_view cat,
+             std::vector<TimelineArg> args = {});
+
+  /// Close the innermost open span on `tid` ("E"). No-op if none is open.
+  void end(int tid);
+
+  /// Zero-duration instant ("i", thread scope).
+  void instant(int tid, std::string_view name, std::string_view cat,
+               std::vector<TimelineArg> args = {});
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] std::size_t open_spans() const;
+
+  /// Render the complete document. Still-open spans are closed at the
+  /// current time first (this mutates the timeline).
+  [[nodiscard]] std::string to_json(bool pretty = false);
+
+ private:
+  struct Event {
+    char ph;      // 'B', 'E', or 'i'
+    double ts;    // microseconds since timeline creation
+    int tid;
+    std::string name;
+    std::string cat;
+    std::vector<TimelineArg> args;
+  };
+
+  [[nodiscard]] double now_us() const;
+  void close_open_spans();
+
+  std::vector<Event> events_;
+  std::map<int, std::string> track_names_;
+  std::map<int, int> open_depth_;
+  double t0_;
+};
+
+/// Process-wide timeline. Null (the default) disables all tracing hooks;
+/// checking this pointer is the entire cost of the disabled path.
+[[nodiscard]] Timeline* timeline();
+void set_timeline(Timeline* timeline);
+
+/// RAII duration span on the global timeline. Safe during fiber
+/// cancellation: the destructor runs while the FiberCancelled exception
+/// unwinds, so nesting stays balanced even when a fault kills the rank.
+class Span {
+ public:
+  Span(int tid, std::string_view name, std::string_view cat,
+       std::vector<TimelineArg> args = {})
+      : timeline_(timeline()), tid_(tid) {
+    if (timeline_ != nullptr)
+      timeline_->begin(tid_, name, cat, std::move(args));
+  }
+  ~Span() {
+    if (timeline_ != nullptr) timeline_->end(tid_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Timeline* timeline_;
+  int tid_;
+};
+
+}  // namespace cham::obs

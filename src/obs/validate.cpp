@@ -1,0 +1,127 @@
+#include "obs/validate.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "support/json.hpp"
+
+namespace cham::obs {
+
+namespace {
+
+using support::json::Value;
+
+bool fail(std::string* error, std::string what) {
+  if (error != nullptr) *error = std::move(what);
+  return false;
+}
+
+}  // namespace
+
+bool validate_timeline_json(std::string_view text, std::string* error) {
+  Value doc;
+  std::string parse_error;
+  if (!support::json::parse(text, &doc, &parse_error))
+    return fail(error, "timeline: parse error: " + parse_error);
+  if (!doc.is_object()) return fail(error, "timeline: top level is not an object");
+  const Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    return fail(error, "timeline: missing traceEvents array");
+
+  std::map<int, int> open_depth;     // tid -> open B spans
+  std::map<int, double> last_ts;     // tid -> last seen ts
+  std::size_t index = 0;
+  for (const Value& ev : events->as_array()) {
+    const std::string at = " (event " + std::to_string(index++) + ")";
+    if (!ev.is_object()) return fail(error, "timeline: event is not an object" + at);
+    const Value* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string())
+      return fail(error, "timeline: event missing ph" + at);
+    const std::string& kind = ph->as_string();
+    const Value* tid = ev.find("tid");
+    const Value* pid = ev.find("pid");
+    if (tid == nullptr || !tid->is_number())
+      return fail(error, "timeline: event missing tid" + at);
+    if (pid == nullptr || !pid->is_number())
+      return fail(error, "timeline: event missing pid" + at);
+    if (kind == "M") continue;  // metadata events carry no ts
+
+    const Value* ts = ev.find("ts");
+    if (ts == nullptr || !ts->is_number() || !std::isfinite(ts->as_number()))
+      return fail(error, "timeline: event missing finite ts" + at);
+    const int t = static_cast<int>(tid->as_number());
+    const auto prev = last_ts.find(t);
+    if (prev != last_ts.end() && ts->as_number() < prev->second)
+      return fail(error, "timeline: ts not monotonic on tid " +
+                             std::to_string(t) + at);
+    last_ts[t] = ts->as_number();
+
+    if (kind == "B") {
+      const Value* name = ev.find("name");
+      if (name == nullptr || !name->is_string())
+        return fail(error, "timeline: B event missing name" + at);
+      ++open_depth[t];
+    } else if (kind == "E") {
+      if (open_depth[t] <= 0)
+        return fail(error, "timeline: E without matching B on tid " +
+                               std::to_string(t) + at);
+      --open_depth[t];
+    } else if (kind == "i") {
+      const Value* name = ev.find("name");
+      if (name == nullptr || !name->is_string())
+        return fail(error, "timeline: instant missing name" + at);
+    } else {
+      return fail(error, "timeline: unknown ph \"" + kind + "\"" + at);
+    }
+  }
+  for (const auto& [t, depth] : open_depth)
+    if (depth != 0)
+      return fail(error, "timeline: " + std::to_string(depth) +
+                             " unclosed span(s) on tid " + std::to_string(t));
+  return true;
+}
+
+bool validate_metrics_json(std::string_view text, std::string* error) {
+  Value doc;
+  std::string parse_error;
+  if (!support::json::parse(text, &doc, &parse_error))
+    return fail(error, "metrics: parse error: " + parse_error);
+  if (!doc.is_object()) return fail(error, "metrics: top level is not an object");
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "chameleon.metrics.v1")
+    return fail(error, "metrics: missing schema chameleon.metrics.v1");
+  const Value* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_array())
+    return fail(error, "metrics: missing metrics array");
+
+  for (const Value& m : metrics->as_array()) {
+    if (!m.is_object()) return fail(error, "metrics: entry is not an object");
+    const Value* name = m.find("name");
+    if (name == nullptr || !name->is_string())
+      return fail(error, "metrics: entry missing name");
+    const std::string at = " (metric " + name->as_string() + ")";
+    const Value* type = m.find("type");
+    if (type == nullptr || !type->is_string())
+      return fail(error, "metrics: entry missing type" + at);
+    const Value* labels = m.find("labels");
+    if (labels == nullptr || !labels->is_object())
+      return fail(error, "metrics: entry missing labels object" + at);
+    const Value* value = m.find("value");
+    if (value == nullptr) return fail(error, "metrics: entry missing value" + at);
+    const std::string& kind = type->as_string();
+    if (kind == "counter" || kind == "gauge") {
+      if (!value->is_number() || !std::isfinite(value->as_number()))
+        return fail(error, "metrics: " + kind + " value not a finite number" + at);
+    } else if (kind == "histogram") {
+      if (!value->is_object() || value->find("count") == nullptr ||
+          value->find("bins") == nullptr)
+        return fail(error, "metrics: histogram value missing count/bins" + at);
+    } else {
+      return fail(error, "metrics: unknown type \"" + kind + "\"" + at);
+    }
+  }
+  return true;
+}
+
+}  // namespace cham::obs

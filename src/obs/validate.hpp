@@ -1,0 +1,25 @@
+// Structural validation of ChamScope output (`chamtrace validate`).
+//
+// tools/check.sh needs to prove that --timeline and --metrics-out produced
+// documents Perfetto (resp. the metrics schema) will accept, without
+// depending on any external JSON tooling. These validators parse the
+// document with support/json and check the documented invariants:
+//
+// timeline — top-level "traceEvents" array; every event has ph/ts/pid/tid;
+//   ts is finite and non-decreasing per tid; every "B" has a matching "E"
+//   on the same tid (no span crosses tracks, nothing left open).
+// metrics  — schema "chameleon.metrics.v1"; "metrics" array whose entries
+//   carry name/type/labels/value with types matching the declared kind.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cham::obs {
+
+/// Both return true on success; on failure, `error` (if non-null) gets a
+/// one-line description including the offending event index or metric name.
+bool validate_timeline_json(std::string_view text, std::string* error);
+bool validate_metrics_json(std::string_view text, std::string* error);
+
+}  // namespace cham::obs

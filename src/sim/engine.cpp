@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/timeline.hpp"
 #include "sim/fault.hpp"
 #include "sim/mpi.hpp"
 #include "sim/tool.hpp"
@@ -48,10 +49,27 @@ double Engine::wait_seconds(Rank r) const {
 
 Pmpi& Engine::pmpi(Rank r) { return pmpis_.at(static_cast<std::size_t>(r)); }
 
+namespace {
+/// Removes the rank context from the logger even when run() unwinds via a
+/// deadlock or tool exception — the scheduler it points at dies with run().
+struct LogRankProviderGuard {
+  ~LogRankProviderGuard() { support::set_log_rank_provider(nullptr); }
+};
+}  // namespace
+
 void Engine::run(const std::function<void(Mpi&)>& rank_main) {
   CHAM_CHECK_MSG(!ran_, "Engine::run may be called once");
   ran_ = true;
   scheduler_ = std::make_unique<FiberScheduler>();
+  if (obs::Timeline* tl = obs::timeline()) {
+    tl->set_track_name(obs::Timeline::kSchedulerTid, "scheduler");
+    for (Rank r = 0; r < opts_.nprocs; ++r)
+      tl->set_track_name(obs::Timeline::rank_tid(r),
+                         "rank " + std::to_string(r));
+  }
+  support::set_log_rank_provider(
+      [sched = scheduler_.get()] { return sched->current(); });
+  LogRankProviderGuard log_guard;
   mpis_.reserve(static_cast<std::size_t>(opts_.nprocs));
   pmpis_.reserve(static_cast<std::size_t>(opts_.nprocs));
   for (Rank r = 0; r < opts_.nprocs; ++r) {
@@ -134,6 +152,9 @@ CommResult Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
     while (injector_->drop_message(self, dest)) {
       // Each dropped attempt costs a full transfer plus one timeout window.
       ++retransmissions_;
+      if (obs::Timeline* tl = obs::timeline())
+        tl->instant(obs::Timeline::rank_tid(self), "fault.drop", "fault",
+                    {obs::arg_int("dest", dest)});
       t += opts_.net.p2p_transfer(msg.bytes) + opts_.ft.recv_timeout;
       if (++attempt > opts_.ft.retries) {
         ++messages_lost_;
@@ -542,9 +563,17 @@ void Engine::fault_point(Rank self, const CallInfo& info) {
   const std::uint64_t call_index = ++call_count_[s];
   if (info.is_marker) ++marker_count_[s];
   const double slow = injector_->slowdown(self, call_index);
-  if (slow > 0.0) vtime_[s] += slow;
+  if (slow > 0.0) {
+    vtime_[s] += slow;
+    if (obs::Timeline* tl = obs::timeline())
+      tl->instant(obs::Timeline::rank_tid(self), "fault.slowdown", "fault",
+                  {obs::arg_num("seconds", slow)});
+  }
   const std::uint64_t site = site_probe_ ? site_probe_(self) : 0;
   if (injector_->crash_at_call(self, call_index, marker_count_[s], site)) {
+    if (obs::Timeline* tl = obs::timeline())
+      tl->instant(obs::Timeline::rank_tid(self), "fault.crash", "fault",
+                  {obs::arg_int("call", static_cast<std::int64_t>(call_index))});
     fail_rank(self);
     scheduler_->exit_current();
   }
@@ -554,6 +583,9 @@ void Engine::tool_op_fault_point(Rank self) {
   const auto s = static_cast<std::size_t>(self);
   const std::uint64_t op_index = ++toolop_count_[s];
   if (injector_->crash_at_tool_op(self, op_index)) {
+    if (obs::Timeline* tl = obs::timeline())
+      tl->instant(obs::Timeline::rank_tid(self), "fault.crash", "fault",
+                  {obs::arg_int("toolop", static_cast<std::int64_t>(op_index))});
     fail_rank(self);
     scheduler_->exit_current();
   }
@@ -661,13 +693,27 @@ Engine::RequestCounts Engine::active_requests(Rank r) const {
 
 void Engine::tool_pre(Rank self, const CallInfo& info) {
   // Crashes fire at traced-call entry, before any tool hook runs: the rank
-  // dies as if it never made the call, and the tool never observes it.
+  // dies as if it never made the call, and the tool never observes it —
+  // crashed calls therefore never open a timeline span either.
   if (injector_ != nullptr) fault_point(self, info);
+  if (obs::Timeline* tl = obs::timeline()) {
+    std::vector<obs::TimelineArg> args;
+    if (info.peer != kAnySource) args.push_back(obs::arg_int("peer", info.peer));
+    if (info.bytes != 0)
+      args.push_back(
+          obs::arg_int("bytes", static_cast<std::int64_t>(info.bytes)));
+    tl->begin(obs::Timeline::rank_tid(self), op_name(info.op),
+              info.is_marker ? "mpi.marker" : "mpi", std::move(args));
+  }
   if (tool_ != nullptr) tool_->on_pre(self, info, pmpi(self));
 }
 
 void Engine::tool_post(Rank self, const CallInfo& info) {
   if (tool_ != nullptr) tool_->on_post(self, info, pmpi(self));
+  // Closed after the post hook so the span covers tool work riding on the
+  // call (marker clustering, finalize merges).
+  if (obs::Timeline* tl = obs::timeline())
+    tl->end(obs::Timeline::rank_tid(self));
 }
 
 }  // namespace cham::sim

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/timeline.hpp"
 #include "support/logging.hpp"
 
 // AddressSanitizer tracks one stack per thread; ucontext switches move
@@ -146,10 +147,15 @@ void FiberScheduler::run() {
     fiber.started = true;
     current_ = id;
     ++switches_;
+    obs::Timeline* tl = obs::timeline();
+    if (tl != nullptr)
+      tl->begin(obs::Timeline::kSchedulerTid, "rank " + std::to_string(id),
+                "fiber");
     sanitizer_pre_switch(&main_sanitizer_stack_, fiber.stack.get(),
                          fiber.stack_bytes);
     CHAM_CHECK(swapcontext(&main_context_, &fiber.context) == 0);
     sanitizer_post_switch(main_sanitizer_stack_, nullptr, nullptr);
+    if (tl != nullptr) tl->end(obs::Timeline::kSchedulerTid);
     current_ = -1;
     if (fiber.state == detail::FiberState::kRunning) {
       // The fiber yielded cooperatively: still runnable.

@@ -73,6 +73,22 @@ double Histogram::mean() const {
   return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  const double span = max_ - min_;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBins; ++i) {
+    seen += bins_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= target)
+      return span > 0
+                 ? min_ + (static_cast<double>(i) + 1.0) * span / kBins
+                 : min_;
+  }
+  return max_;
+}
+
 bool Histogram::operator==(const Histogram& other) const {
   return bins_ == other.bins_ && count_ == other.count_ && min_ == other.min_ &&
          max_ == other.max_ && sum_ == other.sum_;

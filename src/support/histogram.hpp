@@ -40,6 +40,11 @@ class Histogram {
   /// (ScalaReplay replays average delays; we keep the same policy.)
   [[nodiscard]] double representative() const { return mean(); }
 
+  /// Approximate p-quantile (p in [0,1]) from the binned counts, using the
+  /// upper edge of the bin containing the p-th sample. Empty histogram → 0;
+  /// p is clamped into [0,1].
+  [[nodiscard]] double percentile(double p) const;
+
   /// Approximate serialized footprint in bytes (for space accounting).
   [[nodiscard]] static constexpr std::size_t footprint_bytes() {
     return sizeof(std::uint64_t) * (kBins + 1) + sizeof(double) * 3;

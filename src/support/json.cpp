@@ -1,0 +1,392 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hpp"
+
+namespace cham::support::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // includes non-ASCII UTF-8 bytes, passed through
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void Writer::indent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void Writer::prefix(bool is_key) {
+  if (stack_.empty()) return;  // top-level value
+  Scope& scope = stack_.back();
+  if (scope.is_object) {
+    if (is_key) {
+      CHAM_CHECK_MSG(!scope.expecting_value, "json: key after key");
+      if (!scope.first) out_ += ',';
+      scope.first = false;
+      indent();
+    } else {
+      CHAM_CHECK_MSG(scope.expecting_value, "json: value in object needs key");
+      scope.expecting_value = false;
+    }
+  } else {
+    CHAM_CHECK_MSG(!is_key, "json: key inside array");
+    if (!scope.first) out_ += ',';
+    scope.first = false;
+    indent();
+  }
+}
+
+Writer& Writer::begin_object() {
+  prefix(false);
+  out_ += '{';
+  stack_.push_back(Scope{.is_object = true});
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  CHAM_CHECK_MSG(!stack_.empty() && stack_.back().is_object &&
+                     !stack_.back().expecting_value,
+                 "json: unbalanced end_object");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) indent();
+  out_ += '}';
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  prefix(false);
+  out_ += '[';
+  stack_.push_back(Scope{.is_object = false});
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  CHAM_CHECK_MSG(!stack_.empty() && !stack_.back().is_object,
+                 "json: unbalanced end_array");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) indent();
+  out_ += ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  prefix(true);
+  out_ += '"';
+  out_ += escape(k);
+  out_ += pretty_ ? "\": " : "\":";
+  stack_.back().expecting_value = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  prefix(false);
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  prefix(false);
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  prefix(false);
+  out_ += number(v);
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  prefix(false);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  prefix(false);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view token) {
+  prefix(false);
+  out_ += token;
+  return *this;
+}
+
+Writer& Writer::null() {
+  prefix(false);
+  out_ += "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+Value::Value(Array a)
+    : kind_(Kind::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+
+Value::Value(Object o)
+    : kind_(Kind::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+const Array& Value::as_array() const {
+  static const Array kEmpty;
+  return array_ ? *array_ : kEmpty;
+}
+
+const Object& Value::as_object() const {
+  static const Object kEmpty;
+  return object_ ? *object_ : kEmpty;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto it = as_object().find(key);
+  return it == as_object().end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse_document(Value* out) {
+    skip_ws();
+    Value v;
+    if (!parse_value(&v)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    *out = std::move(v);
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_ != nullptr)
+      *error_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    std::string s;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        *out = std::move(s);
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("truncated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case 'r': s += '\r'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("invalid \\u escape");
+            }
+            // Encode the code point as UTF-8 (surrogate pairs are not
+            // combined — validation never inspects those strings).
+            if (code < 0x80) {
+              s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              s += static_cast<char>(0xC0 | (code >> 6));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("invalid escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character");
+      } else {
+        s += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("expected number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    *out = Value(v);
+    return true;
+  }
+
+  bool parse_value(Value* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': {
+        ++pos_;
+        Object obj;
+        skip_ws();
+        if (consume('}')) {
+          *out = Value(std::move(obj));
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string k;
+          if (!parse_string(&k)) return false;
+          skip_ws();
+          if (!consume(':')) return fail("expected ':'");
+          Value v;
+          if (!parse_value(&v)) return false;
+          obj.insert_or_assign(std::move(k), std::move(v));
+          skip_ws();
+          if (consume(',')) continue;
+          if (consume('}')) break;
+          return fail("expected ',' or '}'");
+        }
+        *out = Value(std::move(obj));
+        return true;
+      }
+      case '[': {
+        ++pos_;
+        Array arr;
+        skip_ws();
+        if (consume(']')) {
+          *out = Value(std::move(arr));
+          return true;
+        }
+        while (true) {
+          Value v;
+          if (!parse_value(&v)) return false;
+          arr.push_back(std::move(v));
+          skip_ws();
+          if (consume(',')) continue;
+          if (consume(']')) break;
+          return fail("expected ',' or ']'");
+        }
+        *out = Value(std::move(arr));
+        return true;
+      }
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case 't': return parse_literal("true") && (*out = Value(true), true);
+      case 'f': return parse_literal("false") && (*out = Value(false), true);
+      case 'n': return parse_literal("null") && (*out = Value{}, true);
+      default: return parse_number(out);
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value* out, std::string* error) {
+  Parser parser(text, error);
+  Value v;
+  if (!parser.parse_document(&v)) return false;
+  *out = std::move(v);
+  return true;
+}
+
+}  // namespace cham::support::json

@@ -1,0 +1,144 @@
+// Shared JSON emission and a minimal parser.
+//
+// Every JSON producer in the tree (chamlint --json, bench_hotpath reports,
+// the ChamScope metrics/timeline exporters) goes through Writer so string
+// escaping and number formatting are implemented exactly once. The parser
+// is deliberately small — just enough to load a document back into a Value
+// tree so tools/tests can validate structure (chamtrace validate,
+// tools/check.sh) without an external JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cham::support::json {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes are not
+/// added). Control characters become \uXXXX; non-ASCII bytes pass through
+/// unchanged (JSON is UTF-8 on the wire).
+std::string escape(std::string_view s);
+
+/// Render a double as a JSON number token. Non-finite values have no JSON
+/// representation and are emitted as 0 (observability output must never
+/// produce an unparseable document).
+std::string number(double value);
+
+/// Streaming JSON writer with automatic comma/indent management.
+///
+///   Writer w;
+///   w.begin_object();
+///   w.member("schema", "chameleon.metrics.v1");
+///   w.key("values").begin_array();
+///   w.value(1.5).value("x");
+///   w.end_array().end_object();
+///   w.str();  // the finished document
+class Writer {
+ public:
+  /// `pretty` adds newlines and two-space indentation.
+  explicit Writer(bool pretty = true) : pretty_(pretty) {}
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Object member key; must be followed by a value or container.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(bool v);
+  Writer& value(double v);
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  /// A pre-rendered JSON token spliced in verbatim (no quoting/escaping).
+  Writer& raw(std::string_view token);
+  Writer& null();
+
+  template <typename T>
+  Writer& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The document so far. Valid once every container has been closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void prefix(bool is_key);
+  void indent();
+
+  struct Scope {
+    bool is_object = false;
+    bool first = true;
+    bool expecting_value = false;  ///< a key was written, value pending
+  };
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool pretty_;
+};
+
+// --- minimal parser (validation only) --------------------------------------
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value, std::less<>>;
+
+/// A parsed JSON value. Numbers are held as double — sufficient for the
+/// validation use cases (timestamps, counters below 2^53).
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(Array a);
+  explicit Value(Object o);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  /// Indirect so Value stays movable despite the recursive containers.
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parse a complete JSON document. Returns false and fills `error` (with a
+/// byte offset) on malformed input; `out` is untouched in that case.
+bool parse(std::string_view text, Value* out, std::string* error);
+
+}  // namespace cham::support::json

@@ -4,13 +4,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
+
+#include "support/json.hpp"
+#include "support/timer.hpp"
 
 namespace cham::support {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogFormat> g_format{LogFormat::kText};
+std::function<int()> g_rank_provider;
+std::string g_tool;
+std::function<void(const LogRecord&)> g_observer;
+}  // namespace
 
-const char* level_name(LogLevel level) {
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -23,14 +32,51 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_format(LogFormat format) { g_format.store(format); }
+LogFormat log_format() { return g_format.load(); }
+
+void set_log_rank_provider(std::function<int()> provider) {
+  g_rank_provider = std::move(provider);
+}
+
+void set_log_tool(std::string tool) { g_tool = std::move(tool); }
+
+void set_log_observer(std::function<void(const LogRecord&)> observer) {
+  g_observer = std::move(observer);
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+
+  LogRecord record;
+  record.ts = thread_cpu_seconds();
+  record.level = level;
+  record.rank = g_rank_provider ? g_rank_provider() : -1;
+  record.tool = g_tool;
+  record.message = message;
+
+  if (g_observer) g_observer(record);
+
+  if (g_format.load() == LogFormat::kJson) {
+    json::Writer w(/*pretty=*/false);
+    w.begin_object();
+    w.member("ts", record.ts);
+    w.member("level", log_level_name(level));
+    if (record.rank >= 0) w.member("rank", record.rank);
+    if (!record.tool.empty()) w.member("tool", record.tool);
+    w.member("msg", record.message);
+    w.end_object();
+    std::fprintf(stderr, "%s\n", w.str().c_str());
+  } else if (record.rank >= 0) {
+    std::fprintf(stderr, "[%s] [t=%.6f rank %d] %s\n", log_level_name(level),
+                 record.ts, record.rank, message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+  }
 }
 
 void fatal(const char* file, int line, const std::string& what) {

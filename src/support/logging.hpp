@@ -1,6 +1,14 @@
-// Minimal leveled logging + check macros.
+// Leveled, structured logging + check macros.
+//
+// Every message becomes a LogRecord carrying a timestamp, the current
+// simulated rank (installed by the engine while fibers run), and the active
+// tool name. Records render to stderr as text ("[WARN] rank 3 ...") or,
+// under --log-json, as one JSON object per line. An optional observer sees
+// every record regardless of format — ChamScope uses it to put log events
+// on the timeline.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -8,9 +16,35 @@ namespace cham::support {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+const char* log_level_name(LogLevel level);
+
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// One emitted message with its runtime context attached.
+struct LogRecord {
+  double ts = 0.0;      ///< seconds, monotonic (support::thread_cpu_seconds)
+  LogLevel level = LogLevel::kInfo;
+  int rank = -1;        ///< simulated rank active when emitted, -1 outside
+  std::string tool;     ///< active tool name, empty outside a run
+  std::string message;
+};
+
+enum class LogFormat { kText, kJson };
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+/// Installed by the simulation engine for the duration of a run so records
+/// carry the rank whose fiber emitted them. Null = no rank context.
+void set_log_rank_provider(std::function<int()> provider);
+
+/// Name of the tool being driven (set by the CLI); attached to records.
+void set_log_tool(std::string tool);
+
+/// Sees every record that passes the level filter, before it is printed.
+/// Null disables. ChamScope attaches here to emit timeline instants.
+void set_log_observer(std::function<void(const LogRecord&)> observer);
 
 void log_message(LogLevel level, const std::string& message);
 

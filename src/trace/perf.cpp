@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace cham::trace {
 
 namespace {
@@ -28,6 +30,37 @@ void PerfCounters::add(const PerfCounters& other) {
   intra_seconds += other.intra_seconds;
   inter_seconds += other.inter_seconds;
   clustering_seconds += other.clustering_seconds;
+}
+
+void export_to_metrics(const PerfCounters& counters,
+                       obs::MetricsRegistry& registry, std::string_view tool) {
+  const obs::Labels t{{"tool", std::string(tool)}};
+  registry.set_counter("cham.fold.windows_tested", t, counters.fold_windows_tested);
+  registry.set_counter("cham.fold.hash_rejects", t, counters.fold_hash_rejects);
+  registry.set_counter("cham.fold.hash_hits", t, counters.fold_hash_hits);
+  registry.set_counter("cham.fold.false_positives", t, counters.fold_false_positives);
+  registry.set_counter("cham.fold.deep_compares", t, counters.fold_deep_compares);
+  registry.set_counter("cham.fold.performed", t, counters.folds_performed);
+  registry.set_counter("cham.merge.prechecks", t, counters.merge_prechecks);
+  registry.set_counter("cham.merge.hash_rejects", t, counters.merge_hash_rejects);
+  registry.set_counter("cham.merge.deep_compares", t, counters.merge_deep_compares);
+  registry.set_counter("cham.merge.deep_rejects", t, counters.merge_deep_rejects);
+  registry.set_counter("cham.merge.memo_hits", t, counters.merge_memo_hits);
+  const auto wire = [&](const char* dir, std::uint64_t v) {
+    obs::Labels labels = t;
+    labels.emplace_back("dir", dir);
+    registry.set_counter("cham.wire.bytes", labels, v);
+  };
+  wire("encoded", counters.bytes_encoded);
+  wire("decoded", counters.bytes_decoded);
+  const auto phase = [&](const char* name, double seconds) {
+    obs::Labels labels = t;
+    labels.emplace_back("phase", name);
+    registry.set_gauge("cham.phase.seconds", labels, seconds);
+  };
+  phase("intra", counters.intra_seconds);
+  phase("inter", counters.inter_seconds);
+  phase("clustering", counters.clustering_seconds);
 }
 
 std::string PerfCounters::to_string() const {

@@ -13,6 +13,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+
+namespace cham::obs {
+class MetricsRegistry;
+}
 
 namespace cham::trace {
 
@@ -47,6 +52,12 @@ struct PerfCounters {
   /// Multi-line human-readable summary (the `chamtrace run --perf` block).
   [[nodiscard]] std::string to_string() const;
 };
+
+/// Bridge one tool's counters into the ChamScope metrics registry under the
+/// documented cham.fold.* / cham.merge.* / cham.wire.* / cham.phase.seconds
+/// names, labelled with the tool. Called at report time, never on hot paths.
+void export_to_metrics(const PerfCounters& counters,
+                       obs::MetricsRegistry& registry, std::string_view tool);
 
 /// Process-wide switch for the hash fast path. Disabling it restores the
 /// pre-optimization deep-comparison code paths bit-for-bit — bench_hotpath

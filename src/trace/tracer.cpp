@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/timeline.hpp"
 #include "sim/mpi.hpp"
 #include "support/logging.hpp"
 #include "trace/serialize.hpp"
@@ -138,6 +139,9 @@ std::vector<TraceNode> ScalaTraceTool::radix_merge(
   const auto idx = static_cast<std::size_t>(it - participants.begin());
   const std::size_t n = participants.size();
   RankTraceState& st = state(self);
+  obs::Span merge_span(obs::Timeline::rank_tid(self), "radix_merge", "trace",
+                       {obs::arg_int("participants",
+                                     static_cast<std::int64_t>(n))});
 
   for (std::size_t mask = 1; mask < n; mask <<= 1) {
     if (idx & mask) {
@@ -164,6 +168,10 @@ std::vector<TraceNode> ScalaTraceTool::radix_merge(
       ++merge_ops_;
       merge_bytes_ += payload.size();
       perf_.bytes_decoded += payload.size();
+      obs::Span step_span(
+          obs::Timeline::rank_tid(self), "inter_merge", "trace",
+          {obs::arg_int("child", participants[idx + mask]),
+           obs::arg_int("bytes", static_cast<std::int64_t>(payload.size()))});
       ChargedSection timed(st.inter_timer, pmpi);
       std::vector<TraceNode> theirs = decode_trace(payload);
       mine = inter_merge(std::move(mine), std::move(theirs), &perf_);

@@ -100,6 +100,7 @@ class ScalaTraceTool : public sim::Tool {
   [[nodiscard]] std::uint64_t merge_bytes() const { return merge_bytes_; }
   [[nodiscard]] std::uint64_t events_recorded_total() const;
   [[nodiscard]] std::size_t rank_trace_bytes(sim::Rank r) const;
+  [[nodiscard]] int nprocs() const { return nprocs_; }
   [[nodiscard]] const RankTraceState& rank_state(sim::Rank r) const {
     return state_.at(static_cast<std::size_t>(r));
   }

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
 #include "cluster/signature.hpp"
+#include "support/logging.hpp"
 #include "sim/engine.hpp"
 #include "sim/mpi.hpp"
 #include "trace/callsite.hpp"
@@ -324,6 +328,34 @@ TEST(Lint, ScalaTraceOutputPassesBothLintLevels) {
 
   EXPECT_TRUE(lint_trace_bytes(trace::encode_trace(nodes), opts, sink));
   EXPECT_EQ(sink.errors(), 0u) << sink.format_report();
+}
+
+TEST(Diagnostics, ForwardedFindingsReachTheLogObserver) {
+  std::vector<support::LogRecord> seen;
+  support::set_log_observer(
+      [&seen](const support::LogRecord& rec) { seen.push_back(rec); });
+
+  DiagnosticSink sink;
+  sink.set_log_forwarding(true);
+  sink.report(Severity::kError, "wire.decode", 3, "boom");
+  sink.report(Severity::kWarning, "event.odd", -1, "meh");
+  support::set_log_observer(nullptr);
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].level, support::LogLevel::kError);
+  EXPECT_NE(seen[0].message.find("wire.decode"), std::string::npos);
+  EXPECT_NE(seen[0].message.find("rank 3"), std::string::npos);
+  EXPECT_EQ(seen[1].level, support::LogLevel::kWarn);
+}
+
+TEST(Diagnostics, ForwardingIsOffByDefault) {
+  std::vector<support::LogRecord> seen;
+  support::set_log_observer(
+      [&seen](const support::LogRecord& rec) { seen.push_back(rec); });
+  DiagnosticSink sink;
+  sink.report(Severity::kError, "wire.decode", -1, "boom");
+  support::set_log_observer(nullptr);
+  EXPECT_TRUE(seen.empty());
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/validate.hpp"
+#include "support/json.hpp"
+
+namespace cham::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulatesPerLabelSet) {
+  MetricsRegistry reg;
+  reg.add_counter("cham.fold.performed", {{"tool", "chameleon"}}, 3);
+  reg.add_counter("cham.fold.performed", {{"tool", "chameleon"}}, 4);
+  reg.add_counter("cham.fold.performed", {{"tool", "scalatrace"}}, 1);
+  EXPECT_EQ(reg.counter("cham.fold.performed", {{"tool", "chameleon"}}), 7u);
+  EXPECT_EQ(reg.counter("cham.fold.performed", {{"tool", "scalatrace"}}), 1u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Metrics, SetCounterOverwrites) {
+  MetricsRegistry reg;
+  reg.add_counter("c", {}, 5);
+  reg.set_counter("c", {}, 2);
+  EXPECT_EQ(reg.counter("c", {}), 2u);
+}
+
+TEST(Metrics, GaugeHoldsLatestValue) {
+  MetricsRegistry reg;
+  reg.set_gauge("cham.phase.seconds", {{"phase", "intra"}}, 1.5);
+  reg.set_gauge("cham.phase.seconds", {{"phase", "intra"}}, 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("cham.phase.seconds", {{"phase", "intra"}}), 2.5);
+}
+
+TEST(Metrics, HistogramRecordsAndMerges) {
+  MetricsRegistry reg;
+  reg.record("lat", {}, 0.1);
+  reg.record("lat", {}, 0.3);
+  support::Histogram extra;
+  extra.add(0.2);
+  reg.merge_histogram("lat", {}, extra);
+  const support::Histogram* h = reg.histogram("lat", {});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->max(), 0.3);
+}
+
+TEST(Metrics, MissingMetricsReadAsZeroOrNull) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("absent", {}), 0u);
+  EXPECT_EQ(reg.gauge("absent", {}), 0.0);
+  EXPECT_EQ(reg.histogram("absent", {}), nullptr);
+}
+
+TEST(Metrics, KindMismatchIsFatal) {
+  MetricsRegistry reg;
+  reg.add_counter("m", {}, 1);
+  EXPECT_THROW(reg.set_gauge("m", {}, 1.0), std::logic_error);
+  EXPECT_THROW(reg.record("m", {}, 1.0), std::logic_error);
+}
+
+TEST(Metrics, JsonExportIsValidAndCarriesValues) {
+  MetricsRegistry reg;
+  reg.set_counter("cham.fold.performed", {{"tool", "chameleon"}}, 11);
+  reg.set_gauge("cham.phase.seconds",
+                {{"tool", "chameleon"}, {"phase", "intra"}}, 0.25);
+  reg.record("lat", {}, 1.0);
+  const std::string doc = reg.to_json_string();
+
+  std::string error;
+  EXPECT_TRUE(validate_metrics_json(doc, &error)) << error;
+
+  support::json::Value v;
+  ASSERT_TRUE(support::json::parse(doc, &v, &error)) << error;
+  EXPECT_EQ(v.find("schema")->as_string(), "chameleon.metrics.v1");
+  const auto& metrics = v.find("metrics")->as_array();
+  ASSERT_EQ(metrics.size(), 3u);
+  bool saw_counter = false;
+  for (const auto& m : metrics) {
+    if (m.find("name")->as_string() == "cham.fold.performed") {
+      saw_counter = true;
+      EXPECT_EQ(m.find("type")->as_string(), "counter");
+      EXPECT_DOUBLE_EQ(m.find("value")->as_number(), 11.0);
+      EXPECT_EQ(m.find("labels")->find("tool")->as_string(), "chameleon");
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(Metrics, ExportIsDeterministicallySorted) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.set_counter("z", {}, 1);
+  a.set_counter("a", {{"rank", "1"}}, 2);
+  a.set_counter("a", {{"rank", "0"}}, 3);
+  b.set_counter("a", {{"rank", "0"}}, 3);
+  b.set_counter("z", {}, 1);
+  b.set_counter("a", {{"rank", "1"}}, 2);
+  EXPECT_EQ(a.to_json_string(), b.to_json_string());
+}
+
+TEST(Metrics, GlobalPointerDefaultsToNull) {
+  EXPECT_EQ(metrics(), nullptr);
+  MetricsRegistry reg;
+  set_metrics(&reg);
+  EXPECT_EQ(metrics(), &reg);
+  set_metrics(nullptr);
+  EXPECT_EQ(metrics(), nullptr);
+}
+
+}  // namespace
+}  // namespace cham::obs

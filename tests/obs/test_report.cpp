@@ -1,0 +1,111 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/validate.hpp"
+#include "support/json.hpp"
+
+namespace cham::obs {
+namespace {
+
+EpochRecord epoch(std::uint64_t marker, std::string state, std::string action,
+                  std::vector<int> leads, std::vector<int> lead_of) {
+  EpochRecord e;
+  e.marker = marker;
+  e.state = std::move(state);
+  e.action = std::move(action);
+  e.callpaths = 1;
+  e.clusters = leads.size();
+  e.leads = std::move(leads);
+  e.lead_of = std::move(lead_of);
+  return e;
+}
+
+TEST(Churn, UnassignedRanksLeadThemselves) {
+  // AT epoch (nobody assigned) -> C epoch where everyone follows rank 0:
+  // ranks 1..3 change lead (0 keeps leading itself).
+  const EpochRecord at = epoch(1, "AT", "none", {}, {-1, -1, -1, -1});
+  const EpochRecord c = epoch(2, "C", "cluster", {0}, {0, 0, 0, 0});
+  EXPECT_EQ(churn(at, c), 3);
+}
+
+TEST(Churn, NoChangeMeansZero) {
+  const EpochRecord a = epoch(1, "L", "none", {0, 2}, {0, 0, 2, 2});
+  const EpochRecord b = epoch(2, "L", "none", {0, 2}, {0, 0, 2, 2});
+  EXPECT_EQ(churn(a, b), 0);
+}
+
+TEST(Churn, LeadFailoverCountsAffectedRanks) {
+  // Lead 2's cluster fails over to lead 3: ranks 2 and 3 both change.
+  const EpochRecord a = epoch(1, "L", "none", {0, 2}, {0, 0, 2, 2});
+  const EpochRecord b = epoch(2, "L", "none", {0, 3}, {0, 0, 3, 3});
+  EXPECT_EQ(churn(a, b), 2);
+}
+
+TEST(Churn, HandlesMismatchedWorldSizes) {
+  const EpochRecord small = epoch(1, "C", "cluster", {0}, {0, 0});
+  const EpochRecord big = epoch(2, "C", "cluster", {0}, {0, 0, 0, 0});
+  // Ranks 2 and 3 go from self-led (absent) to led by 0.
+  EXPECT_EQ(churn(small, big), 2);
+}
+
+ReportInput sample_input() {
+  ReportInput in;
+  in.workload = "toy";
+  in.nranks = 4;
+  in.epochs.push_back(epoch(1, "AT", "none", {}, {-1, -1, -1, -1}));
+  in.epochs.push_back(epoch(2, "C", "cluster", {0, 2}, {0, 0, 2, 2}));
+  in.epochs.push_back(epoch(3, "L", "none", {0, 2}, {0, 0, 2, 2}));
+  StateMemoryRow row;
+  row.state = "AT";
+  row.ranks = 4;
+  row.calls = 8;
+  row.bytes_total = 400;
+  row.bytes_min = 50;
+  row.bytes_max = 150;
+  in.memory.push_back(row);
+  return in;
+}
+
+TEST(Report, TextRenderingShowsEpochAndMemoryTables) {
+  const std::string text = render_text(sample_input());
+  EXPECT_NE(text.find("cluster evolution: toy (4 ranks, 3 epochs)"),
+            std::string::npos);
+  EXPECT_NE(text.find("per-marker epochs"), std::string::npos);
+  EXPECT_NE(text.find("trace memory by state"), std::string::npos);
+  EXPECT_NE(text.find("cluster"), std::string::npos);
+  // The AT epoch has no leads yet — rendered as "-".
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+TEST(Report, CsvRenderingIsOneLinePerEpoch) {
+  const std::string csv = render_csv(sample_input());
+  EXPECT_EQ(csv,
+            "epoch,marker,state,action,callpaths,clusters,churn,leads\n"
+            "1,1,AT,none,1,0,0,\"\"\n"
+            "2,2,C,cluster,1,2,2,\"0 2\"\n"
+            "3,3,L,none,1,2,0,\"0 2\"\n");
+}
+
+TEST(Report, JsonRenderingParsesAndCarriesChurn) {
+  support::json::Writer w;
+  render_json(sample_input(), w);
+
+  support::json::Value v;
+  std::string error;
+  ASSERT_TRUE(support::json::parse(w.str(), &v, &error)) << error;
+  EXPECT_EQ(v.find("schema")->as_string(), "chameleon.report.v1");
+  EXPECT_EQ(v.find("workload")->as_string(), "toy");
+  const auto& epochs = v.find("epochs")->as_array();
+  ASSERT_EQ(epochs.size(), 3u);
+  EXPECT_DOUBLE_EQ(epochs[0].find("churn")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(epochs[1].find("churn")->as_number(), 2.0);
+  EXPECT_EQ(epochs[1].find("leads")->as_array().size(), 2u);
+  EXPECT_EQ(epochs[1].find("lead_of")->as_array().size(), 4u);
+  const auto& memory = v.find("memory_by_state")->as_array();
+  ASSERT_EQ(memory.size(), 1u);
+  EXPECT_DOUBLE_EQ(memory[0].find("bytes_total")->as_number(), 400.0);
+}
+
+}  // namespace
+}  // namespace cham::obs

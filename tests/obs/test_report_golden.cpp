@@ -1,0 +1,106 @@
+// Golden-file test for `chamtrace report`: a fixed 16-rank LU run with
+// epoch recording on must reproduce the committed cluster-evolution JSON
+// byte-for-byte. The report carries no wall-clock fields, so the document
+// is fully determined by the protocol — any drift in clustering, lead
+// assignment, fold behaviour or report rendering shows up here.
+//
+// Regenerate after an *intentional* protocol or schema change with
+//   CHAM_REGEN_GOLDEN=1 ctest -R ReportGolden
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "core/chameleon.hpp"
+#include "obs/report.hpp"
+#include "obs/validate.hpp"
+#include "sim/engine.hpp"
+#include "support/json.hpp"
+#include "workloads/workload.hpp"
+
+#ifndef CHAM_TESTS_DATA_DIR
+#error "CHAM_TESTS_DATA_DIR must point at tests/data"
+#endif
+
+namespace cham::core {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(CHAM_TESTS_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << data;
+}
+
+/// Same setup as
+/// `chamtrace report --workload lu --procs 16 --class A --steps 12 --freq 1`.
+std::string render_lu16_report() {
+  const workloads::WorkloadInfo* info = workloads::find_workload("lu");
+  if (info == nullptr) ADD_FAILURE() << "lu workload missing";
+
+  const int procs = 16;
+  workloads::WorkloadParams params;
+  params.cls = 'A';
+  params.timesteps = 12;
+
+  ChameleonConfig config;
+  config.k = info->default_k;
+  config.call_frequency = 1;
+  config.record_epochs = true;
+
+  sim::Engine engine({.nprocs = procs});
+  trace::CallSiteRegistry stacks(procs);
+  ChameleonTool tool(procs, &stacks, config);
+  engine.set_tool(&tool);
+  engine.run([&](sim::Mpi& mpi) { info->run(mpi, stacks, params); });
+
+  support::json::Writer w(/*pretty=*/true);
+  obs::render_json(build_report_input(tool, "lu"), w);
+  return w.str() + "\n";
+}
+
+TEST(ReportGolden, Lu16EpochTableMatchesGoldenJson) {
+  const std::string report = render_lu16_report();
+
+  // Structural sanity regardless of golden state: parseable, right schema,
+  // a real epoch history with cluster assignments for all 16 ranks.
+  support::json::Value v;
+  std::string error;
+  ASSERT_TRUE(support::json::parse(report, &v, &error)) << error;
+  EXPECT_EQ(v.find("schema")->as_string(), "chameleon.report.v1");
+  EXPECT_DOUBLE_EQ(v.find("nranks")->as_number(), 16.0);
+  const auto& epochs = v.find("epochs")->as_array();
+  ASSERT_GE(epochs.size(), 3u);
+  for (const auto& e : epochs)
+    EXPECT_EQ(e.find("lead_of")->as_array().size(), 16u);
+
+  const std::string path = golden_path("report_lu16.golden.json");
+  if (std::getenv("CHAM_REGEN_GOLDEN") != nullptr) {
+    write_file(path, report);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::string golden = read_file(path);
+  ASSERT_FALSE(golden.empty())
+      << path << " missing — run with CHAM_REGEN_GOLDEN=1 to create it";
+  EXPECT_EQ(report, golden) << "report drifted from golden JSON";
+}
+
+TEST(ReportGolden, ReportIsDeterministicAcrossRuns) {
+  EXPECT_EQ(render_lu16_report(), render_lu16_report());
+}
+
+}  // namespace
+}  // namespace cham::core

@@ -1,0 +1,168 @@
+// End-to-end ChamScope: run a real workload on the simulator with the
+// timeline + metrics globals installed and check what the runtime recorded.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/chameleon.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/validate.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/mpi.hpp"
+#include "support/json.hpp"
+#include "trace/perf.hpp"
+
+namespace cham::core {
+namespace {
+
+using trace::CallScope;
+using trace::CallSiteRegistry;
+using trace::site_id;
+
+void steady_phase(sim::Mpi& mpi, CallSiteRegistry& stacks, int steps) {
+  const int p = mpi.size();
+  for (int step = 0; step < steps; ++step) {
+    CallScope scope(stacks.stack(mpi.rank()), site_id("phase.steady"));
+    const sim::Rank next = (mpi.rank() + 1) % p;
+    const sim::Rank prev = (mpi.rank() + p - 1) % p;
+    mpi.compute(0.001);
+    mpi.isend(next, 128, 1);
+    mpi.recv(prev, 128, 1);
+    mpi.allreduce(8);
+    mpi.marker();
+  }
+}
+
+class TimelineGuard {
+ public:
+  explicit TimelineGuard(obs::Timeline* tl) { obs::set_timeline(tl); }
+  ~TimelineGuard() { obs::set_timeline(nullptr); }
+};
+
+/// Count events whose rendered JSON name matches (cheap structural probe:
+/// parse the document once, walk traceEvents).
+std::size_t count_named(const support::json::Value& doc,
+                        const std::string& name) {
+  std::size_t n = 0;
+  for (const auto& e : doc.find("traceEvents")->as_array()) {
+    const auto* ev_name = e.find("name");
+    if (ev_name != nullptr && ev_name->is_string() &&
+        ev_name->as_string() == name)
+      ++n;
+  }
+  return n;
+}
+
+TEST(ChamScopeRuntime, TimelineCapturesSchedulerMpiAndProtocol) {
+  obs::Timeline tl;
+  TimelineGuard guard(&tl);
+
+  sim::Engine engine({.nprocs = 8});
+  CallSiteRegistry stacks(8);
+  ChameleonTool tool(8, &stacks, {.k = 3});
+  engine.set_tool(&tool);
+  engine.run([&](sim::Mpi& mpi) { steady_phase(mpi, stacks, 6); });
+
+  ASSERT_GT(tl.event_count(), 0u);
+  EXPECT_EQ(tl.open_spans(), 0u);  // every fiber ran to completion
+
+  const std::string json = tl.to_json();
+  std::string error;
+  ASSERT_TRUE(obs::validate_timeline_json(json, &error)) << error;
+
+  support::json::Value doc;
+  ASSERT_TRUE(support::json::parse(json, &doc, &error)) << error;
+  // Fiber dispatch slices on the scheduler track.
+  EXPECT_GT(count_named(doc, "rank 0"), 0u);
+  // MPI call spans on the rank tracks.
+  EXPECT_GT(count_named(doc, "MPI_Allreduce"), 0u);
+  // Protocol work: one clustering pass, lead merges, state instants.
+  EXPECT_GT(count_named(doc, "clustering"), 0u);
+  EXPECT_GT(count_named(doc, "lead_merge"), 0u);
+  EXPECT_GT(count_named(doc, "state.C"), 0u);
+  EXPECT_GT(count_named(doc, "state.L"), 0u);
+}
+
+TEST(ChamScopeRuntime, CrashedRankLeavesValidTimeline) {
+  obs::Timeline tl;
+  TimelineGuard guard(&tl);
+
+  sim::FaultInjector injector(
+      sim::FaultPlan::parse("crash rank=3 marker=2", 0));
+  sim::Engine engine({.nprocs = 8});
+  engine.set_fault_injector(&injector);
+  CallSiteRegistry stacks(8);
+  ChameleonTool tool(8, &stacks, {.k = 3});
+  engine.set_tool(&tool);
+  engine.run([&](sim::Mpi& mpi) { steady_phase(mpi, stacks, 6); });
+
+  const std::string json = tl.to_json();
+  std::string error;
+  EXPECT_TRUE(obs::validate_timeline_json(json, &error)) << error;
+
+  support::json::Value doc;
+  ASSERT_TRUE(support::json::parse(json, &doc, &error)) << error;
+  EXPECT_EQ(count_named(doc, "fault.crash"), 1u);
+}
+
+TEST(ChamScopeRuntime, PerfCountersBridgeIntoRegistry) {
+  sim::Engine engine({.nprocs = 8});
+  CallSiteRegistry stacks(8);
+  ChameleonTool tool(8, &stacks, {.k = 3});
+  engine.set_tool(&tool);
+  engine.run([&](sim::Mpi& mpi) { steady_phase(mpi, stacks, 6); });
+
+  obs::MetricsRegistry reg;
+  trace::export_to_metrics(tool.perf_counters(), reg, "chameleon");
+  EXPECT_GT(reg.size(), 0u);
+  // Fold counters carry the tool label; phase seconds appear per phase.
+  EXPECT_GT(
+      reg.counter("cham.fold.windows_tested", {{"tool", "chameleon"}}), 0u);
+  EXPECT_GE(reg.gauge("cham.phase.seconds",
+                      {{"tool", "chameleon"}, {"phase", "clustering"}}),
+            0.0);
+  std::string error;
+  EXPECT_TRUE(obs::validate_metrics_json(reg.to_json_string(), &error))
+      << error;
+}
+
+TEST(ChamScopeRuntime, EpochRecordingFollowsConfigFlag) {
+  sim::Engine engine({.nprocs = 8});
+  CallSiteRegistry stacks(8);
+  ChameleonTool off(8, &stacks, {.k = 3});
+  engine.set_tool(&off);
+  engine.run([&](sim::Mpi& mpi) { steady_phase(mpi, stacks, 4); });
+  EXPECT_TRUE(off.epochs().empty());
+
+  sim::Engine engine2({.nprocs = 8});
+  CallSiteRegistry stacks2(8);
+  ChameleonTool on(8, &stacks2, {.k = 3, .record_epochs = true});
+  engine2.set_tool(&on);
+  engine2.run([&](sim::Mpi& mpi) { steady_phase(mpi, stacks2, 4); });
+  // One record per processed marker plus the finalize epoch.
+  ASSERT_EQ(on.epochs().size(), 5u);
+  EXPECT_EQ(on.epochs().front().state, "AT");
+  EXPECT_EQ(on.epochs()[1].state, "C");
+  EXPECT_EQ(on.epochs()[1].action, "cluster");
+  EXPECT_EQ(on.epochs().back().state, "F");
+  for (const auto& e : on.epochs())
+    EXPECT_EQ(e.lead_of.size(), 8u);
+}
+
+TEST(ChamScopeRuntime, DisabledObservabilityRecordsNothing) {
+  ASSERT_EQ(obs::timeline(), nullptr);
+  ASSERT_EQ(obs::metrics(), nullptr);
+  sim::Engine engine({.nprocs = 8});
+  CallSiteRegistry stacks(8);
+  ChameleonTool tool(8, &stacks, {.k = 3});
+  engine.set_tool(&tool);
+  engine.run([&](sim::Mpi& mpi) { steady_phase(mpi, stacks, 4); });
+  // Nothing to assert on the timeline (there is none) — the test is that
+  // the run completes and the protocol counters still work.
+  EXPECT_EQ(tool.marker_calls_processed(), 4u);
+}
+
+}  // namespace
+}  // namespace cham::core

@@ -1,0 +1,125 @@
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/validate.hpp"
+#include "support/json.hpp"
+
+namespace cham::obs {
+namespace {
+
+support::json::Value parse_ok(const std::string& doc) {
+  support::json::Value v;
+  std::string error;
+  EXPECT_TRUE(support::json::parse(doc, &v, &error)) << error;
+  return v;
+}
+
+TEST(Timeline, MatchedSpansAndInstants) {
+  Timeline tl;
+  tl.begin(Timeline::rank_tid(0), "MPI_Send", "mpi",
+           {arg_int("peer", 1), arg_int("bytes", 128)});
+  tl.instant(Timeline::rank_tid(0), "fault.drop", "fault");
+  tl.end(Timeline::rank_tid(0));
+  EXPECT_EQ(tl.event_count(), 3u);
+  EXPECT_EQ(tl.open_spans(), 0u);
+
+  const std::string doc = tl.to_json();
+  std::string error;
+  EXPECT_TRUE(validate_timeline_json(doc, &error)) << error;
+
+  const auto v = parse_ok(doc);
+  const auto& events = v.find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].find("ph")->as_string(), "B");
+  EXPECT_EQ(events[0].find("name")->as_string(), "MPI_Send");
+  EXPECT_DOUBLE_EQ(events[0].find("args")->find("peer")->as_number(), 1.0);
+  EXPECT_EQ(events[1].find("ph")->as_string(), "i");
+  EXPECT_EQ(events[2].find("ph")->as_string(), "E");
+}
+
+TEST(Timeline, OpenSpansAreClosedAtRender) {
+  // A crashed rank leaves its MPI-call span open; the document must still
+  // come out with matched B/E pairs.
+  Timeline tl;
+  tl.begin(Timeline::rank_tid(3), "MPI_Recv", "mpi");
+  tl.begin(Timeline::rank_tid(3), "inner", "trace");
+  tl.begin(Timeline::rank_tid(7), "MPI_Barrier", "mpi");
+  EXPECT_EQ(tl.open_spans(), 3u);
+
+  const std::string doc = tl.to_json();
+  std::string error;
+  EXPECT_TRUE(validate_timeline_json(doc, &error)) << error;
+  EXPECT_EQ(tl.open_spans(), 0u);
+}
+
+TEST(Timeline, EndWithoutBeginIsIgnored) {
+  Timeline tl;
+  tl.end(Timeline::rank_tid(0));
+  EXPECT_EQ(tl.event_count(), 0u);
+  std::string error;
+  EXPECT_TRUE(validate_timeline_json(tl.to_json(), &error)) << error;
+}
+
+TEST(Timeline, TrackNamesBecomeThreadMetadata) {
+  Timeline tl;
+  tl.set_track_name(Timeline::kSchedulerTid, "scheduler");
+  tl.set_track_name(Timeline::rank_tid(0), "rank 0");
+  tl.instant(Timeline::rank_tid(0), "x", "test");
+
+  const auto v = parse_ok(tl.to_json());
+  const auto& events = v.find("traceEvents")->as_array();
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events[0].find("ph")->as_string(), "M");
+  EXPECT_EQ(events[0].find("name")->as_string(), "thread_name");
+  EXPECT_EQ(events[0].find("args")->find("name")->as_string(), "scheduler");
+}
+
+TEST(Timeline, TimestampsAreMonotonicPerTrack) {
+  Timeline tl;
+  for (int i = 0; i < 100; ++i) {
+    tl.begin(1, "s", "t");
+    tl.end(1);
+  }
+  const auto v = parse_ok(tl.to_json());
+  double prev = -1.0;
+  for (const auto& e : v.find("traceEvents")->as_array()) {
+    if (e.find("ph")->as_string() == "M") continue;
+    const double ts = e.find("ts")->as_number();
+    EXPECT_GE(ts, prev);
+    prev = ts;
+  }
+}
+
+TEST(Timeline, RankTidLayout) {
+  EXPECT_EQ(Timeline::kSchedulerTid, 0);
+  EXPECT_EQ(Timeline::rank_tid(0), 1);
+  EXPECT_EQ(Timeline::rank_tid(15), 16);
+}
+
+TEST(TimelineSpan, NoOpWhenGlobalDisabled) {
+  ASSERT_EQ(timeline(), nullptr);
+  { Span span(1, "work", "test"); }  // must not crash or allocate a timeline
+  EXPECT_EQ(timeline(), nullptr);
+}
+
+TEST(TimelineSpan, RecordsThroughGlobal) {
+  Timeline tl;
+  set_timeline(&tl);
+  {
+    Span outer(1, "outer", "test");
+    Span inner(1, "inner", "test", {arg_str("k", "v")});
+  }
+  set_timeline(nullptr);
+  EXPECT_EQ(tl.event_count(), 4u);
+  EXPECT_EQ(tl.open_spans(), 0u);
+}
+
+TEST(TimelineArgs, HelpersRenderJsonTokens) {
+  EXPECT_EQ(arg_str("k", "a\"b").token, "\"a\\\"b\"");
+  EXPECT_EQ(arg_int("k", -3).token, "-3");
+  EXPECT_EQ(arg_num("k", 0.5).token, "0.5");
+}
+
+}  // namespace
+}  // namespace cham::obs

@@ -1,0 +1,135 @@
+#include "obs/validate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cham::obs {
+namespace {
+
+// --- timeline ---------------------------------------------------------------
+
+TEST(ValidateTimeline, AcceptsMinimalDocument) {
+  std::string error;
+  EXPECT_TRUE(validate_timeline_json(R"({"traceEvents": []})", &error))
+      << error;
+  EXPECT_TRUE(validate_timeline_json(
+      R"({"displayTimeUnit": "ms", "traceEvents": [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "thread_name",
+         "args": {"name": "scheduler"}},
+        {"ph": "B", "ts": 0, "pid": 1, "tid": 1, "name": "a"},
+        {"ph": "i", "ts": 1, "pid": 1, "tid": 1, "name": "x", "s": "t"},
+        {"ph": "E", "ts": 2, "pid": 1, "tid": 1}
+      ]})",
+      &error))
+      << error;
+}
+
+TEST(ValidateTimeline, RejectsNonJson) {
+  std::string error;
+  EXPECT_FALSE(validate_timeline_json("not json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ValidateTimeline, RejectsMissingTraceEvents) {
+  std::string error;
+  EXPECT_FALSE(validate_timeline_json(R"({"events": []})", &error));
+}
+
+TEST(ValidateTimeline, RejectsUnmatchedBegin) {
+  std::string error;
+  EXPECT_FALSE(validate_timeline_json(
+      R"({"traceEvents": [{"ph": "B", "ts": 0, "pid": 1, "tid": 1,
+                           "name": "a"}]})",
+      &error));
+  EXPECT_NE(error.find("unclosed"), std::string::npos);
+}
+
+TEST(ValidateTimeline, RejectsEndWithoutBegin) {
+  std::string error;
+  EXPECT_FALSE(validate_timeline_json(
+      R"({"traceEvents": [{"ph": "E", "ts": 0, "pid": 1, "tid": 1}]})",
+      &error));
+}
+
+TEST(ValidateTimeline, RejectsCrossTrackSpanClose) {
+  // B on tid 1, E on tid 2: both tracks end up unbalanced.
+  std::string error;
+  EXPECT_FALSE(validate_timeline_json(
+      R"({"traceEvents": [
+        {"ph": "B", "ts": 0, "pid": 1, "tid": 1, "name": "a"},
+        {"ph": "E", "ts": 1, "pid": 1, "tid": 2}
+      ]})",
+      &error));
+}
+
+TEST(ValidateTimeline, RejectsDecreasingTimestamps) {
+  std::string error;
+  EXPECT_FALSE(validate_timeline_json(
+      R"({"traceEvents": [
+        {"ph": "i", "ts": 5, "pid": 1, "tid": 1, "name": "a"},
+        {"ph": "i", "ts": 4, "pid": 1, "tid": 1, "name": "b"}
+      ]})",
+      &error));
+  EXPECT_NE(error.find("ts"), std::string::npos);
+}
+
+TEST(ValidateTimeline, RejectsUnknownPhase) {
+  std::string error;
+  EXPECT_FALSE(validate_timeline_json(
+      R"({"traceEvents": [{"ph": "X", "ts": 0, "pid": 1, "tid": 1,
+                           "name": "a"}]})",
+      &error));
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(ValidateMetrics, AcceptsWellFormedDocument) {
+  std::string error;
+  EXPECT_TRUE(validate_metrics_json(
+      R"({"schema": "chameleon.metrics.v1", "metrics": [
+        {"name": "c", "type": "counter", "labels": {"tool": "x"}, "value": 3},
+        {"name": "g", "type": "gauge", "labels": {}, "value": 1.5},
+        {"name": "h", "type": "histogram", "labels": {},
+         "value": {"count": 2, "min": 0, "max": 1, "mean": 0.5, "total": 1,
+                   "bins": [1, 1]}}
+      ]})",
+      &error))
+      << error;
+}
+
+TEST(ValidateMetrics, RejectsWrongSchema) {
+  std::string error;
+  EXPECT_FALSE(validate_metrics_json(
+      R"({"schema": "chameleon.metrics.v2", "metrics": []})", &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+TEST(ValidateMetrics, RejectsMissingFields) {
+  std::string error;
+  EXPECT_FALSE(validate_metrics_json(
+      R"({"schema": "chameleon.metrics.v1", "metrics": [
+        {"name": "c", "type": "counter", "value": 3}
+      ]})",
+      &error));
+}
+
+TEST(ValidateMetrics, RejectsNonNumericCounterValue) {
+  std::string error;
+  EXPECT_FALSE(validate_metrics_json(
+      R"({"schema": "chameleon.metrics.v1", "metrics": [
+        {"name": "c", "type": "counter", "labels": {}, "value": "three"}
+      ]})",
+      &error));
+  EXPECT_NE(error.find('c'), std::string::npos);
+}
+
+TEST(ValidateMetrics, RejectsUnknownType) {
+  std::string error;
+  EXPECT_FALSE(validate_metrics_json(
+      R"({"schema": "chameleon.metrics.v1", "metrics": [
+        {"name": "m", "type": "summary", "labels": {}, "value": 1}
+      ]})",
+      &error));
+}
+
+}  // namespace
+}  // namespace cham::obs

@@ -100,5 +100,43 @@ TEST(Histogram, ConstantStreamLandsInOneBin) {
   EXPECT_EQ(nonzero, 1);
 }
 
+TEST(Histogram, PercentileOnEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeP) {
+  Histogram h;
+  h.add(1.0);
+  h.add(3.0);
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Histogram, PercentileOfConstantStreamIsTheConstant) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(4.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 4.0);
+}
+
+TEST(Histogram, PercentileIsMonotoneAndBounded) {
+  Histogram h;
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i)
+    h.add(static_cast<double>(rng.next_below(1000)) / 1000.0);
+  double prev = h.percentile(0.0);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double q = h.percentile(p);
+    EXPECT_GE(q, prev);
+    EXPECT_LE(q, h.max());
+    prev = q;
+  }
+  // The tail quantile must sit near the top of the range, not at the mean.
+  EXPECT_GT(h.percentile(0.99), h.mean());
+}
+
 }  // namespace
 }  // namespace cham::support

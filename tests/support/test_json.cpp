@@ -1,0 +1,164 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace cham::support::json {
+namespace {
+
+// --- escaping ---------------------------------------------------------------
+
+TEST(JsonEscape, PassesPlainAsciiThrough) {
+  EXPECT_EQ(escape("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslash) {
+  EXPECT_EQ(escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscape, EscapesNamedControlCharacters) {
+  EXPECT_EQ(escape("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(JsonEscape, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(escape(std::string("x\x01y\x1fz", 5)), "x\\u0001y\\u001fz");
+  EXPECT_EQ(escape(std::string("\0", 1)), "\\u0000");
+}
+
+TEST(JsonEscape, PassesNonAsciiUtf8Through) {
+  // Multi-byte UTF-8 sequences are legal in JSON strings as-is; escaping
+  // them would corrupt the byte sequence.
+  EXPECT_EQ(escape("caf\xc3\xa9 \xe6\xbc\xa2"), "caf\xc3\xa9 \xe6\xbc\xa2");
+}
+
+TEST(JsonNumber, NonFiniteBecomesZero) {
+  EXPECT_EQ(number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(number(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(number(1.5), "1.5");
+}
+
+// --- writer -----------------------------------------------------------------
+
+TEST(JsonWriter, CompactObject) {
+  Writer w(false);
+  w.begin_object();
+  w.member("a", 1);
+  w.member("b", "two");
+  w.key("c").begin_array().value(true).null().end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":[true,null]})");
+}
+
+TEST(JsonWriter, PrettyUsesColonSpaceAndIndent) {
+  Writer w(true);
+  w.begin_object();
+  w.member("k", 7);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\n  \"k\": 7\n}");
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+  Writer w(false);
+  w.begin_object();
+  w.member("we\"ird", "line\nbreak");
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"we\"ird":"line\nbreak"})");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  Writer w(true);
+  w.begin_object();
+  w.key("a").begin_array().end_array();
+  w.key("o").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\n  \"a\": [],\n  \"o\": {}\n}");
+}
+
+TEST(JsonWriter, RawSplicesVerbatim) {
+  Writer w(false);
+  w.begin_array().raw("0.25").value(1).end_array();
+  EXPECT_EQ(w.str(), "[0.25,1]");
+}
+
+TEST(JsonWriter, MisuseIsFatal) {
+  Writer w(false);
+  w.begin_object();
+  EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  Writer w2(false);
+  w2.begin_array();
+  EXPECT_THROW(w2.key("k"), std::logic_error);  // key inside array
+  Writer w3(false);
+  w3.begin_object();
+  EXPECT_THROW(w3.end_array(), std::logic_error);  // mismatched close
+}
+
+// --- parser -----------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  Value v;
+  std::string err;
+  ASSERT_TRUE(parse("42.5", &v, &err)) << err;
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.as_number(), 42.5);
+  ASSERT_TRUE(parse("true", &v, &err));
+  EXPECT_TRUE(v.as_bool());
+  ASSERT_TRUE(parse("null", &v, &err));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(parse("\"hi\"", &v, &err));
+  EXPECT_EQ(v.as_string(), "hi");
+}
+
+TEST(JsonParse, NestedStructure) {
+  Value v;
+  std::string err;
+  ASSERT_TRUE(parse(R"({"a": [1, {"b": "c"}], "d": -2e3})", &v, &err)) << err;
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 2u);
+  const Value* b = a->as_array()[1].find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->as_string(), "c");
+  EXPECT_DOUBLE_EQ(v.find("d")->as_number(), -2000.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  Value v;
+  std::string err;
+  ASSERT_TRUE(parse(R"("a\"b\\c\nAé")", &v, &err)) << err;
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nA\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  Value v;
+  std::string err;
+  EXPECT_FALSE(parse("{", &v, &err));
+  EXPECT_FALSE(parse("[1,]", &v, &err));
+  EXPECT_FALSE(parse("\"unterminated", &v, &err));
+  EXPECT_FALSE(parse("{\"k\": 1} trailing", &v, &err));
+  EXPECT_FALSE(parse("nul", &v, &err));
+  EXPECT_FALSE(parse("\"bad \x01 control\"", &v, &err));
+  // Errors carry a byte offset for debugging.
+  EXPECT_NE(err.find("at byte"), std::string::npos);
+}
+
+TEST(JsonParse, WriterOutputRoundTrips) {
+  Writer w(true);
+  w.begin_object();
+  w.member("name", "tricky \"quotes\"\n");
+  w.member("count", std::uint64_t{7});
+  w.key("items").begin_array().value(1.25).value(false).end_array();
+  w.end_object();
+
+  Value v;
+  std::string err;
+  ASSERT_TRUE(parse(w.str(), &v, &err)) << err;
+  EXPECT_EQ(v.find("name")->as_string(), "tricky \"quotes\"\n");
+  EXPECT_DOUBLE_EQ(v.find("count")->as_number(), 7.0);
+  EXPECT_EQ(v.find("items")->as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cham::support::json

@@ -44,6 +44,37 @@ TEST(MemTracker, ResetClearsEverything) {
   EXPECT_EQ(t.allocated_total(), 0u);
 }
 
+TEST(MemTracker, NegativeChargeCanUnderflowBelowZero) {
+  // Refunding more than was charged leaves a negative live balance (signed
+  // accounting is deliberate: it surfaces double-refund bugs instead of
+  // clamping them away). Peak and allocated_total are unaffected.
+  MemTracker t;
+  t.charge(10);
+  t.charge(-25);
+  EXPECT_EQ(t.current(), -15);
+  EXPECT_EQ(t.peak(), 10);
+  EXPECT_EQ(t.allocated_total(), 10u);
+  // Recovering only counts new allocations, not the repaid debt.
+  t.charge(20);
+  EXPECT_EQ(t.current(), 5);
+  EXPECT_EQ(t.allocated_total(), 30u);
+}
+
+TEST(MemTracker, ResetAfterPeakForgetsHistory) {
+  MemTracker t;
+  t.charge(100);
+  t.charge(-40);
+  EXPECT_EQ(t.peak(), 100);
+  t.reset();
+  EXPECT_EQ(t.peak(), 0);
+  // A smaller post-reset episode establishes its own peak, unaffected by
+  // the pre-reset high-water mark.
+  t.charge(7);
+  EXPECT_EQ(t.current(), 7);
+  EXPECT_EQ(t.peak(), 7);
+  EXPECT_EQ(t.allocated_total(), 7u);
+}
+
 TEST(FormatBytes, HumanReadable) {
   EXPECT_EQ(format_bytes(512), "512 B");
   EXPECT_EQ(format_bytes(2048), "2.00 KiB");

@@ -17,6 +17,7 @@
 //                  the trace's own events
 //   --quiet        suppress per-diagnostic lines; print only summaries
 //   --json         emit one JSON document on stdout instead of text
+//   --log-json     structured one-line-JSON log records on stderr
 //
 // Diagnostics are machine-readable, one per line:
 //   <file>: <severity>[<code>]: <message>
@@ -33,6 +34,8 @@
 
 #include "analysis/diagnostic.hpp"
 #include "analysis/lint.hpp"
+#include "support/json.hpp"
+#include "support/logging.hpp"
 #include "trace/serialize.hpp"
 
 using namespace cham;
@@ -42,7 +45,7 @@ namespace {
 int usage() {
   std::fputs(
       "usage: chamlint [--procs <P>] [--full-cover] [--callpath <hex>]"
-      " [--quiet] [--json] <trace-file>...\n",
+      " [--quiet] [--json] [--log-json] <trace-file>...\n",
       stderr);
   return 2;
 }
@@ -51,55 +54,37 @@ struct Options {
   analysis::LintOptions lint;
   bool quiet = false;
   bool json = false;
+  bool log_json = false;
   bool check_callpath = false;
   std::uint64_t callpath = 0;
   std::vector<std::string> files;
 };
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-void append_json_file(std::string& out, const std::string& path,
+/// Emit one file's lint result into the shared document writer (the
+/// "files" array is open when this is called). Shape is stable for
+/// downstream consumers:
+///   {"file", "errors", "warnings", "infos", "diagnostics": [...]}
+void append_json_file(support::json::Writer& w, const std::string& path,
                       const analysis::DiagnosticSink& sink) {
-  if (!out.empty()) out += ",\n";
   std::size_t infos = 0;
   for (const auto& d : sink.diagnostics())
     if (d.severity == analysis::Severity::kInfo) ++infos;
-  out += "    {\"file\": \"" + json_escape(path) + "\", \"errors\": " +
-         std::to_string(sink.errors()) + ", \"warnings\": " +
-         std::to_string(sink.warnings()) + ", \"infos\": " +
-         std::to_string(infos) + ", \"diagnostics\": [";
-  for (std::size_t i = 0; i < sink.diagnostics().size(); ++i) {
-    const auto& d = sink.diagnostics()[i];
-    if (i > 0) out += ", ";
-    out += "\n      {\"severity\": \"" +
-           std::string(analysis::severity_name(d.severity)) +
-           "\", \"code\": \"" + json_escape(d.code) +
-           "\", \"rank\": " + std::to_string(d.rank) + ", \"message\": \"" +
-           json_escape(d.message) + "\"}";
+  w.begin_object();
+  w.member("file", path);
+  w.member("errors", static_cast<std::uint64_t>(sink.errors()));
+  w.member("warnings", static_cast<std::uint64_t>(sink.warnings()));
+  w.member("infos", static_cast<std::uint64_t>(infos));
+  w.key("diagnostics").begin_array();
+  for (const auto& d : sink.diagnostics()) {
+    w.begin_object();
+    w.member("severity", analysis::severity_name(d.severity));
+    w.member("code", d.code);
+    w.member("rank", d.rank);
+    w.member("message", d.message);
+    w.end_object();
   }
-  if (!sink.diagnostics().empty()) out += "\n    ";
-  out += "]}";
+  w.end_array();
+  w.end_object();
 }
 
 bool parse_args(int argc, char** argv, Options& out) {
@@ -133,6 +118,9 @@ bool parse_args(int argc, char** argv, Options& out) {
       out.quiet = true;
     } else if (arg == "--json") {
       out.json = true;
+    } else if (arg == "--log-json") {
+      support::set_log_format(support::LogFormat::kJson);
+      out.log_json = true;
     } else if (arg.rfind("--", 0) == 0) {
       return false;
     } else {
@@ -143,7 +131,7 @@ bool parse_args(int argc, char** argv, Options& out) {
 }
 
 int lint_file(const std::string& path, const Options& opts,
-              std::string* json_files, std::size_t* total_errors,
+              support::json::Writer* json_files, std::size_t* total_errors,
               std::size_t* total_warnings) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -153,6 +141,9 @@ int lint_file(const std::string& path, const Options& opts,
   std::vector<std::uint8_t> bytes(std::istreambuf_iterator<char>(in), {});
 
   analysis::DiagnosticSink sink;
+  // With structured logging on, findings also go out as log records (and
+  // from there to any installed timeline/log observer).
+  sink.set_log_forwarding(opts.log_json);
   const bool wire_ok = analysis::lint_trace_bytes(bytes, opts.lint, sink);
   if (wire_ok && sink.errors() == 0) {
     // Wire format is sound: decode and run the semantic checks too.
@@ -187,7 +178,8 @@ int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) return usage();
   int status = 0;
-  std::string json_files;
+  support::json::Writer json_files;
+  if (opts.json) json_files.begin_object().key("files").begin_array();
   std::size_t total_errors = 0;
   std::size_t total_warnings = 0;
   for (const auto& file : opts.files) {
@@ -197,9 +189,11 @@ int main(int argc, char** argv) {
     if (rc > status) status = rc;
   }
   if (opts.json) {
-    std::printf("{\n  \"files\": [\n%s\n  ],\n  \"errors\": %zu,\n"
-                "  \"warnings\": %zu\n}\n",
-                json_files.c_str(), total_errors, total_warnings);
+    json_files.end_array();
+    json_files.member("errors", static_cast<std::uint64_t>(total_errors));
+    json_files.member("warnings", static_cast<std::uint64_t>(total_warnings));
+    json_files.end_object();
+    std::printf("%s\n", json_files.str().c_str());
   }
   return status;
 }

@@ -3,13 +3,24 @@
 //   chamtrace list
 //       List the built-in benchmark workloads.
 //   chamtrace run --workload lu --procs 64 [--tool chameleon|scalatrace|
-//       acurdion] [--k K] [--freq N] [--class A-D] [--steps N]
+//       acurdion|none] [--k K] [--freq N] [--class A-D] [--steps N]
 //       [--auto-marker] [--fault plan] [--fault-seed N]
-//       [--out trace.bin] [--text]
+//       [--out trace.bin] [--text] [--perf]
+//       [--timeline t.json] [--metrics-out m.json] [--log-json]
 //       Trace a workload and write the global/online trace. --fault takes a
 //       fault-plan file, or an inline ';'-separated plan (docs/FAULTS.md);
 //       the run then exercises the fault-tolerant protocol and the merged
 //       trace may contain GAP nodes for intervals lost with dead leads.
+//       --timeline records what the runtime itself did as Chrome
+//       trace-event JSON (open in Perfetto); --metrics-out exports the
+//       ChamScope metrics registry; --tool none runs the bare simulator
+//       (useful for timeline-only runs and overhead baselines).
+//   chamtrace report --workload lu --procs 64 [--format text|csv|json] ...
+//       Run the workload under Chameleon with epoch recording on and print
+//       the epoch-by-epoch cluster-evolution report (cluster count, leads,
+//       membership churn) plus the per-state trace-memory table.
+//   chamtrace validate [--timeline t.json] [--metrics m.json]
+//       Structurally validate ChamScope output files.
 //   chamtrace show trace.bin
 //       Print a trace file in the human-readable PRSD form plus statistics.
 //   chamtrace replay trace.bin --procs 64
@@ -24,11 +35,17 @@
 
 #include "core/acurdion.hpp"
 #include "core/chameleon.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/timeline.hpp"
+#include "obs/validate.hpp"
 #include "replay/interp.hpp"
 #include "replay/replayer.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/mpi.hpp"
+#include "support/json.hpp"
+#include "support/logging.hpp"
 #include "trace/perf.hpp"
 #include "trace/serialize.hpp"
 #include "workloads/workload.hpp"
@@ -42,11 +59,16 @@ int usage() {
       "usage:\n"
       "  chamtrace list\n"
       "  chamtrace run --workload <name> --procs <P> [--tool chameleon|"
-      "scalatrace|acurdion]\n"
+      "scalatrace|acurdion|none]\n"
       "               [--k <K>] [--freq <N>] [--class A|B|C|D] [--steps <N>]"
       " [--auto-marker]\n"
       "               [--fault <plan-file-or-inline>] [--fault-seed <N>]\n"
       "               [--out <file>] [--text] [--perf]\n"
+      "               [--timeline <file>] [--metrics-out <file>] [--log-json]\n"
+      "  chamtrace report --workload <name> --procs <P> [--format text|csv|"
+      "json] [--out <file>]\n"
+      "               [run options]\n"
+      "  chamtrace validate [--timeline <file>] [--metrics <file>]\n"
       "  chamtrace show <trace-file>\n"
       "  chamtrace replay <trace-file> --procs <P>\n",
       stderr);
@@ -107,6 +129,12 @@ std::vector<trace::TraceNode> load_trace(const std::string& path) {
   return trace::decode_trace(bytes);
 }
 
+bool write_file(const std::string& path, std::string_view contents) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  return static_cast<bool>(file);
+}
+
 void print_stats(const std::vector<trace::TraceNode>& nodes) {
   std::size_t leaves = 0;
   std::uint64_t expanded = 0;
@@ -124,116 +152,385 @@ void print_stats(const std::vector<trace::TraceNode>& nodes) {
               trace::encode_trace(nodes).size());
 }
 
-int cmd_run(const Args& args) {
+// --------------------------------------------------------------------------
+// ChamScope wiring
+// --------------------------------------------------------------------------
+
+/// Owns the timeline/metrics instances for one run, installs the process
+/// globals the runtime hooks consult, and tears everything down (including
+/// the log observer) on scope exit, so a thrown workload cannot leave a
+/// dangling global behind.
+class Observability {
+ public:
+  Observability(bool want_timeline, bool want_metrics) {
+    if (want_timeline) {
+      timeline_.emplace();
+      obs::set_timeline(&*timeline_);
+      // Structured log records double as timeline instants so warnings
+      // line up with the spans that produced them.
+      support::set_log_observer(
+          [tl = &*timeline_](const support::LogRecord& rec) {
+            const int tid = rec.rank >= 0 ? obs::Timeline::rank_tid(rec.rank)
+                                          : obs::Timeline::kSchedulerTid;
+            tl->instant(
+                tid, std::string("log.") + support::log_level_name(rec.level),
+                "log", {obs::arg_str("msg", rec.message)});
+          });
+    }
+    if (want_metrics) {
+      metrics_.emplace();
+      obs::set_metrics(&*metrics_);
+    }
+  }
+  ~Observability() {
+    support::set_log_observer(nullptr);
+    obs::set_timeline(nullptr);
+    obs::set_metrics(nullptr);
+  }
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  [[nodiscard]] obs::Timeline* timeline() {
+    return timeline_ ? &*timeline_ : nullptr;
+  }
+  [[nodiscard]] obs::MetricsRegistry* metrics() {
+    return metrics_ ? &*metrics_ : nullptr;
+  }
+
+ private:
+  std::optional<obs::Timeline> timeline_;
+  std::optional<obs::MetricsRegistry> metrics_;
+};
+
+/// Everything needed to run one workload under one tool. The tracer
+/// pointer is null for --tool none (bare simulator, no tracing tool) —
+/// every consumer of trace output must check it.
+struct WorkloadRun {
+  const workloads::WorkloadInfo* info = nullptr;
+  int procs = 0;
+  std::string tool_name;
+  workloads::WorkloadParams params;
+  core::ChameleonConfig config;
+
+  std::optional<sim::Engine> engine;
+  std::optional<trace::CallSiteRegistry> stacks;
+  std::optional<sim::FaultInjector> injector;
+  std::optional<trace::ScalaTraceTool> scalatrace;
+  std::optional<core::ChameleonTool> chameleon;
+  std::optional<core::AcurdionTool> acurdion;
+  /// The selected tool viewed through the common tracer base; null when
+  /// tool_name == "none".
+  trace::ScalaTraceTool* tracer = nullptr;
+};
+
+/// Parse the shared run/report options and construct (but do not run) the
+/// engine + tool. Returns 0 on success, a process exit code otherwise.
+int setup_run(const Args& args, WorkloadRun& run) {
   const auto workload_name = args.value("--workload");
   const auto procs = args.value("--procs");
   if (!workload_name || !procs) return usage();
-  const workloads::WorkloadInfo* info = workloads::find_workload(*workload_name);
-  if (info == nullptr) {
+  run.info = workloads::find_workload(*workload_name);
+  if (run.info == nullptr) {
     std::fprintf(stderr, "unknown workload '%s' (try: chamtrace list)\n",
                  workload_name->c_str());
     return 2;
   }
-  const int p = std::stoi(*procs);
-  const std::string tool_name = args.value("--tool").value_or("chameleon");
+  run.procs = std::stoi(*procs);
+  run.tool_name = args.value("--tool").value_or("chameleon");
 
-  workloads::WorkloadParams params;
-  params.cls = args.value("--class").value_or("D")[0];
-  params.timesteps = std::stoi(args.value("--steps").value_or("0"));
+  run.params.cls = args.value("--class").value_or("D")[0];
+  run.params.timesteps = std::stoi(args.value("--steps").value_or("0"));
 
-  core::ChameleonConfig config;
-  config.k = static_cast<std::size_t>(
-      std::stoul(args.value("--k").value_or(std::to_string(info->default_k))));
-  config.call_frequency =
-      std::stoi(args.value("--freq").value_or(std::to_string(info->default_freq)));
-  config.auto_marker = args.has("--auto-marker");
+  run.config.k = static_cast<std::size_t>(std::stoul(
+      args.value("--k").value_or(std::to_string(run.info->default_k))));
+  run.config.call_frequency = std::stoi(
+      args.value("--freq").value_or(std::to_string(run.info->default_freq)));
+  run.config.auto_marker = args.has("--auto-marker");
 
-  sim::Engine engine({.nprocs = p});
-  trace::CallSiteRegistry stacks(p);
-  std::optional<sim::FaultInjector> injector;
+  run.engine.emplace(sim::EngineOptions{.nprocs = run.procs});
+  run.stacks.emplace(run.procs);
   if (const auto fault = args.value("--fault")) {
     const std::uint64_t seed =
         std::stoull(args.value("--fault-seed").value_or("0"));
-    injector.emplace(load_fault_plan(*fault, seed));
-    engine.set_fault_injector(&*injector);
-    engine.set_site_probe([&stacks](sim::Rank rank) {
-      const auto& frames = stacks.stack(rank).frames();
+    run.injector.emplace(load_fault_plan(*fault, seed));
+    run.engine->set_fault_injector(&*run.injector);
+    run.engine->set_site_probe([stacks = &*run.stacks](sim::Rank rank) {
+      const auto& frames = stacks->stack(rank).frames();
       return frames.empty() ? 0 : frames.back();
     });
   }
-  std::optional<trace::ScalaTraceTool> scalatrace;
-  std::optional<core::ChameleonTool> chameleon;
-  std::optional<core::AcurdionTool> acurdion;
-  if (tool_name == "scalatrace") {
-    scalatrace.emplace(p, &stacks);
-    engine.set_tool(&*scalatrace);
-  } else if (tool_name == "acurdion") {
-    acurdion.emplace(p, &stacks, config);
-    engine.set_tool(&*acurdion);
-  } else if (tool_name == "chameleon") {
-    chameleon.emplace(p, &stacks, config);
-    engine.set_tool(&*chameleon);
-  } else {
-    std::fprintf(stderr, "unknown tool '%s'\n", tool_name.c_str());
+  if (run.tool_name == "scalatrace") {
+    run.scalatrace.emplace(run.procs, &*run.stacks);
+    run.tracer = &*run.scalatrace;
+  } else if (run.tool_name == "acurdion") {
+    run.acurdion.emplace(run.procs, &*run.stacks, run.config);
+    run.tracer = &*run.acurdion;
+  } else if (run.tool_name == "chameleon") {
+    run.chameleon.emplace(run.procs, &*run.stacks, run.config);
+    run.tracer = &*run.chameleon;
+  } else if (run.tool_name != "none") {
+    std::fprintf(stderr, "unknown tool '%s'\n", run.tool_name.c_str());
+    return 2;
+  }
+  if (run.tracer != nullptr) run.engine->set_tool(run.tracer);
+  return 0;
+}
+
+void execute(WorkloadRun& run) {
+  run.engine->run(
+      [&](sim::Mpi& mpi) { run.info->run(mpi, *run.stacks, run.params); });
+}
+
+std::string rank_label(int rank) { return std::to_string(rank); }
+
+/// Bridge every accumulator the run produced into the metrics registry:
+/// tool-wide perf counters, per-rank per-phase seconds, Chameleon's
+/// per-rank per-state seconds and trace-memory bytes, and the engine's
+/// fault counters.
+void export_run_metrics(obs::MetricsRegistry& reg, WorkloadRun& run) {
+  const std::string& tool = run.tool_name;
+  if (run.tracer != nullptr) {
+    trace::export_to_metrics(run.tracer->perf_counters(), reg, tool);
+    reg.set_counter("cham.merge.operations", {{"tool", tool}},
+                    run.tracer->merge_operations());
+    reg.set_counter("cham.merge.bytes", {{"tool", tool}},
+                    run.tracer->merge_bytes());
+    reg.set_counter("cham.events.recorded", {{"tool", tool}},
+                    run.tracer->events_recorded_total());
+    for (int r = 0; r < run.procs; ++r) {
+      const trace::RankTraceState& st = run.tracer->rank_state(r);
+      const obs::Labels base{{"rank", rank_label(r)}, {"tool", tool}};
+      obs::Labels intra = base;
+      intra.emplace_back("phase", "intra");
+      reg.set_gauge("cham.rank.phase_seconds", intra, st.intra_timer.total());
+      obs::Labels inter = base;
+      inter.emplace_back("phase", "inter");
+      reg.set_gauge("cham.rank.phase_seconds", inter, st.inter_timer.total());
+      reg.set_counter("cham.rank.trace_bytes", base,
+                      run.tracer->rank_trace_bytes(r));
+    }
+  }
+  if (run.chameleon) {
+    const core::ChameleonTool& cham = *run.chameleon;
+    reg.set_counter("cham.run.markers_processed", {{"tool", tool}},
+                    cham.marker_calls_processed());
+    reg.set_counter("cham.run.clusters", {{"tool", tool}}, cham.effective_k());
+    reg.set_counter("cham.run.callpaths", {{"tool", tool}},
+                    cham.num_callpath_clusters());
+    for (int s = 0; s < 4; ++s) {
+      const auto state = static_cast<core::MarkerState>(s);
+      const std::string state_name = core::marker_state_name(state);
+      for (int r = 0; r < run.procs; ++r) {
+        const obs::Labels labels{{"rank", rank_label(r)},
+                                 {"state", state_name}};
+        reg.set_gauge("cham.rank.state_seconds", labels,
+                      cham.rank_state_seconds(r, state));
+        const auto& sb = cham.rank_state_bytes(r, state);
+        reg.set_counter("cham.mem.state_bytes", labels, sb.bytes_total);
+        reg.set_counter("cham.mem.state_calls", labels, sb.calls);
+      }
+    }
+    for (int r = 0; r < run.procs; ++r) {
+      const obs::Labels labels{{"rank", rank_label(r)}};
+      const support::MemTracker& mem = cham.rank_mem(r);
+      reg.set_gauge("cham.mem.current_bytes", labels,
+                    static_cast<double>(mem.current()));
+      reg.set_gauge("cham.mem.peak_bytes", labels,
+                    static_cast<double>(mem.peak()));
+    }
+  }
+  reg.set_counter("cham.engine.ranks_failed", {},
+                  static_cast<std::uint64_t>(run.engine->failed_count()));
+  reg.set_counter("cham.engine.messages_lost", {}, run.engine->messages_lost());
+  reg.set_counter("cham.engine.retransmissions", {},
+                  run.engine->retransmissions());
+}
+
+/// Write timeline/metrics output files if requested. Returns 0 or an exit
+/// code on I/O failure.
+int finish_observability(const Args& args, Observability& scope,
+                         WorkloadRun& run) {
+  if (const auto path = args.value("--timeline")) {
+    const std::string doc = scope.timeline()->to_json();
+    if (!write_file(*path, doc)) {
+      std::fprintf(stderr, "failed to write %s\n", path->c_str());
+      return 1;
+    }
+    std::printf("wrote timeline (%zu events) to %s\n",
+                scope.timeline()->event_count(), path->c_str());
+  }
+  if (const auto path = args.value("--metrics-out")) {
+    export_run_metrics(*scope.metrics(), run);
+    const std::string doc = scope.metrics()->to_json_string();
+    if (!write_file(*path, doc)) {
+      std::fprintf(stderr, "failed to write %s\n", path->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu metrics to %s\n", scope.metrics()->size(),
+                path->c_str());
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------------------
+// Subcommands
+// --------------------------------------------------------------------------
+
+int cmd_run(const Args& args) {
+  WorkloadRun run;
+  if (int rc = setup_run(args, run); rc != 0) return rc;
+  if (args.has("--perf") && run.tracer == nullptr) {
+    std::fprintf(stderr,
+                 "--perf needs a tracing tool, but --tool none selected the "
+                 "bare simulator; drop --perf or pick a tool\n");
+    return 2;
+  }
+  if ((args.has("--text") || args.value("--out")) && run.tracer == nullptr) {
+    std::fprintf(stderr,
+                 "--text/--out need a tracing tool, but --tool none selected "
+                 "the bare simulator\n");
     return 2;
   }
 
-  engine.run([&](sim::Mpi& mpi) { info->run(mpi, stacks, params); });
+  Observability scope(args.value("--timeline").has_value(),
+                      args.value("--metrics-out").has_value());
+  execute(run);
 
-  const std::vector<trace::TraceNode>& nodes =
-      chameleon ? chameleon->online_trace()
-                : scalatrace ? scalatrace->global_trace()
-                             : acurdion->global_trace();
-
-  std::printf("traced %s on %d ranks with %s\n", workload_name->c_str(), p,
-              tool_name.c_str());
-  if (injector) {
+  std::printf("traced %s on %d ranks with %s\n",
+              std::string(run.info->name).c_str(), run.procs,
+              run.tool_name.c_str());
+  if (run.injector) {
     std::printf(
         "faults: %llu crash(es), %llu drop(s); %d rank(s) dead, %llu "
         "message(s) lost, %llu retransmission(s)\n",
-        static_cast<unsigned long long>(injector->crashes_injected()),
-        static_cast<unsigned long long>(injector->drops_injected()),
-        engine.failed_count(),
-        static_cast<unsigned long long>(engine.messages_lost()),
-        static_cast<unsigned long long>(engine.retransmissions()));
+        static_cast<unsigned long long>(run.injector->crashes_injected()),
+        static_cast<unsigned long long>(run.injector->drops_injected()),
+        run.engine->failed_count(),
+        static_cast<unsigned long long>(run.engine->messages_lost()),
+        static_cast<unsigned long long>(run.engine->retransmissions()));
   }
-  print_stats(nodes);
-  if (chameleon) {
-    std::printf("markers processed: %llu (C=%llu L=%llu AT=%llu), clusters: "
-                "%zu over %zu call-paths\n",
-                static_cast<unsigned long long>(chameleon->marker_calls_processed()),
-                static_cast<unsigned long long>(
-                    chameleon->state_count(core::MarkerState::kClustering)),
-                static_cast<unsigned long long>(
-                    chameleon->state_count(core::MarkerState::kLead)),
-                static_cast<unsigned long long>(
-                    chameleon->state_count(core::MarkerState::kAllTracing)),
-                chameleon->effective_k(), chameleon->num_callpath_clusters());
+  if (run.tracer != nullptr) {
+    const std::vector<trace::TraceNode>& nodes =
+        run.chameleon ? run.chameleon->online_trace()
+                      : run.tracer->global_trace();
+    print_stats(nodes);
+    if (run.chameleon) {
+      const core::ChameleonTool& cham = *run.chameleon;
+      std::printf(
+          "markers processed: %llu (C=%llu L=%llu AT=%llu), clusters: "
+          "%zu over %zu call-paths\n",
+          static_cast<unsigned long long>(cham.marker_calls_processed()),
+          static_cast<unsigned long long>(
+              cham.state_count(core::MarkerState::kClustering)),
+          static_cast<unsigned long long>(
+              cham.state_count(core::MarkerState::kLead)),
+          static_cast<unsigned long long>(
+              cham.state_count(core::MarkerState::kAllTracing)),
+          cham.effective_k(), cham.num_callpath_clusters());
+    }
+    if (args.has("--perf")) {
+      const trace::PerfCounters& perf = run.tracer->perf_counters();
+      std::printf("perf counters (fast path %s):\n%s\n",
+                  trace::fast_path_enabled() ? "on" : "off",
+                  perf.to_string().c_str());
+    }
+    if (args.has("--text")) {
+      std::fputs(trace::format_trace(nodes).c_str(), stdout);
+    }
+    if (const auto out = args.value("--out")) {
+      const auto bytes = trace::encode_trace(nodes);
+      if (!write_file(*out,
+                      std::string_view(
+                          reinterpret_cast<const char*>(bytes.data()),
+                          bytes.size()))) {
+        std::fprintf(stderr, "failed to write %s\n", out->c_str());
+        return 1;
+      }
+      std::printf("wrote %zu bytes to %s\n", bytes.size(), out->c_str());
+    }
   }
-  if (args.has("--perf")) {
-    const trace::PerfCounters& perf =
-        chameleon ? chameleon->perf_counters()
-                  : scalatrace ? scalatrace->perf_counters()
-                               : acurdion->perf_counters();
-    std::printf("perf counters (fast path %s):\n%s\n",
-                trace::fast_path_enabled() ? "on" : "off",
-                perf.to_string().c_str());
+  return finish_observability(args, scope, run);
+}
+
+int cmd_report(const Args& args) {
+  const std::string format = args.value("--format").value_or("text");
+  if (format != "text" && format != "csv" && format != "json") {
+    std::fprintf(stderr, "unknown report format '%s' (text|csv|json)\n",
+                 format.c_str());
+    return 2;
   }
-  if (args.has("--text")) {
-    std::fputs(trace::format_trace(nodes).c_str(), stdout);
+  WorkloadRun run;
+  if (int rc = setup_run(args, run); rc != 0) return rc;
+  if (!run.chameleon) {
+    std::fprintf(stderr,
+                 "chamtrace report replays the Chameleon protocol; --tool %s "
+                 "has no epochs to report\n",
+                 run.tool_name.c_str());
+    return 2;
+  }
+  // Epoch recording is off by default (costs O(P) per marker); the report
+  // is the one consumer, so rebuild the tool with it enabled.
+  run.config.record_epochs = true;
+  run.chameleon.emplace(run.procs, &*run.stacks, run.config);
+  run.tracer = &*run.chameleon;
+  run.engine->set_tool(run.tracer);
+
+  Observability scope(args.value("--timeline").has_value(),
+                      args.value("--metrics-out").has_value());
+  execute(run);
+
+  const obs::ReportInput input =
+      core::build_report_input(*run.chameleon, std::string(run.info->name));
+  std::string rendered;
+  if (format == "text") {
+    rendered = obs::render_text(input);
+  } else if (format == "csv") {
+    rendered = obs::render_csv(input);
+  } else {
+    support::json::Writer w;
+    obs::render_json(input, w);
+    rendered = w.str();
+    rendered.push_back('\n');
   }
   if (const auto out = args.value("--out")) {
-    const auto bytes = trace::encode_trace(nodes);
-    std::ofstream file(*out, std::ios::binary | std::ios::trunc);
-    file.write(reinterpret_cast<const char*>(bytes.data()),
-               static_cast<std::streamsize>(bytes.size()));
-    if (!file) {
+    if (!write_file(*out, rendered)) {
       std::fprintf(stderr, "failed to write %s\n", out->c_str());
       return 1;
     }
-    std::printf("wrote %zu bytes to %s\n", bytes.size(), out->c_str());
+    std::printf("wrote %s report (%zu epochs) to %s\n", format.c_str(),
+                input.epochs.size(), out->c_str());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
   }
-  return 0;
+  return finish_observability(args, scope, run);
+}
+
+int cmd_validate(const Args& args) {
+  const auto timeline_path = args.value("--timeline");
+  const auto metrics_path = args.value("--metrics");
+  if (!timeline_path && !metrics_path) return usage();
+  int rc = 0;
+  const auto check = [&rc](const std::string& path, auto validator,
+                           const char* what) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      rc = 1;
+      return;
+    }
+    const std::string text{std::istreambuf_iterator<char>(in), {}};
+    std::string error;
+    if (validator(text, &error)) {
+      std::printf("%s: valid %s\n", path.c_str(), what);
+    } else {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+      rc = 1;
+    }
+  };
+  if (timeline_path)
+    check(*timeline_path, obs::validate_timeline_json, "timeline");
+  if (metrics_path) check(*metrics_path, obs::validate_metrics_json, "metrics");
+  return rc;
 }
 
 int cmd_show(const Args& args) {
@@ -273,8 +570,12 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     Args args(argc, argv, 2);
+    if (args.has("--log-json"))
+      support::set_log_format(support::LogFormat::kJson);
     if (command == "list") return cmd_list();
     if (command == "run") return cmd_run(args);
+    if (command == "report") return cmd_report(args);
+    if (command == "validate") return cmd_validate(args);
     if (command == "show") return cmd_show(args);
     if (command == "replay") return cmd_replay(args);
   } catch (const std::exception& e) {

@@ -57,4 +57,22 @@ for key in '"schema": "chameleon.bench_hotpath.v1"' '"append_fold"' \
     { echo "bench_hotpath smoke: missing $key in $smoke_json" >&2; exit 1; }
 done
 
+# ChamScope smoke (release build): a real workload run with the timeline
+# tracer and metrics registry enabled must produce documents that the
+# bundled validators accept, and the cluster-evolution report must render.
+echo "=== [release] chamscope smoke ==="
+obs_dir="build-check/release/obs-smoke"
+mkdir -p "$obs_dir"
+chamtrace=build-check/release/tools/chamtrace
+"$chamtrace" run --workload lu --procs 16 --steps 8 --freq 1 \
+  --timeline "$obs_dir/timeline.json" \
+  --metrics-out "$obs_dir/metrics.json" >/dev/null
+"$chamtrace" validate --timeline "$obs_dir/timeline.json" \
+  --metrics "$obs_dir/metrics.json"
+"$chamtrace" report --workload lu --procs 16 --steps 8 --freq 1 \
+  --format json --out "$obs_dir/report.json" >/dev/null
+grep -qF '"schema": "chameleon.report.v1"' "$obs_dir/report.json" ||
+  { echo "chamscope smoke: bad report schema in $obs_dir/report.json" >&2
+    exit 1; }
+
 echo "=== all configurations green ==="

@@ -1,0 +1,223 @@
+#include "analysis/race/analyzer.hpp"
+
+#include <utility>
+
+#include "support/hash.hpp"
+#include "support/json.hpp"
+
+namespace cham::analysis::race {
+
+std::string_view kind_name(RaceFinding::Kind kind) {
+  switch (kind) {
+    case RaceFinding::Kind::kWriteWrite:
+      return "write-write";
+    case RaceFinding::Kind::kWriteRead:
+      return "write-read";
+    case RaceFinding::Kind::kReadWrite:
+      return "read-write";
+  }
+  return "unknown";
+}
+
+namespace {
+std::string task_name(int task) {
+  return task < 0 ? "scheduler" : "task " + std::to_string(task);
+}
+}  // namespace
+
+std::string RaceFinding::to_string() const {
+  std::string s;
+  s += kind_name(kind);
+  s += " on ";
+  s += location;
+  s += "[" + std::to_string(a) + "," + std::to_string(b) + "]: ";
+  s += task_name(prior.task) + " (epoch " + std::to_string(prior.epoch) +
+       ") vs " + task_name(current.task) + " (epoch " +
+       std::to_string(current.epoch) + "), " + std::to_string(count) +
+       " occurrence" + (count == 1 ? "" : "s");
+  return s;
+}
+
+RaceAnalyzer::RaceAnalyzer(int nfibers) : nfibers_(nfibers < 0 ? 0 : nfibers) {
+  grow_tasks(static_cast<std::size_t>(tasks()));
+}
+
+std::size_t RaceAnalyzer::KeyHash::operator()(const Key& k) const {
+  return static_cast<std::size_t>(support::hash_combine(
+      support::fnv1a64(k.name), support::hash_combine(k.a, k.b)));
+}
+
+void RaceAnalyzer::grow_tasks(std::size_t n) {
+  const std::size_t old = vc_.size();
+  if (old >= n) return;
+  vc_.resize(n);
+  // Every task starts at local clock 1 so that clock 0 can mean "no access
+  // recorded" in LocState.
+  for (std::size_t i = old; i < n; ++i) vc_[i].set(i, 1);
+}
+
+RaceAccess RaceAnalyzer::here() {
+  const std::size_t t = idx(cur_);
+  grow_tasks(t + 1);
+  return RaceAccess{cur_, vc_[t].get(t), epochs_};
+}
+
+bool RaceAnalyzer::ordered_before_now(const RaceAccess& access) {
+  const std::size_t t = idx(cur_);
+  grow_tasks(t + 1);
+  return vc_[t].ordered_after(idx(access.task), access.clock);
+}
+
+void RaceAnalyzer::record(const Key& key, RaceFinding::Kind kind,
+                          const RaceAccess& prior, const RaceAccess& current) {
+  std::string dk = key.name;
+  dk += '\x1f';
+  dk += std::to_string(key.a) + "," + std::to_string(key.b) + "," +
+        std::to_string(static_cast<int>(kind)) + "," +
+        std::to_string(prior.task) + "," + std::to_string(current.task);
+  if (auto it = dedup_.find(dk); it != dedup_.end()) {
+    ++findings_[it->second].count;
+    return;
+  }
+  RaceFinding f;
+  f.location = key.name;
+  f.a = key.a;
+  f.b = key.b;
+  f.kind = kind;
+  f.prior = prior;
+  f.current = current;
+  dedup_.emplace(std::move(dk), findings_.size());
+  findings_.push_back(std::move(f));
+}
+
+void RaceAnalyzer::on_read(std::string_view loc, std::uint64_t a,
+                           std::uint64_t b) {
+  ++accesses_;
+  const Key key{std::string(loc), a, b};
+  LocState& ls = locs_[key];
+  const RaceAccess now = here();
+  if (ls.write.clock != 0 && ls.write.task != cur_ &&
+      !ordered_before_now(ls.write))
+    record(key, RaceFinding::Kind::kWriteRead, ls.write, now);
+  const std::size_t t = idx(cur_);
+  if (ls.reads.size() <= t) ls.reads.resize(t + 1);
+  ls.reads[t] = now;
+}
+
+void RaceAnalyzer::on_write(std::string_view loc, std::uint64_t a,
+                            std::uint64_t b) {
+  ++accesses_;
+  const Key key{std::string(loc), a, b};
+  LocState& ls = locs_[key];
+  const RaceAccess now = here();
+  if (ls.write.clock != 0 && ls.write.task != cur_ &&
+      !ordered_before_now(ls.write))
+    record(key, RaceFinding::Kind::kWriteWrite, ls.write, now);
+  for (const RaceAccess& r : ls.reads) {
+    if (r.clock == 0 || r.task == cur_) continue;
+    if (!ordered_before_now(r))
+      record(key, RaceFinding::Kind::kReadWrite, r, now);
+  }
+  ls.write = now;
+  ls.reads.clear();  // the new write supersedes the read set
+}
+
+void RaceAnalyzer::on_atomic(std::string_view /*loc*/, std::uint64_t /*a*/,
+                             std::uint64_t /*b*/) {
+  ++atomics_;
+}
+
+void RaceAnalyzer::on_acquire(std::string_view sync, std::uint64_t a,
+                              std::uint64_t b) {
+  ++sync_ops_;
+  const Key key{std::string(sync), a, b};
+  const auto it = syncs_.find(key);
+  if (it == syncs_.end()) return;  // never released: nothing to order against
+  const std::size_t t = idx(cur_);
+  grow_tasks(t + 1);
+  vc_[t].join(it->second);
+}
+
+void RaceAnalyzer::on_release(std::string_view sync, std::uint64_t a,
+                              std::uint64_t b) {
+  ++sync_ops_;
+  const Key key{std::string(sync), a, b};
+  const std::size_t t = idx(cur_);
+  grow_tasks(t + 1);
+  syncs_[key].join(vc_[t]);
+  // Publishing a new point: later accesses by this task must not appear
+  // ordered before acquires that only saw the published clock.
+  vc_[t].bump(t);
+}
+
+void RaceAnalyzer::on_task(int task) { cur_ = task; }
+
+void RaceAnalyzer::on_fork(int child) {
+  const std::size_t p = idx(cur_);
+  const std::size_t c = idx(child);
+  grow_tasks(std::max(p, c) + 1);
+  vc_[c].join(vc_[p]);
+  vc_[p].bump(p);
+}
+
+void RaceAnalyzer::on_epoch() { ++epochs_; }
+
+void RaceAnalyzer::report(DiagnosticSink& sink) const {
+  for (const RaceFinding& f : findings_)
+    sink.report(Severity::kError, "race.conflict", f.current.task,
+                f.to_string());
+}
+
+std::string write_race_json(const RaceAnalyzer& analyzer,
+                            const RaceReportMeta& meta,
+                            const DeterminismResult* determinism) {
+  support::json::Writer w;
+  w.begin_object();
+  w.member("schema", "chameleon.race.v1");
+  w.member("workload", meta.workload);
+  w.member("tool", meta.tool);
+  w.member("procs", meta.procs);
+  w.member("tasks", analyzer.tasks());
+  w.member("epochs", analyzer.epochs());
+  w.member("accesses", analyzer.accesses());
+  w.member("atomic_accesses", analyzer.atomic_accesses());
+  w.member("sync_ops", analyzer.sync_ops());
+  w.member("locations", static_cast<std::uint64_t>(analyzer.locations()));
+  w.key("findings").begin_array();
+  for (const RaceFinding& f : analyzer.findings()) {
+    w.begin_object();
+    w.member("location", f.location);
+    w.member("a", f.a);
+    w.member("b", f.b);
+    w.member("kind", kind_name(f.kind));
+    w.member("count", f.count);
+    const auto side = [&w](const char* name, const RaceAccess& access) {
+      w.key(name).begin_object();
+      w.member("task", access.task);
+      w.member("clock", access.clock);
+      w.member("epoch", access.epoch);
+      w.end_object();
+    };
+    side("first", f.prior);
+    side("second", f.current);
+    w.end_object();
+  }
+  w.end_array();
+  if (determinism != nullptr) {
+    w.key("determinism").begin_object();
+    w.member("deterministic", determinism->deterministic);
+    w.member("epochs_compared",
+             static_cast<std::uint64_t>(determinism->epochs_compared));
+    w.member("first_divergent_epoch", determinism->first_divergent_epoch);
+    if (!determinism->deterministic)
+      w.member("divergent_seed", determinism->divergent_seed);
+    w.key("seeds").begin_array();
+    for (std::uint64_t seed : determinism->seeds) w.value(seed);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cham::analysis::race

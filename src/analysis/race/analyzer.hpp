@@ -1,0 +1,139 @@
+// FastTrack-style vector-clock happens-before analyzer.
+//
+// Consumes the cham::race annotation stream (install with race::set_sink)
+// and reports access pairs unordered by happens-before. Per location it
+// keeps the last write (task, clock, epoch) and one last-read entry per
+// task since that write; per task a vector clock advanced by the modelled
+// sync objects (fiber scheduling, mailbox/inbox locks, collective sites,
+// epoch barriers — see docs/RACE.md for the full edge catalogue).
+//
+// Findings are deduplicated by (location, kind, task pair) with an
+// occurrence count, so a racy counter bumped every timestep reads as one
+// finding, not ten thousand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/race/annotate.hpp"
+#include "analysis/race/determinism.hpp"
+#include "analysis/race/vectorclock.hpp"
+
+namespace cham::analysis::race {
+
+/// One side of an unordered pair: which task touched the location, at what
+/// local clock, during which protocol epoch.
+struct RaceAccess {
+  int task = -1;
+  std::uint64_t clock = 0;  ///< 0 = no such access recorded
+  std::uint64_t epoch = 0;
+};
+
+struct RaceFinding {
+  enum class Kind : std::uint8_t { kWriteWrite, kWriteRead, kReadWrite };
+
+  std::string location;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  Kind kind = Kind::kWriteWrite;
+  RaceAccess prior;    ///< the earlier (already recorded) access
+  RaceAccess current;  ///< the access that found it unordered
+  std::uint64_t count = 1;  ///< occurrences of this (location, kind, pair)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// "write-write", "write-read" (write then unordered read) or "read-write".
+std::string_view kind_name(RaceFinding::Kind kind);
+
+class RaceAnalyzer final : public cham::race::Sink {
+ public:
+  /// `nfibers` worker tasks (0..nfibers-1) plus the scheduler/main context
+  /// as task -1. More tasks grow the clocks on demand.
+  explicit RaceAnalyzer(int nfibers);
+
+  void on_read(std::string_view loc, std::uint64_t a,
+               std::uint64_t b) override;
+  void on_write(std::string_view loc, std::uint64_t a,
+                std::uint64_t b) override;
+  void on_atomic(std::string_view loc, std::uint64_t a,
+                 std::uint64_t b) override;
+  void on_acquire(std::string_view sync, std::uint64_t a,
+                  std::uint64_t b) override;
+  void on_release(std::string_view sync, std::uint64_t a,
+                  std::uint64_t b) override;
+  void on_task(int task) override;
+  void on_fork(int child) override;
+  void on_epoch() override;
+
+  [[nodiscard]] const std::vector<RaceFinding>& findings() const {
+    return findings_;
+  }
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] std::uint64_t atomic_accesses() const { return atomics_; }
+  [[nodiscard]] std::uint64_t sync_ops() const { return sync_ops_; }
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  [[nodiscard]] std::size_t locations() const { return locs_.size(); }
+  /// Worker tasks + 1 (the scheduler).
+  [[nodiscard]] int tasks() const { return nfibers_ + 1; }
+
+  /// Emit every finding as an error diagnostic (code "race.conflict").
+  void report(DiagnosticSink& sink) const;
+
+ private:
+  struct Key {
+    std::string name;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct LocState {
+    RaceAccess write;              ///< last write; clock 0 = none yet
+    std::vector<RaceAccess> reads;  ///< per task, last read since `write`
+  };
+
+  [[nodiscard]] std::size_t idx(int task) const {
+    return task < 0 ? static_cast<std::size_t>(nfibers_)
+                    : static_cast<std::size_t>(task);
+  }
+  [[nodiscard]] RaceAccess here();
+  [[nodiscard]] bool ordered_before_now(const RaceAccess& access);
+  void grow_tasks(std::size_t n);
+  void record(const Key& key, RaceFinding::Kind kind, const RaceAccess& prior,
+              const RaceAccess& current);
+
+  int nfibers_;
+  int cur_ = -1;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t atomics_ = 0;
+  std::uint64_t sync_ops_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::vector<VectorClock> vc_;
+  std::unordered_map<Key, LocState, KeyHash> locs_;
+  std::unordered_map<Key, VectorClock, KeyHash> syncs_;
+  std::vector<RaceFinding> findings_;
+  /// (location key, kind, prior task, current task) -> findings_ index.
+  std::unordered_map<std::string, std::size_t> dedup_;
+};
+
+/// Run metadata carried into the chameleon.race.v1 document.
+struct RaceReportMeta {
+  std::string workload;
+  std::string tool;
+  int procs = 0;
+};
+
+/// Render the chameleon.race.v1 JSON document (docs/RACE.md documents the
+/// shape). `determinism` is optional — null omits the block.
+std::string write_race_json(const RaceAnalyzer& analyzer,
+                            const RaceReportMeta& meta,
+                            const DeterminismResult* determinism);
+
+}  // namespace cham::analysis::race

@@ -1,0 +1,13 @@
+#include "analysis/race/annotate.hpp"
+
+namespace cham::race {
+
+namespace {
+std::atomic<Sink*> g_sink{nullptr};
+}  // namespace
+
+Sink* sink() noexcept { return g_sink.load(std::memory_order_acquire); }
+
+void set_sink(Sink* s) noexcept { g_sink.store(s, std::memory_order_release); }
+
+}  // namespace cham::race

@@ -1,0 +1,37 @@
+#include "analysis/race/determinism.hpp"
+
+#include <algorithm>
+
+namespace cham::analysis::race {
+
+DeterminismResult audit_determinism(
+    const std::function<std::vector<std::uint64_t>(std::uint64_t)>&
+        run_digests,
+    const std::vector<std::uint64_t>& seeds) {
+  DeterminismResult result;
+  result.seeds = seeds;
+  if (seeds.empty()) return result;
+
+  const std::vector<std::uint64_t> baseline = run_digests(seeds.front());
+  result.epochs_compared = baseline.size();
+  for (std::size_t i = 1; i < seeds.size(); ++i) {
+    const std::vector<std::uint64_t> other = run_digests(seeds[i]);
+    const std::size_t common = std::min(baseline.size(), other.size());
+    std::size_t divergence = common;
+    for (std::size_t e = 0; e < common; ++e) {
+      if (baseline[e] != other[e]) {
+        divergence = e;
+        break;
+      }
+    }
+    if (divergence == common && baseline.size() == other.size())
+      continue;  // identical
+    result.deterministic = false;
+    result.first_divergent_epoch = static_cast<std::int64_t>(divergence);
+    result.divergent_seed = seeds[i];
+    break;
+  }
+  return result;
+}
+
+}  // namespace cham::analysis::race

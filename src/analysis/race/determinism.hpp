@@ -1,0 +1,35 @@
+// Determinism auditor: Chameleon's online protocol is only correct if
+// per-epoch merges are order-independent. The auditor replays a workload
+// under N shuffled scheduler seeds (sim::EngineOptions::sched_seed) and
+// diffs per-epoch clusterset wire-image digests; the first divergent epoch
+// pinpoints where scheduling order leaked into protocol state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cham::analysis::race {
+
+struct DeterminismResult {
+  bool deterministic = true;
+  /// Seeds audited, in run order; seeds[0] is the baseline.
+  std::vector<std::uint64_t> seeds;
+  std::size_t epochs_compared = 0;
+  /// First epoch whose digest differs from the baseline (-1 = none).
+  std::int64_t first_divergent_epoch = -1;
+  /// The seed that produced the divergence (meaningful when !deterministic).
+  std::uint64_t divergent_seed = 0;
+};
+
+/// `run_digests(seed)` must execute the workload under the given scheduler
+/// seed and return its per-epoch digests. The audit runs seeds.front()
+/// as the baseline, then compares every other seed's digest vector
+/// element-wise, stopping at the first divergence. A length mismatch
+/// diverges at the first epoch one run is missing.
+DeterminismResult audit_determinism(
+    const std::function<std::vector<std::uint64_t>(std::uint64_t)>&
+        run_digests,
+    const std::vector<std::uint64_t>& seeds);
+
+}  // namespace cham::analysis::race

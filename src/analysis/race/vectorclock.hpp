@@ -1,0 +1,60 @@
+// Vector clocks for the happens-before race analyzer.
+//
+// One component per task (P fibers + the scheduler). Component values are
+// Lamport-style counters: VC_t[u] = the latest operation of task u that
+// happens-before task t's current point. Task t's own component VC_t[t] is
+// its local clock, bumped whenever t releases a sync object (publishing a
+// new point other tasks can order against).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace cham::analysis::race {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t ntasks) : c_(ntasks, 0) {}
+
+  [[nodiscard]] std::uint64_t get(std::size_t task) const {
+    return task < c_.size() ? c_[task] : 0;
+  }
+
+  void set(std::size_t task, std::uint64_t value) {
+    grow(task + 1);
+    c_[task] = value;
+  }
+
+  void bump(std::size_t task) {
+    grow(task + 1);
+    ++c_[task];
+  }
+
+  /// Pointwise maximum: after `join(o)` everything ordered before o is
+  /// ordered before *this.
+  void join(const VectorClock& o) {
+    grow(o.c_.size());
+    for (std::size_t i = 0; i < o.c_.size(); ++i)
+      c_[i] = std::max(c_[i], o.c_[i]);
+  }
+
+  /// True when the point (task, clock) happens-before this clock's owner:
+  /// the owner has synchronized with task at or past that clock value.
+  [[nodiscard]] bool ordered_after(std::size_t task,
+                                   std::uint64_t clock) const {
+    return get(task) >= clock;
+  }
+
+  [[nodiscard]] std::size_t size() const { return c_.size(); }
+
+ private:
+  void grow(std::size_t n) {
+    if (c_.size() < n) c_.resize(n, 0);
+  }
+
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace cham::analysis::race

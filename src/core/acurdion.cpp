@@ -1,5 +1,6 @@
 #include "core/acurdion.hpp"
 
+#include "analysis/race/annotate.hpp"
 #include "core/protocol.hpp"
 #include "sim/mpi.hpp"
 #include "support/timer.hpp"
@@ -17,7 +18,14 @@ AcurdionTool::AcurdionTool(int nprocs, trace::CallSiteRegistry* stacks,
                      trace::TracerOptions{.max_window = config.max_window,
                                           .merge_at_finalize = false}),
       config_(config),
-      whole_run_(static_cast<std::size_t>(nprocs)) {}
+      whole_run_(static_cast<std::size_t>(nprocs)),
+      rank_clustering_seconds_(static_cast<std::size_t>(nprocs), 0.0) {}
+
+double AcurdionTool::clustering_seconds() const {
+  double total = 0.0;
+  for (const double seconds : rank_clustering_seconds_) total += seconds;
+  return total;
+}
 
 void AcurdionTool::observe_event(sim::Rank rank,
                                  const trace::EventRecord& record,
@@ -34,10 +42,12 @@ void AcurdionTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
   ClusterProtocolStats stats;
   cluster::ClusterSet table = hierarchical_cluster(
       rank, pmpi, sig, config_.k, config_.policy, config_.seed, &stats);
-  clustering_seconds_ += stats.cpu_seconds;
-  perf_.bytes_encoded += stats.bytes_encoded;
-  perf_.bytes_decoded += stats.bytes_decoded;
+  rank_clustering_seconds_[static_cast<std::size_t>(rank)] +=
+      stats.cpu_seconds;
+  rank_perf(rank).bytes_encoded += stats.bytes_encoded;
+  rank_perf(rank).bytes_decoded += stats.bytes_decoded;
   if (rank == 0) {
+    RACE_WRITE("acurdion.table", 0, 0);
     clusters_ = table;
     effective_k_ = stats.effective_k;
   }
@@ -67,22 +77,25 @@ void AcurdionTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
         trace::ChargedSection timed(st.inter_timer, pmpi);
         payload = trace::encode_trace(merged);
       }
-      perf_.bytes_encoded += payload.size();
+      rank_perf(rank).bytes_encoded += payload.size();
       pmpi.send_bytes(0, kOnlineTag, std::move(payload));
       merged.clear();
     } else if (rank == 0) {
       std::vector<std::uint8_t> payload = pmpi.recv_bytes(merge_root, kOnlineTag);
-      perf_.bytes_decoded += payload.size();
+      rank_perf(rank).bytes_decoded += payload.size();
       trace::ChargedSection timed(st.inter_timer, pmpi);
       merged = trace::decode_trace(payload);
     }
   }
-  if (rank == 0) global_ = std::move(merged);
+  if (rank == 0) {
+    RACE_WRITE("trace.global", 0, 0);
+    global_ = std::move(merged);
+  }
 }
 
 const trace::PerfCounters& AcurdionTool::perf_counters() const {
-  (void)ScalaTraceTool::perf_counters();  // fills the intra/inter seconds
-  perf_.clustering_seconds = clustering_seconds_;
+  (void)ScalaTraceTool::perf_counters();  // aggregates + intra/inter seconds
+  perf_.clustering_seconds = clustering_seconds();
   return perf_;
 }
 

@@ -23,7 +23,7 @@ class AcurdionTool : public trace::ScalaTraceTool {
   [[nodiscard]] const cluster::ClusterSet& clusters() const {
     return clusters_;
   }
-  [[nodiscard]] double clustering_seconds() const { return clustering_seconds_; }
+  [[nodiscard]] double clustering_seconds() const;
   [[nodiscard]] std::size_t effective_k() const { return effective_k_; }
   /// Total tool overhead: intra tracing + one clustering + lead merge.
   [[nodiscard]] double total_tool_seconds() const {
@@ -42,8 +42,10 @@ class AcurdionTool : public trace::ScalaTraceTool {
   ChameleonConfig config_;
   std::vector<cluster::IntervalSignature> whole_run_;
   cluster::ClusterSet clusters_;  // rank-0 view
-  double clustering_seconds_ = 0.0;
-  std::size_t effective_k_ = 0;
+  /// Per-rank clustering CPU; each fiber writes only its own slot
+  /// (ChamRace invariant, same discipline as the base tracer's counters).
+  std::vector<double> rank_clustering_seconds_;
+  std::size_t effective_k_ = 0;  // written by rank 0 only
 };
 
 }  // namespace cham::core

@@ -1,8 +1,12 @@
 #include "core/chameleon.hpp"
 
+#include <algorithm>
+
+#include "analysis/race/annotate.hpp"
 #include "core/protocol.hpp"
 #include "obs/timeline.hpp"
 #include "sim/mpi.hpp"
+#include "support/hash.hpp"
 #include "support/logging.hpp"
 #include "support/timer.hpp"
 #include "trace/serialize.hpp"
@@ -47,6 +51,7 @@ ChameleonTool::ChameleonTool(int nprocs, trace::CallSiteRegistry* stacks,
       cham_(static_cast<std::size_t>(nprocs)),
       bytes_(static_cast<std::size_t>(nprocs)),
       rank_state_seconds_(static_cast<std::size_t>(nprocs)),
+      rank_clustering_seconds_(static_cast<std::size_t>(nprocs), 0.0),
       mem_(static_cast<std::size_t>(nprocs)) {
   CHAM_CHECK_MSG(config_.k >= 1, "K must be at least 1");
   CHAM_CHECK_MSG(config_.call_frequency >= 1, "Call_Frequency must be >= 1");
@@ -54,6 +59,29 @@ ChameleonTool::ChameleonTool(int nprocs, trace::CallSiteRegistry* stacks,
 
 const cluster::ClusterSet& ChameleonTool::clusters() const {
   return cham_.front().clusters;
+}
+
+std::uint64_t ChameleonTool::marker_calls_processed() const {
+  // Every live rank counts every processed marker it passed; the global
+  // count is the longest-lived rank's view (ranks only ever die, so any
+  // survivor saw every earlier marker).
+  std::uint64_t processed = 0;
+  for (const RankChamState& cs : cham_)
+    processed = std::max(processed, cs.processed);
+  return processed;
+}
+
+double ChameleonTool::state_seconds(MarkerState state) const {
+  double total = 0.0;
+  for (const auto& per_rank : rank_state_seconds_)
+    total += per_rank[static_cast<std::size_t>(state)];
+  return total;
+}
+
+double ChameleonTool::clustering_seconds() const {
+  double total = 0.0;
+  for (const double seconds : rank_clustering_seconds_) total += seconds;
+  return total;
 }
 
 sim::Rank ChameleonTool::home_rank(sim::Pmpi& pmpi) {
@@ -90,6 +118,7 @@ void ChameleonTool::handle_failures(sim::Rank rank, sim::Pmpi& pmpi) {
         gap.tag = dead;
         gap.comm = sim::kCommWorld;
         gap.ranks = entry.members;
+        RACE_WRITE("cham.online", 0, 0);
         online_.push_back(trace::TraceNode::leaf(std::move(gap)));
       }
       // The paper picks the cluster head as the group's representative;
@@ -200,9 +229,12 @@ void ChameleonTool::run_clustering(sim::Rank rank, sim::Pmpi& pmpi,
   cs.clusters = hierarchical_cluster(rank, pmpi, sig, config_.k,
                                      config_.policy, config_.seed, &stats);
   *cpu += stats.cpu_seconds;
-  perf_.bytes_encoded += stats.bytes_encoded;
-  perf_.bytes_decoded += stats.bytes_decoded;
+  rank_perf(rank).bytes_encoded += stats.bytes_encoded;
+  rank_perf(rank).bytes_decoded += stats.bytes_decoded;
   if (rank == cs.epoch_home) {
+    // Single writer: only the epoch home publishes the clustering quota,
+    // and home handoffs are barrier-ordered.
+    RACE_WRITE("cham.quota", 0, 0);
     num_callpaths_ = stats.num_callpaths;
     effective_k_ = stats.effective_k;
   }
@@ -251,14 +283,14 @@ void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
         trace::ChargedSection timed(st.inter_timer, pmpi);
         payload = trace::encode_trace(merged);
       }
-      perf_.bytes_encoded += payload.size();
+      rank_perf(rank).bytes_encoded += payload.size();
       pmpi.send_bytes(home, kOnlineTag, std::move(payload));
       merged.clear();
     } else if (rank == home) {
       sim::RecvStatus status;
       std::vector<std::uint8_t> payload =
           pmpi.recv_bytes(merge_root, kOnlineTag, &status);
-      perf_.bytes_decoded += payload.size();
+      rank_perf(rank).bytes_decoded += payload.size();
       trace::ChargedSection timed(st.inter_timer, pmpi);
       // A merge root that died mid-handoff takes the interval with it; the
       // loss surfaces as a gap node at the next failure handling.
@@ -268,8 +300,9 @@ void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
   if (rank == home && !merged.empty()) {
     obs::Span fold_span(obs::Timeline::rank_tid(rank), "append_fold", "trace");
     trace::ChargedSection timed(st.inter_timer, pmpi);
+    RACE_WRITE("cham.online", 0, 0);
     trace::append_online(online_, std::move(merged), config_.max_window,
-                         &perf_);
+                         &rank_perf(rank));
   }
 
   // All processes start over (line 47): partial intra-node traces vanish;
@@ -280,11 +313,16 @@ void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
 void ChameleonTool::account_marker(sim::Rank rank, MarkerState state_tag,
                                    double sig_cpu, double cluster_cpu) {
   const auto s = static_cast<std::size_t>(state_tag);
-  if (rank == 0) ++state_counts_[s];
-  state_seconds_[s] += sig_cpu + cluster_cpu;
+  if (rank == 0) {
+    // Single writer by construction (only rank 0's fiber touches it).
+    RACE_WRITE("cham.counts", 0, 0);
+    ++state_counts_[s];
+  }
+  RACE_WRITE("cham.rank", rank, 0);
   rank_state_seconds_[static_cast<std::size_t>(rank)][s] +=
       sig_cpu + cluster_cpu;
-  clustering_seconds_ += sig_cpu + cluster_cpu;
+  rank_clustering_seconds_[static_cast<std::size_t>(rank)] +=
+      sig_cpu + cluster_cpu;
 }
 
 void ChameleonTool::record_epoch(sim::Rank rank, MarkerState state_tag,
@@ -301,13 +339,29 @@ void ChameleonTool::record_epoch(sim::Rank rank, MarkerState state_tag,
                 std::string("state.") + marker_state_name(state_tag),
                 "protocol",
                 {obs::arg_int("marker",
-                              static_cast<std::int64_t>(processed_markers_)),
+                              static_cast<std::int64_t>(cs.processed)),
                  obs::arg_int("clusters", static_cast<std::int64_t>(
                                               cs.clusters.total_clusters()))});
 
+  if (config_.record_digests && rank == cs.epoch_home) {
+    // Wire-image digest of what this epoch committed: the cluster table as
+    // broadcast plus the online trace as it would ship. Appended by the
+    // epoch home only; home handoffs are barrier-ordered. The trace side
+    // uses the structural projection — ChargedSection bills host CPU time
+    // into the virtual clock, so the full wire image's delta histograms are
+    // not reproducible even under an identical schedule.
+    const std::vector<std::uint8_t> table = cs.clusters.encode();
+    const std::vector<std::uint8_t> wire = trace::encode_trace_structure(online_);
+    RACE_READ("cham.online", 0, 0);
+    RACE_WRITE("cham.epochs", 0, 0);
+    epoch_digests_.push_back(support::hash_combine(
+        support::fnv1a64(table.data(), table.size()),
+        support::fnv1a64(wire.data(), wire.size())));
+  }
+
   if (!config_.record_epochs || rank != cs.epoch_home) return;
   obs::EpochRecord record;
-  record.marker = processed_markers_;
+  record.marker = cs.processed;
   record.state = marker_state_name(state_tag);
   record.action = action == MarkerAction::kNone      ? "none"
                   : action == MarkerAction::kCluster ? "cluster"
@@ -321,6 +375,7 @@ void ChameleonTool::record_epoch(sim::Rank rank, MarkerState state_tag,
     if (entry != nullptr)
       record.lead_of[static_cast<std::size_t>(r)] = entry->lead;
   }
+  RACE_WRITE("cham.epochs", 0, 0);
   epochs_.push_back(std::move(record));
 }
 
@@ -330,7 +385,8 @@ void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
   if (cs.markers_seen % static_cast<std::uint64_t>(config_.call_frequency) != 0)
     return;
   cs.epoch_home = home_rank(pmpi);
-  if (rank == cs.epoch_home) ++processed_markers_;
+  RACE_WRITE("cham.rank", rank, 0);
+  ++cs.processed;
 
   // Dead leads are detected at the next processed marker: the marker
   // barrier is the synchronization point after which every survivor sees
@@ -372,7 +428,6 @@ void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
       break;
   }
   const double inter_delta = st.inter_timer.total() - inter_before;
-  state_seconds_[static_cast<std::size_t>(state_tag)] += inter_delta;
   rank_state_seconds_[static_cast<std::size_t>(rank)]
                      [static_cast<std::size_t>(state_tag)] += inter_delta;
   account_marker(rank, state_tag, sig_cpu, cluster_cpu);
@@ -383,8 +438,10 @@ void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
       bytes_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(state_tag)];
   ++bucket.calls;
   bucket.bytes_total += intra_bytes_before;
-  if (rank == 0 && !online_.empty())
+  if (rank == 0 && !online_.empty()) {
+    RACE_READ("cham.online", 0, 0);
     bucket.bytes_total += trace::footprint_bytes(online_);
+  }
 
   record_epoch(rank, state_tag, action, intra_bytes_before);
 }
@@ -429,7 +486,6 @@ void ChameleonTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
     lead_merge_into_online(rank, pmpi);
   }
   const double inter_delta = st.inter_timer.total() - inter_before;
-  state_seconds_[static_cast<std::size_t>(MarkerState::kFinal)] += inter_delta;
   rank_state_seconds_[static_cast<std::size_t>(rank)]
                      [static_cast<std::size_t>(MarkerState::kFinal)] +=
       inter_delta;
@@ -439,15 +495,17 @@ void ChameleonTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
                              [static_cast<std::size_t>(MarkerState::kFinal)];
   ++bucket.calls;
   bucket.bytes_total += intra_bytes_before;
-  if (rank == 0 && !online_.empty())
+  if (rank == 0 && !online_.empty()) {
+    RACE_READ("cham.online", 0, 0);
     bucket.bytes_total += trace::footprint_bytes(online_);
+  }
 
   record_epoch(rank, MarkerState::kFinal, final_action, intra_bytes_before);
 }
 
 const trace::PerfCounters& ChameleonTool::perf_counters() const {
-  (void)ScalaTraceTool::perf_counters();  // fills the intra/inter seconds
-  perf_.clustering_seconds = clustering_seconds_;
+  (void)ScalaTraceTool::perf_counters();  // aggregates + intra/inter seconds
+  perf_.clustering_seconds = clustering_seconds();
   return perf_;
 }
 

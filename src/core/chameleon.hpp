@@ -51,9 +51,7 @@ class ChameleonTool : public trace::ScalaTraceTool {
   [[nodiscard]] const cluster::ClusterSet& clusters() const;
 
   // --- experiment counters (identical on every rank; see Table II) --------
-  [[nodiscard]] std::uint64_t marker_calls_processed() const {
-    return processed_markers_;
-  }
+  [[nodiscard]] std::uint64_t marker_calls_processed() const;
   [[nodiscard]] std::uint64_t state_count(MarkerState state) const {
     return state_counts_[static_cast<std::size_t>(state)];
   }
@@ -66,9 +64,9 @@ class ChameleonTool : public trace::ScalaTraceTool {
   }
 
   // --- per-state tool CPU time, aggregated over ranks (Figure 8) ----------
-  [[nodiscard]] double state_seconds(MarkerState state) const {
-    return state_seconds_[static_cast<std::size_t>(state)];
-  }
+  // Accounting is kept strictly per rank (each fiber writes only its own
+  // slot — a ChamRace-checked invariant); the aggregates sum on demand.
+  [[nodiscard]] double state_seconds(MarkerState state) const;
   /// Same accounting, kept per rank (ChamScope metrics export).
   [[nodiscard]] double rank_state_seconds(sim::Rank rank,
                                           MarkerState state) const {
@@ -76,7 +74,7 @@ class ChameleonTool : public trace::ScalaTraceTool {
         .at(static_cast<std::size_t>(state));
   }
   /// Clustering work (signatures + vote bookkeeping + tree clustering).
-  [[nodiscard]] double clustering_seconds() const { return clustering_seconds_; }
+  [[nodiscard]] double clustering_seconds() const;
   /// Online inter-compression work (lead merges + online append).
   [[nodiscard]] double online_inter_seconds() const { return inter_seconds(); }
   /// Total Chameleon overhead: intra tracing + clustering + inter.
@@ -113,6 +111,14 @@ class ChameleonTool : public trace::ScalaTraceTool {
     return epochs_;
   }
 
+  /// Per-epoch wire-image digests (only filled when
+  /// ChameleonConfig::record_digests is set; hashed by the home rank from
+  /// the broadcast cluster table + the online trace). The determinism
+  /// auditor diffs these sequences across scheduler seeds.
+  [[nodiscard]] const std::vector<std::uint64_t>& epoch_digests() const {
+    return epoch_digests_;
+  }
+
   [[nodiscard]] const ChameleonConfig& config() const { return config_; }
 
  public:
@@ -145,6 +151,11 @@ class ChameleonTool : public trace::ScalaTraceTool {
     /// protocol steps reuse it so every survivor agrees even if the home
     /// itself dies mid-protocol (consistency over freshness).
     sim::Rank epoch_home = 0;
+    /// Processed markers this rank has participated in. Every live rank
+    /// passes every processed marker's barrier, so all live copies agree —
+    /// the counter stays per rank only so that no fiber ever writes a
+    /// shared slot (ChamRace).
+    std::uint64_t processed = 0;
     cluster::ClusterSet clusters;  // own copy, as broadcast
     // --- §VII auto-marker detection ---
     std::uint64_t auto_site = 0;  // chosen recurring collective site
@@ -185,16 +196,17 @@ class ChameleonTool : public trace::ScalaTraceTool {
   /// are emitted once per dead lead, by the home rank).
   std::set<sim::Rank> gaps_emitted_;
 
-  std::uint64_t processed_markers_ = 0;
-  std::array<std::uint64_t, 4> state_counts_{};
-  std::array<double, 4> state_seconds_{};
-  double clustering_seconds_ = 0.0;
-  std::size_t effective_k_ = 0;
-  std::size_t num_callpaths_ = 0;
+  std::array<std::uint64_t, 4> state_counts_{};  // written by rank 0 only
+  std::size_t effective_k_ = 0;   // written by the epoch home only
+  std::size_t num_callpaths_ = 0;  // written by the epoch home only
   std::vector<std::array<StateBytes, 4>> bytes_;
   std::vector<std::array<double, 4>> rank_state_seconds_;
+  /// Per-rank clustering CPU (sig + vote + tree); clustering_seconds()
+  /// sums. Single-writer per slot, like every other per-rank vector here.
+  std::vector<double> rank_clustering_seconds_;
   std::vector<support::MemTracker> mem_;
-  std::vector<obs::EpochRecord> epochs_;
+  std::vector<obs::EpochRecord> epochs_;  // appended by the epoch home only
+  std::vector<std::uint64_t> epoch_digests_;  // appended by the epoch home
 };
 
 /// Assemble the `chamtrace report` input from a finished run: the recorded

@@ -37,6 +37,14 @@ struct ChameleonConfig {
   /// by default — the records cost O(P) per marker.
   bool record_epochs = false;
 
+  /// ChamRace determinism audit: after every processed marker the epoch
+  /// home hashes the broadcast cluster table's wire image together with
+  /// the online trace encoding. Comparing the digest sequences of runs
+  /// under different scheduler seeds proves (or pinpoints, by first
+  /// divergent epoch) schedule independence. Off by default — each digest
+  /// costs one encode of the cluster table and online trace.
+  bool record_digests = false;
+
   /// §VII automation: when no explicit markers are inserted, detect the
   /// application's iterative structure and synthesize interim execution
   /// points. Heuristic: the first world-collective call site observed to

@@ -1,15 +1,25 @@
 #include "obs/metrics.hpp"
 
+#include <atomic>
+
 #include "support/logging.hpp"
 
 namespace cham::obs {
 
 namespace {
-MetricsRegistry* g_metrics = nullptr;
+// Atomic install/load so a sink can be (un)installed while worker
+// threads are mid-run: release on store publishes the fully built
+// object, acquire on load pairs with it (ChamRace satellite; the
+// epoch-parallel pilot hammers this).
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
 }  // namespace
 
-MetricsRegistry* metrics() { return g_metrics; }
-void set_metrics(MetricsRegistry* registry) { g_metrics = registry; }
+MetricsRegistry* metrics() {
+  return g_metrics.load(std::memory_order_acquire);
+}
+void set_metrics(MetricsRegistry* registry) {
+  g_metrics.store(registry, std::memory_order_release);
+}
 
 std::string MetricsRegistry::make_key(std::string_view name,
                                       const Labels& labels) {

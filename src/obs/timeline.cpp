@@ -1,15 +1,25 @@
 #include "obs/timeline.hpp"
 
+#include <atomic>
+
 #include "support/timer.hpp"
 
 namespace cham::obs {
 
 namespace {
-Timeline* g_timeline = nullptr;
+// Atomic install/load so a sink can be (un)installed while worker
+// threads are mid-run: release on store publishes the fully built
+// object, acquire on load pairs with it (ChamRace satellite; the
+// epoch-parallel pilot hammers this).
+std::atomic<Timeline*> g_timeline{nullptr};
 }  // namespace
 
-Timeline* timeline() { return g_timeline; }
-void set_timeline(Timeline* timeline) { g_timeline = timeline; }
+Timeline* timeline() {
+  return g_timeline.load(std::memory_order_acquire);
+}
+void set_timeline(Timeline* timeline) {
+  g_timeline.store(timeline, std::memory_order_release);
+}
 
 TimelineArg arg_str(std::string_view key, std::string_view value) {
   return TimelineArg{std::string(key),

@@ -12,8 +12,10 @@
 //
 // Enabling: the runtime consults a single global pointer (set_timeline).
 // When it is null — the default — every hook is one pointer compare and a
-// branch; no allocation, no clock read. The scheduler is single-threaded,
-// so no synchronization is needed anywhere.
+// branch; no allocation, no clock read. The pointer itself is installed
+// with release semantics and loaded with acquire, so installation is safe
+// even with worker threads in flight; the Timeline object's *methods*
+// still assume the single-threaded fiber scheduler.
 #pragma once
 
 #include <cstdint>

@@ -124,4 +124,75 @@ bool validate_metrics_json(std::string_view text, std::string* error) {
   return true;
 }
 
+bool validate_race_json(std::string_view text, std::string* error) {
+  Value doc;
+  std::string parse_error;
+  if (!support::json::parse(text, &doc, &parse_error))
+    return fail(error, "race: parse error: " + parse_error);
+  if (!doc.is_object()) return fail(error, "race: top level is not an object");
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "chameleon.race.v1")
+    return fail(error, "race: missing schema chameleon.race.v1");
+  for (const char* key : {"accesses", "sync_ops", "locations", "epochs"}) {
+    const Value* v = doc.find(key);
+    if (v == nullptr || !v->is_number())
+      return fail(error, std::string("race: missing numeric ") + key);
+  }
+  const Value* findings = doc.find("findings");
+  if (findings == nullptr || !findings->is_array())
+    return fail(error, "race: missing findings array");
+
+  auto check_access = [&](const Value& side, const std::string& at) {
+    if (!side.is_object()) return fail(error, "race: access side not an object" + at);
+    for (const char* key : {"task", "clock", "epoch"}) {
+      const Value* v = side.find(key);
+      if (v == nullptr || !v->is_number())
+        return fail(error, std::string("race: access missing ") + key + at);
+    }
+    return true;
+  };
+
+  std::size_t index = 0;
+  for (const Value& f : findings->as_array()) {
+    const std::string at = " (finding " + std::to_string(index++) + ")";
+    if (!f.is_object()) return fail(error, "race: finding is not an object" + at);
+    const Value* location = f.find("location");
+    if (location == nullptr || !location->is_string())
+      return fail(error, "race: finding missing location" + at);
+    const Value* kind = f.find("kind");
+    if (kind == nullptr || !kind->is_string())
+      return fail(error, "race: finding missing kind" + at);
+    const std::string& k = kind->as_string();
+    if (k != "write-write" && k != "write-read" && k != "read-write")
+      return fail(error, "race: unknown kind \"" + k + "\"" + at);
+    const Value* count = f.find("count");
+    if (count == nullptr || !count->is_number() || count->as_number() < 1)
+      return fail(error, "race: finding count not a positive number" + at);
+    const Value* first = f.find("first");
+    const Value* second = f.find("second");
+    if (first == nullptr || second == nullptr)
+      return fail(error, "race: finding missing first/second" + at);
+    if (!check_access(*first, at) || !check_access(*second, at)) return false;
+  }
+
+  if (const Value* det = doc.find("determinism"); det != nullptr) {
+    if (!det->is_object())
+      return fail(error, "race: determinism is not an object");
+    const Value* ok = det->find("deterministic");
+    if (ok == nullptr || !ok->is_bool())
+      return fail(error, "race: determinism missing deterministic bool");
+    const Value* seeds = det->find("seeds");
+    if (seeds == nullptr || !seeds->is_array() || seeds->as_array().empty())
+      return fail(error, "race: determinism missing non-empty seeds array");
+    const Value* divergent = det->find("first_divergent_epoch");
+    if (divergent == nullptr || !divergent->is_number())
+      return fail(error, "race: determinism missing first_divergent_epoch");
+    if (!ok->as_bool() && divergent->as_number() < 0)
+      return fail(error,
+                  "race: non-deterministic result needs a divergent epoch");
+  }
+  return true;
+}
+
 }  // namespace cham::obs

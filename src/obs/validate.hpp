@@ -10,6 +10,9 @@
 //   on the same tid (no span crosses tracks, nothing left open).
 // metrics  — schema "chameleon.metrics.v1"; "metrics" array whose entries
 //   carry name/type/labels/value with types matching the declared kind.
+// race     — schema "chameleon.race.v1" (`chamtrace race --json`); finding
+//   entries carry location/kind/first/second with a known conflict kind;
+//   the optional determinism block is internally consistent.
 #pragma once
 
 #include <string>
@@ -21,5 +24,6 @@ namespace cham::obs {
 /// one-line description including the offending event index or metric name.
 bool validate_timeline_json(std::string_view text, std::string* error);
 bool validate_metrics_json(std::string_view text, std::string* error);
+bool validate_race_json(std::string_view text, std::string* error);
 
 }  // namespace cham::obs

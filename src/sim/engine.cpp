@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
+#include "analysis/race/annotate.hpp"
 #include "obs/timeline.hpp"
 #include "sim/fault.hpp"
 #include "sim/mpi.hpp"
@@ -20,6 +22,7 @@ Engine::Engine(EngineOptions opts) : opts_(opts) {
   unexpected_.resize(kNumComms * p);
   pending_.resize(kNumComms * p);
   requests_.resize(p);
+  inbox_.resize(p);
   coll_seq_.assign(kNumComms * p, 0);
   failed_.assign(p, false);
   call_count_.assign(p, 0);
@@ -61,6 +64,7 @@ void Engine::run(const std::function<void(Mpi&)>& rank_main) {
   CHAM_CHECK_MSG(!ran_, "Engine::run may be called once");
   ran_ = true;
   scheduler_ = std::make_unique<FiberScheduler>();
+  if (opts_.sched_seed != 0) scheduler_->set_seed(opts_.sched_seed);
   if (obs::Timeline* tl = obs::timeline()) {
     tl->set_track_name(obs::Timeline::kSchedulerTid, "scheduler");
     for (Rank r = 0; r < opts_.nprocs; ++r)
@@ -123,10 +127,30 @@ Request Engine::alloc_request(Rank self) {
 }
 
 void Engine::deliver(Rank dest, Request req, Message&& msg) {
-  RequestState& state = request_state(dest, req);
-  state.msg = std::move(msg);
-  state.complete = true;
+  // The sender (or the scheduler's progress step) must not touch dest's
+  // request slots: dest could be mid-alloc_request on another communicator,
+  // and requests_[dest] reallocating under a concurrent writer is exactly
+  // the race the sharded engine would hit. Park the completion in dest's
+  // inbox instead; dest drains it from pmpi_wait.
+  race::ScopedSync lock("engine.inbox", static_cast<std::uint64_t>(dest));
+  RACE_WRITE("engine.inbox", static_cast<std::uint64_t>(dest), 0);
+  inbox_[static_cast<std::size_t>(dest)].emplace_back(req, std::move(msg));
   scheduler_->unblock(dest);
+}
+
+void Engine::drain_inbox(Rank self) {
+  const auto s = static_cast<std::size_t>(self);
+  race::ScopedSync lock("engine.inbox", static_cast<std::uint64_t>(self));
+  RACE_WRITE("engine.inbox", static_cast<std::uint64_t>(self), 0);
+  auto& box = inbox_[s];
+  while (!box.empty()) {
+    auto [req, msg] = std::move(box.front());
+    box.pop_front();
+    RACE_WRITE("engine.requests", static_cast<std::uint64_t>(self), 0);
+    RequestState& state = request_state(self, req);
+    state.msg = std::move(msg);
+    state.complete = true;
+  }
 }
 
 CommResult Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
@@ -135,10 +159,13 @@ CommResult Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
   CHAM_CHECK_MSG(dest >= 0 && dest < opts_.nprocs, "send to invalid rank");
   if (injector_ != nullptr && comm == kCommTool) tool_op_fault_point(self);
   auto& t = vtime_[static_cast<std::size_t>(self)];
+  RACE_WRITE("engine.vtime", static_cast<std::uint64_t>(self), 0);
   t += opts_.net.send_overhead;
+  RACE_ATOMIC("engine.failed", static_cast<std::uint64_t>(dest), 0);
   if (injector_ != nullptr && failed_[static_cast<std::size_t>(dest)]) {
     // Detected only after exhausting the full acknowledgement-retry budget.
     t += opts_.ft.recv_fail_delay();
+    RACE_ATOMIC("engine.counter.messages_lost", 0, 0);
     ++messages_lost_;
     return CommResult::kPeerFailed;
   }
@@ -151,6 +178,7 @@ CommResult Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
     int attempt = 0;
     while (injector_->drop_message(self, dest)) {
       // Each dropped attempt costs a full transfer plus one timeout window.
+      RACE_ATOMIC("engine.counter.retransmissions", 0, 0);
       ++retransmissions_;
       if (obs::Timeline* tl = obs::timeline())
         tl->instant(obs::Timeline::rank_tid(self), "fault.drop", "fault",
@@ -163,9 +191,16 @@ CommResult Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
     }
   }
   msg.arrive_vtime = t + opts_.net.p2p_transfer(msg.bytes);
+  RACE_ATOMIC("engine.counter.messages_sent", 0, 0);
   ++messages_sent_;
   bytes_sent_ += msg.bytes;
 
+  // Mailbox critical section: the posted-receive and unexpected queues of
+  // (comm, dest) are written by every sender and by dest itself.
+  race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
+                        static_cast<std::uint64_t>(dest));
+  RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
+             static_cast<std::uint64_t>(dest));
   auto& posted = pending_[box(comm, dest)];
   for (auto it = posted.begin(); it != posted.end(); ++it) {
     if (matches(*it, msg)) {
@@ -186,6 +221,7 @@ Request Engine::pmpi_isend(Rank self, int comm, Rank dest, int tag,
   // request completes at once (the paper's workloads never rely on
   // rendezvous back-pressure).
   pmpi_send(self, comm, dest, tag, bytes, std::move(payload));
+  RACE_WRITE("engine.requests", static_cast<std::uint64_t>(self), 0);
   const Request req = alloc_request(self);
   RequestState& state = request_state(self, req);
   state.is_recv = false;
@@ -199,6 +235,7 @@ Request Engine::pmpi_irecv(Rank self, int comm, Rank src, int tag,
   CHAM_CHECK_MSG(src == kAnySource || (src >= 0 && src < opts_.nprocs),
                  "recv from invalid rank");
   if (injector_ != nullptr && comm == kCommTool) tool_op_fault_point(self);
+  RACE_WRITE("engine.requests", static_cast<std::uint64_t>(self), 0);
   const Request req = alloc_request(self);
   RequestState& state = request_state(self, req);
   state.is_recv = true;
@@ -207,6 +244,10 @@ Request Engine::pmpi_irecv(Rank self, int comm, Rank src, int tag,
   state.src_match = src;
   state.tag_match = tag;
 
+  race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
+                        static_cast<std::uint64_t>(self));
+  RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
+             static_cast<std::uint64_t>(self));
   auto& backlog = unexpected_[box(comm, self)];
   PendingRecv want{src, tag, req};
   for (auto it = backlog.begin(); it != backlog.end(); ++it) {
@@ -223,6 +264,7 @@ Request Engine::pmpi_irecv(Rank self, int comm, Rank src, int tag,
 }
 
 Message Engine::pmpi_wait(Rank self, Request req, RecvStatus* status) {
+  drain_inbox(self);
   RequestState& state = request_state(self, req);
   CHAM_CHECK_MSG(state.active, "wait on inactive request");
   if (!state.complete) {
@@ -235,11 +277,14 @@ Message Engine::pmpi_wait(Rank self, Request req, RecvStatus* status) {
       std::ostringstream why;
       why << "MPI_Wait(request=" << req << ")";
       scheduler_->block(why.str());
+      drain_inbox(self);
     }
     blocked = BlockedState{};
   }
+  RACE_WRITE("engine.requests", static_cast<std::uint64_t>(self), 0);
   Message msg = std::move(state.msg);
   auto& t = vtime_[static_cast<std::size_t>(self)];
+  RACE_WRITE("engine.vtime", static_cast<std::uint64_t>(self), 0);
   if (state.is_recv) {
     if (msg.arrive_vtime > t)
       wait_[static_cast<std::size_t>(self)] += msg.arrive_vtime - t;
@@ -263,6 +308,10 @@ Message Engine::pmpi_recv(Rank self, int comm, Rank src, int tag,
 
 bool Engine::pmpi_try_recv(Rank self, int comm, Rank src, int tag,
                            Message* out) {
+  race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
+                        static_cast<std::uint64_t>(self));
+  RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
+             static_cast<std::uint64_t>(self));
   auto& backlog = unexpected_[box(comm, self)];
   const PendingRecv want{src, tag, kNullRequest};
   for (auto it = backlog.begin(); it != backlog.end(); ++it) {
@@ -292,36 +341,64 @@ void Engine::collective_arrive(
   const auto key = std::make_pair(comm, seq);
   ++seq;
 
-  auto [it, inserted] = coll_sites_.try_emplace(key);
-  CollSite& site = it->second;
-  if (inserted) {
-    site.op = op;
-    site.byte_contribs.resize(static_cast<std::size_t>(opts_.nprocs));
-    site.u64_contribs.resize(static_cast<std::size_t>(opts_.nprocs));
+  const auto ucomm = static_cast<std::uint64_t>(comm);
+  const std::uint64_t slot = key.second;
+  CollSite* site = nullptr;
+  {
+    // The site table itself (insertion/erasure) is one lock per comm; the
+    // per-site state a finer lock per (comm, slot).
+    race::ScopedSync maplock("engine.collmap", ucomm, 0);
+    RACE_WRITE("engine.collmap", ucomm, 0);
+    auto [it, inserted] = coll_sites_.try_emplace(key);
+    site = &it->second;
+    if (inserted) {
+      site->op = op;
+      site->byte_contribs.resize(static_cast<std::size_t>(opts_.nprocs));
+      site->u64_contribs.resize(static_cast<std::size_t>(opts_.nprocs));
+    }
   }
-  CHAM_CHECK_MSG(site.op == op,
-                 "collective mismatch: ranks disagree on the operation");
-  deposit(site);
-  const double own_arrive = vtime_[static_cast<std::size_t>(self)];
-  site.max_arrive = std::max(site.max_arrive, own_arrive);
-  ++site.arrived;
+  bool completer = false;
+  {
+    race::ScopedSync sitelock("engine.collsite", ucomm, slot);
+    RACE_WRITE("engine.collsite", ucomm, slot);
+    CHAM_CHECK_MSG(site->op == op,
+                   "collective mismatch: ranks disagree on the operation");
+    deposit(*site);
+    const double own = vtime_[static_cast<std::size_t>(self)];
+    site->max_arrive = std::max(site->max_arrive, own);
+    ++site->arrived;
 
-  // With fault injection dead ranks are routed around: the rendezvous
-  // completes once every *live* rank arrived (a crashed rank is never inside
-  // a collective, so all arrivals are live). Without an injector the
-  // condition reduces to the original arrived == nprocs.
-  const int need = injector_ == nullptr ? opts_.nprocs : live_expected();
-  if (site.arrived >= need) {
-    site.expected = site.arrived;
-    site.complete_vtime =
-        site.max_arrive + opts_.net.collective(site.arrived, site.bytes);
-    if (site.arrived < opts_.nprocs)
-      site.complete_vtime += opts_.ft.recv_fail_delay();
-    finish(site);
-    site.done = true;
-    // Application-level statistic: tool-comm collectives (clustering votes,
-    // the finalize synchronization) are bookkeeping, not workload traffic.
-    if (comm != kCommTool) ++collectives_run_;
+    // With fault injection dead ranks are routed around: the rendezvous
+    // completes once every *live* rank arrived (a crashed rank is never
+    // inside a collective, so all arrivals are live). Without an injector
+    // the condition reduces to the original arrived == nprocs.
+    const int need = injector_ == nullptr ? opts_.nprocs : live_expected();
+    if (site->arrived >= need) {
+      completer = true;
+      site->expected = site->arrived;
+      site->complete_vtime =
+          site->max_arrive + opts_.net.collective(site->arrived, site->bytes);
+      if (site->arrived < opts_.nprocs)
+        site->complete_vtime += opts_.ft.recv_fail_delay();
+      finish(*site);
+      // Spin flag read outside the lock by waiting participants: the
+      // sharded engine makes it std::atomic.
+      RACE_ATOMIC("engine.collsite.done", ucomm, slot);
+      site->done = true;
+      // Application-level statistic: tool-comm collectives (clustering
+      // votes, the finalize synchronization) are bookkeeping, not workload
+      // traffic.
+      if (comm != kCommTool) {
+        RACE_ATOMIC("engine.counter.collectives", 0, 0);
+        ++collectives_run_;
+      }
+    }
+  }
+  const double own_arrive = vtime_[static_cast<std::size_t>(self)];
+  if (completer) {
+    // Epoch boundary: completion of a marker-communicator collective is the
+    // protocol's global synchronization point.
+    if (comm == kCommMarker) race::epoch();
     for (Rank r = 0; r < opts_.nprocs; ++r)
       if (r != self) scheduler_->unblock(r);
   } else {
@@ -329,20 +406,35 @@ void Engine::collective_arrive(
     blocked.kind = BlockedState::Kind::kCollective;
     blocked.comm = comm;
     blocked.op = op;
-    blocked.slot = key.second;
-    while (!site.done) {
+    blocked.slot = slot;
+    RACE_ATOMIC("engine.collsite.done", ucomm, slot);
+    while (!site->done) {
       std::ostringstream why;
-      why << op_name(op) << " comm=" << comm << " slot=" << key.second << " ("
-          << site.arrived << '/' << opts_.nprocs << " arrived)";
+      why << op_name(op) << " comm=" << comm << " slot=" << slot << " ("
+          << site->arrived << '/' << opts_.nprocs << " arrived)";
       scheduler_->block(why.str());
+      RACE_ATOMIC("engine.collsite.done", ucomm, slot);
     }
     blocked = BlockedState{};
   }
-  if (site.max_arrive > own_arrive)
-    wait_[static_cast<std::size_t>(self)] += site.max_arrive - own_arrive;
-  vtime_[static_cast<std::size_t>(self)] = site.complete_vtime;
-  extract(site);
-  if (++site.extracted == site.expected) coll_sites_.erase(it);
+  bool destroy = false;
+  {
+    // Re-entering the site lock joins every participant's deposit and the
+    // completer's finish — the full-barrier happens-before edge.
+    race::ScopedSync sitelock("engine.collsite", ucomm, slot);
+    RACE_READ("engine.collsite", ucomm, slot);
+    if (site->max_arrive > own_arrive)
+      wait_[static_cast<std::size_t>(self)] += site->max_arrive - own_arrive;
+    RACE_WRITE("engine.vtime", static_cast<std::uint64_t>(self), 0);
+    vtime_[static_cast<std::size_t>(self)] = site->complete_vtime;
+    extract(*site);
+    destroy = ++site->extracted == site->expected;
+  }
+  if (destroy) {
+    race::ScopedSync maplock("engine.collmap", ucomm, 0);
+    RACE_WRITE("engine.collmap", ucomm, 0);
+    coll_sites_.erase(key);
+  }
 }
 
 void Engine::pmpi_barrier(Rank self, int comm) {
@@ -510,6 +602,10 @@ bool Engine::approximate_progress_step() {
   // matching send never existed in the (approximated) trace.
   for (int comm = 0; comm < kNumComms; ++comm) {
     for (Rank r = 0; r < opts_.nprocs; ++r) {
+      race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
+                            static_cast<std::uint64_t>(r));
+      RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
+                 static_cast<std::uint64_t>(r));
       auto& posted = pending_[box(comm, r)];
       while (!posted.empty()) {
         const PendingRecv want = posted.front();
@@ -517,6 +613,7 @@ bool Engine::approximate_progress_step() {
         Message msg;
         msg.src = want.src_match == kAnySource ? 0 : want.src_match;
         msg.tag = want.tag_match == kAnyTag ? 0 : want.tag_match;
+        RACE_READ("engine.vtime", static_cast<std::uint64_t>(r), 0);
         msg.arrive_vtime = vtime_[static_cast<std::size_t>(r)];
         deliver(r, want.req, std::move(msg));
         ++cancelled_recvs_;
@@ -526,13 +623,21 @@ bool Engine::approximate_progress_step() {
   }
   // Force-complete collectives some ranks never reached.
   for (auto& [key, site] : coll_sites_) {
+    race::ScopedSync sitelock("engine.collsite",
+                              static_cast<std::uint64_t>(key.first),
+                              key.second);
+    RACE_WRITE("engine.collsite", static_cast<std::uint64_t>(key.first),
+               key.second);
     if (site.done || site.arrived == 0) continue;
     site.expected = site.arrived;
     site.complete_vtime = site.max_arrive;
     if (site.op == Op::kReduce || site.op == Op::kAllreduce) {
       fold_u64_contribs(site);
     }
+    RACE_ATOMIC("engine.collsite.done", static_cast<std::uint64_t>(key.first),
+                key.second);
     site.done = true;
+    if (key.first == kCommMarker) race::epoch();
     ++forced_collectives_;
     progressed = true;
     for (Rank r = 0; r < opts_.nprocs; ++r) scheduler_->unblock(r);
@@ -594,18 +699,32 @@ void Engine::tool_op_fault_point(Rank self) {
 void Engine::fail_rank(Rank r) {
   const auto s = static_cast<std::size_t>(r);
   if (failed_[s]) return;
+  RACE_ATOMIC("engine.failed", static_cast<std::uint64_t>(r), 0);
   failed_[s] = true;
   ++failed_count_;
   // A dead rank will never consume anything: purge its posted receives so a
   // live sender cannot match one (the send fails fast instead), and retire
-  // its outstanding requests.
-  for (int comm = 0; comm < kNumComms; ++comm) pending_[box(comm, r)].clear();
+  // its outstanding requests. fail_rank only ever runs on the dying rank's
+  // own fiber, so the request slots stay owner-written.
+  for (int comm = 0; comm < kNumComms; ++comm) {
+    race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
+                          static_cast<std::uint64_t>(r));
+    RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
+               static_cast<std::uint64_t>(r));
+    pending_[box(comm, r)].clear();
+  }
+  RACE_WRITE("engine.requests", static_cast<std::uint64_t>(r), 0);
   for (auto& state : requests_[s]) state.active = false;
 }
 
 bool Engine::complete_ready_sites() {
   bool progressed = false;
   for (auto& [key, site] : coll_sites_) {
+    race::ScopedSync sitelock("engine.collsite",
+                              static_cast<std::uint64_t>(key.first),
+                              key.second);
+    RACE_WRITE("engine.collsite", static_cast<std::uint64_t>(key.first),
+               key.second);
     if (site.done || site.arrived == 0) continue;
     if (site.arrived < live_expected()) continue;
     site.expected = site.arrived;
@@ -614,8 +733,11 @@ bool Engine::complete_ready_sites() {
                           opts_.ft.recv_fail_delay();
     if (site.op == Op::kReduce || site.op == Op::kAllreduce)
       fold_u64_contribs(site);
+    RACE_ATOMIC("engine.collsite.done", static_cast<std::uint64_t>(key.first),
+                key.second);
     site.done = true;
     if (key.first != kCommTool) ++collectives_run_;
+    if (key.first == kCommMarker) race::epoch();
     progressed = true;
     for (Rank r = 0; r < opts_.nprocs; ++r) scheduler_->unblock(r);
   }
@@ -631,6 +753,10 @@ bool Engine::fault_progress_step() {
   for (int comm = 0; comm < kNumComms; ++comm) {
     for (Rank r = 0; r < opts_.nprocs; ++r) {
       if (failed_[static_cast<std::size_t>(r)]) continue;
+      race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
+                            static_cast<std::uint64_t>(r));
+      RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
+                 static_cast<std::uint64_t>(r));
       auto& posted = pending_[box(comm, r)];
       for (auto it = posted.begin(); it != posted.end();) {
         if (it->src_match == kAnySource ||
@@ -644,6 +770,7 @@ bool Engine::fault_progress_step() {
         msg.src = want.src_match;
         msg.tag = want.tag_match == kAnyTag ? 0 : want.tag_match;
         msg.peer_failed = true;
+        RACE_READ("engine.vtime", static_cast<std::uint64_t>(r), 0);
         msg.arrive_vtime = vtime_[static_cast<std::size_t>(r)] +
                            opts_.ft.recv_fail_delay();
         deliver(r, want.req, std::move(msg));
@@ -656,6 +783,7 @@ bool Engine::fault_progress_step() {
 
 void Engine::advance_compute(Rank self, double seconds) {
   CHAM_CHECK_MSG(seconds >= 0.0, "compute time must be non-negative");
+  RACE_WRITE("engine.vtime", static_cast<std::uint64_t>(self), 0);
   vtime_[static_cast<std::size_t>(self)] += seconds;
 }
 

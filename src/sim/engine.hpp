@@ -55,9 +55,21 @@ struct FaultTolerance {
 
 struct EngineOptions {
   int nprocs = 4;
+  // TSan instrumentation inflates frame sizes (shadow spills plus
+  // __tsan_func_entry bookkeeping), and TSan is not told where fiber stacks
+  // end (see src/sim/fiber.cpp), so give the engine + clustering call
+  // chains generous headroom in that configuration only.
+#if defined(__SANITIZE_THREAD__)
+  std::size_t stack_bytes = 2 * 1024 * 1024;
+#else
   std::size_t stack_bytes = 256 * 1024;
+#endif
   NetModel net{};
   FaultTolerance ft{};
+  /// Non-zero: dispatch ready fibers in seeded-shuffle order instead of
+  /// FIFO (FiberScheduler::set_seed). Protocol output must not depend on
+  /// this — the ChamRace determinism auditor diffs runs across seeds.
+  std::uint64_t sched_seed = 0;
 };
 
 /// An in-flight or delivered message.
@@ -315,7 +327,14 @@ class Engine {
 
   RequestState& request_state(Rank self, Request req);
   Request alloc_request(Rank self);
+  /// Queue a completion into dest's inbox and wake it. The sender never
+  /// touches dest's request slots directly: requests_[dest] can reallocate
+  /// while a message is in flight, so only the owning rank (drain_inbox)
+  /// writes them — the exact ownership split the sharded engine needs.
   void deliver(Rank dest, Request req, Message&& msg);
+  /// Move queued completions into our own request slots (called by the
+  /// owning rank from pmpi_wait).
+  void drain_inbox(Rank self);
   bool approximate_progress_step();
 
   // --- fault machinery (active only with an installed injector) -----------
@@ -371,6 +390,8 @@ class Engine {
   std::vector<std::deque<Message>> unexpected_;     // [comm*P + rank]
   std::vector<std::deque<PendingRecv>> pending_;    // [comm*P + rank]
   std::vector<std::vector<RequestState>> requests_;  // [rank]
+  /// Completed-delivery inboxes, one per receiving rank (see deliver()).
+  std::vector<std::deque<std::pair<Request, Message>>> inbox_;  // [rank]
   std::vector<std::uint64_t> coll_seq_;              // [comm*P + rank]
   std::map<std::pair<int, std::uint64_t>, CollSite> coll_sites_;
 

@@ -22,6 +22,27 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer: we deliberately do NOT announce ucontext switches via
+// the __tsan_*_fiber API. GCC 12's libtsan fiber support is broken — the
+// sync-on-switch Release and ThreadState reuse after __tsan_destroy_fiber
+// both SEGV inside the runtime after a handful of fibers (StackDepot hash
+// walking a stale shadow stack; reproducible with a 60-line standalone
+// probe). Leaving TSan unaware of fibers is semantically right for the
+// epoch-parallel pilot anyway: every fiber of one scheduler runs serialized
+// on its hosting OS thread, so attributing all their accesses to that
+// thread models exactly the real happens-before; cross-THREAD races — the
+// only real ones — are still caught via the genuine mutex/atomic edges.
+// Define CHAM_TSAN_FIBER_API=1 to re-enable the hooks on a fixed libtsan.
+#if defined(CHAM_TSAN_FIBER_API) && CHAM_TSAN_FIBER_API
+#define CHAM_TSAN_FIBERS 1
+#endif
+
+#if defined(CHAM_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+#include "analysis/race/annotate.hpp"
+
 namespace {
 
 /// Announce a switch away from the current stack onto [bottom, bottom+size).
@@ -52,6 +73,40 @@ inline void sanitizer_post_switch(void* restore, const void** old_bottom,
 #endif
 }
 
+inline void* tsan_make_fiber() {
+#if defined(CHAM_TSAN_FIBERS)
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+inline void* tsan_this_fiber() {
+#if defined(CHAM_TSAN_FIBERS)
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+inline void tsan_free_fiber(void* fiber) {
+#if defined(CHAM_TSAN_FIBERS)
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#else
+  (void)fiber;
+#endif
+}
+
+/// Announce the ucontext switch about to happen; call immediately before
+/// swapcontext (or before falling off the trampoline into uc_link).
+inline void tsan_switch(void* target) {
+#if defined(CHAM_TSAN_FIBERS)
+  if (target != nullptr) __tsan_switch_to_fiber(target, 0);
+#else
+  (void)target;
+#endif
+}
+
 }  // namespace
 
 namespace cham::sim {
@@ -60,6 +115,8 @@ namespace detail {
 
 Fiber::Fiber(std::size_t bytes, std::function<void()> fn)
     : stack(new char[bytes]), stack_bytes(bytes), entry(std::move(fn)) {}
+
+Fiber::~Fiber() { tsan_free_fiber(tsan_fiber); }
 
 }  // namespace detail
 
@@ -84,6 +141,7 @@ void FiberScheduler::trampoline(unsigned hi, unsigned lo) {
   // This stack is dying: release its fake stack (nullptr save slot).
   sanitizer_pre_switch(nullptr, sched->main_stack_bottom_,
                        sched->main_stack_size_);
+  tsan_switch(sched->main_tsan_fiber_);
 }
 
 int FiberScheduler::spawn(std::function<void()> entry,
@@ -102,9 +160,13 @@ int FiberScheduler::spawn(std::function<void()> entry,
               static_cast<unsigned>(ptr >> 32),
               static_cast<unsigned>(ptr & 0xffffffffu));
 
+  fiber->tsan_fiber = tsan_make_fiber();
   ready_.push_back(fiber->id);
   fibers_.push_back(std::move(fiber));
-  return fibers_.back()->id;
+  const int id = fibers_.back()->id;
+  // HB edge: everything the spawner did so far happens-before the child.
+  race::fork(id);
+  return id;
 }
 
 void FiberScheduler::cancel_survivors() {
@@ -117,15 +179,19 @@ void FiberScheduler::cancel_survivors() {
 }
 
 void FiberScheduler::run() {
+  if (main_tsan_fiber_ == nullptr) main_tsan_fiber_ = tsan_this_fiber();
   while (finished_ < fibers_.size()) {
     if (pending_exception_ && !cancelling_) {
       // A fiber raised: unwind everyone else, then rethrow below.
       cancel_survivors();
     }
     if (ready_.empty()) {
-      if (!cancelling_ && stall_handler_ && stall_handler_() &&
-          !ready_.empty()) {
-        continue;
+      if (!cancelling_ && stall_handler_) {
+        // Quiescence: every live fiber is blocked (it released its clock on
+        // the way into block()), so the stall handler's repairs are ordered
+        // after everything those fibers did.
+        for (const auto& f : fibers_) race::acquire("fiber.state", f->id);
+        if (stall_handler_() && !ready_.empty()) continue;
       }
       if (!cancelling_) {
         deadlock_message_ = deadlock_report();
@@ -133,8 +199,7 @@ void FiberScheduler::run() {
       }
       if (ready_.empty()) break;  // nothing left that can be unwound
     }
-    const int id = ready_.front();
-    ready_.pop_front();
+    const int id = pop_ready();
     detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(id)];
     if (fiber.state == detail::FiberState::kFinished) continue;
     if (cancelling_ && !fiber.started) {
@@ -151,10 +216,19 @@ void FiberScheduler::run() {
     if (tl != nullptr)
       tl->begin(obs::Timeline::kSchedulerTid, "rank " + std::to_string(id),
                 "fiber");
+    race::set_task(id);
     sanitizer_pre_switch(&main_sanitizer_stack_, fiber.stack.get(),
                          fiber.stack_bytes);
+    tsan_switch(fiber.tsan_fiber);
     CHAM_CHECK(swapcontext(&main_context_, &fiber.context) == 0);
     sanitizer_post_switch(main_sanitizer_stack_, nullptr, nullptr);
+    if (fiber.state == detail::FiberState::kFinished) {
+      // The fiber just retired on this switch: publish its final clock for
+      // the join-all edge below (the analyzer still attributes this to the
+      // fiber — set_task(-1) has not run yet).
+      race::release("fiber.state", static_cast<std::uint64_t>(id));
+    }
+    race::set_task(-1);
     if (tl != nullptr) tl->end(obs::Timeline::kSchedulerTid);
     current_ = -1;
     if (fiber.state == detail::FiberState::kRunning) {
@@ -163,6 +237,9 @@ void FiberScheduler::run() {
       ready_.push_back(id);
     }
   }
+  // Join-all: run() returning means every fiber's work happens-before the
+  // caller's post-run reads (trace extraction, report rendering).
+  for (const auto& f : fibers_) race::acquire("fiber.state", f->id);
   if (pending_exception_) {
     auto ex = pending_exception_;
     pending_exception_ = nullptr;
@@ -186,7 +263,13 @@ void FiberScheduler::block(std::string reason) {
   detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(current_)];
   fiber.state = detail::FiberState::kBlocked;
   fiber.block_reason = std::move(reason);
+  // Publish this fiber's clock: stall-handler repairs and the final join
+  // are ordered after everything it did before blocking.
+  race::release("fiber.state", static_cast<std::uint64_t>(current_));
   switch_to_scheduler();
+  // Whoever woke us released "fiber.wake" first; join their clock so their
+  // writes (e.g. the delivered message) are ordered before our reads.
+  race::acquire("fiber.wake", static_cast<std::uint64_t>(current_));
   if (cancelling_) throw detail::FiberCancelled{};
 }
 
@@ -201,6 +284,9 @@ void FiberScheduler::unblock(int id) {
   if (fiber.state != detail::FiberState::kBlocked) return;
   fiber.state = detail::FiberState::kReady;
   fiber.block_reason.clear();
+  // Only a real kBlocked->kReady transition carries an HB edge; a spurious
+  // unblock of a running fiber must not order anything.
+  race::release("fiber.wake", static_cast<std::uint64_t>(id));
   ready_.push_back(id);
 }
 
@@ -222,8 +308,18 @@ void FiberScheduler::switch_to_scheduler() {
   detail::Fiber& fiber = *fibers_[static_cast<std::size_t>(current_)];
   sanitizer_pre_switch(&fiber.sanitizer_stack, main_stack_bottom_,
                        main_stack_size_);
+  tsan_switch(main_tsan_fiber_);
   CHAM_CHECK(swapcontext(&fiber.context, &main_context_) == 0);
   sanitizer_post_switch(fiber.sanitizer_stack, nullptr, nullptr);
+}
+
+int FiberScheduler::pop_ready() {
+  std::size_t pick = 0;
+  if (rng_ && ready_.size() > 1)
+    pick = static_cast<std::size_t>(rng_->next_below(ready_.size()));
+  const int id = ready_[pick];
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(pick));
+  return id;
 }
 
 std::string FiberScheduler::deadlock_report() const {

@@ -3,11 +3,20 @@
 // Every simulated MPI rank runs as one fiber on the host thread. Scheduling
 // is strictly deterministic: ready fibers run in FIFO order, so a given
 // (workload, P, seed) triple always produces the identical interleaving and
-// therefore bit-identical traces. Blocking MPI semantics map to
-// block()/unblock(); a drained ready-queue with live fibers is a deadlock:
-// the scheduler captures per-fiber diagnostics, unwinds every surviving
-// fiber stack (so destructors run and nothing leaks), and throws
-// DeadlockError instead of hanging.
+// therefore bit-identical traces. set_seed installs a seeded shuffle of the
+// ready queue instead — still reproducible per seed, used by the ChamRace
+// determinism auditor to prove protocol output is schedule-independent.
+// Blocking MPI semantics map to block()/unblock(); a drained ready-queue
+// with live fibers is a deadlock: the scheduler captures per-fiber
+// diagnostics, unwinds every surviving fiber stack (so destructors run and
+// nothing leaks), and throws DeadlockError instead of hanging.
+//
+// The scheduler is also the source of ChamRace's happens-before edges
+// (docs/RACE.md): spawn forks the child's clock, block/unblock and the
+// stall-handler quiescence are modelled as sync objects, and every context
+// switch announces the new task. Under -fsanitize=thread the ucontext
+// switches are additionally announced through the TSan fiber API so the
+// pilot thread-pool tests can run fiber code under TSan.
 #pragma once
 
 #include <ucontext.h>
@@ -17,9 +26,12 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "support/rng.hpp"
 
 namespace cham::sim {
 
@@ -43,6 +55,9 @@ struct FiberCancelled {};
 
 struct Fiber {
   Fiber(std::size_t stack_bytes, std::function<void()> entry);
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
 
   ucontext_t context{};
   std::unique_ptr<char[]> stack;
@@ -56,6 +71,8 @@ struct Fiber {
   std::string block_reason;
   /// ASan fake-stack handle saved across switches away from this fiber.
   void* sanitizer_stack = nullptr;
+  /// TSan fiber handle (null unless built with -fsanitize=thread).
+  void* tsan_fiber = nullptr;
 };
 
 }  // namespace detail
@@ -81,6 +98,16 @@ class FiberScheduler {
   /// replayer to degrade gracefully on imperfectly clustered traces.
   void set_stall_handler(std::function<bool()> handler) {
     stall_handler_ = std::move(handler);
+  }
+
+  /// Seed != 0 replaces FIFO dispatch with a seeded uniform pick from the
+  /// ready queue (reproducible per seed). Seed 0 restores exact FIFO.
+  /// Used by the determinism auditor; call before run().
+  void set_seed(std::uint64_t seed) {
+    if (seed == 0)
+      rng_.reset();
+    else
+      rng_.emplace(seed);
   }
 
   /// --- called from inside a fiber ---
@@ -119,6 +146,8 @@ class FiberScheduler {
  private:
   static void trampoline(unsigned hi, unsigned lo);
   void switch_to_scheduler();
+  /// Next fiber to dispatch: FIFO, or a seeded pick when set_seed is active.
+  int pop_ready();
   /// Enter cancellation: every surviving fiber is resumed one last time and
   /// unwound via FiberCancelled (never-started fibers are retired in place).
   void cancel_survivors();
@@ -129,6 +158,9 @@ class FiberScheduler {
   ucontext_t main_context_{};
   /// ASan bookkeeping for the scheduler's own (thread) stack.
   void* main_sanitizer_stack_ = nullptr;
+  /// TSan handle for the scheduler's own context (thread fiber).
+  void* main_tsan_fiber_ = nullptr;
+  std::optional<support::Rng> rng_;
   const void* main_stack_bottom_ = nullptr;
   std::size_t main_stack_size_ = 0;
   int current_ = -1;

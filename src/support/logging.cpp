@@ -14,7 +14,11 @@ namespace cham::support {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::atomic<LogFormat> g_format{LogFormat::kText};
-std::function<int()> g_rank_provider;
+// Thread-local, not global: the provider answers "which rank is running on
+// THIS thread". Under the epoch-parallel pilot each worker thread hosts its
+// own engine, and a shared slot would be both a data race (caught by the
+// CHAM_TSAN leg) and the wrong answer for every thread but the last writer.
+thread_local std::function<int()> g_rank_provider;
 std::string g_tool;
 std::function<void(const LogRecord&)> g_observer;
 }  // namespace

@@ -36,7 +36,9 @@ void set_log_format(LogFormat format);
 LogFormat log_format();
 
 /// Installed by the simulation engine for the duration of a run so records
-/// carry the rank whose fiber emitted them. Null = no rank context.
+/// carry the rank whose fiber emitted them. Null = no rank context. The
+/// slot is thread-local: concurrent engines (epoch-parallel pilot) each
+/// install a provider for their own thread without interfering.
 void set_log_rank_provider(std::function<int()> provider);
 
 /// Name of the tool being driven (set by the CLI); attached to records.

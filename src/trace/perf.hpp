@@ -6,9 +6,11 @@
 // mismatches), and how much wire traffic the reductions move — the raw
 // material for `chamtrace run --perf` and bench_hotpath's JSON trajectory.
 //
-// All tools in this repository run on the single-threaded fiber scheduler,
-// so one PerfCounters instance per tool, shared by every rank's trace
-// state, needs no synchronization.
+// Tools keep one PerfCounters block *per rank*, written only by that
+// rank's fiber, and aggregate on demand at report time. A single shared
+// instance would be an unordered write-write conflict the moment two
+// ranks run concurrently — the ChamRace analyzer (docs/RACE.md) verifies
+// the per-rank discipline ahead of the sharded engine.
 #pragma once
 
 #include <cstdint>

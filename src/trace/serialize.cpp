@@ -224,6 +224,40 @@ std::vector<std::uint8_t> encode_trace(const std::vector<TraceNode>& nodes) {
   return w.take();
 }
 
+namespace {
+
+void encode_node_structure(ByteWriter& w, const TraceNode& node) {
+  if (node.is_loop()) {
+    w.u8(kLoopMark);
+    w.u64(node.iters);
+    w.u32(static_cast<std::uint32_t>(node.body.size()));
+    for (const auto& child : node.body) encode_node_structure(w, child);
+    return;
+  }
+  w.u8(kLeafMark);
+  const EventRecord& ev = node.event;
+  w.u8(static_cast<std::uint8_t>(ev.op));
+  w.u64(ev.stack_sig);
+  encode_endpoint(w, ev.src);
+  encode_endpoint(w, ev.dest);
+  w.u64(ev.bytes);
+  w.i32(ev.tag);
+  w.u8(static_cast<std::uint8_t>(ev.comm));
+  w.u8(ev.is_marker ? 1 : 0);
+  encode_ranklist(w, ev.ranks);
+  w.u64(ev.delta.count());  // host-timed seconds excluded (see header)
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_trace_structure(
+    const std::vector<TraceNode>& nodes) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const auto& node : nodes) encode_node_structure(w, node);
+  return w.take();
+}
+
 std::vector<TraceNode> decode_trace(const std::vector<std::uint8_t>& bytes) {
   ByteReader r(bytes);
   const std::uint32_t len = r.u32();

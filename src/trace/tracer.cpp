@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/race/annotate.hpp"
 #include "obs/timeline.hpp"
 #include "sim/mpi.hpp"
 #include "support/logging.hpp"
@@ -29,9 +30,13 @@ ScalaTraceTool::ScalaTraceTool(int nprocs, CallSiteRegistry* stacks,
   CHAM_CHECK_MSG(stacks_ != nullptr, "tracer needs a call-site registry");
   CHAM_CHECK_MSG(stacks_->nprocs() == nprocs,
                  "registry size must match world size");
+  rank_perf_.resize(static_cast<std::size_t>(nprocs));
+  rank_merge_ops_.assign(static_cast<std::size_t>(nprocs), 0);
+  rank_merge_bytes_.assign(static_cast<std::size_t>(nprocs), 0);
   state_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r)
-    state_.emplace_back(opts_.max_window, &perf_);
+    state_.emplace_back(opts_.max_window,
+                        &rank_perf_[static_cast<std::size_t>(r)]);
 }
 
 void ScalaTraceTool::on_init(sim::Rank rank, sim::Pmpi& pmpi) {
@@ -52,6 +57,7 @@ void ScalaTraceTool::on_post(sim::Rank rank, const sim::CallInfo& info,
   }
 
   RankTraceState& st = state(rank);
+  RACE_WRITE("trace.rank", rank, 0);
   const double delta = st.pre_vtime - st.last_event_end;
   EventRecord record = make_record(rank, info, delta);
 
@@ -126,7 +132,10 @@ void ScalaTraceTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
   for (int r = 0; r < nprocs_; ++r) everyone[static_cast<std::size_t>(r)] = r;
   std::vector<TraceNode> merged =
       radix_merge(rank, everyone, state(rank).intra.take(), pmpi);
-  if (rank == 0) global_ = std::move(merged);
+  if (rank == 0) {
+    RACE_WRITE("trace.global", 0, 0);
+    global_ = std::move(merged);
+  }
 }
 
 std::vector<TraceNode> ScalaTraceTool::radix_merge(
@@ -139,6 +148,8 @@ std::vector<TraceNode> ScalaTraceTool::radix_merge(
   const auto idx = static_cast<std::size_t>(it - participants.begin());
   const std::size_t n = participants.size();
   RankTraceState& st = state(self);
+  RACE_WRITE("trace.rank", self, 0);
+  trace::PerfCounters& perf = rank_perf(self);
   obs::Span merge_span(obs::Timeline::rank_tid(self), "radix_merge", "trace",
                        {obs::arg_int("participants",
                                      static_cast<std::int64_t>(n))});
@@ -151,7 +162,7 @@ std::vector<TraceNode> ScalaTraceTool::radix_merge(
         ChargedSection timed(st.inter_timer, pmpi);
         payload = encode_trace(mine);
       }
-      perf_.bytes_encoded += payload.size();
+      perf.bytes_encoded += payload.size();
       pmpi.send_bytes(participants[idx - mask], kMergeTag,
                       std::move(payload));
       return {};
@@ -165,16 +176,16 @@ std::vector<TraceNode> ScalaTraceTool::radix_merge(
       // A crashed child takes its subtree's partials with it; the merge
       // continues with what the survivors hold.
       if (status.peer_failed) continue;
-      ++merge_ops_;
-      merge_bytes_ += payload.size();
-      perf_.bytes_decoded += payload.size();
+      ++rank_merge_ops_[static_cast<std::size_t>(self)];
+      rank_merge_bytes_[static_cast<std::size_t>(self)] += payload.size();
+      perf.bytes_decoded += payload.size();
       obs::Span step_span(
           obs::Timeline::rank_tid(self), "inter_merge", "trace",
           {obs::arg_int("child", participants[idx + mask]),
            obs::arg_int("bytes", static_cast<std::int64_t>(payload.size()))});
       ChargedSection timed(st.inter_timer, pmpi);
       std::vector<TraceNode> theirs = decode_trace(payload);
-      mine = inter_merge(std::move(mine), std::move(theirs), &perf_);
+      mine = inter_merge(std::move(mine), std::move(theirs), &perf);
     }
   }
   return mine;
@@ -192,6 +203,18 @@ double ScalaTraceTool::inter_seconds() const {
   return total;
 }
 
+std::uint64_t ScalaTraceTool::merge_operations() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t ops : rank_merge_ops_) total += ops;
+  return total;
+}
+
+std::uint64_t ScalaTraceTool::merge_bytes() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t bytes : rank_merge_bytes_) total += bytes;
+  return total;
+}
+
 std::uint64_t ScalaTraceTool::events_recorded_total() const {
   std::uint64_t total = 0;
   for (const auto& st : state_) total += st.events_recorded;
@@ -203,6 +226,8 @@ std::size_t ScalaTraceTool::rank_trace_bytes(sim::Rank r) const {
 }
 
 const PerfCounters& ScalaTraceTool::perf_counters() const {
+  perf_.reset();
+  for (const PerfCounters& rp : rank_perf_) perf_.add(rp);
   perf_.intra_seconds = intra_seconds();
   perf_.inter_seconds = inter_seconds();
   return perf_;

@@ -93,11 +93,12 @@ class ScalaTraceTool : public sim::Tool {
   [[nodiscard]] double intra_seconds() const;
   [[nodiscard]] double inter_seconds() const;
   /// Hardware-independent inter-compression work: pairwise merge operations
-  /// performed and compressed bytes shipped/merged across the whole run.
-  /// ScalaTrace performs P-1 merges at finalize; Chameleon (K-1) per
-  /// re-clustering — the paper's O(n^2 log P) vs O(r n^2 log K) contrast.
-  [[nodiscard]] std::uint64_t merge_operations() const { return merge_ops_; }
-  [[nodiscard]] std::uint64_t merge_bytes() const { return merge_bytes_; }
+  /// performed and compressed bytes shipped/merged across the whole run
+  /// (summed over ranks). ScalaTrace performs P-1 merges at finalize;
+  /// Chameleon (K-1) per re-clustering — the paper's O(n^2 log P) vs
+  /// O(r n^2 log K) contrast.
+  [[nodiscard]] std::uint64_t merge_operations() const;
+  [[nodiscard]] std::uint64_t merge_bytes() const;
   [[nodiscard]] std::uint64_t events_recorded_total() const;
   [[nodiscard]] std::size_t rank_trace_bytes(sim::Rank r) const;
   [[nodiscard]] int nprocs() const { return nprocs_; }
@@ -105,15 +106,23 @@ class ScalaTraceTool : public sim::Tool {
     return state_.at(static_cast<std::size_t>(r));
   }
 
-  /// Tool-wide fast-path counters (single-threaded scheduler: one instance
-  /// shared by every rank's trace state needs no synchronization). The
-  /// per-phase seconds fields are filled lazily from the section timers;
-  /// derived tools add their clustering time.
+  /// Tool-wide fast-path counters, aggregated on demand from the per-rank
+  /// counters (each rank's fiber only ever touches its own slot, so the hot
+  /// paths stay free of cross-rank writes — a precondition for the sharded
+  /// engine and what the ChamRace analyzer checks). The per-phase seconds
+  /// fields are filled lazily from the section timers; derived tools add
+  /// their clustering time.
   [[nodiscard]] virtual const PerfCounters& perf_counters() const;
 
  protected:
   RankTraceState& state(sim::Rank r) {
     return state_.at(static_cast<std::size_t>(r));
+  }
+
+  /// The calling rank's own counter slot. Hot-path writes go here, never to
+  /// the aggregated perf_.
+  PerfCounters& rank_perf(sim::Rank r) {
+    return rank_perf_.at(static_cast<std::size_t>(r));
   }
 
   /// Build the event record for a completed call (relative endpoints,
@@ -140,14 +149,19 @@ class ScalaTraceTool : public sim::Tool {
   int nprocs_;
   CallSiteRegistry* stacks_;
   TracerOptions opts_;
-  /// Declared before state_: each RankTraceState's IntraTrace holds a
-  /// pointer to it. Mutable so the const perf_counters() accessor can fill
-  /// the derived seconds fields at report time.
+  /// One counter block per rank, written only by that rank's fiber.
+  /// Declared before state_ (each RankTraceState's IntraTrace holds a
+  /// pointer into it) and sized once in the constructor, never resized.
+  std::vector<PerfCounters> rank_perf_;
+  /// Aggregation scratch: perf_counters() sums rank_perf_ into it at report
+  /// time. Mutable so the const accessor can fill it; never written on hot
+  /// paths.
   mutable PerfCounters perf_;
   std::vector<RankTraceState> state_;
   std::vector<TraceNode> global_;
-  std::uint64_t merge_ops_ = 0;
-  std::uint64_t merge_bytes_ = 0;
+  /// Per-rank merge work (the receiving side of each pairwise fold).
+  std::vector<std::uint64_t> rank_merge_ops_;
+  std::vector<std::uint64_t> rank_merge_bytes_;
 };
 
 }  // namespace cham::trace

@@ -19,6 +19,8 @@ void run_emf(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
              const WorkloadParams& params);
 void run_cg(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
             const WorkloadParams& params);
+void run_racefix(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+                 const WorkloadParams& params);
 
 int bt_steps(char cls);
 int sp_steps(char cls);
@@ -27,5 +29,6 @@ int pop_steps(char cls);
 int sweep3d_steps(char cls);
 int emf_steps(char cls);
 int cg_steps(char cls);
+int racefix_steps(char cls);
 
 }  // namespace cham::workloads::kernels

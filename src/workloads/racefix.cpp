@@ -1,0 +1,80 @@
+// RaceFix — the seeded-race fixture workload for ChamRace.
+//
+// Not a benchmark skeleton: a calibration target for the happens-before
+// analyzer. Each timestep touches four annotated locations, two of them
+// deliberately unsynchronized (the analyzer must find them) and two
+// correctly ordered through messages and barriers (the analyzer must stay
+// quiet about them):
+//
+//   racefix.shared_counter  every rank writes, no ordering  -> write-write
+//   racefix.config          rank 0 writes, others read      -> write-read /
+//                                                              read-write
+//   racefix.token           ring handoff, ordered send->recv   (clean)
+//   racefix.turn            barrier-separated turn-taking      (clean)
+//
+// tests/race/test_race_sim.cpp asserts exactly this split.
+#include <string_view>
+
+#include "analysis/race/annotate.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cham::workloads::kernels {
+
+using trace::CallScope;
+
+int racefix_steps(char /*cls*/) { return 4; }
+
+void run_racefix(sim::Mpi& mpi, trace::CallSiteRegistry& stacks,
+                 const WorkloadParams& params) {
+  const int steps =
+      params.timesteps > 0 ? params.timesteps : racefix_steps(params.cls);
+  const sim::Rank rank = mpi.rank();
+  const int p = mpi.size();
+  trace::CallStack& stack = stacks.stack(rank);
+
+  CallScope main_scope(stack, "racefix.timestep");
+  for (int step = 0; step < steps; ++step) {
+    {
+      CallScope scope(stack, "racefix.conflict");
+      // Seeded conflict: every rank bumps the same counter with nothing
+      // ordering the bumps within a timestep.
+      RACE_WRITE("racefix.shared_counter", 0, 0);
+      // Seeded conflict: rank 0 republishes a config blob that everyone
+      // else reads without synchronization.
+      if (rank == 0)
+        RACE_WRITE("racefix.config", 0, 0);
+      else
+        RACE_READ("racefix.config", 0, 0);
+      mpi.compute(1.0e-4);
+    }
+    {
+      CallScope scope(stack, "racefix.handoff");
+      // Negative control: a token handed around the ring. Every access is
+      // ordered by the send->recv chain.
+      if (p > 1) {
+        if (rank == 0) {
+          RACE_WRITE("racefix.token", 0, 0);
+          mpi.send(1, 64, 7);
+          mpi.recv(p - 1, 64, 7);
+          RACE_READ("racefix.token", 0, 0);
+        } else {
+          mpi.recv(rank - 1, 64, 7);
+          RACE_WRITE("racefix.token", 0, 0);
+          mpi.send((rank + 1) % p, 64, 7);
+        }
+      } else {
+        RACE_WRITE("racefix.token", 0, 0);
+      }
+    }
+    {
+      CallScope scope(stack, "racefix.turns");
+      // Negative control: barrier-separated turn-taking on a shared slot.
+      mpi.barrier();
+      if (rank == step % p) RACE_WRITE("racefix.turn", 0, 0);
+      mpi.barrier();
+    }
+    mpi.marker();
+  }
+}
+
+}  // namespace cham::workloads::kernels

@@ -21,7 +21,7 @@ namespace {
 // LU-modified and LU-weak reuse the LU kernel: the bench harness sets
 // perturb_every / weak in the params; the registry entries differ only in
 // documentation and defaults.
-const std::array<WorkloadInfo, 9> kWorkloads = {{
+const std::array<WorkloadInfo, 10> kWorkloads = {{
     {"bt", "NPB BT: 1-D ADI solver skeleton, 3 directional sweeps/step",
      /*default_k=*/3, /*default_freq=*/25, kernels::bt_steps, kernels::run_bt},
     {"sp", "NPB SP: 1-D scalar-penta solver skeleton, lighter exchanges",
@@ -41,6 +41,9 @@ const std::array<WorkloadInfo, 9> kWorkloads = {{
      /*default_k=*/2, /*default_freq=*/4, kernels::emf_steps, kernels::run_emf},
     {"cg", "NPB CG: SpMV skeleton with ring exchange and reductions",
      /*default_k=*/3, /*default_freq=*/15, kernels::cg_steps, kernels::run_cg},
+    {"racefix", "ChamRace fixture: seeded conflicts + clean controls",
+     /*default_k=*/2, /*default_freq=*/1, kernels::racefix_steps,
+     kernels::run_racefix},
 }};
 
 }  // namespace

@@ -52,7 +52,7 @@ struct WorkloadInfo {
 };
 
 /// nullptr if unknown. Known names: bt, sp, lu, luw, lu_mod, pop, sweep3d,
-/// emf, cg.
+/// emf, cg, racefix.
 const WorkloadInfo* find_workload(std::string_view name);
 
 std::span<const WorkloadInfo> all_workloads();

@@ -1,0 +1,284 @@
+// Unit tests for the ChamRace vector-clock analyzer: happens-before
+// semantics (sync objects, fork, epochs), finding kinds, deduplication,
+// and the chameleon.race.v1 document.
+#include "analysis/race/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/race/annotate.hpp"
+#include "analysis/race/determinism.hpp"
+#include "analysis/race/vectorclock.hpp"
+#include "obs/validate.hpp"
+
+namespace cham::analysis::race {
+namespace {
+
+using cham::race::Sink;
+
+TEST(VectorClock, JoinTakesComponentwiseMax) {
+  VectorClock a;
+  VectorClock b;
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(0, 2);
+  b.set(1, 7);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 7u);
+}
+
+TEST(VectorClock, OrderedAfterComparesOneComponent) {
+  VectorClock vc;
+  vc.set(2, 4);
+  EXPECT_TRUE(vc.ordered_after(2, 4));
+  EXPECT_TRUE(vc.ordered_after(2, 3));
+  EXPECT_FALSE(vc.ordered_after(2, 5));
+}
+
+TEST(RaceAnalyzer, UnsynchronizedWritesAreWriteWrite) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_write("x", 0, 0);
+  an.on_task(1);
+  an.on_write("x", 0, 0);
+  ASSERT_EQ(an.findings().size(), 1u);
+  const RaceFinding& f = an.findings()[0];
+  EXPECT_EQ(f.kind, RaceFinding::Kind::kWriteWrite);
+  EXPECT_EQ(f.location, "x");
+  EXPECT_EQ(f.prior.task, 0);
+  EXPECT_EQ(f.current.task, 1);
+}
+
+TEST(RaceAnalyzer, WriteThenUnorderedReadIsWriteRead) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_write("cfg", 0, 0);
+  an.on_task(1);
+  an.on_read("cfg", 0, 0);
+  ASSERT_EQ(an.findings().size(), 1u);
+  EXPECT_EQ(an.findings()[0].kind, RaceFinding::Kind::kWriteRead);
+}
+
+TEST(RaceAnalyzer, ReadThenUnorderedWriteIsReadWrite) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_read("cfg", 0, 0);
+  an.on_task(1);
+  an.on_write("cfg", 0, 0);
+  ASSERT_EQ(an.findings().size(), 1u);
+  EXPECT_EQ(an.findings()[0].kind, RaceFinding::Kind::kReadWrite);
+}
+
+TEST(RaceAnalyzer, SameTaskNeverRacesWithItself) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_write("x", 0, 0);
+  an.on_read("x", 0, 0);
+  an.on_write("x", 0, 0);
+  EXPECT_TRUE(an.findings().empty());
+}
+
+TEST(RaceAnalyzer, ReleaseAcquireOrdersAccesses) {
+  RaceAnalyzer an(2);
+  // Task 0 writes, then publishes through a sync object; task 1 acquires
+  // before touching the location — a clean message-passing handoff.
+  an.on_task(0);
+  an.on_write("token", 0, 0);
+  an.on_release("chan", 0, 0);
+  an.on_task(1);
+  an.on_acquire("chan", 0, 0);
+  an.on_write("token", 0, 0);
+  EXPECT_TRUE(an.findings().empty());
+}
+
+TEST(RaceAnalyzer, AcquireWithoutPriorReleaseOrdersNothing) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_write("x", 0, 0);
+  an.on_task(1);
+  an.on_acquire("never-released", 0, 0);
+  an.on_write("x", 0, 0);
+  EXPECT_EQ(an.findings().size(), 1u);
+}
+
+TEST(RaceAnalyzer, SyncIdentityIncludesOperands) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_write("x", 0, 0);
+  an.on_release("chan", 1, 0);  // channel 1...
+  an.on_task(1);
+  an.on_acquire("chan", 2, 0);  // ...is not channel 2
+  an.on_write("x", 0, 0);
+  EXPECT_EQ(an.findings().size(), 1u);
+}
+
+TEST(RaceAnalyzer, ForkOrdersChildAfterParent) {
+  RaceAnalyzer an(2);
+  an.on_task(-1);  // scheduler/main
+  an.on_write("init", 0, 0);
+  an.on_fork(0);
+  an.on_task(0);
+  an.on_read("init", 0, 0);  // child sees the pre-fork write: ordered
+  EXPECT_TRUE(an.findings().empty());
+}
+
+TEST(RaceAnalyzer, AtomicsAreCountedButNeverRace) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_atomic("counter", 0, 0);
+  an.on_task(1);
+  an.on_atomic("counter", 0, 0);
+  an.on_write("counter", 0, 0);  // plain write vs atomic: no pairing either
+  EXPECT_TRUE(an.findings().empty());
+  EXPECT_EQ(an.atomic_accesses(), 2u);
+  EXPECT_EQ(an.accesses(), 1u);
+}
+
+TEST(RaceAnalyzer, AtomicsCarryNoHappensBefore) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_write("x", 0, 0);
+  an.on_atomic("flag", 0, 0);
+  an.on_task(1);
+  an.on_atomic("flag", 0, 0);  // reading the flag does NOT order the write
+  an.on_write("x", 0, 0);
+  EXPECT_EQ(an.findings().size(), 1u);
+}
+
+TEST(RaceAnalyzer, RepeatedPairDeduplicatesWithCount) {
+  // Dedup key is (location, kind, prior task, current task): five unordered
+  // reads of the same stale write collapse into one finding, count 5.
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_write("x", 0, 0);
+  an.on_task(1);
+  for (int i = 0; i < 5; ++i) an.on_read("x", 0, 0);
+  ASSERT_EQ(an.findings().size(), 1u);
+  EXPECT_EQ(an.findings()[0].kind, RaceFinding::Kind::kWriteRead);
+  EXPECT_EQ(an.findings()[0].count, 5u);
+}
+
+TEST(RaceAnalyzer, DistinctOperandsAreDistinctLocations) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_write("slot", 0, 0);
+  an.on_task(1);
+  an.on_write("slot", 1, 0);  // different (a, b): no conflict
+  EXPECT_TRUE(an.findings().empty());
+  EXPECT_EQ(an.locations(), 2u);
+}
+
+TEST(RaceAnalyzer, EpochsAreCountedAndStamped) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_epoch();
+  an.on_epoch();
+  an.on_write("x", 0, 0);
+  an.on_task(1);
+  an.on_write("x", 0, 0);
+  EXPECT_EQ(an.epochs(), 2u);
+  ASSERT_EQ(an.findings().size(), 1u);
+  EXPECT_EQ(an.findings()[0].prior.epoch, 2u);
+}
+
+TEST(RaceAnalyzer, ReportEmitsErrorDiagnostics) {
+  RaceAnalyzer an(2);
+  an.on_task(0);
+  an.on_write("x", 0, 0);
+  an.on_task(1);
+  an.on_write("x", 0, 0);
+  DiagnosticSink sink;
+  an.report(sink);
+  EXPECT_FALSE(sink.clean());
+  EXPECT_EQ(sink.count("race.conflict"), 1u);
+  EXPECT_NE(sink.find("race.conflict"), nullptr);
+}
+
+TEST(RaceAnalyzer, KindNamesMatchSchema) {
+  EXPECT_EQ(kind_name(RaceFinding::Kind::kWriteWrite), "write-write");
+  EXPECT_EQ(kind_name(RaceFinding::Kind::kWriteRead), "write-read");
+  EXPECT_EQ(kind_name(RaceFinding::Kind::kReadWrite), "read-write");
+}
+
+TEST(RaceJson, DocumentValidatesAgainstSchema) {
+  RaceAnalyzer an(4);
+  an.on_task(0);
+  an.on_write("x", 0, 0);
+  an.on_task(1);
+  an.on_write("x", 0, 0);
+  DeterminismResult det;
+  det.seeds = {0, 1, 2};
+  det.epochs_compared = 5;
+  const std::string doc =
+      write_race_json(an, {"racefix", "chameleon", 4}, &det);
+  std::string error;
+  EXPECT_TRUE(obs::validate_race_json(doc, &error)) << error;
+  EXPECT_NE(doc.find("\"chameleon.race.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"write-write\""), std::string::npos);
+}
+
+TEST(RaceJson, OmitsDeterminismWhenNull) {
+  RaceAnalyzer an(2);
+  const std::string doc = write_race_json(an, {"lu", "chameleon", 2}, nullptr);
+  std::string error;
+  EXPECT_TRUE(obs::validate_race_json(doc, &error)) << error;
+  EXPECT_EQ(doc.find("\"determinism\""), std::string::npos);
+}
+
+TEST(DeterminismAudit, IdenticalDigestsAreDeterministic) {
+  const auto result = audit_determinism(
+      [](std::uint64_t) { return std::vector<std::uint64_t>{1, 2, 3}; },
+      {0, 1, 2, 3});
+  EXPECT_TRUE(result.deterministic);
+  EXPECT_EQ(result.first_divergent_epoch, -1);
+  EXPECT_EQ(result.epochs_compared, 3u);
+  EXPECT_EQ(result.seeds.size(), 4u);
+}
+
+TEST(DeterminismAudit, ReportsFirstDivergentEpochAndSeed) {
+  const auto result = audit_determinism(
+      [](std::uint64_t seed) {
+        std::vector<std::uint64_t> d{1, 2, 3};
+        if (seed == 2) d[1] = 99;
+        return d;
+      },
+      {0, 1, 2});
+  EXPECT_FALSE(result.deterministic);
+  EXPECT_EQ(result.first_divergent_epoch, 1);
+  EXPECT_EQ(result.divergent_seed, 2u);
+}
+
+TEST(DeterminismAudit, LengthMismatchDiverges) {
+  const auto result = audit_determinism(
+      [](std::uint64_t seed) {
+        return seed == 0 ? std::vector<std::uint64_t>{1, 2, 3}
+                         : std::vector<std::uint64_t>{1, 2};
+      },
+      {0, 1});
+  EXPECT_FALSE(result.deterministic);
+  EXPECT_EQ(result.first_divergent_epoch, 2);
+}
+
+TEST(Annotate, ForwardersAreNoOpsWithoutSink) {
+  // Must not crash or touch anything when no sink is installed.
+  cham::race::set_sink(nullptr);
+  RACE_READ("x", 0, 0);
+  RACE_WRITE("x", 0, 0);
+  RACE_ATOMIC("x", 0, 0);
+  cham::race::ScopedSync sync("m", 0, 0);
+  cham::race::set_task(3);
+  cham::race::fork(1);
+  cham::race::epoch();
+}
+
+TEST(Annotate, ScopedSyncPairsAcquireRelease) {
+  RaceAnalyzer an(2);
+  cham::race::set_sink(&an);
+  an.on_task(0);
+  { cham::race::ScopedSync sync("m", 0, 0); }
+  cham::race::set_sink(nullptr);
+  EXPECT_EQ(an.sync_ops(), 2u);
+}
+
+}  // namespace
+}  // namespace cham::analysis::race

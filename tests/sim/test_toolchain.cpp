@@ -107,6 +107,81 @@ TEST(ToolChain, PostChainRunsEveryLayerWhenOneThrows) {
   EXPECT_EQ(seen, posts);
 }
 
+TEST(ToolChain, ThreeToolStackKeepsTheSandwich) {
+  // The sharded-engine gating runs verifier + tracer + race instrumentation
+  // stacked three deep; the sandwich must hold at that depth too.
+  std::vector<std::string> log;
+  RecordingTool a("A", &log);
+  RecordingTool b("B", &log);
+  RecordingTool c("C", &log);
+  ToolChain chain({&a, &b, &c});
+
+  Engine engine({.nprocs = 1});
+  engine.set_tool(&chain);
+  engine.run([](Mpi& mpi) { mpi.barrier(); });
+
+  std::vector<std::string> hooks;
+  for (const std::string& entry : log)
+    if (entry.find(".pre") != std::string::npos ||
+        entry.find(".post") != std::string::npos)
+      hooks.push_back(entry);
+  EXPECT_EQ(hooks, (std::vector<std::string>{"A.pre", "B.pre", "C.pre",
+                                             "C.post", "B.post", "A.post"}));
+}
+
+TEST(ToolChain, PostChainRethrowsTheFirstOfSeveralFailures) {
+  // Two layers fail in the same post chain: every layer still runs, and the
+  // *first* failure in post order (the innermost layer, C) is what the
+  // caller sees — later failures must not mask it.
+  std::vector<std::string> log;
+  RecordingTool a("A", &log);
+  ThrowingTool b("B", &log);
+  ThrowingTool c("C", &log);
+  ToolChain chain({&a, &b, &c});
+
+  Engine engine({.nprocs = 1});
+  engine.set_tool(&chain);
+  bool threw = false;
+  try {
+    engine.run([](Mpi& mpi) { mpi.barrier(); });
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    EXPECT_STREQ(e.what(), "mid-chain failure");
+  }
+  EXPECT_TRUE(threw);
+
+  std::vector<std::string> posts;
+  for (const std::string& entry : log)
+    if (entry.find(".post") != std::string::npos) posts.push_back(entry);
+  EXPECT_EQ(posts, (std::vector<std::string>{"C.post", "B.post", "A.post"}));
+}
+
+class StallInspectorTool : public Tool {
+ public:
+  void on_stall(Engine& engine) override {
+    // The contract: inspect and record only. Every rank of this deadlock
+    // is blocked on a receive that can never match.
+    for (Rank r = 0; r < 2; ++r)
+      if (engine.blocked_state(r).kind != BlockedState::Kind::kNone)
+        ++blocked_ranks;
+  }
+  int blocked_ranks = 0;
+};
+
+TEST(ToolChain, StallHooksCanInspectTheStalledEngine) {
+  std::vector<std::string> log;
+  RecordingTool a("A", &log);
+  StallInspectorTool inspector;
+  ToolChain chain({&a, &inspector});
+
+  Engine engine({.nprocs = 2});
+  engine.set_tool(&chain);
+  EXPECT_THROW(
+      engine.run([](Mpi& mpi) { mpi.recv(1 - mpi.rank(), 8, 0); }),
+      DeadlockError);
+  EXPECT_EQ(inspector.blocked_ranks, 2);
+}
+
 TEST(ToolChain, AddAppendsAfterConstruction) {
   std::vector<std::string> log;
   RecordingTool a("A", &log);

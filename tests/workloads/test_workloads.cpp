@@ -82,11 +82,11 @@ TEST_P(AllWorkloads, TracesUnderChameleonWithDefaultK) {
 
 TEST(Workloads, RegistryFindsAllAndRejectsUnknown) {
   EXPECT_EQ(find_workload("nonexistent"), nullptr);
-  for (const char* name :
-       {"bt", "sp", "lu", "luw", "lu_mod", "pop", "sweep3d", "emf", "cg"}) {
+  for (const char* name : {"bt", "sp", "lu", "luw", "lu_mod", "pop", "sweep3d",
+                           "emf", "cg", "racefix"}) {
     EXPECT_NE(find_workload(name), nullptr) << name;
   }
-  EXPECT_EQ(all_workloads().size(), 9u);
+  EXPECT_EQ(all_workloads().size(), 10u);
 }
 
 TEST(Workloads, TableIClusterGeometry) {

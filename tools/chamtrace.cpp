@@ -19,7 +19,16 @@
 //       Run the workload under Chameleon with epoch recording on and print
 //       the epoch-by-epoch cluster-evolution report (cluster count, leads,
 //       membership churn) plus the per-state trace-memory table.
-//   chamtrace validate [--timeline t.json] [--metrics m.json]
+//   chamtrace race --workload lu --procs 64 [run options] [--seeds N]
+//       [--no-audit] [--json r.json]
+//       ChamRace: run the workload with the happens-before analyzer
+//       installed on the annotation stream and report every access pair
+//       unordered by the modelled sync edges (docs/RACE.md), then audit
+//       determinism by replaying under N shuffled scheduler seeds and
+//       diffing per-epoch wire-image digests. Exit 0 only when the run is
+//       conflict-free AND schedule-independent. --json writes the
+//       chameleon.race.v1 document.
+//   chamtrace validate [--timeline t.json] [--metrics m.json] [--race r.json]
 //       Structurally validate ChamScope output files.
 //   chamtrace show trace.bin
 //       Print a trace file in the human-readable PRSD form plus statistics.
@@ -33,6 +42,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.hpp"
+#include "analysis/race/analyzer.hpp"
+#include "analysis/race/annotate.hpp"
+#include "analysis/race/determinism.hpp"
 #include "core/acurdion.hpp"
 #include "core/chameleon.hpp"
 #include "obs/metrics.hpp"
@@ -68,7 +81,11 @@ int usage() {
       "  chamtrace report --workload <name> --procs <P> [--format text|csv|"
       "json] [--out <file>]\n"
       "               [run options]\n"
-      "  chamtrace validate [--timeline <file>] [--metrics <file>]\n"
+      "  chamtrace race --workload <name> --procs <P> [run options]"
+      " [--seeds <N>] [--no-audit]\n"
+      "               [--json <file>]\n"
+      "  chamtrace validate [--timeline <file>] [--metrics <file>]"
+      " [--race <file>]\n"
       "  chamtrace show <trace-file>\n"
       "  chamtrace replay <trace-file> --procs <P>\n",
       stderr);
@@ -505,10 +522,133 @@ int cmd_report(const Args& args) {
   return finish_observability(args, scope, run);
 }
 
+/// Installs a race sink for one scope and guarantees removal even when the
+/// workload throws, so no dangling analyzer outlives the run.
+class RaceSinkScope {
+ public:
+  explicit RaceSinkScope(race::Sink* sink) { race::set_sink(sink); }
+  ~RaceSinkScope() { race::set_sink(nullptr); }
+  RaceSinkScope(const RaceSinkScope&) = delete;
+  RaceSinkScope& operator=(const RaceSinkScope&) = delete;
+};
+
+int cmd_race(const Args& args) {
+  WorkloadRun run;
+  if (int rc = setup_run(args, run); rc != 0) return rc;
+
+  Observability scope(args.value("--timeline").has_value(),
+                      args.value("--metrics-out").has_value());
+
+  // Pass 1: the analyzed run. Seed 0 keeps the scheduler in FIFO order —
+  // the point of the vector clocks is that findings do not depend on the
+  // observed interleaving.
+  analysis::race::RaceAnalyzer analyzer(run.procs);
+  {
+    RaceSinkScope sink(&analyzer);
+    execute(run);
+  }
+
+  analysis::DiagnosticSink diagnostics;
+  analyzer.report(diagnostics);
+  if (obs::Timeline* tl = scope.timeline()) {
+    for (const auto& finding : analyzer.findings())
+      tl->instant(obs::Timeline::rank_tid(finding.current.task >= 0
+                                              ? finding.current.task
+                                              : 0),
+                  "race.conflict", "race",
+                  {obs::arg_str("location", finding.location),
+                   obs::arg_str("kind",
+                                std::string(analysis::race::kind_name(
+                                    finding.kind)))});
+  }
+
+  std::printf(
+      "analyzed %s on %d ranks with %s: %llu accesses (%llu atomic), %llu "
+      "sync ops, %zu locations, %llu epochs\n",
+      std::string(run.info->name).c_str(), run.procs, run.tool_name.c_str(),
+      static_cast<unsigned long long>(analyzer.accesses()),
+      static_cast<unsigned long long>(analyzer.atomic_accesses()),
+      static_cast<unsigned long long>(analyzer.sync_ops()),
+      analyzer.locations(),
+      static_cast<unsigned long long>(analyzer.epochs()));
+  if (!diagnostics.clean())
+    std::fputs(diagnostics.format_report().c_str(), stdout);
+
+  // Pass 2: the determinism audit. Baseline FIFO (seed 0) plus N shuffled
+  // scheduler seeds; every run records per-epoch wire-image digests and
+  // the sequences must match element-wise. Only Chameleon commits epoch
+  // state, so other tools have nothing to audit.
+  std::optional<analysis::race::DeterminismResult> determinism;
+  const bool audit = !args.has("--no-audit") && run.chameleon.has_value();
+  if (audit) {
+    const int nseeds = std::stoi(args.value("--seeds").value_or("10"));
+    std::vector<std::uint64_t> seeds{0};
+    for (int s = 1; s <= nseeds; ++s)
+      seeds.push_back(static_cast<std::uint64_t>(s));
+    determinism = analysis::race::audit_determinism(
+        [&](std::uint64_t seed) {
+          sim::Engine engine(sim::EngineOptions{.nprocs = run.procs,
+                                                .sched_seed = seed});
+          trace::CallSiteRegistry stacks(run.procs);
+          core::ChameleonConfig config = run.config;
+          config.record_digests = true;
+          core::ChameleonTool tool(run.procs, &stacks, config);
+          engine.set_tool(&tool);
+          engine.run([&](sim::Mpi& mpi) {
+            run.info->run(mpi, stacks, run.params);
+          });
+          return tool.epoch_digests();
+        },
+        seeds);
+  }
+
+  if (const auto out = args.value("--json")) {
+    const analysis::race::RaceReportMeta meta{
+        std::string(run.info->name), run.tool_name, run.procs};
+    const std::string doc = analysis::race::write_race_json(
+        analyzer, meta, determinism ? &*determinism : nullptr);
+    if (!write_file(*out, doc)) {
+      std::fprintf(stderr, "failed to write %s\n", out->c_str());
+      return 1;
+    }
+    std::printf("wrote race report to %s\n", out->c_str());
+  }
+  if (int rc = finish_observability(args, scope, run); rc != 0) return rc;
+
+  bool failed = false;
+  if (!analyzer.findings().empty()) {
+    std::printf("race: %zu conflicting access pair(s) found\n",
+                analyzer.findings().size());
+    failed = true;
+  }
+  if (determinism && !determinism->deterministic) {
+    std::printf(
+        "race: non-deterministic — seed %llu diverges from baseline at "
+        "epoch %lld\n",
+        static_cast<unsigned long long>(determinism->divergent_seed),
+        static_cast<long long>(determinism->first_divergent_epoch));
+    failed = true;
+  } else if (determinism && failed) {
+    std::printf("race: %zu epochs deterministic across %zu seeds\n",
+                determinism->epochs_compared, determinism->seeds.size());
+  }
+  if (!failed) {
+    if (determinism)
+      std::printf(
+          "race: clean (0 findings; %zu epochs deterministic across %zu "
+          "seeds)\n",
+          determinism->epochs_compared, determinism->seeds.size());
+    else
+      std::printf("race: clean (0 findings; determinism audit skipped)\n");
+  }
+  return failed ? 1 : 0;
+}
+
 int cmd_validate(const Args& args) {
   const auto timeline_path = args.value("--timeline");
   const auto metrics_path = args.value("--metrics");
-  if (!timeline_path && !metrics_path) return usage();
+  const auto race_path = args.value("--race");
+  if (!timeline_path && !metrics_path && !race_path) return usage();
   int rc = 0;
   const auto check = [&rc](const std::string& path, auto validator,
                            const char* what) {
@@ -530,6 +670,7 @@ int cmd_validate(const Args& args) {
   if (timeline_path)
     check(*timeline_path, obs::validate_timeline_json, "timeline");
   if (metrics_path) check(*metrics_path, obs::validate_metrics_json, "metrics");
+  if (race_path) check(*race_path, obs::validate_race_json, "race report");
   return rc;
 }
 
@@ -575,6 +716,7 @@ int main(int argc, char** argv) {
     if (command == "list") return cmd_list();
     if (command == "run") return cmd_run(args);
     if (command == "report") return cmd_report(args);
+    if (command == "race") return cmd_race(args);
     if (command == "validate") return cmd_validate(args);
     if (command == "show") return cmd_show(args);
     if (command == "replay") return cmd_replay(args);

@@ -4,7 +4,11 @@
 #
 #   1. Release          — the shipping configuration
 #   2. ASan + UBSan     — memory and UB errors (fiber unwinding, wire decoding)
-#   3. Werror           — warning-clean build enforced
+#   3. TSan             — the race-labelled slice (ChamRace analyzer tests and
+#                         the epoch-parallel std::thread pilot) under
+#                         ThreadSanitizer; CHAM_TSAN also enables the
+#                         __tsan_* fiber-switch hooks (docs/RACE.md)
+#   4. Werror           — warning-clean build enforced
 #
 # Usage: tools/check.sh [jobs]
 # Build trees live under build-check/ (gitignored).
@@ -41,6 +45,17 @@ for seed in ${CHAMELEON_FAULT_SEEDS:-1 11 29}; do
     CHAMELEON_FAULT_SEED="$seed" ctest -L fault --output-on-failure -j "$jobs")
 done
 
+# ChamRace TSan leg: only the race-labelled slice — the full suite under
+# TSan is minutes of fiber-hook overhead for no extra thread coverage; the
+# epoch-parallel pilot tests are the ones with real threads in them.
+echo "=== [tsan] configure ==="
+cmake -B build-check/tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCHAM_TSAN=ON >/dev/null
+echo "=== [tsan] build ==="
+cmake --build build-check/tsan -j "$jobs"
+echo "=== [tsan] race slice ==="
+(cd build-check/tsan && ctest -L race --output-on-failure -j "$jobs")
+
 run_config werror -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHAMELEON_WERROR=ON
 
 # Hot-path benchmark smoke (release build): baseline and optimized runs must
@@ -74,5 +89,25 @@ chamtrace=build-check/release/tools/chamtrace
 grep -qF '"schema": "chameleon.report.v1"' "$obs_dir/report.json" ||
   { echo "chamscope smoke: bad report schema in $obs_dir/report.json" >&2
     exit 1; }
+
+# ChamRace smoke (release build): the seeded racefix fixture must fail the
+# gate with its known conflicts, and a clean workload must produce a race
+# report (with determinism audit) that the bundled validator accepts.
+echo "=== [release] chamrace smoke ==="
+race_dir="build-check/release/race-smoke"
+mkdir -p "$race_dir"
+if "$chamtrace" race --workload racefix --procs 8 --steps 4 --seeds 3 \
+     > "$race_dir/racefix.out"; then
+  echo "chamrace smoke: racefix unexpectedly clean" >&2
+  exit 1
+fi
+for want in "write-write on racefix.shared_counter" \
+            "racefix.config" "epochs deterministic"; do
+  grep -qF "$want" "$race_dir/racefix.out" ||
+    { echo "chamrace smoke: missing \"$want\" in racefix output" >&2; exit 1; }
+done
+"$chamtrace" race --workload lu --procs 8 --steps 6 --seeds 3 \
+  --json "$race_dir/race.json" >/dev/null
+"$chamtrace" validate --race "$race_dir/race.json"
 
 echo "=== all configurations green ==="

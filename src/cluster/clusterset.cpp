@@ -112,11 +112,18 @@ std::vector<std::uint8_t> ClusterSet::encode() const {
 ClusterSet ClusterSet::decode(const std::vector<std::uint8_t>& bytes) {
   trace::ByteReader r(bytes);
   ClusterSet set;
+  // Bound both counts by the bytes actually left (callpath+count header per
+  // group, lead+src+dest+ranklist header per entry) so hostile length fields
+  // throw before the per-group containers grow.
   const std::uint32_t ngroups = r.u32();
   if (ngroups > (1u << 16)) throw trace::DecodeError("cluster group count");
+  if (ngroups > r.remaining() / (8 + 2))
+    throw trace::DecodeError("cluster group count exceeds buffer");
   for (std::uint32_t g = 0; g < ngroups; ++g) {
     const std::uint64_t callpath = r.u64();
     const std::uint16_t count = r.u16();
+    if (count > r.remaining() / (4 + 8 + 8 + 2))
+      throw trace::DecodeError("cluster entry count exceeds buffer");
     auto& entries = set.groups_[callpath];
     for (std::uint16_t i = 0; i < count; ++i) {
       ClusterEntry entry;

@@ -1,14 +1,18 @@
 #include "core/chameleon.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "analysis/race/annotate.hpp"
 #include "core/protocol.hpp"
+#include "durable/checkpoint.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "sim/mpi.hpp"
 #include "support/hash.hpp"
 #include "support/logging.hpp"
 #include "support/timer.hpp"
+#include "trace/callsite.hpp"
 #include "trace/serialize.hpp"
 
 namespace cham::core {
@@ -55,6 +59,33 @@ ChameleonTool::ChameleonTool(int nprocs, trace::CallSiteRegistry* stacks,
       mem_(static_cast<std::size_t>(nprocs)) {
   CHAM_CHECK_MSG(config_.k >= 1, "K must be at least 1");
   CHAM_CHECK_MSG(config_.call_frequency >= 1, "Call_Frequency must be >= 1");
+
+  const durable::RecoveredState* resume = config_.resume;
+  if (resume == nullptr || resume->epoch == 0) return;
+
+  // ChamDurable resume: restore the global protocol state up front (the
+  // constructor runs before any fiber, so these cross-rank writes are
+  // race-free), then arm every rank for the fast-forward replay. Per-rank
+  // flags and partial traces are adopted at the recovered epoch, not here —
+  // the replayed markers re-derive counters (auto-marker detection, marker
+  // cadence) exactly as the original run did.
+  resume_target_ = resume->epoch;
+  trace::import_sites(resume->sites);
+  online_ = trace::decode_trace(resume->online_wire);
+  state_counts_ = resume->state_counts;
+  effective_k_ = static_cast<std::size_t>(resume->effective_k);
+  num_callpaths_ = static_cast<std::size_t>(resume->num_callpaths);
+  gaps_emitted_.insert(resume->gap_ranks.begin(), resume->gap_ranks.end());
+  const cluster::ClusterSet table =
+      resume->clusters_wire.empty() ? cluster::ClusterSet{}
+                                    : cluster::ClusterSet::decode(resume->clusters_wire);
+  for (const durable::RankRecord& rec : resume->ranks)
+    resume_records_.emplace(rec.rank, rec);
+  for (int r = 0; r < nprocs; ++r) {
+    cham_[static_cast<std::size_t>(r)].clusters = table;
+    cham_[static_cast<std::size_t>(r)].fast_forward = true;
+    state(r).storing = false;
+  }
 }
 
 const cluster::ClusterSet& ChameleonTool::clusters() const {
@@ -107,20 +138,7 @@ void ChameleonTool::handle_failures(sim::Rank rank, sim::Pmpi& pmpi) {
     for (cluster::ClusterEntry& entry : entries) {
       ++lead_total;
       if (!eng.is_failed(entry.lead)) continue;
-      ++lead_dead;
       const sim::Rank dead = entry.lead;
-      if (rank == home && gaps_emitted_.insert(dead).second) {
-        // The dead lead's partial trace is gone; the interval it covered
-        // for its cluster becomes an explicit gap in the online trace so
-        // downstream consumers see the loss instead of silent absence.
-        trace::EventRecord gap;
-        gap.op = sim::Op::kGap;
-        gap.tag = dead;
-        gap.comm = sim::kCommWorld;
-        gap.ranks = entry.members;
-        RACE_WRITE("cham.online", 0, 0);
-        online_.push_back(trace::TraceNode::leaf(std::move(gap)));
-      }
       // The paper picks the cluster head as the group's representative;
       // under failure that rule degrades to the lowest-rank survivor of
       // the same group.
@@ -129,6 +147,51 @@ void ChameleonTool::handle_failures(sim::Rank rank, sim::Pmpi& pmpi) {
         if (!eng.is_failed(member)) {
           promoted = member;
           break;
+        }
+      }
+      // ChamDurable: the dead lead's last journaled partial trace survives
+      // on disk, so the promoted survivor adopts it and carries on instead
+      // of the home rank mourning the interval with a GAP node. Every
+      // survivor consults the same shared Checkpointer, so the decision is
+      // identical everywhere. Only the events between the lead's last
+      // committed epoch and its death are lost (the residual tail window —
+      // see docs/DURABILITY.md).
+      std::optional<durable::RankRecord> saved;
+      if (promoted != sim::kAnySource && config_.checkpointer != nullptr)
+        saved = config_.checkpointer->latest_rank_record(dead);
+      if (saved.has_value()) {
+        if (rank == promoted) {
+          state(rank).intra.restore(trace::decode_trace(saved->intra_wire));
+          if (obs::Timeline* tl = obs::timeline())
+            tl->instant(obs::Timeline::rank_tid(rank), "durable.lead_restore",
+                        "durable",
+                        {obs::arg_int("dead", dead),
+                         obs::arg_int("epoch", static_cast<std::int64_t>(
+                                                   saved->epoch))});
+          if (auto* m = obs::metrics())
+            m->add_counter("cham.durable.lead_restores", {}, 1);
+        }
+        // Mourned via restore: no gap node, and the loss does not count
+        // toward the degrade fraction.
+        if (rank == home) gaps_emitted_.insert(dead);
+      } else {
+        ++lead_dead;
+        if (rank == home && gaps_emitted_.insert(dead).second) {
+          // The dead lead's partial trace is gone; the interval it covered
+          // for its cluster becomes an explicit gap in the online trace so
+          // downstream consumers see the loss instead of silent absence.
+          trace::EventRecord gap;
+          gap.op = sim::Op::kGap;
+          gap.tag = dead;
+          gap.comm = sim::kCommWorld;
+          gap.ranks = entry.members;
+          trace::TraceNode node = trace::TraceNode::leaf(std::move(gap));
+          if (config_.checkpointer != nullptr) {
+            RACE_WRITE("cham.pending", 0, 0);
+            pending_gaps_.push_back(node);
+          }
+          RACE_WRITE("cham.online", 0, 0);
+          online_.push_back(std::move(node));
         }
       }
       if (promoted == sim::kAnySource) continue;  // whole cluster died
@@ -178,7 +241,9 @@ void ChameleonTool::observe_event(sim::Rank rank,
   // accumulator is the streaming equivalent, and its per-event cost is the
   // same hash-and-insert a real implementation performs while unwinding
   // the stack — it is accounted as part of intra tracing, not clustering.
-  cham_[static_cast<std::size_t>(rank)].interval.observe(record);
+  RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  if (cs.fast_forward) return;  // resume replay: signatures restart at adoption
+  cs.interval.observe(record);
 }
 
 MarkerAction ChameleonTool::algorithm1(sim::Rank rank, sim::Pmpi& pmpi,
@@ -300,6 +365,12 @@ void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
   if (rank == home && !merged.empty()) {
     obs::Span fold_span(obs::Timeline::rank_tid(rank), "append_fold", "trace");
     trace::ChargedSection timed(st.inter_timer, pmpi);
+    if (config_.checkpointer != nullptr) {
+      // Stage the pre-append interval for the epoch delta: recovery reruns
+      // exactly this append_online on the journaled image.
+      RACE_WRITE("cham.pending", 0, 0);
+      pending_interval_wire_ = trace::encode_trace(merged);
+    }
     RACE_WRITE("cham.online", 0, 0);
     trace::append_online(online_, std::move(merged), config_.max_window,
                          &rank_perf(rank));
@@ -379,8 +450,105 @@ void ChameleonTool::record_epoch(sim::Rank rank, MarkerState state_tag,
   epochs_.push_back(std::move(record));
 }
 
+void ChameleonTool::adopt_resume_state(sim::Rank rank) {
+  RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  cs.fast_forward = false;
+  trace::RankTraceState& st = state(rank);
+  const auto it = resume_records_.find(rank);
+  if (it == resume_records_.end()) {
+    // The rank was not in the recovered epoch's live set (it is about to
+    // die again, or the whole run pre-dates clustering): trace for itself.
+    st.storing = true;
+    return;
+  }
+  const durable::RankRecord& rec = it->second;
+  cs.first_marker = rec.first_marker;
+  cs.reclustering = rec.reclustering;
+  cs.lead_phase = rec.lead_phase;
+  cs.old_callpath = rec.old_callpath;
+  cs.markers_seen = rec.markers_seen;
+  if (rec.auto_site != 0) cs.auto_site = rec.auto_site;
+  st.storing = rec.storing;
+  st.intra.restore(trace::decode_trace(rec.intra_wire));
+  cs.interval.reset();
+  if (obs::Timeline* tl = obs::timeline())
+    tl->instant(obs::Timeline::rank_tid(rank), "durable.resume", "durable",
+                {obs::arg_int("epoch", static_cast<std::int64_t>(rec.epoch))});
+}
+
+void ChameleonTool::journal_epoch(sim::Rank rank, sim::Pmpi& pmpi,
+                                  MarkerState state_tag, MarkerAction action,
+                                  bool final_epoch) {
+  durable::Checkpointer* cp = config_.checkpointer;
+  if (cp == nullptr) return;
+  RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  trace::RankTraceState& st = state(rank);
+
+  durable::RankRecord rec;
+  rec.epoch = cs.processed;
+  rec.rank = rank;
+  rec.final_epoch = final_epoch;
+  rec.first_marker = cs.first_marker;
+  rec.reclustering = cs.reclustering;
+  rec.lead_phase = cs.lead_phase;
+  rec.storing = st.storing;
+  rec.old_callpath = cs.old_callpath;
+  rec.markers_seen = cs.markers_seen;
+  rec.auto_site = cs.auto_site;
+  rec.intra_wire = trace::encode_trace(st.intra.nodes());
+  cp->append_rank_record(rec);
+
+  // Commit barrier: every live rank's record reaches the journal before the
+  // home rank's delta, so a delta present on recovery implies a complete
+  // epoch (torn tails can only cut uncommitted epochs).
+  pmpi.barrier();
+  if (rank != cs.epoch_home) return;
+
+  durable::EpochDelta delta;
+  delta.epoch = cs.processed;
+  delta.final_epoch = final_epoch;
+  delta.state = static_cast<std::uint8_t>(state_tag);
+  delta.action = static_cast<std::uint8_t>(action);
+  RACE_READ("cham.pending", 0, 0);
+  delta.gaps_wire = trace::encode_trace(pending_gaps_);
+  delta.interval_wire = pending_interval_wire_;
+  delta.clusters_wire = cs.clusters.encode();
+  // state_counts_ is written by rank 0 only; a non-zero home exists only
+  // after rank 0 died, so there is no live writer to race with.
+  RACE_READ("cham.counts", 0, 0);
+  delta.state_counts = state_counts_;
+  delta.effective_k = effective_k_;
+  delta.num_callpaths = num_callpaths_;
+  sim::Engine& eng = pmpi.engine();
+  if (eng.fault_injection_enabled() && eng.failed_count() > 0) {
+    delta.live = eng.live_ranks();
+  } else {
+    delta.live.resize(static_cast<std::size_t>(nprocs_));
+    for (int r = 0; r < nprocs_; ++r) delta.live[static_cast<std::size_t>(r)] = r;
+  }
+  RACE_READ("cham.online", 0, 0);
+  cp->commit_epoch(delta, trace::encode_trace(online_));
+  RACE_WRITE("cham.pending", 0, 0);
+  pending_gaps_.clear();
+  pending_interval_wire_.clear();
+}
+
 void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
   RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  if (cs.fast_forward) {
+    // Resume replay: count the marker cadence exactly as the original run
+    // did, but skip all tracing and protocol work (the journal already
+    // holds the outcome). At the recovered epoch the rank adopts its
+    // journaled record and goes live.
+    ++cs.markers_seen;
+    if (cs.markers_seen %
+            static_cast<std::uint64_t>(config_.call_frequency) != 0)
+      return;
+    RACE_WRITE("cham.rank", rank, 0);
+    ++cs.processed;
+    if (cs.processed >= resume_target_) adopt_resume_state(rank);
+    return;
+  }
   ++cs.markers_seen;
   if (cs.markers_seen % static_cast<std::uint64_t>(config_.call_frequency) != 0)
     return;
@@ -444,10 +612,15 @@ void ChameleonTool::handle_marker_post(sim::Rank rank, sim::Pmpi& pmpi) {
   }
 
   record_epoch(rank, state_tag, action, intra_bytes_before);
+  journal_epoch(rank, pmpi, state_tag, action, /*final_epoch=*/false);
 }
 
 void ChameleonTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
   RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
+  // Resume replay that reached finalize still fast-forwarding: the
+  // recovered epoch was the run's last marker, so adopt the journaled
+  // state now and process finalize live.
+  if (cs.fast_forward) adopt_resume_state(rank);
   const bool ft = pmpi.engine().fault_injection_enabled();
   if (ft) {
     // Settle barrier: ranks crashing at finalize entry are dead by the
@@ -501,6 +674,8 @@ void ChameleonTool::handle_finalize(sim::Rank rank, sim::Pmpi& pmpi) {
   }
 
   record_epoch(rank, MarkerState::kFinal, final_action, intra_bytes_before);
+  journal_epoch(rank, pmpi, MarkerState::kFinal, final_action,
+                /*final_epoch=*/true);
 }
 
 const trace::PerfCounters& ChameleonTool::perf_counters() const {

@@ -31,6 +31,7 @@
 #include "cluster/clusterset.hpp"
 #include "cluster/signature.hpp"
 #include "core/config.hpp"
+#include "durable/snapshot.hpp"
 #include "obs/report.hpp"
 #include "support/memtrack.hpp"
 #include "trace/tracer.hpp"
@@ -157,6 +158,10 @@ class ChameleonTool : public trace::ScalaTraceTool {
     /// shared slot (ChamRace).
     std::uint64_t processed = 0;
     cluster::ClusterSet clusters;  // own copy, as broadcast
+    /// ChamDurable resume: while set, this rank replays the workload
+    /// without tracing or protocol work; cleared when the replay reaches
+    /// the recovered epoch and the journaled record is adopted.
+    bool fast_forward = false;
     // --- §VII auto-marker detection ---
     std::uint64_t auto_site = 0;  // chosen recurring collective site
     std::unordered_map<std::uint64_t, int> site_counts;
@@ -188,6 +193,16 @@ class ChameleonTool : public trace::ScalaTraceTool {
   void record_epoch(sim::Rank rank, MarkerState state, MarkerAction action,
                     std::uint64_t intra_bytes);
 
+  /// ChamDurable: journal this rank's post-epoch record, cross the commit
+  /// barrier (records precede the delta in the journal), then have the
+  /// epoch home append the EpochDelta and fsync. No-op without a
+  /// checkpointer.
+  void journal_epoch(sim::Rank rank, sim::Pmpi& pmpi, MarkerState state,
+                     MarkerAction action, bool final_epoch);
+  /// End of the fast-forward replay: adopt this rank's recovered record
+  /// (protocol flags, partial intra trace, storing flag).
+  void adopt_resume_state(sim::Rank rank);
+
   ChameleonConfig config_;
   std::vector<RankChamState> cham_;
   std::vector<trace::TraceNode> online_;
@@ -207,6 +222,18 @@ class ChameleonTool : public trace::ScalaTraceTool {
   std::vector<support::MemTracker> mem_;
   std::vector<obs::EpochRecord> epochs_;  // appended by the epoch home only
   std::vector<std::uint64_t> epoch_digests_;  // appended by the epoch home
+
+  // --- ChamDurable ---
+  /// Processed-marker count to fast-forward through on resume (0 = fresh).
+  std::uint64_t resume_target_ = 0;
+  /// Recovered per-rank records, adopted when fast-forward ends.
+  std::unordered_map<int, durable::RankRecord> resume_records_;
+  /// Gap nodes emitted this epoch / the interval handed to append_online,
+  /// staged for the epoch delta. Written by the home rank's fiber only
+  /// (home handoffs are barrier-ordered, same single-writer argument as
+  /// online_).
+  std::vector<trace::TraceNode> pending_gaps_;
+  std::vector<std::uint8_t> pending_interval_wire_;
 };
 
 /// Assemble the `chamtrace report` input from a finished run: the recorded

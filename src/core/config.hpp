@@ -5,6 +5,11 @@
 
 #include "cluster/select.hpp"
 
+namespace cham::durable {
+class Checkpointer;
+struct RecoveredState;
+}  // namespace cham::durable
+
 namespace cham::core {
 
 struct ChameleonConfig {
@@ -54,6 +59,22 @@ struct ChameleonConfig {
   /// collective fall back to finalize-only clustering (the paper: marker
   /// automation works "in some cases").
   bool auto_marker = false;
+
+  /// ChamDurable: when set, every processed marker journals one RankRecord
+  /// per live rank plus the home rank's EpochDelta (the commit marker), and
+  /// the journal is periodically folded into an atomic snapshot. Owned by
+  /// the caller; the tool only appends/queries. Also changes failure
+  /// handling: a promoted lead restores the dead lead's last journaled
+  /// partial trace instead of emitting a GAP node (and the loss does not
+  /// count toward degrade_fraction).
+  durable::Checkpointer* checkpointer = nullptr;
+
+  /// ChamDurable resume: recovered state from durable::recover(). The tool
+  /// restores the global protocol state up front, fast-forwards the
+  /// deterministic workload replay through the first `resume->epoch`
+  /// processed markers without tracing or protocol work, then has each
+  /// rank adopt its journaled record and continue live.
+  const durable::RecoveredState* resume = nullptr;
 };
 
 /// The transition-graph states of Figure 2. kLead covers both the quiet

@@ -1,0 +1,105 @@
+#include "durable/corrupt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/rng.hpp"
+
+namespace cham::durable {
+
+namespace {
+const char* kind_name(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kTruncate: return "truncate";
+    case MutationKind::kBitFlip: return "bitflip";
+    case MutationKind::kZeroRun: return "zero_run";
+    case MutationKind::kSplice: return "splice";
+    case MutationKind::kDuplicate: return "duplicate";
+    case MutationKind::kDelete: return "delete";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string MutationReport::to_string() const {
+  std::ostringstream os;
+  os << kind_name(kind) << "@" << offset << "+" << length;
+  return os.str();
+}
+
+std::vector<std::uint8_t> mutate_image(std::vector<std::uint8_t> image,
+                                       std::uint64_t seed,
+                                       MutationReport* report) {
+  if (image.empty()) return image;
+  support::Rng rng(seed ^ 0xD0B1E5EEDull);
+  MutationReport rep;
+  rep.kind = static_cast<MutationKind>(rng.next_below(6));
+  const std::size_t size = image.size();
+  switch (rep.kind) {
+    case MutationKind::kTruncate: {
+      // Keep a strict prefix (possibly empty) — models a torn write.
+      rep.offset = static_cast<std::size_t>(rng.next_below(size));
+      rep.length = size - rep.offset;
+      image.resize(rep.offset);
+      break;
+    }
+    case MutationKind::kBitFlip: {
+      rep.length = 1 + static_cast<std::size_t>(rng.next_below(8));
+      rep.offset = static_cast<std::size_t>(rng.next_below(size));
+      for (std::size_t i = 0; i < rep.length; ++i) {
+        const std::size_t at = static_cast<std::size_t>(rng.next_below(size));
+        image[at] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+      }
+      break;
+    }
+    case MutationKind::kZeroRun: {
+      rep.offset = static_cast<std::size_t>(rng.next_below(size));
+      rep.length = 1 + static_cast<std::size_t>(rng.next_below(
+                           std::min<std::size_t>(size - rep.offset, 64)));
+      // Zeroing zeros is a no-op mutation; force at least one changed byte.
+      std::fill_n(image.begin() + static_cast<std::ptrdiff_t>(rep.offset),
+                  rep.length, std::uint8_t{0});
+      image[rep.offset] ^= 0xFF;
+      break;
+    }
+    case MutationKind::kSplice: {
+      rep.length = 1 + static_cast<std::size_t>(rng.next_below(
+                           std::min<std::size_t>(size, 64)));
+      rep.offset = static_cast<std::size_t>(rng.next_below(size - rep.length + 1));
+      const std::size_t from =
+          static_cast<std::size_t>(rng.next_below(size - rep.length + 1));
+      std::vector<std::uint8_t> chunk(
+          image.begin() + static_cast<std::ptrdiff_t>(from),
+          image.begin() + static_cast<std::ptrdiff_t>(from + rep.length));
+      std::copy(chunk.begin(), chunk.end(),
+                image.begin() + static_cast<std::ptrdiff_t>(rep.offset));
+      image[rep.offset] ^= 0x5A;  // ensure the image actually changed
+      break;
+    }
+    case MutationKind::kDuplicate: {
+      rep.length = 1 + static_cast<std::size_t>(rng.next_below(
+                           std::min<std::size_t>(size, 64)));
+      const std::size_t from =
+          static_cast<std::size_t>(rng.next_below(size - rep.length + 1));
+      rep.offset = static_cast<std::size_t>(rng.next_below(size + 1));
+      std::vector<std::uint8_t> chunk(
+          image.begin() + static_cast<std::ptrdiff_t>(from),
+          image.begin() + static_cast<std::ptrdiff_t>(from + rep.length));
+      image.insert(image.begin() + static_cast<std::ptrdiff_t>(rep.offset),
+                   chunk.begin(), chunk.end());
+      break;
+    }
+    case MutationKind::kDelete: {
+      rep.length = 1 + static_cast<std::size_t>(rng.next_below(
+                           std::min<std::size_t>(size, 64)));
+      rep.offset = static_cast<std::size_t>(rng.next_below(size - rep.length + 1));
+      image.erase(image.begin() + static_cast<std::ptrdiff_t>(rep.offset),
+                  image.begin() + static_cast<std::ptrdiff_t>(rep.offset + rep.length));
+      break;
+    }
+  }
+  if (report != nullptr) *report = rep;
+  return image;
+}
+
+}  // namespace cham::durable

@@ -1,0 +1,39 @@
+// Deterministic corruption injector for durable wire images.
+//
+// Drives the robustness contract of every decode path: given any mutated
+// snapshot/journal/trace image, decoding must either succeed or throw a
+// typed trace::DecodeError — never crash, hang, or allocate unboundedly.
+// Mutations are a pure function of (image, seed), so a failing seed from
+// the check.sh corruption matrix reproduces exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cham::durable {
+
+enum class MutationKind : std::uint8_t {
+  kTruncate = 0,   ///< drop a suffix
+  kBitFlip = 1,    ///< flip 1..8 random bits
+  kZeroRun = 2,    ///< zero a random range
+  kSplice = 3,     ///< overwrite a range with another range of the image
+  kDuplicate = 4,  ///< insert a copy of a range
+  kDelete = 5,     ///< remove a range
+};
+
+struct MutationReport {
+  MutationKind kind = MutationKind::kTruncate;
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Mutate `image` deterministically from `seed`. The result always differs
+/// from the input for non-empty images (empty in, empty out). `report`
+/// (optional) receives what was done, for failure diagnostics.
+std::vector<std::uint8_t> mutate_image(std::vector<std::uint8_t> image,
+                                       std::uint64_t seed,
+                                       MutationReport* report = nullptr);
+
+}  // namespace cham::durable

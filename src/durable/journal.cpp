@@ -1,0 +1,207 @@
+#include "durable/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+#include "durable/wire.hpp"
+#include "support/hash.hpp"
+
+namespace cham::durable {
+
+namespace {
+
+// Frame layout: magic u32, type u8, payload_len u64, checksum u64, payload.
+constexpr std::uint32_t kFrameMagic = 0x524A4843;  // "CHJR"
+constexpr std::size_t kFrameHeader = 4 + 1 + 8 + 8;
+// Journal header: magic u32, version u16, config_digest u64.
+constexpr std::size_t kJournalHeader = 4 + 2 + 8;
+
+constexpr std::size_t kMinLiveBytes = 4;
+
+[[noreturn]] void throw_sys(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_epoch_delta(const EpochDelta& delta) {
+  trace::ByteWriter w;
+  w.u64(delta.epoch);
+  w.u8(delta.final_epoch ? 1 : 0);
+  w.u8(delta.state);
+  w.u8(delta.action);
+  put_blob(w, delta.gaps_wire);
+  put_blob(w, delta.interval_wire);
+  put_blob(w, delta.clusters_wire);
+  for (const std::uint64_t c : delta.state_counts) w.u64(c);
+  w.u64(delta.effective_k);
+  w.u64(delta.num_callpaths);
+  w.u32(static_cast<std::uint32_t>(delta.live.size()));
+  for (const std::int32_t rank : delta.live) w.i32(rank);
+  return w.take();
+}
+
+EpochDelta decode_epoch_delta(const std::vector<std::uint8_t>& bytes) {
+  trace::ByteReader r(bytes);
+  EpochDelta delta;
+  delta.epoch = r.u64();
+  delta.final_epoch = r.u8() != 0;
+  delta.state = r.u8();
+  delta.action = r.u8();
+  delta.gaps_wire = get_blob(r);
+  delta.interval_wire = get_blob(r);
+  delta.clusters_wire = get_blob(r);
+  for (std::uint64_t& c : delta.state_counts) c = r.u64();
+  delta.effective_k = r.u64();
+  delta.num_callpaths = r.u64();
+  const std::uint32_t nlive = r.u32();
+  if (nlive > r.remaining() / kMinLiveBytes)
+    throw trace::DecodeError("epoch delta live count exceeds buffer");
+  delta.live.reserve(nlive);
+  for (std::uint32_t i = 0; i < nlive; ++i) delta.live.push_back(r.i32());
+  if (!r.exhausted())
+    throw trace::DecodeError("epoch delta has trailing bytes");
+  return delta;
+}
+
+std::vector<std::uint8_t> journal_header(std::uint64_t config_digest) {
+  trace::ByteWriter w;
+  w.u32(kJournalMagic);
+  w.u16(kJournalVersion);
+  w.u64(config_digest);
+  return w.take();
+}
+
+std::vector<std::uint8_t> frame_record(
+    RecordType type, const std::vector<std::uint8_t>& payload) {
+  trace::ByteWriter w;
+  w.reserve(kFrameHeader + payload.size());
+  w.u32(kFrameMagic);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(payload.size());
+  w.u64(support::fnv1a64(payload.data(), payload.size()));
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+JournalImage parse_journal(const std::vector<std::uint8_t>& bytes,
+                           std::uint64_t expect_digest) {
+  if (bytes.size() < kJournalHeader)
+    throw trace::DecodeError("journal: header truncated");
+  trace::ByteReader r(bytes);
+  if (r.u32() != kJournalMagic)
+    throw trace::DecodeError("journal: bad magic");
+  JournalImage image;
+  image.version = r.u16();
+  if (image.version == 0 || image.version > kJournalVersion)
+    throw trace::DecodeError("journal: unsupported format version " +
+                             std::to_string(image.version));
+  image.config_digest = r.u64();
+  if (expect_digest != 0 && image.config_digest != expect_digest)
+    throw trace::DecodeError("journal: config digest mismatch");
+  while (!r.exhausted()) {
+    // A frame cut short by SIGKILL is a clean end of journal; anything that
+    // parses past the header but fails verification is corruption.
+    if (r.remaining() < kFrameHeader) {
+      image.torn_tail = true;
+      break;
+    }
+    if (r.u32() != kFrameMagic)
+      throw trace::DecodeError("journal: bad record magic");
+    const std::uint8_t type = r.u8();
+    if (type != static_cast<std::uint8_t>(RecordType::kRankRecord) &&
+        type != static_cast<std::uint8_t>(RecordType::kEpochDelta))
+      throw trace::DecodeError("journal: unknown record type");
+    const std::uint64_t len = r.u64();
+    const std::uint64_t sum = r.u64();
+    if (len > r.remaining()) {
+      image.torn_tail = true;
+      break;
+    }
+    JournalRecord rec;
+    rec.type = static_cast<RecordType>(type);
+    rec.payload = r.raw(static_cast<std::size_t>(len));
+    if (support::fnv1a64(rec.payload.data(), rec.payload.size()) != sum)
+      throw trace::DecodeError("journal: record checksum mismatch");
+    image.records.push_back(std::move(rec));
+  }
+  return image;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : fd_(other.fd_), bytes_(other.bytes_), syncs_(other.syncs_) {
+  other.fd_ = -1;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    bytes_ = other.bytes_;
+    syncs_ = other.syncs_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void JournalWriter::create(const std::string& path,
+                           std::uint64_t config_digest) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw_sys("open journal: " + path);
+  bytes_ = 0;
+  const auto header = journal_header(config_digest);
+  std::size_t off = 0;
+  while (off < header.size()) {
+    const ssize_t n = ::write(fd_, header.data() + off, header.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_sys("write journal header: " + path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  bytes_ += header.size();
+  sync();
+}
+
+void JournalWriter::open_append(const std::string& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) throw_sys("open journal for append: " + path);
+  bytes_ = 0;
+}
+
+void JournalWriter::append(RecordType type,
+                           const std::vector<std::uint8_t>& payload) {
+  const auto frame = frame_record(type, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_sys("append journal record");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  bytes_ += frame.size();
+}
+
+void JournalWriter::sync() {
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0) throw_sys("fsync journal");
+  ++syncs_;
+}
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace cham::durable

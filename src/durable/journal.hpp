@@ -1,0 +1,110 @@
+// Write-ahead journal of per-epoch protocol deltas.
+//
+// Between snapshots every committed epoch appends to `journal.bin`: first
+// one RankRecord per live rank (each written by its owning fiber before the
+// epoch's closing barrier), then a single EpochDelta written by the home
+// rank — the commit marker. Recovery replays deltas in file order on top of
+// the last snapshot; an epoch whose delta never hit the disk is simply not
+// part of the run. The final frame of a SIGKILL'd journal may be torn —
+// that exact case (clean truncation mid-frame) is tolerated and reported;
+// every other inconsistency (checksum, type, magic, mid-file damage) is a
+// typed trace::DecodeError.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "durable/snapshot.hpp"
+
+namespace cham::durable {
+
+inline constexpr std::uint16_t kJournalVersion = 1;
+
+enum class RecordType : std::uint8_t {
+  kRankRecord = 1,
+  kEpochDelta = 2,
+};
+
+/// The home rank's per-epoch commit record: everything the global protocol
+/// state gained this epoch. Counters are absolute (not increments) so a
+/// replayed prefix is insensitive to where the snapshot cut the journal.
+struct EpochDelta {
+  std::uint64_t epoch = 0;
+  bool final_epoch = false;  ///< finalize flush, not a marker epoch
+  std::uint8_t state = 0;    ///< MarkerState after the vote
+  std::uint8_t action = 0;   ///< MarkerAction taken
+  /// GAP nodes emitted for leads that died this epoch (pre-interval).
+  std::vector<std::uint8_t> gaps_wire;
+  /// encode_trace() of the merged interval handed to append_online.
+  std::vector<std::uint8_t> interval_wire;
+  /// ClusterSet::encode() of the table after this epoch (may be empty).
+  std::vector<std::uint8_t> clusters_wire;
+  std::array<std::uint64_t, 4> state_counts{};  ///< cumulative AT/C/L/F
+  std::uint64_t effective_k = 0;
+  std::uint64_t num_callpaths = 0;
+  /// Ranks that participated; recovery requires a same-epoch RankRecord for
+  /// each before accepting the delta as committed.
+  std::vector<std::int32_t> live;
+};
+
+std::vector<std::uint8_t> encode_epoch_delta(const EpochDelta& delta);
+EpochDelta decode_epoch_delta(const std::vector<std::uint8_t>& bytes);
+
+/// One parsed journal frame.
+struct JournalRecord {
+  RecordType type = RecordType::kRankRecord;
+  std::vector<std::uint8_t> payload;
+};
+
+struct JournalImage {
+  std::uint16_t version = 0;
+  std::uint64_t config_digest = 0;
+  std::vector<JournalRecord> records;
+  /// True when the file ended mid-frame (interrupted append). The torn
+  /// frame is dropped; everything before it is intact and checksummed.
+  bool torn_tail = false;
+};
+
+/// Parse a raw journal file image. `expect_digest` != 0 pins the config
+/// digest. Throws trace::DecodeError on header or mid-file corruption.
+JournalImage parse_journal(const std::vector<std::uint8_t>& bytes,
+                           std::uint64_t expect_digest);
+
+/// Header-only image for a fresh journal file.
+std::vector<std::uint8_t> journal_header(std::uint64_t config_digest);
+
+/// Frame a record for appending: magic, type, length, checksum, payload.
+std::vector<std::uint8_t> frame_record(RecordType type,
+                                       const std::vector<std::uint8_t>& payload);
+
+/// Append-only journal file handle with explicit sync points.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Create/truncate `path` with a fresh header (fsynced).
+  void create(const std::string& path, std::uint64_t config_digest);
+  /// Reopen an existing journal for appending (no header rewrite).
+  void open_append(const std::string& path);
+  void append(RecordType type, const std::vector<std::uint8_t>& payload);
+  /// fsync the journal fd — the epoch commit point.
+  void sync();
+  void close();
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] std::uint64_t syncs() const { return syncs_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+}  // namespace cham::durable

@@ -1,0 +1,177 @@
+#include "durable/wire.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <system_error>
+
+#include "support/hash.hpp"
+
+namespace cham::durable {
+
+namespace {
+
+// Envelope layout: magic u32, version u16, config_digest u64, payload_len
+// u64, checksum u64, payload bytes.
+constexpr std::size_t kEnvelopeHeader = 4 + 2 + 8 + 8 + 8;
+
+[[noreturn]] void throw_sys(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+std::string dirname_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) throw_sys("open for fsync: " + path);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_sys("fsync: " + path);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> seal(std::uint32_t magic, std::uint16_t version,
+                               std::uint64_t config_digest,
+                               const std::vector<std::uint8_t>& payload) {
+  trace::ByteWriter w;
+  w.reserve(kEnvelopeHeader + payload.size());
+  w.u32(magic);
+  w.u16(version);
+  w.u64(config_digest);
+  w.u64(payload.size());
+  w.u64(support::fnv1a64(payload.data(), payload.size()));
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+Envelope unseal(std::uint32_t magic, std::uint16_t max_version,
+                std::uint64_t expect_digest,
+                const std::vector<std::uint8_t>& bytes,
+                std::string_view what) {
+  const std::string tag(what);
+  if (bytes.size() < kEnvelopeHeader)
+    throw trace::DecodeError(tag + ": header truncated");
+  trace::ByteReader r(bytes);
+  if (r.u32() != magic) throw trace::DecodeError(tag + ": bad magic");
+  Envelope env;
+  env.version = r.u16();
+  if (env.version == 0 || env.version > max_version)
+    throw trace::DecodeError(tag + ": unsupported format version " +
+                             std::to_string(env.version) + " (max " +
+                             std::to_string(max_version) + ")");
+  env.config_digest = r.u64();
+  if (expect_digest != 0 && env.config_digest != expect_digest)
+    throw trace::DecodeError(tag + ": config digest mismatch");
+  const std::uint64_t len = r.u64();
+  const std::uint64_t sum = r.u64();
+  if (len != r.remaining())
+    throw trace::DecodeError(tag + ": payload length mismatch");
+  env.payload = r.raw(static_cast<std::size_t>(len));
+  if (support::fnv1a64(env.payload.data(), env.payload.size()) != sum)
+    throw trace::DecodeError(tag + ": checksum mismatch");
+  return env;
+}
+
+void put_string(trace::ByteWriter& w, std::string_view s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  w.bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+std::string get_string(trace::ByteReader& r) {
+  const std::uint32_t len = r.u32();
+  if (len > r.remaining())
+    throw trace::DecodeError("string length exceeds buffer");
+  const auto bytes = r.raw(len);
+  return {bytes.begin(), bytes.end()};
+}
+
+void put_blob(trace::ByteWriter& w, const std::vector<std::uint8_t>& bytes) {
+  w.u64(bytes.size());
+  w.bytes(bytes.data(), bytes.size());
+}
+
+std::vector<std::uint8_t> get_blob(trace::ByteReader& r) {
+  const std::uint64_t len = r.u64();
+  if (len > r.remaining())
+    throw trace::DecodeError("blob length exceeds buffer");
+  return r.raw(static_cast<std::size_t>(len));
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_sys("open: " + path);
+  std::vector<std::uint8_t> out;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_sys("read: " + path);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void write_file_sync(const std::string& path,
+                     const std::vector<std::uint8_t>& bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_sys("open: " + path);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_sys("write: " + path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_sys("fsync: " + path);
+  }
+  ::close(fd);
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  write_file_sync(tmp, bytes);
+  if (::rename(tmp.c_str(), path.c_str()) != 0)
+    throw_sys("rename: " + tmp + " -> " + path);
+  fsync_path(dirname_of(path), O_RDONLY | O_DIRECTORY);
+}
+
+void fsync_dir(const std::string& dir) {
+  fsync_path(dir, O_RDONLY | O_DIRECTORY);
+}
+
+}  // namespace cham::durable

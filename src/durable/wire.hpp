@@ -1,0 +1,71 @@
+// Durable wire envelopes and file primitives.
+//
+// Every artifact ChamDurable puts on disk (manifest, snapshot, journal) is
+// wrapped in the same self-describing envelope: magic, format version, the
+// run's config digest (so artifacts from different runs can never be mixed),
+// payload length, and an FNV-1a checksum over the payload. Decoding verifies
+// all of it and throws trace::DecodeError — never crashes, hangs or
+// allocates past the input size — which is the contract the corruption
+// injector (corrupt.hpp) drives every path to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/serialize.hpp"
+
+namespace cham::durable {
+
+/// Artifact magics ("CHM1"/"CHS1"/"CHJ1" little-endian).
+inline constexpr std::uint32_t kManifestMagic = 0x314D4843;
+inline constexpr std::uint32_t kSnapshotMagic = 0x31534843;
+inline constexpr std::uint32_t kJournalMagic = 0x314A4843;
+
+/// Wrap a payload in the versioned, checksummed envelope.
+std::vector<std::uint8_t> seal(std::uint32_t magic, std::uint16_t version,
+                               std::uint64_t config_digest,
+                               const std::vector<std::uint8_t>& payload);
+
+struct Envelope {
+  std::uint16_t version = 0;
+  std::uint64_t config_digest = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Verify magic/version/length/checksum and extract the payload. Pass
+/// `expect_digest` != 0 to also pin the config digest; `max_version` rejects
+/// future-versioned artifacts with a clear diagnostic.
+Envelope unseal(std::uint32_t magic, std::uint16_t max_version,
+                std::uint64_t expect_digest,
+                const std::vector<std::uint8_t>& bytes,
+                std::string_view what);
+
+/// Length-prefixed string/blob helpers shared by the durable encoders. The
+/// readers bound the declared length by the bytes remaining.
+void put_string(trace::ByteWriter& w, std::string_view s);
+std::string get_string(trace::ByteReader& r);
+void put_blob(trace::ByteWriter& w, const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> get_blob(trace::ByteReader& r);
+
+// --- file primitives (throw std::system_error on OS failures) -------------
+
+/// Whole-file read. Missing file throws std::system_error(ENOENT).
+std::vector<std::uint8_t> read_file(const std::string& path);
+[[nodiscard]] bool file_exists(const std::string& path);
+
+/// Write to `path` and fsync the file (not the directory).
+void write_file_sync(const std::string& path,
+                     const std::vector<std::uint8_t>& bytes);
+
+/// Crash-atomic publish: write `<path>.tmp`, fsync, rename over `path`,
+/// fsync the containing directory. Readers see the old image or the new
+/// one, never a torn file.
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// fsync a directory so a completed rename survives a crash.
+void fsync_dir(const std::string& dir);
+
+}  // namespace cham::durable

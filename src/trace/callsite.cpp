@@ -36,6 +36,20 @@ std::uint64_t intern_site(std::string_view name) {
   return id;
 }
 
+std::vector<std::pair<std::uint64_t, std::string>> export_sites() {
+  RACE_ATOMIC("trace.sites", 0, 0);
+  const std::lock_guard<std::mutex> lock(sites_mutex());
+  const auto& names = site_names();
+  return {names.begin(), names.end()};  // std::map: already sorted by id
+}
+
+void import_sites(
+    const std::vector<std::pair<std::uint64_t, std::string>>& sites) {
+  RACE_ATOMIC("trace.sites", 0, 0);
+  const std::lock_guard<std::mutex> lock(sites_mutex());
+  for (const auto& [id, name] : sites) site_names().emplace(id, name);
+}
+
 std::string site_name(std::uint64_t site) {
   RACE_ATOMIC("trace.sites", 0, 0);
   const std::lock_guard<std::mutex> lock(sites_mutex());

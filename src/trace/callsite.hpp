@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -33,6 +34,14 @@ std::uint64_t intern_site(std::string_view name);
 /// Name of an interned site, or "site:0x<hex>" for ids never interned
 /// (e.g. scopes branded with a bare site_id()).
 std::string site_name(std::uint64_t site);
+
+/// Snapshot of the whole intern table, sorted by id (ChamDurable persists
+/// it so resumed runs and imported traces keep symbolic backtraces).
+std::vector<std::pair<std::uint64_t, std::string>> export_sites();
+
+/// Re-intern a persisted table (insert-if-absent, existing entries win).
+void import_sites(
+    const std::vector<std::pair<std::uint64_t, std::string>>& sites);
 
 class CallStack {
  public:

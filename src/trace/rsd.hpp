@@ -58,6 +58,15 @@ class IntraTrace {
   /// Move the compressed trace out, leaving this trace empty.
   [[nodiscard]] std::vector<TraceNode> take();
 
+  /// Adopt an already-compressed node sequence (ChamDurable: a resumed run
+  /// restores the journaled partial trace, a promoted lead adopts a dead
+  /// lead's last durable image). The rolling fold state is rebuilt lazily by
+  /// the next append.
+  void restore(std::vector<TraceNode> nodes) {
+    nodes_ = std::move(nodes);
+    fold_state_.clear();
+  }
+
   void clear() {
     nodes_.clear();
     fold_state_.clear();

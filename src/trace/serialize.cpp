@@ -62,6 +62,14 @@ std::uint64_t ByteReader::u64() {
   return v;
 }
 
+std::vector<std::uint8_t> ByteReader::raw(std::size_t n) {
+  need(n);
+  std::vector<std::uint8_t> out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
 double ByteReader::f64() {
   const std::uint64_t bits = u64();
   double v = 0;
@@ -82,20 +90,43 @@ void encode_ranklist(ByteWriter& w, const RankList& ranks) {
   }
 }
 
+namespace {
+
+/// Ceiling on the member count any single decoded ranklist may expand to.
+/// Generous for the 64k-rank roadmap scale, but small enough that a hostile
+/// <iters> product cannot balloon the expansion vector: decode throws before
+/// allocating past it.
+constexpr std::uint64_t kMaxDecodedRanks = 1ull << 24;
+
+/// Minimum encoded sizes, used to bound length-prefixed element counts by
+/// the bytes actually left in the buffer.
+constexpr std::size_t kMinSectionBytes = 4 + 2;       // start + ndims
+constexpr std::size_t kMinNodeBytes = 1 + 8 + 4;      // empty loop node
+
+}  // namespace
+
 RankList decode_ranklist(ByteReader& r) {
   const std::size_t nsections = r.u16();
+  if (nsections > r.remaining() / kMinSectionBytes)
+    throw DecodeError("ranklist section count exceeds buffer");
   std::vector<sim::Rank> ranks;
   for (std::size_t s = 0; s < nsections; ++s) {
     RankSection sec;
     sec.start = r.i32();
     const std::size_t ndims = r.u16();
     if (ndims > 8) throw DecodeError("ranklist dimension count implausible");
+    std::uint64_t expanded = 1;
     for (std::size_t d = 0; d < ndims; ++d) {
       const int iters = r.i32();
       const int stride = r.i32();
       if (iters <= 0) throw DecodeError("non-positive ranklist iteration");
+      expanded *= static_cast<std::uint64_t>(iters);
+      if (expanded > kMaxDecodedRanks)
+        throw DecodeError("ranklist expansion exceeds member cap");
       sec.dims.push_back({iters, stride});
     }
+    if (ranks.size() + expanded > kMaxDecodedRanks)
+      throw DecodeError("ranklist expansion exceeds member cap");
     sec.expand_into(ranks);
   }
   return RankList::from_ranks(std::move(ranks));
@@ -195,6 +226,8 @@ TraceNode decode_node(ByteReader& r) {
     if (iters == 0) throw DecodeError("loop with zero iterations");
     const std::uint32_t len = r.u32();
     if (len > (1u << 20)) throw DecodeError("loop body length implausible");
+    if (len > r.remaining() / kMinNodeBytes)
+      throw DecodeError("loop body length exceeds buffer");
     std::vector<TraceNode> body;
     body.reserve(len);
     for (std::uint32_t i = 0; i < len; ++i) body.push_back(decode_node(r));
@@ -262,6 +295,8 @@ std::vector<TraceNode> decode_trace(const std::vector<std::uint8_t>& bytes) {
   ByteReader r(bytes);
   const std::uint32_t len = r.u32();
   if (len > (1u << 24)) throw DecodeError("trace length implausible");
+  if (len > r.remaining() / kMinNodeBytes)
+    throw DecodeError("trace length exceeds buffer");
   std::vector<TraceNode> nodes;
   nodes.reserve(len);
   for (std::uint32_t i = 0; i < len; ++i) nodes.push_back(decode_node(r));

@@ -49,6 +49,14 @@ class ByteReader {
 
   [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
 
+  /// Copy out `n` raw bytes (bounds-checked; throws DecodeError short).
+  std::vector<std::uint8_t> raw(std::size_t n);
+
+  /// Bytes left to read. Decoders bound every length-prefixed allocation by
+  /// this (each deferred element still occupies a known minimum encoding),
+  /// so a hostile length field throws DecodeError before reserving memory.
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+
  private:
   void need(std::size_t n) const;
   const std::vector<std::uint8_t>& buf_;

@@ -1,0 +1,47 @@
+# Uniform CLI input-error contract (docs/DURABILITY.md): bad input files
+# exit 2 with one typed diagnostic line — plain by default, a JSON object
+# under --log-json — and missing files surface as io errors, not crashes.
+# Invoked by ctest with -DCHAMTRACE=<binary> -DWORKDIR=<scratch>.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+# A corrupt trace file: valid-looking length prefix, garbage body.
+file(WRITE ${WORKDIR}/corrupt.bin "\x07\x00\x00\x00garbagegarbage")
+
+execute_process(
+  COMMAND ${CHAMTRACE} show ${WORKDIR}/corrupt.bin
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "corrupt trace: expected exit 2, got ${rc}")
+endif()
+if(NOT err MATCHES "chamtrace: decode error:")
+  message(FATAL_ERROR "corrupt trace: missing typed diagnostic: ${err}")
+endif()
+
+execute_process(
+  COMMAND ${CHAMTRACE} show ${WORKDIR}/corrupt.bin --log-json
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 2 OR NOT err MATCHES "\"kind\":\"decode\"")
+  message(FATAL_ERROR "corrupt trace --log-json: got ${rc}: ${err}")
+endif()
+
+execute_process(
+  COMMAND ${CHAMTRACE} show ${WORKDIR}/no_such_file.bin
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 2 OR NOT err MATCHES "chamtrace: io error:")
+  message(FATAL_ERROR "missing trace: got ${rc}: ${err}")
+endif()
+
+execute_process(
+  COMMAND ${CHAMTRACE} run --resume ${WORKDIR}/no_such_dir
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 2 OR NOT err MATCHES "chamtrace: io error:")
+  message(FATAL_ERROR "missing checkpoint dir: got ${rc}: ${err}")
+endif()
+
+execute_process(
+  COMMAND ${CHAMTRACE} replay ${WORKDIR}/corrupt.bin --procs 4
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 2 OR NOT err MATCHES "chamtrace: decode error:")
+  message(FATAL_ERROR "replay corrupt trace: got ${rc}: ${err}")
+endif()

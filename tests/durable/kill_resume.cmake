@@ -1,0 +1,59 @@
+# Drives the CLI kill/resume smoke: reference checkpointed run, a second
+# run SIGKILL'd mid-epoch by the --kill-at-epoch test hook, then --resume,
+# and finally a byte comparison of the two cluster-table wire images.
+# Invoked by ctest with -DCHAMTRACE=<binary> -DWORKDIR=<scratch>.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(
+  COMMAND ${CHAMTRACE} run --workload lu --procs 8 --class S
+          --checkpoint-dir ${WORKDIR}/ref
+          --clusters-out ${WORKDIR}/ref-clusters.bin
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference checkpointed run failed: ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CHAMTRACE} run --workload lu --procs 8 --class S
+          --checkpoint-dir ${WORKDIR}/kill --kill-at-epoch 4
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+# The hook raises SIGKILL: execute_process reports the signal, not 0.
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--kill-at-epoch run was expected to die, exited 0")
+endif()
+
+execute_process(
+  COMMAND ${CHAMTRACE} run --resume ${WORKDIR}/kill
+          --clusters-out ${WORKDIR}/res-clusters.bin
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resume failed (${rc}): ${out}")
+endif()
+if(NOT out MATCHES "recovered lu/8")
+  message(FATAL_ERROR "resume did not report recovery: ${out}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/ref-clusters.bin ${WORKDIR}/res-clusters.bin
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed cluster table differs from the reference run")
+endif()
+
+# Resuming the now-finalized directory serves outputs without re-running.
+execute_process(
+  COMMAND ${CHAMTRACE} run --resume ${WORKDIR}/kill
+          --clusters-out ${WORKDIR}/fin-clusters.bin
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "already finalized")
+  message(FATAL_ERROR "finalized resume failed (${rc}): ${out}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/ref-clusters.bin ${WORKDIR}/fin-clusters.bin
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "finalized-resume cluster table differs")
+endif()

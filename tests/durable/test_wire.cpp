@@ -1,0 +1,131 @@
+// Durable envelope + file primitives: every corruption is a typed
+// trace::DecodeError, every OS failure a std::system_error.
+#include "durable/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <system_error>
+
+namespace cham::durable {
+namespace {
+
+std::vector<std::uint8_t> payload_bytes() {
+  return {0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03};
+}
+
+TEST(Envelope, RoundTrip) {
+  const auto sealed = seal(kSnapshotMagic, 1, 0x1234, payload_bytes());
+  const Envelope env = unseal(kSnapshotMagic, 1, 0x1234, sealed, "snapshot");
+  EXPECT_EQ(env.version, 1);
+  EXPECT_EQ(env.config_digest, 0x1234u);
+  EXPECT_EQ(env.payload, payload_bytes());
+}
+
+TEST(Envelope, DigestZeroSkipsPinning) {
+  const auto sealed = seal(kManifestMagic, 1, 0x9999, payload_bytes());
+  EXPECT_NO_THROW(unseal(kManifestMagic, 1, 0, sealed, "manifest"));
+}
+
+TEST(Envelope, WrongMagicRejected) {
+  const auto sealed = seal(kSnapshotMagic, 1, 7, payload_bytes());
+  EXPECT_THROW(unseal(kJournalMagic, 1, 7, sealed, "journal"),
+               trace::DecodeError);
+}
+
+TEST(Envelope, FutureVersionRejectedWithDiagnostic) {
+  const auto sealed = seal(kSnapshotMagic, 2, 7, payload_bytes());
+  try {
+    unseal(kSnapshotMagic, 1, 7, sealed, "snapshot");
+    FAIL() << "future version accepted";
+  } catch (const trace::DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported format version"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Envelope, DigestMismatchRejected) {
+  const auto sealed = seal(kSnapshotMagic, 1, 7, payload_bytes());
+  EXPECT_THROW(unseal(kSnapshotMagic, 1, 8, sealed, "snapshot"),
+               trace::DecodeError);
+}
+
+TEST(Envelope, EveryPayloadBitFlipRejected) {
+  const auto sealed = seal(kSnapshotMagic, 1, 7, payload_bytes());
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    auto bad = sealed;
+    bad[i] ^= 0x40;
+    EXPECT_THROW(unseal(kSnapshotMagic, 1, 7, bad, "snapshot"),
+                 trace::DecodeError)
+        << "flip at byte " << i << " slipped through";
+  }
+}
+
+TEST(Envelope, EveryTruncationRejected) {
+  const auto sealed = seal(kSnapshotMagic, 1, 7, payload_bytes());
+  for (std::size_t keep = 0; keep < sealed.size(); ++keep) {
+    const std::vector<std::uint8_t> bad(sealed.begin(),
+                                        sealed.begin() + keep);
+    EXPECT_THROW(unseal(kSnapshotMagic, 1, 7, bad, "snapshot"),
+                 trace::DecodeError)
+        << "truncation to " << keep << " bytes slipped through";
+  }
+}
+
+TEST(Envelope, TrailingGarbageRejected) {
+  auto sealed = seal(kSnapshotMagic, 1, 7, payload_bytes());
+  sealed.push_back(0x00);
+  EXPECT_THROW(unseal(kSnapshotMagic, 1, 7, sealed, "snapshot"),
+               trace::DecodeError);
+}
+
+TEST(StringBlob, RoundTrip) {
+  trace::ByteWriter w;
+  put_string(w, "phase.steady");
+  put_blob(w, payload_bytes());
+  put_string(w, "");
+  const auto buf = w.take();
+  trace::ByteReader r(buf);
+  EXPECT_EQ(get_string(r), "phase.steady");
+  EXPECT_EQ(get_blob(r), payload_bytes());
+  EXPECT_EQ(get_string(r), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(StringBlob, OversizedLengthClaimsRejected) {
+  // A corrupt length prefix must be bounded by the remaining buffer, not
+  // trusted into a giant allocation.
+  trace::ByteWriter ws;
+  ws.u32(0xFFFFFFFFu);
+  const auto bs = ws.take();
+  trace::ByteReader rs(bs);
+  EXPECT_THROW(get_string(rs), trace::DecodeError);
+
+  trace::ByteWriter wb;
+  wb.u64(0xFFFFFFFFFFFFFFFFull);
+  const auto bb = wb.take();
+  trace::ByteReader rb(bb);
+  EXPECT_THROW(get_blob(rb), trace::DecodeError);
+}
+
+TEST(Files, MissingFileIsSystemError) {
+  EXPECT_THROW(read_file(testing::TempDir() + "/durable_no_such_file.bin"),
+               std::system_error);
+  EXPECT_FALSE(file_exists(testing::TempDir() + "/durable_no_such_file.bin"));
+}
+
+TEST(Files, AtomicWriteRoundTrip) {
+  const std::string path = testing::TempDir() + "/durable_wire_atomic.bin";
+  write_file_atomic(path, payload_bytes());
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_EQ(read_file(path), payload_bytes());
+  // Overwrite publishes the new image, and no .tmp residue survives.
+  write_file_atomic(path, {0x42});
+  EXPECT_EQ(read_file(path), std::vector<std::uint8_t>{0x42});
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cham::durable

@@ -114,6 +114,28 @@ TEST(Serialize, GarbageRejected) {
   EXPECT_THROW(decode_trace(garbage), DecodeError);
 }
 
+TEST(Serialize, OversizedCountClaimsRejectedWithoutAllocation) {
+  // A corrupt header claiming 4 billion nodes must be rejected by the
+  // remaining-bytes bound before any reservation, not OOM the process.
+  std::vector<std::uint8_t> huge = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_THROW(decode_trace(huge), DecodeError);
+  // Same for a ranklist whose element count exceeds the buffer.
+  ByteWriter w;
+  w.u32(0xFFFFFFFFu);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(decode_ranklist(r), DecodeError);
+}
+
+TEST(Serialize, ReaderRawBoundsChecked) {
+  const std::vector<std::uint8_t> buf = {1, 2, 3};
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_EQ(r.raw(2), (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW(r.raw(2), DecodeError);
+}
+
 TEST(Serialize, TrailingBytesRejected) {
   auto buf = encode_trace({TraceNode::leaf(sample_event(9))});
   buf.push_back(0);

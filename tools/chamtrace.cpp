@@ -4,13 +4,18 @@
 //       List the built-in benchmark workloads.
 //   chamtrace run --workload lu --procs 64 [--tool chameleon|scalatrace|
 //       acurdion|none] [--k K] [--freq N] [--class A-D] [--steps N]
-//       [--auto-marker] [--fault plan] [--fault-seed N]
-//       [--out trace.bin] [--text] [--perf]
+//       [--auto-marker] [--fault plan] [--fault-seed N] [--sched-seed N]
+//       [--out trace.bin] [--clusters-out c.bin] [--text] [--perf]
+//       [--checkpoint-dir d] [--snapshot-every N] [--resume d]
 //       [--timeline t.json] [--metrics-out m.json] [--log-json]
 //       Trace a workload and write the global/online trace. --fault takes a
 //       fault-plan file, or an inline ';'-separated plan (docs/FAULTS.md);
 //       the run then exercises the fault-tolerant protocol and the merged
 //       trace may contain GAP nodes for intervals lost with dead leads.
+//       --checkpoint-dir journals every marker epoch and periodically folds
+//       the journal into an atomic snapshot (docs/DURABILITY.md); --resume
+//       recovers from such a directory and continues the interrupted run —
+//       every other run option is taken from the stored manifest.
 //       --timeline records what the runtime itself did as Chrome
 //       trace-event JSON (open in Perfetto); --metrics-out exports the
 //       ChamScope metrics registry; --tool none runs the bare simulator
@@ -34,12 +39,15 @@
 //       Print a trace file in the human-readable PRSD form plus statistics.
 //   chamtrace replay trace.bin --procs 64
 //       Replay a trace at the given scale and report virtual time.
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <memory>
 #include <optional>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "analysis/diagnostic.hpp"
@@ -48,6 +56,7 @@
 #include "analysis/race/determinism.hpp"
 #include "core/acurdion.hpp"
 #include "core/chameleon.hpp"
+#include "durable/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/timeline.hpp"
@@ -75,9 +84,14 @@ int usage() {
       "scalatrace|acurdion|none]\n"
       "               [--k <K>] [--freq <N>] [--class A|B|C|D] [--steps <N>]"
       " [--auto-marker]\n"
-      "               [--fault <plan-file-or-inline>] [--fault-seed <N>]\n"
-      "               [--out <file>] [--text] [--perf]\n"
+      "               [--fault <plan-file-or-inline>] [--fault-seed <N>]"
+      " [--sched-seed <N>]\n"
+      "               [--checkpoint-dir <dir>] [--snapshot-every <N>]\n"
+      "               [--out <file>] [--clusters-out <file>] [--text]"
+      " [--perf]\n"
       "               [--timeline <file>] [--metrics-out <file>] [--log-json]\n"
+      "  chamtrace run --resume <dir> [--out <file>] [--clusters-out <file>]"
+      " [output options]\n"
       "  chamtrace report --workload <name> --procs <P> [--format text|csv|"
       "json] [--out <file>]\n"
       "               [run options]\n"
@@ -141,7 +155,9 @@ sim::FaultPlan load_fault_plan(const std::string& arg, std::uint64_t seed) {
 
 std::vector<trace::TraceNode> load_trace(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in)
+    throw std::system_error(errno != 0 ? errno : ENOENT,
+                            std::generic_category(), "cannot open " + path);
   std::vector<std::uint8_t> bytes(std::istreambuf_iterator<char>(in), {});
   return trace::decode_trace(bytes);
 }
@@ -232,6 +248,10 @@ struct WorkloadRun {
   std::optional<sim::Engine> engine;
   std::optional<trace::CallSiteRegistry> stacks;
   std::optional<sim::FaultInjector> injector;
+  /// ChamDurable: set by --checkpoint-dir / --resume; the config holds a
+  /// non-owning pointer, so these must outlive the tool below them.
+  std::unique_ptr<durable::Checkpointer> checkpointer;
+  std::optional<durable::RecoveredState> recovered;
   std::optional<trace::ScalaTraceTool> scalatrace;
   std::optional<core::ChameleonTool> chameleon;
   std::optional<core::AcurdionTool> acurdion;
@@ -264,7 +284,9 @@ int setup_run(const Args& args, WorkloadRun& run) {
       args.value("--freq").value_or(std::to_string(run.info->default_freq)));
   run.config.auto_marker = args.has("--auto-marker");
 
-  run.engine.emplace(sim::EngineOptions{.nprocs = run.procs});
+  run.engine.emplace(sim::EngineOptions{
+      .nprocs = run.procs,
+      .sched_seed = std::stoull(args.value("--sched-seed").value_or("0"))});
   run.stacks.emplace(run.procs);
   if (const auto fault = args.value("--fault")) {
     const std::uint64_t seed =
@@ -296,6 +318,126 @@ int setup_run(const Args& args, WorkloadRun& run) {
 void execute(WorkloadRun& run) {
   run.engine->run(
       [&](sim::Mpi& mpi) { run.info->run(mpi, *run.stacks, run.params); });
+}
+
+// --------------------------------------------------------------------------
+// ChamDurable wiring
+// --------------------------------------------------------------------------
+
+/// Everything a later `--resume` needs to re-execute this run
+/// deterministically, captured from the fully resolved options.
+durable::RunManifest make_manifest(const Args& args, const WorkloadRun& run) {
+  durable::RunManifest m;
+  m.workload = std::string(run.info->name);
+  m.cls = std::string(1, run.params.cls);
+  m.timesteps = run.params.timesteps;
+  m.procs = run.procs;
+  m.k = run.config.k;
+  m.call_frequency = run.config.call_frequency;
+  m.max_window = run.config.max_window;
+  m.policy = static_cast<std::uint8_t>(run.config.policy);
+  m.seed = run.config.seed;
+  m.degrade_fraction = run.config.degrade_fraction;
+  m.auto_marker = run.config.auto_marker;
+  if (run.injector) {
+    m.fault_plan = run.injector->plan().to_string();
+    m.fault_seed = run.injector->plan().seed;
+  }
+  m.sched_seed = std::stoull(args.value("--sched-seed").value_or("0"));
+  m.snapshot_every = std::stoi(args.value("--snapshot-every").value_or("8"));
+  return m;
+}
+
+/// Crash faults keyed on call/marker/site indices fire identically during
+/// the fast-forward replay, but toolop crashes and message drops hang off
+/// tool communication the fast-forward skips — resuming such a plan would
+/// diverge from the original run, so refuse it up front.
+bool plan_replayable_on_resume(const sim::FaultPlan& plan) {
+  for (const auto& spec : plan.faults) {
+    if (spec.kind == sim::FaultKind::kDrop) return false;
+    if (spec.kind == sim::FaultKind::kCrash && spec.at_toolop != 0)
+      return false;
+  }
+  return true;
+}
+
+durable::CheckpointerOptions checkpointer_options(const Args& args,
+                                                 std::int32_t snapshot_every) {
+  durable::CheckpointerOptions opts;
+  opts.snapshot_every = snapshot_every;
+  opts.kill_after_epoch =
+      std::stoull(args.value("--kill-at-epoch").value_or("0"));
+  return opts;
+}
+
+/// `run --resume <dir>`: recover the durable state and rebuild the whole
+/// run from the stored manifest (CLI workload/config flags are ignored —
+/// the resumed run must replay the original one). Leaves run.engine unset
+/// when the recovered run had already finalized: there is nothing left to
+/// execute and the caller serves outputs straight from the recovery.
+int setup_resume(const Args& args, const std::string& dir, WorkloadRun& run) {
+  run.recovered.emplace(durable::recover(dir));
+  const durable::RunManifest& m = run.recovered->manifest;
+  run.info = workloads::find_workload(m.workload);
+  if (run.info == nullptr) {
+    std::fprintf(stderr, "checkpoint manifest names unknown workload '%s'\n",
+                 m.workload.c_str());
+    return 2;
+  }
+  std::optional<sim::FaultPlan> plan;
+  if (!m.fault_plan.empty()) {
+    plan = sim::FaultPlan::parse(m.fault_plan, m.fault_seed);
+    if (!plan_replayable_on_resume(*plan)) {
+      std::fprintf(stderr,
+                   "cannot resume: the run's fault plan contains toolop "
+                   "crashes or message drops, which do not replay "
+                   "identically through the fast-forward "
+                   "(docs/DURABILITY.md)\n");
+      return 2;
+    }
+  }
+  std::printf(
+      "recovered %s/%d from %s: epoch %llu (snapshot %llu + %llu journal "
+      "epoch(s)%s)%s\n",
+      m.workload.c_str(), m.procs, dir.c_str(),
+      static_cast<unsigned long long>(run.recovered->epoch),
+      static_cast<unsigned long long>(run.recovered->snapshot_epoch),
+      static_cast<unsigned long long>(run.recovered->journal_epochs_replayed),
+      run.recovered->journal_torn_tail ? ", torn tail dropped" : "",
+      run.recovered->finalized ? ", already finalized" : "");
+  if (run.recovered->finalized) return 0;
+
+  run.procs = m.procs;
+  run.tool_name = "chameleon";
+  run.params.cls = m.cls.empty() ? 'D' : m.cls[0];
+  run.params.timesteps = m.timesteps;
+  run.config.k = m.k;
+  run.config.call_frequency = m.call_frequency;
+  run.config.max_window = m.max_window;
+  run.config.policy = static_cast<cluster::SelectPolicy>(m.policy);
+  run.config.seed = m.seed;
+  run.config.degrade_fraction = m.degrade_fraction;
+  run.config.auto_marker = m.auto_marker;
+
+  run.engine.emplace(
+      sim::EngineOptions{.nprocs = run.procs, .sched_seed = m.sched_seed});
+  run.stacks.emplace(run.procs);
+  if (plan) {
+    run.injector.emplace(*plan);
+    run.engine->set_fault_injector(&*run.injector);
+    run.engine->set_site_probe([stacks = &*run.stacks](sim::Rank rank) {
+      const auto& frames = stacks->stack(rank).frames();
+      return frames.empty() ? 0 : frames.back();
+    });
+  }
+  run.checkpointer = durable::Checkpointer::attach(
+      dir, *run.recovered, checkpointer_options(args, m.snapshot_every));
+  run.config.checkpointer = run.checkpointer.get();
+  run.config.resume = &*run.recovered;
+  run.chameleon.emplace(run.procs, &*run.stacks, run.config);
+  run.tracer = &*run.chameleon;
+  run.engine->set_tool(run.tracer);
+  return 0;
 }
 
 std::string rank_label(int rank) { return std::to_string(rank); }
@@ -393,9 +535,59 @@ int finish_observability(const Args& args, Observability& scope,
 // Subcommands
 // --------------------------------------------------------------------------
 
+/// Serve `run --resume` outputs for an already-finalized checkpoint: the
+/// durable wire images ARE the final state, so no re-execution happens and
+/// --out/--clusters-out receive them byte-for-byte.
+int emit_recovered_outputs(const Args& args, const WorkloadRun& run) {
+  const durable::RecoveredState& rec = *run.recovered;
+  const auto nodes = trace::decode_trace(rec.online_wire);
+  print_stats(nodes);
+  if (args.has("--text")) std::fputs(trace::format_trace(nodes).c_str(), stdout);
+  const auto dump = [](const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+    if (!write_file(path, std::string_view(
+                              reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size()))) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu bytes to %s\n", bytes.size(), path.c_str());
+    return 0;
+  };
+  if (const auto out = args.value("--out"))
+    if (int rc = dump(*out, rec.online_wire); rc != 0) return rc;
+  if (const auto out = args.value("--clusters-out"))
+    if (int rc = dump(*out, rec.clusters_wire); rc != 0) return rc;
+  return 0;
+}
+
 int cmd_run(const Args& args) {
   WorkloadRun run;
-  if (int rc = setup_run(args, run); rc != 0) return rc;
+  if (const auto dir = args.value("--resume")) {
+    if (int rc = setup_resume(args, *dir, run); rc != 0) return rc;
+    if (run.recovered->finalized) return emit_recovered_outputs(args, run);
+  } else {
+    if (int rc = setup_run(args, run); rc != 0) return rc;
+    if (const auto dir = args.value("--checkpoint-dir")) {
+      if (!run.chameleon) {
+        std::fprintf(stderr,
+                     "--checkpoint-dir journals the Chameleon protocol; "
+                     "--tool %s has no epochs to checkpoint\n",
+                     run.tool_name.c_str());
+        return 2;
+      }
+      run.checkpointer = durable::Checkpointer::create(
+          *dir, make_manifest(args, run),
+          checkpointer_options(
+              args, std::stoi(args.value("--snapshot-every").value_or("8"))));
+      run.config.checkpointer = run.checkpointer.get();
+      // Rebuild the tool with the checkpointer wired in (same pattern as
+      // report's record_epochs rebuild).
+      run.chameleon.emplace(run.procs, &*run.stacks, run.config);
+      run.tracer = &*run.chameleon;
+      run.engine->set_tool(run.tracer);
+    }
+  }
   if (args.has("--perf") && run.tracer == nullptr) {
     std::fprintf(stderr,
                  "--perf needs a tracing tool, but --tool none selected the "
@@ -425,6 +617,15 @@ int cmd_run(const Args& args) {
         run.engine->failed_count(),
         static_cast<unsigned long long>(run.engine->messages_lost()),
         static_cast<unsigned long long>(run.engine->retransmissions()));
+  }
+  if (run.checkpointer) {
+    std::printf(
+        "durable: %llu epoch(s) committed, %llu snapshot(s), %llu rank "
+        "record(s), %llu fsync(s)\n",
+        static_cast<unsigned long long>(run.checkpointer->epochs_committed()),
+        static_cast<unsigned long long>(run.checkpointer->snapshots_written()),
+        static_cast<unsigned long long>(run.checkpointer->records_appended()),
+        static_cast<unsigned long long>(run.checkpointer->fsyncs()));
   }
   if (run.tracer != nullptr) {
     const std::vector<trace::TraceNode>& nodes =
@@ -464,6 +665,25 @@ int cmd_run(const Args& args) {
         return 1;
       }
       std::printf("wrote %zu bytes to %s\n", bytes.size(), out->c_str());
+    }
+    if (const auto out = args.value("--clusters-out")) {
+      if (!run.chameleon) {
+        std::fprintf(stderr,
+                     "--clusters-out needs the Chameleon tool; --tool %s has "
+                     "no cluster table\n",
+                     run.tool_name.c_str());
+        return 2;
+      }
+      const auto bytes = run.chameleon->clusters().encode();
+      if (!write_file(*out,
+                      std::string_view(
+                          reinterpret_cast<const char*>(bytes.data()),
+                          bytes.size()))) {
+        std::fprintf(stderr, "failed to write %s\n", out->c_str());
+        return 1;
+      }
+      std::printf("wrote cluster table (%zu bytes) to %s\n", bytes.size(),
+                  out->c_str());
     }
   }
   return finish_observability(args, scope, run);
@@ -704,13 +924,32 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+/// Uniform CLI failure reporting for bad input files: one line on stderr
+/// (a JSON object when --log-json structured output was requested) and
+/// exit code 2, distinguishing "your file is bad" from internal errors (1).
+int report_input_error(const Args& args, const char* kind,
+                       const std::string& message) {
+  if (args.has("--log-json")) {
+    support::json::Writer w(/*pretty=*/false);
+    w.begin_object();
+    w.member("error", "chamtrace");
+    w.member("kind", kind);
+    w.member("message", message);
+    w.end_object();
+    std::fprintf(stderr, "%s\n", w.str().c_str());
+  } else {
+    std::fprintf(stderr, "chamtrace: %s error: %s\n", kind, message.c_str());
+  }
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  Args args(argc, argv, 2);
   try {
-    Args args(argc, argv, 2);
     if (args.has("--log-json"))
       support::set_log_format(support::LogFormat::kJson);
     if (command == "list") return cmd_list();
@@ -720,6 +959,10 @@ int main(int argc, char** argv) {
     if (command == "validate") return cmd_validate(args);
     if (command == "show") return cmd_show(args);
     if (command == "replay") return cmd_replay(args);
+  } catch (const trace::DecodeError& e) {
+    return report_input_error(args, "decode", e.what());
+  } catch (const std::system_error& e) {
+    return report_input_error(args, "io", e.what());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "chamtrace: %s\n", e.what());
     return 1;

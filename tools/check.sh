@@ -10,6 +10,10 @@
 #                         __tsan_* fiber-switch hooks (docs/RACE.md)
 #   4. Werror           — warning-clean build enforced
 #
+# On top of the per-configuration suites it runs targeted smokes: the fault
+# matrix and the ChamDurable corruption matrix under the sanitizers, and the
+# bench/ChamScope/ChamRace/kill-resume smokes against the release binaries.
+#
 # Usage: tools/check.sh [jobs]
 # Build trees live under build-check/ (gitignored).
 
@@ -109,5 +113,41 @@ done
 "$chamtrace" race --workload lu --procs 8 --steps 6 --seeds 3 \
   --json "$race_dir/race.json" >/dev/null
 "$chamtrace" validate --race "$race_dir/race.json"
+
+# ChamDurable kill/resume smoke (release build): for each scheduler seed, a
+# reference checkpointed run and a --kill-at-epoch SIGKILL'd run that is
+# then resumed must produce byte-identical final cluster tables
+# (docs/DURABILITY.md). Override the seed list with CHAMELEON_DURABLE_SEEDS.
+echo "=== [release] chamdurable kill/resume smoke ==="
+dur_dir="build-check/release/durable-smoke"
+rm -rf "$dur_dir"
+mkdir -p "$dur_dir"
+for seed in ${CHAMELEON_DURABLE_SEEDS:-0 7 13 29 42}; do
+  "$chamtrace" run --workload lu --procs 8 --class S --sched-seed "$seed" \
+    --checkpoint-dir "$dur_dir/ref-$seed" \
+    --clusters-out "$dur_dir/ref-$seed.bin" >/dev/null
+  rc=0
+  "$chamtrace" run --workload lu --procs 8 --class S --sched-seed "$seed" \
+    --checkpoint-dir "$dur_dir/kill-$seed" --kill-at-epoch 4 \
+    >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "chamdurable smoke: --kill-at-epoch run survived (seed $seed)" >&2
+    exit 1
+  fi
+  "$chamtrace" run --resume "$dur_dir/kill-$seed" \
+    --clusters-out "$dur_dir/res-$seed.bin" >/dev/null
+  cmp -s "$dur_dir/ref-$seed.bin" "$dur_dir/res-$seed.bin" ||
+    { echo "chamdurable smoke: resumed clusterset differs (seed $seed)" >&2
+      exit 1; }
+done
+
+# Corruption matrix at full depth under ASan+UBSan: >=1000 deterministic
+# mutations across the manifest/snapshot/journal decoders plus the
+# directory-level recover() sweep — every mutation must be rejected with a
+# typed error (or land on tolerated slack), never crash or overallocate.
+echo "=== [sanitize] chamdurable corruption matrix ==="
+(cd build-check/sanitize &&
+  CHAM_CORRUPT_ITERS="${CHAM_CORRUPT_ITERS:-1000}" \
+  ctest -L durable --output-on-failure -j "$jobs")
 
 echo "=== all configurations green ==="

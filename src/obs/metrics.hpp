@@ -11,10 +11,16 @@
 // The registry is exported as one JSON document (schema
 // "chameleon.metrics.v1") through support/json so escaping and number
 // formatting are shared with every other emitter in the tree.
+//
+// Thread-safety: every entry point takes an internal mutex, so shard
+// workers of the multi-threaded engine may bridge concurrently. The one
+// exception is histogram(), which hands out a pointer into the registry —
+// use it only while the writers are quiescent (post-run inspection).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -55,11 +61,21 @@ class MetricsRegistry {
   [[nodiscard]] std::uint64_t counter(std::string_view name,
                                       const Labels& labels) const;
   [[nodiscard]] double gauge(std::string_view name, const Labels& labels) const;
+  /// Pointer into the registry — only safe while no writer is active.
   [[nodiscard]] const support::Histogram* histogram(std::string_view name,
                                                     const Labels& labels) const;
-  [[nodiscard]] std::size_t size() const { return metrics_.size(); }
-  [[nodiscard]] bool empty() const { return metrics_.empty(); }
-  void clear() { metrics_.clear(); }
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    return metrics_.size();
+  }
+  [[nodiscard]] bool empty() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    return metrics_.empty();
+  }
+  void clear() {
+    const std::lock_guard<std::mutex> lock(m_);
+    metrics_.clear();
+  }
 
   /// Emit the full registry into `w` as a complete JSON document:
   ///   {"schema": "chameleon.metrics.v1", "metrics": [ ... ]}
@@ -79,11 +95,13 @@ class MetricsRegistry {
     support::Histogram histogram;
   };
 
+  /// entry/find require m_ held by the caller.
   Entry& entry(std::string_view name, const Labels& labels, Kind kind);
   [[nodiscard]] const Entry* find(std::string_view name,
                                   const Labels& labels) const;
   static std::string make_key(std::string_view name, const Labels& labels);
 
+  mutable std::mutex m_;
   std::map<std::string, Entry, std::less<>> metrics_;
 };
 

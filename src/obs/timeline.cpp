@@ -41,30 +41,43 @@ double Timeline::now_us() const {
 }
 
 void Timeline::set_track_name(int tid, std::string_view name) {
+  const std::lock_guard<std::mutex> lock(m_);
   track_names_[tid] = std::string(name);
 }
 
 void Timeline::begin(int tid, std::string_view name, std::string_view cat,
                      std::vector<TimelineArg> args) {
-  events_.push_back(Event{'B', now_us(), tid, std::string(name),
-                          std::string(cat), std::move(args)});
+  const double ts = now_us();  // clock read outside the lock
+  const std::lock_guard<std::mutex> lock(m_);
+  events_.push_back(
+      Event{'B', ts, tid, std::string(name), std::string(cat), std::move(args)});
   ++open_depth_[tid];
 }
 
 void Timeline::end(int tid) {
+  const double ts = now_us();
+  const std::lock_guard<std::mutex> lock(m_);
   auto it = open_depth_.find(tid);
   if (it == open_depth_.end() || it->second == 0) return;
   --it->second;
-  events_.push_back(Event{'E', now_us(), tid, {}, {}, {}});
+  events_.push_back(Event{'E', ts, tid, {}, {}, {}});
 }
 
 void Timeline::instant(int tid, std::string_view name, std::string_view cat,
                        std::vector<TimelineArg> args) {
-  events_.push_back(Event{'i', now_us(), tid, std::string(name),
-                          std::string(cat), std::move(args)});
+  const double ts = now_us();
+  const std::lock_guard<std::mutex> lock(m_);
+  events_.push_back(
+      Event{'i', ts, tid, std::string(name), std::string(cat), std::move(args)});
+}
+
+std::size_t Timeline::event_count() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return events_.size();
 }
 
 std::size_t Timeline::open_spans() const {
+  const std::lock_guard<std::mutex> lock(m_);
   std::size_t n = 0;
   for (const auto& [tid, depth] : open_depth_) n += static_cast<std::size_t>(depth);
   return n;
@@ -81,6 +94,7 @@ void Timeline::close_open_spans() {
 }
 
 std::string Timeline::to_json(bool pretty) {
+  const std::lock_guard<std::mutex> lock(m_);
   close_open_spans();
   support::json::Writer w(pretty);
   w.begin_object();

@@ -8,18 +8,24 @@
 //
 // Track layout (all events share pid 1):
 //   tid 0        — "scheduler": one slice per fiber dispatch, named "rank N"
+//                  (shard 0 of the sharded engine reuses this track)
+//   tid -s       — "shard s": dispatch slices of sharded-engine shard s > 0
 //   tid rank+1   — "rank N": MPI call spans, protocol spans, fault instants
 //
 // Enabling: the runtime consults a single global pointer (set_timeline).
 // When it is null — the default — every hook is one pointer compare and a
 // branch; no allocation, no clock read. The pointer itself is installed
 // with release semantics and loaded with acquire, so installation is safe
-// even with worker threads in flight; the Timeline object's *methods*
-// still assume the single-threaded fiber scheduler.
+// even with worker threads in flight. The Timeline object itself is
+// internally synchronized: every mutating entry point takes one mutex, so
+// shard workers of the multi-threaded engine may emit concurrently.
+// Timestamps are per-thread CPU time, so slices on different shard tracks
+// measure work, not wall-clock alignment.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +50,10 @@ class Timeline {
   /// Track id of the fiber-scheduler track; rank r's track is `r + 1`.
   static constexpr int kSchedulerTid = 0;
   static constexpr int rank_tid(int rank) { return rank + 1; }
+  /// Dispatch track of sharded-engine shard s. Shard 0 maps onto the
+  /// classic scheduler track (tid 0); further shards get negative tids so
+  /// they can never collide with rank tracks.
+  static constexpr int shard_tid(int shard) { return -shard; }
 
   Timeline();
 
@@ -64,7 +74,7 @@ class Timeline {
   void instant(int tid, std::string_view name, std::string_view cat,
                std::vector<TimelineArg> args = {});
 
-  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] std::size_t open_spans() const;
 
   /// Render the complete document. Still-open spans are closed at the
@@ -84,6 +94,9 @@ class Timeline {
   [[nodiscard]] double now_us() const;
   void close_open_spans();
 
+  /// Guards every field below; taken by each public entry point so shard
+  /// workers can emit concurrently (satellite of the ChamShard PR).
+  mutable std::mutex m_;
   std::vector<Event> events_;
   std::map<int, std::string> track_names_;
   std::map<int, int> open_depth_;

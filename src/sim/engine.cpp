@@ -7,7 +7,9 @@
 #include "analysis/race/annotate.hpp"
 #include "obs/timeline.hpp"
 #include "sim/fault.hpp"
+#include "sim/fiber.hpp"
 #include "sim/mpi.hpp"
+#include "sim/shard.hpp"
 #include "sim/tool.hpp"
 #include "support/logging.hpp"
 
@@ -24,7 +26,11 @@ Engine::Engine(EngineOptions opts) : opts_(opts) {
   requests_.resize(p);
   inbox_.resize(p);
   coll_seq_.assign(kNumComms * p, 0);
-  failed_.assign(p, false);
+  mbox_m_ = std::make_unique<std::mutex[]>(kNumComms * p);
+  inbox_m_ = std::make_unique<std::mutex[]>(p);
+  failed_ = std::make_unique<std::atomic<bool>[]>(p);
+  for (std::size_t i = 0; i < p; ++i)
+    failed_[i].store(false, std::memory_order_relaxed);
   call_count_.assign(p, 0);
   marker_count_.assign(p, 0);
   toolop_count_.assign(p, 0);
@@ -63,10 +69,27 @@ struct LogRankProviderGuard {
 void Engine::run(const std::function<void(Mpi&)>& rank_main) {
   CHAM_CHECK_MSG(!ran_, "Engine::run may be called once");
   ran_ = true;
-  scheduler_ = std::make_unique<FiberScheduler>();
+  // More shards than ranks would only add idle workers; clamp. threads == 1
+  // keeps the classic single-threaded scheduler so existing runs stay
+  // byte-for-byte identical.
+  const int nshards = std::min(std::max(opts_.threads, 1), opts_.nprocs);
+  if (nshards > 1) {
+    auto sharded = std::make_unique<ShardedScheduler>(nshards);
+    // The planner runs with every worker parked on the epoch barrier, so
+    // its cross-rank vtime reads are ordered after all fiber writes.
+    sharded->set_vtime_probe(
+        [this](int id) { return vtime_[static_cast<std::size_t>(id)]; });
+    sharded->set_epoch_horizon(opts_.epoch_horizon);
+    scheduler_ = std::move(sharded);
+  } else {
+    scheduler_ = std::make_unique<FiberScheduler>();
+  }
   if (opts_.sched_seed != 0) scheduler_->set_seed(opts_.sched_seed);
   if (obs::Timeline* tl = obs::timeline()) {
     tl->set_track_name(obs::Timeline::kSchedulerTid, "scheduler");
+    for (int s = 1; s < nshards; ++s)
+      tl->set_track_name(obs::Timeline::shard_tid(s),
+                         "shard " + std::to_string(s));
     for (Rank r = 0; r < opts_.nprocs; ++r)
       tl->set_track_name(obs::Timeline::rank_tid(r),
                          "rank " + std::to_string(r));
@@ -132,14 +155,21 @@ void Engine::deliver(Rank dest, Request req, Message&& msg) {
   // and requests_[dest] reallocating under a concurrent writer is exactly
   // the race the sharded engine would hit. Park the completion in dest's
   // inbox instead; dest drains it from pmpi_wait.
-  race::ScopedSync lock("engine.inbox", static_cast<std::uint64_t>(dest));
-  RACE_WRITE("engine.inbox", static_cast<std::uint64_t>(dest), 0);
-  inbox_[static_cast<std::size_t>(dest)].emplace_back(req, std::move(msg));
+  {
+    const std::lock_guard<std::mutex> inbox_lock(
+        inbox_m_[static_cast<std::size_t>(dest)]);
+    race::ScopedSync lock("engine.inbox", static_cast<std::uint64_t>(dest));
+    RACE_WRITE("engine.inbox", static_cast<std::uint64_t>(dest), 0);
+    inbox_[static_cast<std::size_t>(dest)].emplace_back(req, std::move(msg));
+  }
+  // Wake after releasing the inbox lock: unblock takes dest's shard mutex,
+  // and the message is already published, so the wake cannot be lost.
   scheduler_->unblock(dest);
 }
 
 void Engine::drain_inbox(Rank self) {
   const auto s = static_cast<std::size_t>(self);
+  const std::lock_guard<std::mutex> inbox_lock(inbox_m_[s]);
   race::ScopedSync lock("engine.inbox", static_cast<std::uint64_t>(self));
   RACE_WRITE("engine.inbox", static_cast<std::uint64_t>(self), 0);
   auto& box = inbox_[s];
@@ -162,11 +192,12 @@ CommResult Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
   RACE_WRITE("engine.vtime", static_cast<std::uint64_t>(self), 0);
   t += opts_.net.send_overhead;
   RACE_ATOMIC("engine.failed", static_cast<std::uint64_t>(dest), 0);
-  if (injector_ != nullptr && failed_[static_cast<std::size_t>(dest)]) {
+  if (injector_ != nullptr &&
+      failed_[static_cast<std::size_t>(dest)].load(std::memory_order_acquire)) {
     // Detected only after exhausting the full acknowledgement-retry budget.
     t += opts_.ft.recv_fail_delay();
     RACE_ATOMIC("engine.counter.messages_lost", 0, 0);
-    ++messages_lost_;
+    messages_lost_.fetch_add(1, std::memory_order_relaxed);
     return CommResult::kPeerFailed;
   }
   Message msg;
@@ -179,24 +210,25 @@ CommResult Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
     while (injector_->drop_message(self, dest)) {
       // Each dropped attempt costs a full transfer plus one timeout window.
       RACE_ATOMIC("engine.counter.retransmissions", 0, 0);
-      ++retransmissions_;
+      retransmissions_.fetch_add(1, std::memory_order_relaxed);
       if (obs::Timeline* tl = obs::timeline())
         tl->instant(obs::Timeline::rank_tid(self), "fault.drop", "fault",
                     {obs::arg_int("dest", dest)});
       t += opts_.net.p2p_transfer(msg.bytes) + opts_.ft.recv_timeout;
       if (++attempt > opts_.ft.retries) {
-        ++messages_lost_;
+        messages_lost_.fetch_add(1, std::memory_order_relaxed);
         return CommResult::kLost;
       }
     }
   }
   msg.arrive_vtime = t + opts_.net.p2p_transfer(msg.bytes);
   RACE_ATOMIC("engine.counter.messages_sent", 0, 0);
-  ++messages_sent_;
-  bytes_sent_ += msg.bytes;
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(msg.bytes, std::memory_order_relaxed);
 
   // Mailbox critical section: the posted-receive and unexpected queues of
   // (comm, dest) are written by every sender and by dest itself.
+  const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, dest)]);
   race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
                         static_cast<std::uint64_t>(dest));
   RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
@@ -244,6 +276,7 @@ Request Engine::pmpi_irecv(Rank self, int comm, Rank src, int tag,
   state.src_match = src;
   state.tag_match = tag;
 
+  const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, self)]);
   race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
                         static_cast<std::uint64_t>(self));
   RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
@@ -308,6 +341,7 @@ Message Engine::pmpi_recv(Rank self, int comm, Rank src, int tag,
 
 bool Engine::pmpi_try_recv(Rank self, int comm, Rank src, int tag,
                            Message* out) {
+  const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, self)]);
   race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
                         static_cast<std::uint64_t>(self));
   RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
@@ -346,7 +380,9 @@ void Engine::collective_arrive(
   CollSite* site = nullptr;
   {
     // The site table itself (insertion/erasure) is one lock per comm; the
-    // per-site state a finer lock per (comm, slot).
+    // per-site state a finer lock per (comm, slot). Map nodes are stable,
+    // so the pointer stays valid until the last extractor erases it below.
+    const std::lock_guard<std::mutex> map_lock(collmap_m_);
     race::ScopedSync maplock("engine.collmap", ucomm, 0);
     RACE_WRITE("engine.collmap", ucomm, 0);
     auto [it, inserted] = coll_sites_.try_emplace(key);
@@ -359,6 +395,7 @@ void Engine::collective_arrive(
   }
   bool completer = false;
   {
+    const std::lock_guard<std::mutex> site_lock(site->m);
     race::ScopedSync sitelock("engine.collsite", ucomm, slot);
     RACE_WRITE("engine.collsite", ucomm, slot);
     CHAM_CHECK_MSG(site->op == op,
@@ -381,16 +418,16 @@ void Engine::collective_arrive(
       if (site->arrived < opts_.nprocs)
         site->complete_vtime += opts_.ft.recv_fail_delay();
       finish(*site);
-      // Spin flag read outside the lock by waiting participants: the
-      // sharded engine makes it std::atomic.
+      // Store-release AFTER finish: a waiter that observes done == true is
+      // guaranteed to see the folded results when it re-locks the site.
       RACE_ATOMIC("engine.collsite.done", ucomm, slot);
-      site->done = true;
+      site->done.store(true, std::memory_order_release);
       // Application-level statistic: tool-comm collectives (clustering
       // votes, the finalize synchronization) are bookkeeping, not workload
       // traffic.
       if (comm != kCommTool) {
         RACE_ATOMIC("engine.counter.collectives", 0, 0);
-        ++collectives_run_;
+        collectives_run_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -408,10 +445,17 @@ void Engine::collective_arrive(
     blocked.op = op;
     blocked.slot = slot;
     RACE_ATOMIC("engine.collsite.done", ucomm, slot);
-    while (!site->done) {
+    while (!site->done.load(std::memory_order_acquire)) {
+      int arrived_now = 0;
+      {
+        // Snapshot under the site lock: other participants keep arriving
+        // while we compose the block note.
+        const std::lock_guard<std::mutex> site_lock(site->m);
+        arrived_now = site->arrived;
+      }
       std::ostringstream why;
       why << op_name(op) << " comm=" << comm << " slot=" << slot << " ("
-          << site->arrived << '/' << opts_.nprocs << " arrived)";
+          << arrived_now << '/' << opts_.nprocs << " arrived)";
       scheduler_->block(why.str());
       RACE_ATOMIC("engine.collsite.done", ucomm, slot);
     }
@@ -421,6 +465,7 @@ void Engine::collective_arrive(
   {
     // Re-entering the site lock joins every participant's deposit and the
     // completer's finish — the full-barrier happens-before edge.
+    const std::lock_guard<std::mutex> site_lock(site->m);
     race::ScopedSync sitelock("engine.collsite", ucomm, slot);
     RACE_READ("engine.collsite", ucomm, slot);
     if (site->max_arrive > own_arrive)
@@ -431,6 +476,7 @@ void Engine::collective_arrive(
     destroy = ++site->extracted == site->expected;
   }
   if (destroy) {
+    const std::lock_guard<std::mutex> map_lock(collmap_m_);
     race::ScopedSync maplock("engine.collmap", ucomm, 0);
     RACE_WRITE("engine.collmap", ucomm, 0);
     coll_sites_.erase(key);
@@ -602,33 +648,48 @@ bool Engine::approximate_progress_step() {
   // matching send never existed in the (approximated) trace.
   for (int comm = 0; comm < kNumComms; ++comm) {
     for (Rank r = 0; r < opts_.nprocs; ++r) {
-      race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
-                            static_cast<std::uint64_t>(r));
-      RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
-                 static_cast<std::uint64_t>(r));
-      auto& posted = pending_[box(comm, r)];
-      while (!posted.empty()) {
-        const PendingRecv want = posted.front();
-        posted.pop_front();
+      // Collect under the mailbox lock, deliver after releasing it —
+      // deliver() takes the inbox lock and the consistent order everywhere
+      // else is mailbox → inbox, never inbox → mailbox.
+      std::vector<PendingRecv> cancelled;
+      {
+        const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, r)]);
+        race::ScopedSync mbox("engine.mailbox",
+                              static_cast<std::uint64_t>(comm),
+                              static_cast<std::uint64_t>(r));
+        RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
+                   static_cast<std::uint64_t>(r));
+        auto& posted = pending_[box(comm, r)];
+        while (!posted.empty()) {
+          cancelled.push_back(posted.front());
+          posted.pop_front();
+        }
+      }
+      for (const PendingRecv& want : cancelled) {
         Message msg;
         msg.src = want.src_match == kAnySource ? 0 : want.src_match;
         msg.tag = want.tag_match == kAnyTag ? 0 : want.tag_match;
         RACE_READ("engine.vtime", static_cast<std::uint64_t>(r), 0);
         msg.arrive_vtime = vtime_[static_cast<std::size_t>(r)];
         deliver(r, want.req, std::move(msg));
-        ++cancelled_recvs_;
+        cancelled_recvs_.fetch_add(1, std::memory_order_relaxed);
         progressed = true;
       }
     }
   }
-  // Force-complete collectives some ranks never reached.
+  // Force-complete collectives some ranks never reached. The stall handler
+  // runs with every fiber quiescent, but take the locks anyway — the site
+  // pointers must not dangle if a woken fiber erases a site on resume.
+  const std::lock_guard<std::mutex> map_lock(collmap_m_);
   for (auto& [key, site] : coll_sites_) {
+    const std::lock_guard<std::mutex> site_lock(site.m);
     race::ScopedSync sitelock("engine.collsite",
                               static_cast<std::uint64_t>(key.first),
                               key.second);
     RACE_WRITE("engine.collsite", static_cast<std::uint64_t>(key.first),
                key.second);
-    if (site.done || site.arrived == 0) continue;
+    if (site.done.load(std::memory_order_relaxed) || site.arrived == 0)
+      continue;
     site.expected = site.arrived;
     site.complete_vtime = site.max_arrive;
     if (site.op == Op::kReduce || site.op == Op::kAllreduce) {
@@ -636,9 +697,9 @@ bool Engine::approximate_progress_step() {
     }
     RACE_ATOMIC("engine.collsite.done", static_cast<std::uint64_t>(key.first),
                 key.second);
-    site.done = true;
+    site.done.store(true, std::memory_order_release);
     if (key.first == kCommMarker) race::epoch();
-    ++forced_collectives_;
+    forced_collectives_.fetch_add(1, std::memory_order_relaxed);
     progressed = true;
     for (Rank r = 0; r < opts_.nprocs; ++r) scheduler_->unblock(r);
   }
@@ -652,14 +713,14 @@ bool Engine::approximate_progress_step() {
 std::vector<Rank> Engine::live_ranks() const {
   std::vector<Rank> out;
   for (Rank r = 0; r < opts_.nprocs; ++r)
-    if (!failed_[static_cast<std::size_t>(r)]) out.push_back(r);
+    if (!is_failed(r)) out.push_back(r);
   return out;
 }
 
 std::vector<Rank> Engine::failed_ranks() const {
   std::vector<Rank> out;
   for (Rank r = 0; r < opts_.nprocs; ++r)
-    if (failed_[static_cast<std::size_t>(r)]) out.push_back(r);
+    if (is_failed(r)) out.push_back(r);
   return out;
 }
 
@@ -698,15 +759,15 @@ void Engine::tool_op_fault_point(Rank self) {
 
 void Engine::fail_rank(Rank r) {
   const auto s = static_cast<std::size_t>(r);
-  if (failed_[s]) return;
   RACE_ATOMIC("engine.failed", static_cast<std::uint64_t>(r), 0);
-  failed_[s] = true;
-  ++failed_count_;
+  if (failed_[s].exchange(true, std::memory_order_acq_rel)) return;
+  failed_count_.fetch_add(1, std::memory_order_acq_rel);
   // A dead rank will never consume anything: purge its posted receives so a
   // live sender cannot match one (the send fails fast instead), and retire
   // its outstanding requests. fail_rank only ever runs on the dying rank's
   // own fiber, so the request slots stay owner-written.
   for (int comm = 0; comm < kNumComms; ++comm) {
+    const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, r)]);
     race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
                           static_cast<std::uint64_t>(r));
     RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
@@ -719,13 +780,16 @@ void Engine::fail_rank(Rank r) {
 
 bool Engine::complete_ready_sites() {
   bool progressed = false;
+  const std::lock_guard<std::mutex> map_lock(collmap_m_);
   for (auto& [key, site] : coll_sites_) {
+    const std::lock_guard<std::mutex> site_lock(site.m);
     race::ScopedSync sitelock("engine.collsite",
                               static_cast<std::uint64_t>(key.first),
                               key.second);
     RACE_WRITE("engine.collsite", static_cast<std::uint64_t>(key.first),
                key.second);
-    if (site.done || site.arrived == 0) continue;
+    if (site.done.load(std::memory_order_relaxed) || site.arrived == 0)
+      continue;
     if (site.arrived < live_expected()) continue;
     site.expected = site.arrived;
     site.complete_vtime = site.max_arrive +
@@ -735,8 +799,9 @@ bool Engine::complete_ready_sites() {
       fold_u64_contribs(site);
     RACE_ATOMIC("engine.collsite.done", static_cast<std::uint64_t>(key.first),
                 key.second);
-    site.done = true;
-    if (key.first != kCommTool) ++collectives_run_;
+    site.done.store(true, std::memory_order_release);
+    if (key.first != kCommTool)
+      collectives_run_.fetch_add(1, std::memory_order_relaxed);
     if (key.first == kCommMarker) race::epoch();
     progressed = true;
     for (Rank r = 0; r < opts_.nprocs; ++r) scheduler_->unblock(r);
@@ -752,20 +817,28 @@ bool Engine::fault_progress_step() {
   // synthetic peer_failed completion after the full backoff budget.
   for (int comm = 0; comm < kNumComms; ++comm) {
     for (Rank r = 0; r < opts_.nprocs; ++r) {
-      if (failed_[static_cast<std::size_t>(r)]) continue;
-      race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
-                            static_cast<std::uint64_t>(r));
-      RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
-                 static_cast<std::uint64_t>(r));
-      auto& posted = pending_[box(comm, r)];
-      for (auto it = posted.begin(); it != posted.end();) {
-        if (it->src_match == kAnySource ||
-            !failed_[static_cast<std::size_t>(it->src_match)]) {
-          ++it;
-          continue;
+      if (is_failed(r)) continue;
+      // Same collect-then-deliver split as approximate_progress_step: the
+      // lock order is mailbox → inbox, so deliver() runs unlocked.
+      std::vector<PendingRecv> timed_out;
+      {
+        const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, r)]);
+        race::ScopedSync mbox("engine.mailbox",
+                              static_cast<std::uint64_t>(comm),
+                              static_cast<std::uint64_t>(r));
+        RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
+                   static_cast<std::uint64_t>(r));
+        auto& posted = pending_[box(comm, r)];
+        for (auto it = posted.begin(); it != posted.end();) {
+          if (it->src_match == kAnySource || !is_failed(it->src_match)) {
+            ++it;
+            continue;
+          }
+          timed_out.push_back(*it);
+          it = posted.erase(it);
         }
-        const PendingRecv want = *it;
-        it = posted.erase(it);
+      }
+      for (const PendingRecv& want : timed_out) {
         Message msg;
         msg.src = want.src_match;
         msg.tag = want.tag_match == kAnyTag ? 0 : want.tag_match;
@@ -798,6 +871,7 @@ bool Engine::rank_finished(Rank r) const {
 
 std::vector<PendingRecvInfo> Engine::pending_recvs(int comm, Rank r) const {
   std::vector<PendingRecvInfo> out;
+  const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, r)]);
   for (const PendingRecv& p : pending_.at(box(comm, r)))
     out.push_back({p.src_match, p.tag_match});
   return out;

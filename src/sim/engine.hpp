@@ -13,15 +13,17 @@
 // traffic which never reaches the hooks.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
-#include "sim/fiber.hpp"
 #include "sim/netmodel.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/types.hpp"
 
 namespace cham::sim {
@@ -70,6 +72,17 @@ struct EngineOptions {
   /// FIFO (FiberScheduler::set_seed). Protocol output must not depend on
   /// this — the ChamRace determinism auditor diffs runs across seeds.
   std::uint64_t sched_seed = 0;
+  /// Worker threads (shards) for the fiber scheduler. 1 — the default —
+  /// keeps the classic single-threaded FiberScheduler, byte-for-byte
+  /// identical to every earlier release; N > 1 installs the ChamShard
+  /// ShardedScheduler with min(N, nprocs) shards. Protocol output is
+  /// identical either way (docs/ENGINE.md, determinism contract).
+  int threads = 1;
+  /// Epoch window width for the sharded scheduler: fibers whose vtime is
+  /// within `epoch_horizon` of the epoch's minimum run in the same barrier
+  /// round. Negative — the default — means unbounded (every ready fiber
+  /// runs every round, the SMPI scheduling-round discipline).
+  double epoch_horizon = -1.0;
 };
 
 /// An in-flight or delivered message.
@@ -141,15 +154,19 @@ class Engine {
 
   /// True once rank r was killed by an injected crash.
   [[nodiscard]] bool is_failed(Rank r) const {
-    return failed_.at(static_cast<std::size_t>(r));
+    return failed_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
   }
-  [[nodiscard]] int failed_count() const { return failed_count_; }
+  [[nodiscard]] int failed_count() const {
+    return failed_count_.load(std::memory_order_acquire);
+  }
   /// Surviving ranks, ascending. Equals [0, nprocs) with no failures.
   [[nodiscard]] std::vector<Rank> live_ranks() const;
   [[nodiscard]] std::vector<Rank> failed_ranks() const;
-  [[nodiscard]] std::uint64_t messages_lost() const { return messages_lost_; }
+  [[nodiscard]] std::uint64_t messages_lost() const {
+    return messages_lost_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t retransmissions() const {
-    return retransmissions_;
+    return retransmissions_.load(std::memory_order_relaxed);
   }
 
   /// Launch nprocs ranks, each executing rank_main, and drive them to
@@ -171,9 +188,15 @@ class Engine {
   /// §VIII energy discussion.
   [[nodiscard]] double wait_seconds(Rank r) const;
 
-  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
-  [[nodiscard]] std::uint64_t collectives_run() const { return collectives_run_; }
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t collectives_run() const {
+    return collectives_run_.load(std::memory_order_relaxed);
+  }
 
   /// Replay robustness: instead of reporting a deadlock when nothing can
   /// progress, cancel outstanding receives (synthetic empty messages) and
@@ -181,9 +204,11 @@ class Engine {
   /// traces (K below the natural behaviour-group count) replay these
   /// approximations; the counters make the information loss visible.
   void enable_approximate_progress() { approximate_ = true; }
-  [[nodiscard]] std::uint64_t cancelled_recvs() const { return cancelled_recvs_; }
+  [[nodiscard]] std::uint64_t cancelled_recvs() const {
+    return cancelled_recvs_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t forced_collectives() const {
-    return forced_collectives_;
+    return forced_collectives_.load(std::memory_order_relaxed);
   }
 
   // --- PMPI layer (used by the Mpi/Pmpi facades and by tools) -------------
@@ -237,6 +262,10 @@ class Engine {
   /// State of one in-progress collective (public so free helper functions
   /// can fold contributions; not part of the user-facing API).
   struct CollSite {
+    /// Per-site lock: guards every field except `done` (shard workers of
+    /// different ranks deposit/extract concurrently). Innermost after the
+    /// collmap lock; never held across a block().
+    std::mutex m;
     Op op = Op::kBarrier;
     Rank root = 0;
     ReduceOp rop = ReduceOp::kSum;
@@ -248,7 +277,9 @@ class Engine {
     /// fewer when dead ranks are routed around.
     int expected = 0;
     double max_arrive = 0.0;
-    bool done = false;
+    /// Completion flag, read lock-free by waiting participants' condition
+    /// loops (store-release by the completer pairs with their load-acquire).
+    std::atomic<bool> done{false};
     double complete_vtime = 0.0;
     std::vector<std::vector<std::uint8_t>> byte_contribs;
     std::vector<std::vector<std::uint64_t>> u64_contribs;
@@ -357,7 +388,7 @@ class Engine {
   bool fault_progress_step();
   /// Ranks a collective must wait for: everyone still alive.
   [[nodiscard]] int live_expected() const {
-    return opts_.nprocs - failed_count_;
+    return opts_.nprocs - failed_count_.load(std::memory_order_acquire);
   }
 
   /// Collective rendezvous: blocks until all ranks of `comm` arrive at the
@@ -376,17 +407,34 @@ class Engine {
   std::function<std::uint64_t(Rank)> site_probe_;
   bool ran_ = false;
   bool approximate_ = false;
-  std::uint64_t cancelled_recvs_ = 0;
-  std::uint64_t forced_collectives_ = 0;
+  std::atomic<std::uint64_t> cancelled_recvs_{0};
+  std::atomic<std::uint64_t> forced_collectives_{0};
 
-  std::unique_ptr<FiberScheduler> scheduler_;
+  std::unique_ptr<Scheduler> scheduler_;
   std::vector<Mpi> mpis_;
   std::vector<Pmpi> pmpis_;
+  // Owner-written per-rank state: only rank r's fiber writes slot r, so no
+  // lock is needed; cross-rank reads happen at quiescent points (the epoch
+  // planner, the stall handler, post-run) or through the vtime probe whose
+  // reads the epoch barrier orders. The ChamRace analyzer checks exactly
+  // this single-writer discipline.
   std::vector<double> vtime_;
   std::vector<double> wait_;
   std::vector<BlockedState> blocked_;  // [rank]
 
   static constexpr int kNumComms = 3;
+  // Cross-rank mailboxes, guarded by real locks so shard workers can send
+  // into any rank concurrently (lock order, outer to inner: mailbox →
+  // inbox → scheduler shard; collmap → site; never a cycle):
+  //   mbox_m_[box(comm, r)]  — pending_/unexpected_ of (comm, r)
+  //   inbox_m_[r]            — inbox_[r]
+  //   collmap_m_             — coll_sites_ map shape (insert/erase)
+  //   CollSite::m            — one site's fields
+  // With threads == 1 the locks are always uncontended — one futex-free
+  // atomic op each — keeping the classic path's behaviour and speed.
+  std::unique_ptr<std::mutex[]> mbox_m_;             // [comm*P + rank]
+  std::unique_ptr<std::mutex[]> inbox_m_;            // [rank]
+  std::mutex collmap_m_;
   std::vector<std::deque<Message>> unexpected_;     // [comm*P + rank]
   std::vector<std::deque<PendingRecv>> pending_;    // [comm*P + rank]
   std::vector<std::vector<RequestState>> requests_;  // [rank]
@@ -395,18 +443,18 @@ class Engine {
   std::vector<std::uint64_t> coll_seq_;              // [comm*P + rank]
   std::map<std::pair<int, std::uint64_t>, CollSite> coll_sites_;
 
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t collectives_run_ = 0;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> collectives_run_{0};
 
   // Fault-injection state (all zero/empty without an installed injector).
-  std::vector<bool> failed_;                 // [rank]
-  int failed_count_ = 0;
+  std::unique_ptr<std::atomic<bool>[]> failed_;  // [rank]
+  std::atomic<int> failed_count_{0};
   std::vector<std::uint64_t> call_count_;    // [rank] traced calls entered
   std::vector<std::uint64_t> marker_count_;  // [rank] markers entered
   std::vector<std::uint64_t> toolop_count_;  // [rank] tool-comm p2p ops
-  std::uint64_t messages_lost_ = 0;
-  std::uint64_t retransmissions_ = 0;
+  std::atomic<std::uint64_t> messages_lost_{0};
+  std::atomic<std::uint64_t> retransmissions_{0};
 };
 
 }  // namespace cham::sim

@@ -31,18 +31,12 @@
 #include <string>
 #include <vector>
 
+#include "sim/scheduler.hpp"
 #include "support/rng.hpp"
 
 namespace cham::sim {
 
 class FiberScheduler;
-
-/// Thrown by FiberScheduler::run once every live fiber has been unwound
-/// after a confirmed deadlock (no runnable fiber, stall handler exhausted).
-class DeadlockError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 namespace detail {
 
@@ -77,33 +71,31 @@ struct Fiber {
 
 }  // namespace detail
 
-class FiberScheduler {
+class FiberScheduler final : public Scheduler {
  public:
   FiberScheduler() = default;
-  FiberScheduler(const FiberScheduler&) = delete;
-  FiberScheduler& operator=(const FiberScheduler&) = delete;
 
   /// Create a fiber; it becomes runnable immediately. Returns its id
   /// (dense, starting at 0 — used as the MPI rank).
-  int spawn(std::function<void()> entry, std::size_t stack_bytes);
+  int spawn(std::function<void()> entry, std::size_t stack_bytes) override;
 
   /// Drive all fibers to completion. Rethrows the first exception a fiber
   /// raised. Throws DeadlockError on deadlock — in both cases only after
   /// every remaining fiber stack has been unwound (destructors run).
-  void run();
+  void run() override;
 
   /// Installed handler is consulted when no fiber is runnable but some are
   /// still alive; returning true means it unblocked something and the run
   /// continues, false falls through to the deadlock report. Used by the
   /// replayer to degrade gracefully on imperfectly clustered traces.
-  void set_stall_handler(std::function<bool()> handler) {
+  void set_stall_handler(std::function<bool()> handler) override {
     stall_handler_ = std::move(handler);
   }
 
   /// Seed != 0 replaces FIFO dispatch with a seeded uniform pick from the
   /// ready queue (reproducible per seed). Seed 0 restores exact FIFO.
   /// Used by the determinism auditor; call before run().
-  void set_seed(std::uint64_t seed) {
+  void set_seed(std::uint64_t seed) override {
     if (seed == 0)
       rng_.reset();
     else
@@ -113,35 +105,41 @@ class FiberScheduler {
   /// --- called from inside a fiber ---
 
   /// Yield but stay runnable (appended to the back of the ready queue).
-  void yield();
+  void yield() override;
 
   /// Mark the current fiber blocked and switch away. Returns once some
   /// other fiber calls unblock() on it.
-  void block(std::string reason);
+  void block(std::string reason) override;
 
   /// Make a blocked fiber runnable again. No-op if it is not blocked.
-  void unblock(int id);
+  void unblock(int id) override;
 
   /// Terminate the calling fiber immediately by unwinding its stack (the
   /// same FiberCancelled path cancellation uses; destructors run, the
   /// trampoline retires the fiber). Used to kill a single rank — e.g. an
   /// injected crash — without disturbing the others.
-  [[noreturn]] void exit_current();
+  [[noreturn]] void exit_current() override;
 
   /// Id of the fiber currently executing; -1 when in the scheduler itself.
-  [[nodiscard]] int current() const { return current_; }
+  [[nodiscard]] int current() const override { return current_; }
 
-  [[nodiscard]] std::size_t fiber_count() const { return fibers_.size(); }
-  [[nodiscard]] std::size_t finished_count() const { return finished_; }
+  [[nodiscard]] std::size_t fiber_count() const override {
+    return fibers_.size();
+  }
+  [[nodiscard]] std::size_t finished_count() const override {
+    return finished_;
+  }
 
   /// Introspection for analysis tools: fiber lifecycle state and the
   /// blocker's note (empty unless blocked).
-  [[nodiscard]] bool finished(int id) const;
-  [[nodiscard]] bool blocked(int id) const;
-  [[nodiscard]] const std::string& block_note(int id) const;
+  [[nodiscard]] bool finished(int id) const override;
+  [[nodiscard]] bool blocked(int id) const override;
+  [[nodiscard]] std::string block_note(int id) const override;
 
   /// Total fiber context switches performed (diagnostics).
-  [[nodiscard]] std::uint64_t switch_count() const { return switches_; }
+  [[nodiscard]] std::uint64_t switch_count() const override {
+    return switches_;
+  }
 
  private:
   static void trampoline(unsigned hi, unsigned lo);

@@ -1,0 +1,96 @@
+// Scheduler interface shared by the single-threaded FiberScheduler and the
+// sharded multi-threaded ShardedScheduler (sim/shard.hpp).
+//
+// The engine talks to its scheduler exclusively through this interface so
+// `EngineOptions::threads` can select the implementation at run() time:
+// threads == 1 keeps the original FiberScheduler (byte-for-byte identical
+// behaviour), threads > 1 installs the shard pool. Both implementations
+// share the determinism contract: a given (workload, P, seed) triple must
+// produce the identical protocol output regardless of thread count —
+// docs/ENGINE.md spells out why that holds and how it is audited.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace cham::sim {
+
+/// Thrown by Scheduler::run once every live fiber has been unwound after a
+/// confirmed deadlock (no runnable fiber, stall handler exhausted).
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  virtual ~Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Create a fiber; it becomes runnable immediately. Returns its id
+  /// (dense, starting at 0 — used as the MPI rank). Must be called before
+  /// run(), from the driving thread.
+  virtual int spawn(std::function<void()> entry, std::size_t stack_bytes) = 0;
+
+  /// Drive all fibers to completion. Rethrows the first exception a fiber
+  /// raised. Throws DeadlockError on deadlock — in both cases only after
+  /// every remaining fiber stack has been unwound (destructors run).
+  virtual void run() = 0;
+
+  /// Installed handler is consulted when no fiber is runnable but some are
+  /// still alive; returning true means it unblocked something and the run
+  /// continues, false falls through to the deadlock report. The handler
+  /// always executes with every fiber quiescent (single-threaded: between
+  /// dispatches; sharded: on the epoch-barrier planner with all workers
+  /// parked), so it may freely inspect cross-rank state.
+  virtual void set_stall_handler(std::function<bool()> handler) = 0;
+
+  /// Seed != 0 replaces deterministic FIFO dispatch with a seeded shuffle
+  /// (reproducible per seed). Seed 0 restores the default order. Used by
+  /// the determinism auditor; call before run().
+  virtual void set_seed(std::uint64_t seed) = 0;
+
+  // --- called from inside a fiber ---
+
+  /// Yield but stay runnable.
+  virtual void yield() = 0;
+
+  /// Mark the current fiber blocked and switch away. Returns once some
+  /// other fiber calls unblock() on it. May return spuriously (the sharded
+  /// scheduler turns a wake-up racing the block into an immediate return);
+  /// callers must re-check their condition in a loop — every engine block
+  /// site already does.
+  virtual void block(std::string reason) = 0;
+
+  /// Make a blocked fiber runnable again. Callable from any fiber or from
+  /// the stall handler; the sharded scheduler accepts cross-shard calls.
+  virtual void unblock(int id) = 0;
+
+  /// Terminate the calling fiber immediately by unwinding its stack.
+  [[noreturn]] virtual void exit_current() = 0;
+
+  /// Id of the fiber currently executing on the *calling thread*; -1 when
+  /// called from scheduler/planner code.
+  [[nodiscard]] virtual int current() const = 0;
+
+  [[nodiscard]] virtual std::size_t fiber_count() const = 0;
+  [[nodiscard]] virtual std::size_t finished_count() const = 0;
+
+  /// Introspection for analysis tools: fiber lifecycle state and the
+  /// blocker's note (empty unless blocked). Valid when the target fiber is
+  /// quiescent (stall handler, post-run) — the note is returned by value so
+  /// the sharded scheduler can copy it under its shard lock.
+  [[nodiscard]] virtual bool finished(int id) const = 0;
+  [[nodiscard]] virtual bool blocked(int id) const = 0;
+  [[nodiscard]] virtual std::string block_note(int id) const = 0;
+
+  /// Total fiber context switches performed (diagnostics).
+  [[nodiscard]] virtual std::uint64_t switch_count() const = 0;
+};
+
+}  // namespace cham::sim

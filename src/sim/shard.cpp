@@ -1,0 +1,481 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "analysis/race/annotate.hpp"
+#include "obs/timeline.hpp"
+#include "sim/context.hpp"
+#include "sim/fiber.hpp"  // detail::FiberCancelled (shared unwind token)
+#include "support/hash.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace cham::sim {
+
+using detail::sanitizer_post_switch;
+using detail::sanitizer_pre_switch;
+using detail::ShardFiber;
+using detail::ShardFiberState;
+using detail::tsan_free_fiber;
+using detail::tsan_make_fiber;
+using detail::tsan_switch;
+using detail::tsan_this_fiber;
+
+namespace {
+
+/// Fiber id executing on *this* thread (-1 in scheduler/planner code).
+/// Thread-local so every shard worker — and the engine's log-rank provider
+/// running on it — sees only its own fiber.
+thread_local int tls_current_fiber = -1;
+
+}  // namespace
+
+namespace detail {
+
+ShardFiber::ShardFiber(std::size_t bytes, std::function<void()> fn)
+    : stack(new char[bytes]), stack_bytes(bytes), entry(std::move(fn)) {}
+
+ShardFiber::~ShardFiber() { tsan_free_fiber(tsan_fiber); }
+
+}  // namespace detail
+
+ShardedScheduler::ShardedScheduler(int nthreads) {
+  CHAM_CHECK_MSG(nthreads >= 1, "need at least one shard");
+  shards_.reserve(static_cast<std::size_t>(nthreads));
+  for (int s = 0; s < nthreads; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ShardedScheduler::~ShardedScheduler() {
+  // run() joins its workers before returning; a ShardedScheduler destroyed
+  // without run() has no threads.
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+}
+
+int ShardedScheduler::spawn(std::function<void()> entry,
+                            std::size_t stack_bytes) {
+  CHAM_CHECK_MSG(!ran_, "spawn must precede run()");
+  auto fiber = std::make_unique<ShardFiber>(stack_bytes, std::move(entry));
+  fiber->id = static_cast<int>(fibers_.size());
+  fiber->shard = fiber->id % static_cast<int>(shards_.size());
+  fiber->sched = this;
+
+  Shard& shard = *shards_[static_cast<std::size_t>(fiber->shard)];
+  CHAM_CHECK(getcontext(&fiber->context) == 0);
+  fiber->context.uc_stack.ss_sp = fiber->stack.get();
+  fiber->context.uc_stack.ss_size = fiber->stack_bytes;
+  // uc_link points at the owning shard's scheduler context; its contents
+  // are (re)written by every swapcontext on the shard's worker thread, so
+  // taking the address before that thread exists is safe.
+  fiber->context.uc_link = &shard.main_context;
+  const auto ptr = reinterpret_cast<std::uintptr_t>(fiber.get());
+  makecontext(&fiber->context, reinterpret_cast<void (*)()>(&trampoline), 2,
+              static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xffffffffu));
+  fiber->tsan_fiber = tsan_make_fiber();
+
+  shard.ready.push_back(fiber->id);
+  fibers_.push_back(std::move(fiber));
+  const int id = fibers_.back()->id;
+  race::fork(id);
+  return id;
+}
+
+void ShardedScheduler::trampoline(unsigned hi, unsigned lo) {
+  auto* fiber = reinterpret_cast<ShardFiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  ShardedScheduler* sched = fiber->sched;
+  Shard& shard = *sched->shards_[static_cast<std::size_t>(fiber->shard)];
+  // First time on this stack; the stack we came from is the shard worker's.
+  sanitizer_post_switch(nullptr, &shard.main_stack_bottom,
+                        &shard.main_stack_size);
+  try {
+    fiber->entry();
+  } catch (const detail::FiberCancelled&) {
+    // Deliberate unwind during cancellation; not an application error.
+  } catch (...) {
+    sched->record_exception();
+  }
+  {
+    // Cross-shard unblock() reads this fiber's state under the shard lock,
+    // so the final transition must take it too.
+    const std::lock_guard<std::mutex> lock(shard.m);
+    fiber->state = ShardFiberState::kFinished;
+  }
+  sched->finished_.fetch_add(1, std::memory_order_relaxed);
+  // Falling off the trampoline returns to uc_link (the shard context).
+  // This stack is dying: release its fake stack (nullptr save slot).
+  sanitizer_pre_switch(nullptr, shard.main_stack_bottom,
+                       shard.main_stack_size);
+  tsan_switch(shard.main_tsan_fiber);
+}
+
+void ShardedScheduler::record_exception() {
+  const std::lock_guard<std::mutex> lock(error_m_);
+  if (!pending_exception_) pending_exception_ = std::current_exception();
+}
+
+void ShardedScheduler::run() {
+  CHAM_CHECK_MSG(!ran_, "ShardedScheduler::run may be called once");
+  ran_ = true;
+  for (std::size_t s = 1; s < shards_.size(); ++s)
+    shards_[s]->worker =
+        std::thread([this, s] { worker_loop(static_cast<int>(s)); });
+  worker_loop(0);
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+  // Join-all: run() returning means every fiber's work happens-before the
+  // caller's post-run reads (the final worker join is the real HB edge).
+  for (const auto& fiber : fibers_) race::acquire("fiber.state", fiber->id);
+  if (pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+  if (!deadlock_message_.empty()) throw DeadlockError(deadlock_message_);
+}
+
+void ShardedScheduler::worker_loop(int shard_index) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  if (shard.main_tsan_fiber == nullptr)
+    shard.main_tsan_fiber = tsan_this_fiber();
+  // Rank context for log records emitted on this worker (the provider is
+  // thread-local, so each worker installs — and clears — its own).
+  support::set_log_rank_provider([this] { return current(); });
+  while (barrier_and_plan()) run_epoch(shard_index);
+  support::set_log_rank_provider(nullptr);
+}
+
+bool ShardedScheduler::barrier_and_plan() {
+  std::unique_lock<std::mutex> lock(coord_m_);
+  if (++coord_waiting_ == static_cast<int>(shards_.size())) {
+    // Last arriver plans the next epoch while everyone else is parked: it
+    // has exclusive access to all shard and engine state. The lock chain
+    // through coord_m_ (each worker locked it on arrival, after its last
+    // fiber write) is the happens-before edge that makes the planner's
+    // cross-shard reads — vtimes, queues, the stall handler — race-free.
+    plan_epoch();
+    coord_waiting_ = 0;
+    ++coord_gen_;
+    coord_cv_.notify_all();
+  } else {
+    const std::uint64_t gen = coord_gen_;
+    coord_cv_.wait(lock, [&] { return coord_gen_ != gen; });
+  }
+  return !done_;
+}
+
+void ShardedScheduler::start_cancel() {
+  cancelling_.store(true, std::memory_order_release);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.m);
+    for (auto& fiber : fibers_) {
+      if (static_cast<std::size_t>(fiber->shard) != s) continue;
+      if (fiber->state != ShardFiberState::kBlocked) continue;
+      fiber->state = ShardFiberState::kReady;
+      shard.ready.push_back(fiber->id);
+    }
+  }
+}
+
+void ShardedScheduler::plan_epoch() {
+  while (true) {
+    // Merge / inspect every shard's ready set. Sorting by id makes the
+    // epoch's run order independent of the (thread-timing dependent) order
+    // in which wake-ups arrived.
+    std::size_t total_ready = 0;
+    double t_min = std::numeric_limits<double>::infinity();
+    for (auto& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->m);
+      std::sort(shard->ready.begin(), shard->ready.end());
+      for (const int id : shard->ready)
+        t_min = std::min(t_min, fiber_vtime(id));
+      total_ready += shard->ready.size();
+    }
+
+    if (total_ready == 0) {
+      if (finished_.load(std::memory_order_acquire) == fibers_.size()) {
+        done_ = true;
+        return;
+      }
+      if (!cancelling_.load(std::memory_order_relaxed)) {
+        {
+          const std::lock_guard<std::mutex> lock(error_m_);
+          if (pending_exception_) {
+            start_cancel();
+            continue;
+          }
+        }
+        if (stall_handler_) {
+          // Quiescence: every live fiber is parked (its worker is waiting
+          // on the barrier), so the handler's repairs are ordered after
+          // everything those fibers did.
+          for (const auto& fiber : fibers_)
+            race::acquire("fiber.state", fiber->id);
+          race::set_task(-1);
+          if (stall_handler_()) continue;
+        }
+        deadlock_message_ = deadlock_report();
+        start_cancel();
+        continue;
+      }
+      // Cancelling with nothing ready and fibers unaccounted for cannot
+      // happen (start_cancel readies every blocked fiber; running fibers
+      // requeue or finish) — but never hang if it somehow does.
+      done_ = true;
+      return;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(error_m_);
+      if (pending_exception_ &&
+          !cancelling_.load(std::memory_order_relaxed)) {
+        start_cancel();
+        continue;
+      }
+    }
+
+    // Window selection: everything at [t_min, t_min + horizon] runs now;
+    // later fibers wait for a future epoch. Cancellation overrides the
+    // window so every survivor unwinds promptly.
+    const bool cancel = cancelling_.load(std::memory_order_relaxed);
+    const double limit = horizon_ < 0.0
+                             ? std::numeric_limits<double>::infinity()
+                             : t_min + horizon_;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      const std::lock_guard<std::mutex> lock(shard.m);
+      shard.run_list.clear();
+      auto keep = shard.ready.begin();
+      for (const int id : shard.ready) {
+        if (cancel || fiber_vtime(id) <= limit)
+          shard.run_list.push_back(id);
+        else
+          *keep++ = id;
+      }
+      shard.ready.erase(keep, shard.ready.end());
+      if (seed_ != 0 && shard.run_list.size() > 1) {
+        // Deterministic per (seed, shard, epoch) — independent of thread
+        // timing, reproducible across runs and thread counts with the same
+        // shard count.
+        support::Rng rng(support::mix64(
+            seed_ ^ support::mix64((epochs_ << 8) | (s + 1))));
+        for (std::size_t i = shard.run_list.size() - 1; i > 0; --i) {
+          const auto j =
+              static_cast<std::size_t>(rng.next_below(i + 1));
+          std::swap(shard.run_list[i], shard.run_list[j]);
+        }
+      }
+    }
+    ++epochs_;
+    return;
+  }
+}
+
+void ShardedScheduler::run_epoch(int shard_index) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  std::vector<int> list;
+  {
+    const std::lock_guard<std::mutex> lock(shard.m);
+    list.swap(shard.run_list);
+  }
+  for (const int id : list) {
+    ShardFiber& fiber = *fibers_[static_cast<std::size_t>(id)];
+    bool runnable = false;
+    bool retired_in_place = false;
+    {
+      const std::lock_guard<std::mutex> lock(shard.m);
+      if (fiber.state == ShardFiberState::kReady) {
+        if (cancelling_.load(std::memory_order_relaxed) && !fiber.started) {
+          // Never entered: no stack to unwind, retire in place.
+          fiber.state = ShardFiberState::kFinished;
+          retired_in_place = true;
+        } else {
+          fiber.state = ShardFiberState::kRunning;
+          fiber.block_reason.clear();
+          fiber.started = true;
+          runnable = true;
+        }
+      }
+    }
+    if (retired_in_place) finished_.fetch_add(1, std::memory_order_relaxed);
+    if (!runnable) continue;
+    dispatch(shard_index, fiber);
+    bool retired = false;
+    {
+      const std::lock_guard<std::mutex> lock(shard.m);
+      if (fiber.state == ShardFiberState::kRunning) {
+        // The fiber yielded cooperatively: still runnable next epoch.
+        fiber.state = ShardFiberState::kReady;
+        shard.ready.push_back(id);
+      }
+      retired = fiber.state == ShardFiberState::kFinished;
+    }
+    if (retired) {
+      // Publish the retiree's final clock for the join-all edge.
+      race::release("fiber.state", static_cast<std::uint64_t>(id));
+    }
+  }
+}
+
+void ShardedScheduler::dispatch(int shard_index, ShardFiber& fiber) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  tls_current_fiber = fiber.id;
+  ++shard.switches;
+  obs::Timeline* tl = obs::timeline();
+  if (tl != nullptr)
+    tl->begin(obs::Timeline::shard_tid(shard_index),
+              "rank " + std::to_string(fiber.id), "fiber");
+  race::set_task(fiber.id);
+  sanitizer_pre_switch(&shard.main_sanitizer_stack, fiber.stack.get(),
+                       fiber.stack_bytes);
+  tsan_switch(fiber.tsan_fiber);
+  CHAM_CHECK(swapcontext(&shard.main_context, &fiber.context) == 0);
+  sanitizer_post_switch(shard.main_sanitizer_stack, nullptr, nullptr);
+  race::set_task(-1);
+  if (tl != nullptr) tl->end(obs::Timeline::shard_tid(shard_index));
+  tls_current_fiber = -1;
+}
+
+void ShardedScheduler::yield() {
+  const int id = tls_current_fiber;
+  CHAM_CHECK(id >= 0);
+  if (cancelling_.load(std::memory_order_acquire))
+    throw detail::FiberCancelled{};
+  ShardFiber& fiber = *fibers_[static_cast<std::size_t>(id)];
+  Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
+  sanitizer_pre_switch(&fiber.sanitizer_stack, shard.main_stack_bottom,
+                       shard.main_stack_size);
+  tsan_switch(shard.main_tsan_fiber);
+  CHAM_CHECK(swapcontext(&fiber.context, &shard.main_context) == 0);
+  sanitizer_post_switch(fiber.sanitizer_stack, nullptr, nullptr);
+  if (cancelling_.load(std::memory_order_acquire))
+    throw detail::FiberCancelled{};
+}
+
+void ShardedScheduler::block(std::string reason) {
+  const int id = tls_current_fiber;
+  CHAM_CHECK(id >= 0);
+  if (cancelling_.load(std::memory_order_acquire))
+    throw detail::FiberCancelled{};
+  ShardFiber& fiber = *fibers_[static_cast<std::size_t>(id)];
+  Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
+  {
+    const std::lock_guard<std::mutex> lock(shard.m);
+    if (fiber.wake_pending) {
+      // A wake-up raced this block: consume the token and return without
+      // switching. The caller's condition loop re-checks and either
+      // proceeds (the waker's work is visible — we hold the shard lock the
+      // waker released) or blocks again for real.
+      fiber.wake_pending = false;
+      race::acquire("fiber.wake", static_cast<std::uint64_t>(id));
+      return;
+    }
+    fiber.state = ShardFiberState::kBlocked;
+    fiber.block_reason = std::move(reason);
+  }
+  // Publish this fiber's clock: stall-handler repairs and the final join
+  // are ordered after everything it did before blocking.
+  race::release("fiber.state", static_cast<std::uint64_t>(id));
+  sanitizer_pre_switch(&fiber.sanitizer_stack, shard.main_stack_bottom,
+                       shard.main_stack_size);
+  tsan_switch(shard.main_tsan_fiber);
+  CHAM_CHECK(swapcontext(&fiber.context, &shard.main_context) == 0);
+  sanitizer_post_switch(fiber.sanitizer_stack, nullptr, nullptr);
+  // Whoever woke us released "fiber.wake" first; join their clock so their
+  // writes (e.g. the delivered message) are ordered before our reads.
+  race::acquire("fiber.wake", static_cast<std::uint64_t>(id));
+  if (cancelling_.load(std::memory_order_acquire))
+    throw detail::FiberCancelled{};
+}
+
+void ShardedScheduler::unblock(int id) {
+  CHAM_CHECK(id >= 0 && id < static_cast<int>(fibers_.size()));
+  ShardFiber& fiber = *fibers_[static_cast<std::size_t>(id)];
+  Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
+  const std::lock_guard<std::mutex> lock(shard.m);
+  if (fiber.state == ShardFiberState::kBlocked) {
+    fiber.state = ShardFiberState::kReady;
+    fiber.block_reason.clear();
+    race::release("fiber.wake", static_cast<std::uint64_t>(id));
+    // Woken fibers join the *next* epoch: the planner merges this entry at
+    // the barrier, so eligibility never depends on wake-up timing.
+    shard.ready.push_back(id);
+  } else if (fiber.state == ShardFiberState::kReady ||
+             fiber.state == ShardFiberState::kRunning) {
+    // The target is running (likely deciding to block on the condition we
+    // just satisfied) or already queued: leave a token so its next block()
+    // returns immediately instead of losing this wake-up.
+    fiber.wake_pending = true;
+    race::release("fiber.wake", static_cast<std::uint64_t>(id));
+  }
+}
+
+void ShardedScheduler::exit_current() {
+  CHAM_CHECK_MSG(tls_current_fiber >= 0,
+                 "exit_current must be called from a fiber");
+  throw detail::FiberCancelled{};
+}
+
+int ShardedScheduler::current() const { return tls_current_fiber; }
+
+std::size_t ShardedScheduler::finished_count() const {
+  return finished_.load(std::memory_order_acquire);
+}
+
+bool ShardedScheduler::finished(int id) const {
+  const ShardFiber& fiber = *fibers_.at(static_cast<std::size_t>(id));
+  Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
+  const std::lock_guard<std::mutex> lock(shard.m);
+  return fiber.state == ShardFiberState::kFinished;
+}
+
+bool ShardedScheduler::blocked(int id) const {
+  const ShardFiber& fiber = *fibers_.at(static_cast<std::size_t>(id));
+  Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
+  const std::lock_guard<std::mutex> lock(shard.m);
+  return fiber.state == ShardFiberState::kBlocked;
+}
+
+std::string ShardedScheduler::block_note(int id) const {
+  const ShardFiber& fiber = *fibers_.at(static_cast<std::size_t>(id));
+  Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
+  const std::lock_guard<std::mutex> lock(shard.m);
+  return fiber.block_reason;
+}
+
+std::uint64_t ShardedScheduler::switch_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->switches;
+  return total;
+}
+
+std::uint64_t ShardedScheduler::epochs() const {
+  const std::lock_guard<std::mutex> lock(coord_m_);
+  return epochs_;
+}
+
+std::string ShardedScheduler::deadlock_report() {
+  std::ostringstream os;
+  os << "minimpi deadlock: "
+     << fibers_.size() - finished_.load(std::memory_order_acquire)
+     << " fibers alive but none runnable\n";
+  std::size_t listed = 0;
+  for (const auto& fiber : fibers_) {
+    Shard& shard = *shards_[static_cast<std::size_t>(fiber->shard)];
+    const std::lock_guard<std::mutex> lock(shard.m);
+    if (fiber->state != ShardFiberState::kBlocked) continue;
+    if (++listed > 16) {
+      os << "  ...\n";
+      break;
+    }
+    os << "  rank " << fiber->id << ": " << fiber->block_reason << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cham::sim

@@ -1,0 +1,200 @@
+// ChamShard: the sharded multi-threaded fiber scheduler.
+//
+// Rank fibers are partitioned round-robin across a fixed pool of shards
+// (rank r lives on shard r % S forever); every shard owns a run queue and a
+// worker thread that is the only thread ever executing — or resuming — its
+// fibers, so each fiber's stack, ucontext, and ASan bookkeeping stay
+// thread-pinned for life. Execution proceeds in virtual-clock epochs
+// separated by a pool-wide barrier:
+//
+//   1. All workers park on the barrier. The last arriver becomes the
+//      planner: it merges freshly woken fibers into the shard run queues,
+//      computes the minimum virtual time over every ready fiber, and marks
+//      the fibers inside the epoch window [t_min, t_min + horizon] eligible
+//      (the default horizon is unbounded — every ready fiber joins, the
+//      SimGrid/SMPI scheduling-round discipline — because the engine's
+//      vtime algebra makes protocol output independent of intra-epoch
+//      order; see docs/ENGINE.md).
+//   2. The barrier releases; each shard runs its eligible fibers — in rank
+//      order, or seeded-shuffled per (seed, shard, epoch) when a scheduler
+//      seed is set — exactly once, in parallel with the other shards.
+//      Fibers woken mid-epoch become eligible at the next barrier, never
+//      the current one, so eligibility is independent of thread timing.
+//   3. Repeat until every fiber finished, or nothing is ready: then the
+//      planner runs the stall handler (all workers parked, so it sees a
+//      fully quiescent engine), and failing that triggers the same
+//      cancel-and-unwind deadlock path as the single-threaded scheduler.
+//
+// Wake-ups racing a block are handled with a per-fiber wake token: an
+// unblock() that finds its target running (about to block on the very
+// condition the caller just satisfied) sets wake_pending instead of being
+// dropped; the target's next block() consumes the token and returns
+// immediately. Engine block sites are all condition loops, so the spurious
+// return re-checks and either proceeds or blocks for real — the classic
+// lost-wakeup is structurally impossible.
+#pragma once
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace cham::sim {
+
+class ShardedScheduler;
+
+namespace detail {
+
+enum class ShardFiberState : std::uint8_t {
+  kReady,
+  kRunning,
+  kBlocked,
+  kFinished
+};
+
+/// One rank fiber pinned to a shard. `state`, `wake_pending`, and
+/// `block_reason` are guarded by the owning shard's mutex; the stack and
+/// context are touched only by the owning shard's worker thread.
+struct ShardFiber {
+  ShardFiber(std::size_t bytes, std::function<void()> fn);
+  ~ShardFiber();
+  ShardFiber(const ShardFiber&) = delete;
+  ShardFiber& operator=(const ShardFiber&) = delete;
+
+  ucontext_t context{};
+  std::unique_ptr<char[]> stack;
+  std::size_t stack_bytes;
+  std::function<void()> entry;
+  ShardFiberState state = ShardFiberState::kReady;
+  int id = -1;
+  int shard = 0;
+  bool started = false;
+  /// A wake-up arrived while the fiber was off the blocked list; consumed
+  /// by its next block() (see the wake-token protocol above).
+  bool wake_pending = false;
+  ShardedScheduler* sched = nullptr;
+  std::string block_reason;
+  void* sanitizer_stack = nullptr;
+  void* tsan_fiber = nullptr;
+};
+
+}  // namespace detail
+
+class ShardedScheduler final : public Scheduler {
+ public:
+  /// A pool of `nthreads` shards/workers (>= 1). The driving thread that
+  /// calls run() doubles as shard 0's worker, so nthreads == 1 spawns no
+  /// threads at all.
+  explicit ShardedScheduler(int nthreads);
+  ~ShardedScheduler() override;
+
+  int spawn(std::function<void()> entry, std::size_t stack_bytes) override;
+  void run() override;
+  void set_stall_handler(std::function<bool()> handler) override {
+    stall_handler_ = std::move(handler);
+  }
+  void set_seed(std::uint64_t seed) override { seed_ = seed; }
+
+  /// Probe mapping a fiber id to its current virtual time; consulted by the
+  /// epoch planner to compute the window. Without a probe every fiber
+  /// reports t=0 and each epoch runs the full ready set.
+  void set_vtime_probe(std::function<double(int)> probe) {
+    vtime_probe_ = std::move(probe);
+  }
+
+  /// Epoch window width: fibers with vtime <= t_min + horizon run this
+  /// epoch. Negative (default) means unbounded — all ready fibers run.
+  void set_epoch_horizon(double horizon) { horizon_ = horizon; }
+
+  void yield() override;
+  void block(std::string reason) override;
+  void unblock(int id) override;
+  [[noreturn]] void exit_current() override;
+  [[nodiscard]] int current() const override;
+  [[nodiscard]] std::size_t fiber_count() const override {
+    return fibers_.size();
+  }
+  [[nodiscard]] std::size_t finished_count() const override;
+  [[nodiscard]] bool finished(int id) const override;
+  [[nodiscard]] bool blocked(int id) const override;
+  [[nodiscard]] std::string block_note(int id) const override;
+  [[nodiscard]] std::uint64_t switch_count() const override;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(shards_.size()); }
+  /// Barrier rounds executed (diagnostics; tests assert epoch progress).
+  [[nodiscard]] std::uint64_t epochs() const;
+
+ private:
+  /// Per-shard state. The mutex guards the ready/run lists and every
+  /// owned fiber's state/wake/reason fields; the context/stack fields
+  /// below it belong exclusively to the shard's worker thread.
+  struct Shard {
+    std::mutex m;
+    std::vector<int> ready;     ///< runnable fiber ids (unordered between epochs)
+    std::vector<int> run_list;  ///< this epoch's eligible ids, in run order
+    std::uint64_t switches = 0;
+
+    ucontext_t main_context{};
+    void* main_sanitizer_stack = nullptr;
+    void* main_tsan_fiber = nullptr;
+    const void* main_stack_bottom = nullptr;
+    std::size_t main_stack_size = 0;
+    std::thread worker;  ///< shards 1..S-1; shard 0 runs on the driver
+  };
+
+  static void trampoline(unsigned hi, unsigned lo);
+  void worker_loop(int shard_index);
+  /// Park on the epoch barrier; the last arriver plans the next epoch.
+  /// Returns false once the pool is shutting down.
+  bool barrier_and_plan();
+  /// Runs on the planner with every worker parked: merge wakes, pick the
+  /// epoch window, fill the run lists — or handle stall/cancel/done.
+  void plan_epoch();
+  void run_epoch(int shard_index);
+  void dispatch(int shard_index, detail::ShardFiber& fiber);
+  void start_cancel();
+  [[nodiscard]] double fiber_vtime(int id) const {
+    return vtime_probe_ ? vtime_probe_(id) : 0.0;
+  }
+  [[nodiscard]] std::string deadlock_report();
+  void record_exception();
+
+  std::vector<std::unique_ptr<detail::ShardFiber>> fibers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Epoch barrier: generation-counted so workers cannot miss a release.
+  mutable std::mutex coord_m_;
+  std::condition_variable coord_cv_;
+  int coord_waiting_ = 0;
+  std::uint64_t coord_gen_ = 0;
+  std::uint64_t epochs_ = 0;  ///< guarded by coord_m_
+  bool done_ = false;         ///< guarded by coord_m_
+
+  std::atomic<std::size_t> finished_{0};
+  /// Set by the planner (all workers parked), read by fibers at block/yield
+  /// cancellation points.
+  std::atomic<bool> cancelling_{false};
+
+  std::mutex error_m_;
+  std::exception_ptr pending_exception_;  ///< first fiber exception wins
+  std::string deadlock_message_;
+
+  std::function<bool()> stall_handler_;
+  std::function<double(int)> vtime_probe_;
+  std::uint64_t seed_ = 0;
+  double horizon_ = -1.0;
+  bool ran_ = false;
+};
+
+}  // namespace cham::sim

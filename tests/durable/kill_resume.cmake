@@ -1,9 +1,16 @@
 # Drives the CLI kill/resume smoke: reference checkpointed run, a second
 # run SIGKILL'd mid-epoch by the --kill-at-epoch test hook, then --resume,
 # and finally a byte comparison of the two cluster-table wire images.
-# Invoked by ctest with -DCHAMTRACE=<binary> -DWORKDIR=<scratch>.
+# Invoked by ctest with -DCHAMTRACE=<binary> -DWORKDIR=<scratch>; pass
+# -DTHREADS=<N> to run every leg on the sharded scheduler (the reference
+# run stays single-threaded, so the comparison doubles as a cross-thread
+# determinism check on the recovery path).
 file(REMOVE_RECURSE ${WORKDIR})
 file(MAKE_DIRECTORY ${WORKDIR})
+
+if(NOT DEFINED THREADS)
+  set(THREADS 1)
+endif()
 
 execute_process(
   COMMAND ${CHAMTRACE} run --workload lu --procs 8 --class S
@@ -16,6 +23,7 @@ endif()
 
 execute_process(
   COMMAND ${CHAMTRACE} run --workload lu --procs 8 --class S
+          --threads ${THREADS}
           --checkpoint-dir ${WORKDIR}/kill --kill-at-epoch 4
   RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
 # The hook raises SIGKILL: execute_process reports the signal, not 0.
@@ -24,7 +32,7 @@ if(rc EQUAL 0)
 endif()
 
 execute_process(
-  COMMAND ${CHAMTRACE} run --resume ${WORKDIR}/kill
+  COMMAND ${CHAMTRACE} run --resume ${WORKDIR}/kill --threads ${THREADS}
           --clusters-out ${WORKDIR}/res-clusters.bin
   RESULT_VARIABLE rc OUTPUT_VARIABLE out)
 if(NOT rc EQUAL 0)

@@ -1,0 +1,217 @@
+// ChamShard: the sharded multi-threaded fiber scheduler and its engine
+// integration (sim/shard.hpp, EngineOptions::threads).
+//
+// Two layers of coverage:
+//   - ShardedScheduler unit tests: fibers partitioned across real worker
+//     threads all run to completion, the wake-token protocol turns an
+//     unblock() racing a block() into an immediate return instead of a
+//     lost wakeup, and a genuine deadlock still unwinds every fiber stack
+//     before DeadlockError propagates.
+//   - Engine determinism matrix: the protocol output of a (workload, P,
+//     seed) triple — per-epoch digests, the final cluster table bytes, and
+//     the --perf counter totals — must be identical at every thread count.
+//     This is the contract tools/check.sh and `chamtrace race` audit at
+//     larger scale; docs/ENGINE.md explains why it holds.
+// Build with -DCHAM_TSAN=ON to validate this slice under ThreadSanitizer
+// (the tools/check.sh TSan leg runs `ctest -L "race|engine"`).
+#include "sim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/chameleon.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/mpi.hpp"
+#include "trace/callsite.hpp"
+#include "trace/perf.hpp"
+#include "workloads/workload.hpp"
+
+namespace cham {
+namespace {
+
+constexpr std::size_t kStack = 64 * 1024;
+
+TEST(ShardedScheduler, RunsEveryFiberAcrossShards) {
+  sim::ShardedScheduler sched(4);
+  EXPECT_EQ(sched.shards(), 4);
+  std::atomic<int> total{0};
+  constexpr int kFibers = 16;
+  for (int i = 0; i < kFibers; ++i)
+    sched.spawn(
+        [&sched, &total] {
+          for (int y = 0; y < 3; ++y) sched.yield();
+          total.fetch_add(1, std::memory_order_relaxed);
+        },
+        kStack);
+  EXPECT_EQ(sched.fiber_count(), static_cast<std::size_t>(kFibers));
+  sched.run();
+  EXPECT_EQ(total.load(), kFibers);
+  EXPECT_EQ(sched.finished_count(), static_cast<std::size_t>(kFibers));
+  // Three yields each means at least four barrier rounds ran.
+  EXPECT_GE(sched.epochs(), 4u);
+}
+
+TEST(ShardedScheduler, ShardCountClampsToOne) {
+  sim::ShardedScheduler sched(1);
+  EXPECT_EQ(sched.shards(), 1);
+  bool ran = false;
+  sched.spawn([&ran] { ran = true; }, kStack);
+  sched.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ShardedScheduler, WakeTokenPreventsLostWakeup) {
+  // Fiber 0 (shard 0) wakes fiber 1 (shard 1); both run concurrently in
+  // the same epoch, so the unblock may land before, during, or after the
+  // block. Every interleaving must complete: if the wake arrives early the
+  // token makes the next block() return immediately, if it arrives late
+  // the fiber is moved back to its shard's ready queue. A lost wakeup
+  // would deadlock (and fail the test with DeadlockError).
+  sim::ShardedScheduler sched(2);
+  std::atomic<bool> flag{false};
+  sched.spawn(
+      [&sched, &flag] {
+        flag.store(true, std::memory_order_release);
+        sched.unblock(1);
+      },
+      kStack);
+  sched.spawn(
+      [&sched, &flag] {
+        while (!flag.load(std::memory_order_acquire))
+          sched.block("waiting for flag");
+      },
+      kStack);
+  sched.run();
+  EXPECT_EQ(sched.finished_count(), 2u);
+}
+
+TEST(ShardedScheduler, DeadlockUnwindsStacksBeforeThrowing) {
+  sim::ShardedScheduler sched(2);
+  std::atomic<bool> unwound{false};
+  struct Guard {
+    std::atomic<bool>* flag;
+    ~Guard() { flag->store(true, std::memory_order_release); }
+  };
+  sched.spawn(
+      [&sched, &unwound] {
+        const Guard g{&unwound};
+        sched.block("never woken");  // no one will unblock fiber 0
+      },
+      kStack);
+  sched.spawn([] {}, kStack);
+  EXPECT_THROW(sched.run(), sim::DeadlockError);
+  EXPECT_TRUE(unwound.load(std::memory_order_acquire));
+}
+
+TEST(ShardedScheduler, BlockNoteVisibleToStallHandler) {
+  sim::ShardedScheduler sched(2);
+  std::string seen;
+  sched.spawn([&sched] { sched.block("waiting on message"); }, kStack);
+  sched.set_stall_handler([&sched, &seen] {
+    if (!seen.empty()) return false;
+    seen = sched.block_note(0);
+    sched.unblock(0);
+    return true;
+  });
+  sched.run();
+  EXPECT_EQ(seen, "waiting on message");
+}
+
+// --- engine determinism matrix ---------------------------------------------
+
+struct RunOutput {
+  std::vector<std::uint64_t> digests;
+  std::vector<std::uint8_t> table;
+  trace::PerfCounters perf;
+};
+
+RunOutput run_workload(const std::string& name, int procs, int steps,
+                       std::uint64_t seed, int threads) {
+  const workloads::WorkloadInfo* info = workloads::find_workload(name);
+  EXPECT_NE(info, nullptr) << name;
+  sim::Engine engine(sim::EngineOptions{
+      .nprocs = procs, .sched_seed = seed, .threads = threads});
+  trace::CallSiteRegistry stacks(procs);
+  core::ChameleonConfig config;
+  config.record_digests = true;
+  core::ChameleonTool tool(procs, &stacks, config);
+  engine.set_tool(&tool);
+  workloads::WorkloadParams params{.cls = 'A', .timesteps = steps};
+  engine.run([&](sim::Mpi& mpi) { info->run(mpi, stacks, params); });
+  RunOutput out;
+  out.digests = tool.epoch_digests();
+  out.table = tool.clusters().encode();
+  out.perf = tool.perf_counters();
+  return out;
+}
+
+TEST(ShardedEngine, ClusterTablesByteIdenticalAcrossThreadsAndSeeds) {
+  for (const char* workload : {"lu", "sweep3d"}) {
+    const RunOutput base = run_workload(workload, 8, 4, 0, 1);
+    ASSERT_FALSE(base.digests.empty()) << workload;
+    ASSERT_FALSE(base.table.empty()) << workload;
+    for (const int threads : {2, 8}) {
+      for (const std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{5}}) {
+        const RunOutput got = run_workload(workload, 8, 4, seed, threads);
+        EXPECT_EQ(got.digests, base.digests)
+            << workload << " threads=" << threads << " seed=" << seed;
+        EXPECT_EQ(got.table, base.table)
+            << workload << " threads=" << threads << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, PerfTotalsExactAcrossThreadCounts) {
+  // PerfCounters are accumulated per rank by the owning fiber and summed at
+  // report time, so the totals must be *exactly* equal — not approximately —
+  // no matter how ranks were spread over shards.
+  const RunOutput base = run_workload("lu", 8, 4, 0, 1);
+  const RunOutput sharded = run_workload("lu", 8, 4, 0, 4);
+  EXPECT_EQ(sharded.perf.fold_windows_tested, base.perf.fold_windows_tested);
+  EXPECT_EQ(sharded.perf.folds_performed, base.perf.folds_performed);
+  EXPECT_EQ(sharded.perf.merge_prechecks, base.perf.merge_prechecks);
+  EXPECT_EQ(sharded.perf.merge_deep_compares, base.perf.merge_deep_compares);
+  EXPECT_EQ(sharded.perf.bytes_encoded, base.perf.bytes_encoded);
+  EXPECT_EQ(sharded.perf.bytes_decoded, base.perf.bytes_decoded);
+  EXPECT_GT(base.perf.fold_windows_tested, 0u);
+}
+
+TEST(ShardedEngine, DeadlockReportedUnderThreads) {
+  sim::Engine engine(sim::EngineOptions{.nprocs = 8, .threads = 4});
+  EXPECT_THROW(
+      engine.run([](sim::Mpi& mpi) {
+        // Everyone receives, nobody sends: a full-world deadlock that the
+        // planner must detect with all shards parked.
+        mpi.recv((mpi.rank() + 1) % mpi.size(), 64, 7);
+      }),
+      sim::DeadlockError);
+}
+
+TEST(ShardedEngine, FaultCrashBehavesIdenticallyUnderThreads) {
+  const auto iterations = [](int threads) {
+    sim::FaultInjector injector(
+        sim::FaultPlan::parse("crash rank=2 call=3"));
+    sim::Engine engine(sim::EngineOptions{.nprocs = 4, .threads = threads});
+    engine.set_fault_injector(&injector);
+    std::vector<int> iters(4, 0);
+    engine.run([&](sim::Mpi& mpi) {
+      for (int i = 0; i < 10; ++i) {
+        mpi.barrier();
+        ++iters[static_cast<std::size_t>(mpi.rank())];
+      }
+    });
+    return iters;
+  };
+  const std::vector<int> single = iterations(1);
+  EXPECT_EQ(iterations(4), single);
+  EXPECT_LT(single[2], 10);  // the crashed rank stopped early
+}
+
+}  // namespace
+}  // namespace cham

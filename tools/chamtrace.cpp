@@ -5,7 +5,8 @@
 //   chamtrace run --workload lu --procs 64 [--tool chameleon|scalatrace|
 //       acurdion|none] [--k K] [--freq N] [--class A-D] [--steps N]
 //       [--auto-marker] [--fault plan] [--fault-seed N] [--sched-seed N]
-//       [--out trace.bin] [--clusters-out c.bin] [--text] [--perf]
+//       [--threads N] [--out trace.bin] [--clusters-out c.bin] [--text]
+//       [--perf]
 //       [--checkpoint-dir d] [--snapshot-every N] [--resume d]
 //       [--timeline t.json] [--metrics-out m.json] [--log-json]
 //       Trace a workload and write the global/online trace. --fault takes a
@@ -86,6 +87,7 @@ int usage() {
       " [--auto-marker]\n"
       "               [--fault <plan-file-or-inline>] [--fault-seed <N>]"
       " [--sched-seed <N>]\n"
+      "               [--threads <N>]\n"
       "               [--checkpoint-dir <dir>] [--snapshot-every <N>]\n"
       "               [--out <file>] [--clusters-out <file>] [--text]"
       " [--perf]\n"
@@ -286,7 +288,8 @@ int setup_run(const Args& args, WorkloadRun& run) {
 
   run.engine.emplace(sim::EngineOptions{
       .nprocs = run.procs,
-      .sched_seed = std::stoull(args.value("--sched-seed").value_or("0"))});
+      .sched_seed = std::stoull(args.value("--sched-seed").value_or("0")),
+      .threads = std::stoi(args.value("--threads").value_or("1"))});
   run.stacks.emplace(run.procs);
   if (const auto fault = args.value("--fault")) {
     const std::uint64_t seed =
@@ -419,8 +422,13 @@ int setup_resume(const Args& args, const std::string& dir, WorkloadRun& run) {
   run.config.degrade_fraction = m.degrade_fraction;
   run.config.auto_marker = m.auto_marker;
 
-  run.engine.emplace(
-      sim::EngineOptions{.nprocs = run.procs, .sched_seed = m.sched_seed});
+  // --threads is an execution choice, not part of the recorded run: the
+  // determinism contract makes the resumed output identical at any count,
+  // so it may differ from the original run's.
+  run.engine.emplace(sim::EngineOptions{
+      .nprocs = run.procs,
+      .sched_seed = m.sched_seed,
+      .threads = std::stoi(args.value("--threads").value_or("1"))});
   run.stacks.emplace(run.procs);
   if (plan) {
     run.injector.emplace(*plan);
@@ -756,6 +764,26 @@ int cmd_race(const Args& args) {
   WorkloadRun run;
   if (int rc = setup_run(args, run); rc != 0) return rc;
 
+  // The vector-clock analyzer consumes the annotation stream in program
+  // order and is not thread-safe, so the analyzed pass always runs
+  // single-threaded — its findings are interleaving-independent anyway.
+  // The requested thread count is exercised by the determinism audit below.
+  if (std::stoi(args.value("--threads").value_or("1")) > 1) {
+    std::printf("race: analyzer pass runs with --threads 1 "
+                "(the audit covers multi-threaded runs)\n");
+    run.engine.emplace(sim::EngineOptions{
+        .nprocs = run.procs,
+        .sched_seed = std::stoull(args.value("--sched-seed").value_or("0"))});
+    if (run.injector) {
+      run.engine->set_fault_injector(&*run.injector);
+      run.engine->set_site_probe([stacks = &*run.stacks](sim::Rank rank) {
+        const auto& frames = stacks->stack(rank).frames();
+        return frames.empty() ? 0 : frames.back();
+      });
+    }
+    if (run.tracer != nullptr) run.engine->set_tool(run.tracer);
+  }
+
   Observability scope(args.value("--timeline").has_value(),
                       args.value("--metrics-out").has_value());
 
@@ -799,27 +827,44 @@ int cmd_race(const Args& args) {
   // the sequences must match element-wise. Only Chameleon commits epoch
   // state, so other tools have nothing to audit.
   std::optional<analysis::race::DeterminismResult> determinism;
+  bool threads_deterministic = true;
+  int divergent_thread_count = 0;
+  std::size_t thread_runs = 0;
   const bool audit = !args.has("--no-audit") && run.chameleon.has_value();
   if (audit) {
+    const auto digests_for = [&](std::uint64_t seed, int threads) {
+      sim::Engine engine(sim::EngineOptions{
+          .nprocs = run.procs, .sched_seed = seed, .threads = threads});
+      trace::CallSiteRegistry stacks(run.procs);
+      core::ChameleonConfig config = run.config;
+      config.record_digests = true;
+      core::ChameleonTool tool(run.procs, &stacks, config);
+      engine.set_tool(&tool);
+      engine.run([&](sim::Mpi& mpi) {
+        run.info->run(mpi, stacks, run.params);
+      });
+      return tool.epoch_digests();
+    };
     const int nseeds = std::stoi(args.value("--seeds").value_or("10"));
     std::vector<std::uint64_t> seeds{0};
     for (int s = 1; s <= nseeds; ++s)
       seeds.push_back(static_cast<std::uint64_t>(s));
     determinism = analysis::race::audit_determinism(
-        [&](std::uint64_t seed) {
-          sim::Engine engine(sim::EngineOptions{.nprocs = run.procs,
-                                                .sched_seed = seed});
-          trace::CallSiteRegistry stacks(run.procs);
-          core::ChameleonConfig config = run.config;
-          config.record_digests = true;
-          core::ChameleonTool tool(run.procs, &stacks, config);
-          engine.set_tool(&tool);
-          engine.run([&](sim::Mpi& mpi) {
-            run.info->run(mpi, stacks, run.params);
-          });
-          return tool.epoch_digests();
-        },
-        seeds);
+        [&](std::uint64_t seed) { return digests_for(seed, 1); }, seeds);
+
+    // ChamShard leg: the same workload at 2 and 4 shards, FIFO and one
+    // shuffled seed each, must reproduce the single-threaded per-epoch
+    // digests element-for-element.
+    const std::vector<std::uint64_t> baseline = digests_for(0, 1);
+    for (const int threads : {2, 4}) {
+      for (const std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{1}}) {
+        ++thread_runs;
+        if (digests_for(seed, threads) != baseline) {
+          threads_deterministic = false;
+          divergent_thread_count = threads;
+        }
+      }
+    }
   }
 
   if (const auto out = args.value("--json")) {
@@ -852,12 +897,20 @@ int cmd_race(const Args& args) {
     std::printf("race: %zu epochs deterministic across %zu seeds\n",
                 determinism->epochs_compared, determinism->seeds.size());
   }
+  if (determinism && !threads_deterministic) {
+    std::printf(
+        "race: non-deterministic across thread counts — %d shards diverge "
+        "from the single-threaded baseline\n",
+        divergent_thread_count);
+    failed = true;
+  }
   if (!failed) {
     if (determinism)
       std::printf(
           "race: clean (0 findings; %zu epochs deterministic across %zu "
-          "seeds)\n",
-          determinism->epochs_compared, determinism->seeds.size());
+          "seeds and %zu multi-threaded runs)\n",
+          determinism->epochs_compared, determinism->seeds.size(),
+          thread_runs);
     else
       std::printf("race: clean (0 findings; determinism audit skipped)\n");
   }

@@ -4,15 +4,16 @@
 #
 #   1. Release          — the shipping configuration
 #   2. ASan + UBSan     — memory and UB errors (fiber unwinding, wire decoding)
-#   3. TSan             — the race-labelled slice (ChamRace analyzer tests and
-#                         the epoch-parallel std::thread pilot) under
-#                         ThreadSanitizer; CHAM_TSAN also enables the
+#   3. TSan             — the race- and engine-labelled slices (ChamRace
+#                         analyzer tests, the ChamShard sharded scheduler)
+#                         under ThreadSanitizer; CHAM_TSAN also enables the
 #                         __tsan_* fiber-switch hooks (docs/RACE.md)
 #   4. Werror           — warning-clean build enforced
 #
 # On top of the per-configuration suites it runs targeted smokes: the fault
-# matrix and the ChamDurable corruption matrix under the sanitizers, and the
-# bench/ChamScope/ChamRace/kill-resume smokes against the release binaries.
+# matrix, the ChamShard engine slice, and the ChamDurable corruption matrix
+# under the sanitizers, and the bench/ChamScope/ChamRace/kill-resume/sharded
+# determinism smokes against the release binaries.
 #
 # Usage: tools/check.sh [jobs]
 # Build trees live under build-check/ (gitignored).
@@ -49,16 +50,25 @@ for seed in ${CHAMELEON_FAULT_SEEDS:-1 11 29}; do
     CHAMELEON_FAULT_SEED="$seed" ctest -L fault --output-on-failure -j "$jobs")
 done
 
-# ChamRace TSan leg: only the race-labelled slice — the full suite under
-# TSan is minutes of fiber-hook overhead for no extra thread coverage; the
-# epoch-parallel pilot tests are the ones with real threads in them.
+# ChamShard sanitizer leg: the engine-labelled slice (sharded scheduler
+# unit tests, cross-thread determinism matrix, the multi-threaded
+# kill/resume smoke) plus a 4-thread CLI run under ASan+UBSan.
+echo "=== [sanitize] engine slice ==="
+(cd build-check/sanitize && ctest -L engine --output-on-failure -j "$jobs")
+echo "=== [sanitize] sharded run smoke ==="
+build-check/sanitize/tools/chamtrace run --workload lu --procs 16 \
+  --steps 8 --freq 1 --threads 4 >/dev/null
+
+# ChamRace/ChamShard TSan leg: the race- and engine-labelled slices — the
+# full suite under TSan is minutes of fiber-hook overhead for no extra
+# thread coverage; these are the slices with real threads in them.
 echo "=== [tsan] configure ==="
 cmake -B build-check/tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCHAM_TSAN=ON >/dev/null
 echo "=== [tsan] build ==="
 cmake --build build-check/tsan -j "$jobs"
-echo "=== [tsan] race slice ==="
-(cd build-check/tsan && ctest -L race --output-on-failure -j "$jobs")
+echo "=== [tsan] race+engine slice ==="
+(cd build-check/tsan && ctest -L 'race|engine' --output-on-failure -j "$jobs")
 
 run_config werror -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHAMELEON_WERROR=ON
 
@@ -75,6 +85,56 @@ for key in '"schema": "chameleon.bench_hotpath.v1"' '"append_fold"' \
   grep -qF "$key" "$smoke_json" ||
     { echo "bench_hotpath smoke: missing $key in $smoke_json" >&2; exit 1; }
 done
+
+# ChamShard engine bench smoke (release build): the thread matrix must
+# produce identical digests at every thread count, and the committed
+# bench_results/BENCH_engine.json must carry the documented schema. The
+# >=3x speedup acceptance (4k fibers, 8 threads) is only meaningful on a
+# host that actually has 8 cores — gate it on nproc so the 1-core CI box
+# checks correctness while a workstation run checks the scaling claim too.
+echo "=== [release] bench_engine smoke ==="
+engine_json="build-check/release/bench_engine_smoke.json"
+build-check/release/bench/bench_engine --smoke --out "$engine_json" \
+  >/dev/null 2>&1
+for key in '"schema": "chameleon.bench_engine.v1"' '"results"' \
+           '"hardware_concurrency"' '"deterministic": true'; do
+  grep -qF "$key" "$engine_json" ||
+    { echo "bench_engine smoke: missing $key in $engine_json" >&2; exit 1; }
+done
+for key in '"schema": "chameleon.bench_engine.v1"' '"deterministic": true'; do
+  grep -qF "$key" bench_results/BENCH_engine.json ||
+    { echo "BENCH_engine.json: missing $key" >&2; exit 1; }
+done
+if [ "$(nproc)" -ge 8 ]; then
+  echo "=== [release] bench_engine full matrix (>=3x gate) ==="
+  full_json="build-check/release/bench_engine_full.json"
+  build-check/release/bench/bench_engine --out "$full_json" >/dev/null 2>&1
+  python3 - "$full_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cell = [r for r in doc["results"] if r["fibers"] == 4096 and r["threads"] == 8]
+speedup = float(cell[0]["speedup_vs_1thread"])
+if speedup < 3.0:
+    sys.exit(f"bench_engine: 4k fibers / 8 threads speedup {speedup} < 3.0")
+print(f"bench_engine: 4k fibers / 8 threads speedup {speedup}")
+EOF
+else
+  echo "bench_engine: $(nproc) core(s) — skipping the >=3x speedup gate"
+fi
+
+# Release multi-thread determinism: the same workload at --threads 1 and
+# --threads 4 must write byte-identical trace and cluster-table files.
+echo "=== [release] sharded determinism compare ==="
+shard_dir="build-check/release/shard-smoke"
+mkdir -p "$shard_dir"
+chamtrace=build-check/release/tools/chamtrace
+"$chamtrace" run --workload lu --procs 16 --steps 8 --freq 1 \
+  --clusters-out "$shard_dir/c1.bin" >/dev/null
+"$chamtrace" run --workload lu --procs 16 --steps 8 --freq 1 --threads 4 \
+  --clusters-out "$shard_dir/c4.bin" >/dev/null
+cmp -s "$shard_dir/c1.bin" "$shard_dir/c4.bin" ||
+  { echo "sharded determinism: cluster tables differ across thread counts" >&2
+    exit 1; }
 
 # ChamScope smoke (release build): a real workload run with the timeline
 # tracer and metrics registry enabled must produce documents that the

@@ -177,6 +177,11 @@ std::string write_race_json(const RaceAnalyzer& analyzer,
   w.member("workload", meta.workload);
   w.member("tool", meta.tool);
   w.member("procs", meta.procs);
+  w.key("threads").begin_object();
+  w.member("requested", meta.requested_threads);
+  w.member("analyzer", meta.analyzer_threads);
+  w.member("clamped", meta.requested_threads != meta.analyzer_threads);
+  w.end_object();
   w.member("tasks", analyzer.tasks());
   w.member("epochs", analyzer.epochs());
   w.member("accesses", analyzer.accesses());

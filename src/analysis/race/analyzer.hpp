@@ -128,6 +128,12 @@ struct RaceReportMeta {
   std::string workload;
   std::string tool;
   int procs = 0;
+  /// Analyzer-pass thread accounting: the RaceAnalyzer is single-threaded,
+  /// so `chamtrace race --threads N` clamps its instrumented pass to one
+  /// thread (the determinism audit still sweeps real shard counts). The
+  /// header records both numbers so a saved report is self-explaining.
+  int requested_threads = 1;
+  int analyzer_threads = 1;
 };
 
 /// Render the chameleon.race.v1 JSON document (docs/RACE.md documents the

@@ -7,6 +7,7 @@
 #include "core/protocol.hpp"
 #include "durable/checkpoint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "sim/mpi.hpp"
 #include "support/hash.hpp"
@@ -290,6 +291,7 @@ void ChameleonTool::run_clustering(sim::Rank rank, sim::Pmpi& pmpi,
                                    double* cpu) {
   RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
   obs::Span span(obs::Timeline::rank_tid(rank), "clustering", "protocol");
+  const obs::prof::PhaseScope phase(obs::prof::Phase::kClustering);
   ClusterProtocolStats stats;
   cs.clusters = hierarchical_cluster(rank, pmpi, sig, config_.k,
                                      config_.policy, config_.seed, &stats);
@@ -321,6 +323,7 @@ void ChameleonTool::run_clustering(sim::Rank rank, sim::Pmpi& pmpi,
 void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
   RankChamState& cs = cham_[static_cast<std::size_t>(rank)];
   obs::Span span(obs::Timeline::rank_tid(rank), "lead_merge", "protocol");
+  const obs::prof::PhaseScope phase(obs::prof::Phase::kLeadMerge);
   const std::vector<sim::Rank> leads = cs.clusters.leads();
   CHAM_CHECK_MSG(!leads.empty(), "merge without clusters");
   const cluster::ClusterEntry* entry = cs.clusters.cluster_of(rank);
@@ -364,6 +367,7 @@ void ChameleonTool::lead_merge_into_online(sim::Rank rank, sim::Pmpi& pmpi) {
   }
   if (rank == home && !merged.empty()) {
     obs::Span fold_span(obs::Timeline::rank_tid(rank), "append_fold", "trace");
+    const obs::prof::PhaseScope phase(obs::prof::Phase::kFold);
     trace::ChargedSection timed(st.inter_timer, pmpi);
     if (config_.checkpointer != nullptr) {
       // Stage the pre-append interval for the epoch delta: recovery reruns

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/prof/profiler.hpp"
 #include "support/logging.hpp"
 
 namespace cham::obs {
@@ -58,57 +59,63 @@ const MetricsRegistry::Entry* MetricsRegistry::find(std::string_view name,
 
 void MetricsRegistry::add_counter(std::string_view name, const Labels& labels,
                                   std::uint64_t delta) {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::PhaseScope sink(prof::Phase::kObsSink);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kMetricsSink);
   entry(name, labels, Kind::kCounter).counter += delta;
 }
 
 void MetricsRegistry::set_counter(std::string_view name, const Labels& labels,
                                   std::uint64_t value) {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::PhaseScope sink(prof::Phase::kObsSink);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kMetricsSink);
   entry(name, labels, Kind::kCounter).counter = value;
 }
 
 void MetricsRegistry::set_gauge(std::string_view name, const Labels& labels,
                                 double value) {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::PhaseScope sink(prof::Phase::kObsSink);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kMetricsSink);
   entry(name, labels, Kind::kGauge).gauge = value;
 }
 
 void MetricsRegistry::record(std::string_view name, const Labels& labels,
                              double sample) {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::PhaseScope sink(prof::Phase::kObsSink);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kMetricsSink);
   entry(name, labels, Kind::kHistogram).histogram.add(sample);
 }
 
 void MetricsRegistry::merge_histogram(std::string_view name,
                                       const Labels& labels,
                                       const support::Histogram& histogram) {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::PhaseScope sink(prof::Phase::kObsSink);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kMetricsSink);
   entry(name, labels, Kind::kHistogram).histogram.merge(histogram);
 }
 
 std::uint64_t MetricsRegistry::counter(std::string_view name,
                                        const Labels& labels) const {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kMetricsSink);
   const Entry* e = find(name, labels);
   return e != nullptr && e->kind == Kind::kCounter ? e->counter : 0;
 }
 
 double MetricsRegistry::gauge(std::string_view name, const Labels& labels) const {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kMetricsSink);
   const Entry* e = find(name, labels);
   return e != nullptr && e->kind == Kind::kGauge ? e->gauge : 0.0;
 }
 
 const support::Histogram* MetricsRegistry::histogram(std::string_view name,
                                                      const Labels& labels) const {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kMetricsSink);
   const Entry* e = find(name, labels);
   return e != nullptr && e->kind == Kind::kHistogram ? &e->histogram : nullptr;
 }
 
 void MetricsRegistry::to_json(support::json::Writer& w) const {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::PhaseScope sink(prof::Phase::kObsSink);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kMetricsSink);
   w.begin_object();
   w.member("schema", "chameleon.metrics.v1");
   w.key("metrics").begin_array();

@@ -1,0 +1,149 @@
+#include "obs/prof/summary.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+namespace cham::obs::prof {
+
+namespace {
+
+double num(const support::json::Value& v, std::string_view key,
+           double fallback = 0.0) {
+  const support::json::Value* f = v.find(key);
+  return f != nullptr && f->is_number() ? f->as_number() : fallback;
+}
+
+std::string str(const support::json::Value& v, std::string_view key) {
+  const support::json::Value* f = v.find(key);
+  return f != nullptr && f->is_string() ? f->as_string() : std::string();
+}
+
+void line(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+  out += '\n';
+}
+
+std::string pct(double part, double whole) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%",
+                whole > 0.0 ? 100.0 * part / whole : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_profile_summary(const support::json::Value& doc) {
+  std::string out;
+  line(out, "profile: schema=%s compiled_in=%s", str(doc, "schema").c_str(),
+       doc.find("compiled_in") != nullptr && doc.find("compiled_in")->is_bool()
+           ? (doc.find("compiled_in")->as_bool() ? "true" : "false")
+           : "?");
+
+  const support::json::Value* shards = doc.find("shards");
+  if (shards != nullptr && shards->is_array() && !shards->as_array().empty()) {
+    line(out, "");
+    line(out,
+         "shard  barrier_wait  plan      dispatch   wait%%   epochs  "
+         "dispatches  wake  ready avg/max");
+    for (const support::json::Value& sh : shards->as_array()) {
+      const double wait = num(sh, "barrier_wait_seconds");
+      const double plan = num(sh, "plan_seconds");
+      const double disp = num(sh, "dispatch_seconds");
+      const double busy = wait + plan + disp;
+      const double planned = num(sh, "epochs_planned");
+      const double rsum = num(sh, "ready_depth_sum");
+      const double total_epochs =
+          doc.find("epochs") != nullptr ? num(*doc.find("epochs"), "planned")
+                                        : 0.0;
+      line(out,
+           "%5d  %9.3fms  %7.3fms  %8.3fms  %s  %6.0f  %10.0f  %4.0f  "
+           "%5.1f/%-4.0f",
+           static_cast<int>(num(sh, "shard")), wait * 1e3, plan * 1e3,
+           disp * 1e3, pct(wait, busy).c_str(), planned,
+           num(sh, "dispatches"), num(sh, "wake_tokens"),
+           total_epochs > 0.0 ? rsum / total_epochs : 0.0,
+           num(sh, "ready_depth_max"));
+    }
+  }
+
+  const support::json::Value* phases = doc.find("phases");
+  if (phases != nullptr && phases->is_object()) {
+    double total = 0.0;
+    for (const auto& [name, v] : phases->as_object())
+      if (v.is_number()) total += v.as_number();
+    std::vector<std::pair<std::string, double>> rows;
+    for (const auto& [name, v] : phases->as_object())
+      if (v.is_number()) rows.emplace_back(name, v.as_number());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    line(out, "");
+    line(out, "phase breakdown (host self-time):");
+    for (const auto& [name, secs] : rows) {
+      if (secs <= 0.0 && total > 0.0) continue;
+      line(out, "  %-12s %9.3fms  %s", name.c_str(), secs * 1e3,
+           pct(secs, total).c_str());
+    }
+  }
+
+  const support::json::Value* locks = doc.find("locks");
+  if (locks != nullptr && locks->is_array()) {
+    std::vector<const support::json::Value*> rows;
+    for (const support::json::Value& lk : locks->as_array()) rows.push_back(&lk);
+    std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+      return num(*a, "wait_seconds") > num(*b, "wait_seconds");
+    });
+    line(out, "");
+    line(out, "busiest locks:");
+    for (const support::json::Value* lk : rows) {
+      const double acq = num(*lk, "acquisitions");
+      if (acq <= 0.0) continue;
+      line(out, "  %-14s acq=%-10.0f contended=%-8.0f wait=%9.3fms (%s)",
+           str(*lk, "name").c_str(), acq, num(*lk, "contended"),
+           num(*lk, "wait_seconds") * 1e3,
+           pct(num(*lk, "contended"), acq).c_str());
+    }
+  }
+
+  const support::json::Value* samples = doc.find("samples");
+  if (samples != nullptr && samples->is_object()) {
+    line(out, "");
+    line(out,
+         "sampler: %.0f samples over %.0f ticks @ %.0fus (epochs %.0f..%.0f)",
+         num(*samples, "total"), num(*samples, "ticks"),
+         num(*samples, "interval_us"), num(*samples, "epoch_min"),
+         num(*samples, "epoch_max"));
+  }
+
+  const support::json::Value* overhead = doc.find("overhead");
+  if (overhead != nullptr) {
+    line(out, "self-measured profiling cost: %.3fms",
+         num(*overhead, "profiling_seconds") * 1e3);
+  }
+  return out;
+}
+
+std::string render_folded(const support::json::Value& doc) {
+  std::string out;
+  const support::json::Value* samples = doc.find("samples");
+  const support::json::Value* folded =
+      samples != nullptr ? samples->find("folded") : nullptr;
+  if (folded == nullptr || !folded->is_array()) return out;
+  for (const support::json::Value& e : folded->as_array()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s %.0f\n", str(e, "stack").c_str(),
+                  num(e, "count"));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cham::obs::prof

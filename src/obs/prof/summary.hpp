@@ -1,0 +1,20 @@
+// Renderers for saved chameleon.prof.v1 profiles (`chamtrace profile`).
+#pragma once
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace cham::obs::prof {
+
+/// Human-readable per-shard imbalance summary: barrier-wait share, phase
+/// breakdown, busiest locks, sampler coverage, self-measured overhead.
+/// `doc` must be a parsed chameleon.prof.v1 document.
+[[nodiscard]] std::string render_profile_summary(
+    const support::json::Value& doc);
+
+/// The folded-stack samples, one "stack count" line per entry — pipe into
+/// flamegraph.pl / speedscope.
+[[nodiscard]] std::string render_folded(const support::json::Value& doc);
+
+}  // namespace cham::obs::prof

@@ -1,7 +1,10 @@
 #include "obs/timeline.hpp"
 
 #include <atomic>
+#include <utility>
 
+#include "obs/prof/profiler.hpp"
+#include "support/logging.hpp"
 #include "support/timer.hpp"
 
 namespace cham::obs {
@@ -12,6 +15,15 @@ namespace {
 // object, acquire on load pairs with it (ChamRace satellite; the
 // epoch-parallel pilot hammers this).
 std::atomic<Timeline*> g_timeline{nullptr};
+
+/// Perfetto row order: scheduler first, shard workers next, rank tracks
+/// after, ChamProf counter tracks last.
+int track_sort_index(int tid) {
+  if (tid == Timeline::kSchedulerTid) return 0;
+  if (tid <= -1000) return 2000 + (-1000 - tid);  // counter_tid(s)
+  if (tid < 0) return -tid;                       // shard_tid(s)
+  return 1000 + (tid - 1);                        // rank_tid(r)
+}
 }  // namespace
 
 Timeline* timeline() {
@@ -41,43 +53,58 @@ double Timeline::now_us() const {
 }
 
 void Timeline::set_track_name(int tid, std::string_view name) {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
   track_names_[tid] = std::string(name);
+}
+
+void Timeline::push_event(Event e) {
+  events_.push_back(std::move(e));
+  if (flushing_ && events_.size() >= flush_every_) flush_events_locked();
 }
 
 void Timeline::begin(int tid, std::string_view name, std::string_view cat,
                      std::vector<TimelineArg> args) {
+  const prof::PhaseScope sink(prof::Phase::kObsSink);
   const double ts = now_us();  // clock read outside the lock
-  const std::lock_guard<std::mutex> lock(m_);
-  events_.push_back(
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
+  push_event(
       Event{'B', ts, tid, std::string(name), std::string(cat), std::move(args)});
   ++open_depth_[tid];
 }
 
 void Timeline::end(int tid) {
+  const prof::PhaseScope sink(prof::Phase::kObsSink);
   const double ts = now_us();
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
   auto it = open_depth_.find(tid);
   if (it == open_depth_.end() || it->second == 0) return;
   --it->second;
-  events_.push_back(Event{'E', ts, tid, {}, {}, {}});
+  push_event(Event{'E', ts, tid, {}, {}, {}});
 }
 
 void Timeline::instant(int tid, std::string_view name, std::string_view cat,
                        std::vector<TimelineArg> args) {
+  const prof::PhaseScope sink(prof::Phase::kObsSink);
   const double ts = now_us();
-  const std::lock_guard<std::mutex> lock(m_);
-  events_.push_back(
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
+  push_event(
       Event{'i', ts, tid, std::string(name), std::string(cat), std::move(args)});
 }
 
+void Timeline::counter_at(double ts_us, int tid, std::string_view name,
+                          double value) {
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
+  push_event(Event{'C', ts_us, tid, std::string(name), {},
+                   {arg_num("value", value)}});
+}
+
 std::size_t Timeline::event_count() const {
-  const std::lock_guard<std::mutex> lock(m_);
-  return events_.size();
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
+  return events_.size() + flushed_;
 }
 
 std::size_t Timeline::open_spans() const {
-  const std::lock_guard<std::mutex> lock(m_);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
   std::size_t n = 0;
   for (const auto& [tid, depth] : open_depth_) n += static_cast<std::size_t>(depth);
   return n;
@@ -93,13 +120,26 @@ void Timeline::close_open_spans() {
   }
 }
 
-std::string Timeline::to_json(bool pretty) {
-  const std::lock_guard<std::mutex> lock(m_);
-  close_open_spans();
-  support::json::Writer w(pretty);
+void Timeline::write_event(support::json::Writer& w, const Event& e) {
   w.begin_object();
-  w.member("displayTimeUnit", "ms");
-  w.key("traceEvents").begin_array();
+  w.member("ph", std::string_view(&e.ph, 1));
+  w.member("ts", e.ts);
+  w.member("pid", 1);
+  w.member("tid", e.tid);
+  if (e.ph != 'E') {
+    w.member("name", e.name);
+    if (!e.cat.empty()) w.member("cat", e.cat);
+    if (e.ph == 'i') w.member("s", "t");
+  }
+  if (!e.args.empty()) {
+    w.key("args").begin_object();
+    for (const TimelineArg& a : e.args) w.key(a.key).raw(a.token);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void Timeline::write_metadata(support::json::Writer& w) const {
   for (const auto& [tid, name] : track_names_) {
     w.begin_object();
     w.member("ph", "M");
@@ -111,24 +151,85 @@ std::string Timeline::to_json(bool pretty) {
     w.end_object();
     w.end_object();
   }
-  for (const Event& e : events_) {
+  // Explicit row order so Perfetto doesn't sort shard workers (negative
+  // tids) above the scheduler or interleave them with rank tracks.
+  for (const auto& [tid, name] : track_names_) {
     w.begin_object();
-    w.member("ph", std::string_view(&e.ph, 1));
-    w.member("ts", e.ts);
+    w.member("ph", "M");
+    w.member("name", "thread_sort_index");
     w.member("pid", 1);
-    w.member("tid", e.tid);
-    if (e.ph != 'E') {
-      w.member("name", e.name);
-      if (!e.cat.empty()) w.member("cat", e.cat);
-      if (e.ph == 'i') w.member("s", "t");
-    }
-    if (!e.args.empty()) {
-      w.key("args").begin_object();
-      for (const TimelineArg& a : e.args) w.key(a.key).raw(a.token);
-      w.end_object();
-    }
+    w.member("tid", tid);
+    w.key("args").begin_object();
+    w.member("sort_index", track_sort_index(tid));
+    w.end_object();
     w.end_object();
   }
+}
+
+void Timeline::set_flush(const std::string& path, std::size_t every_n) {
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
+  CHAM_CHECK_MSG(!flushing_, "timeline: set_flush() called twice");
+  flush_out_.open(path, std::ios::binary | std::ios::trunc);
+  CHAM_CHECK_MSG(flush_out_.is_open(),
+                 "timeline: cannot open flush path " + path);
+  flush_out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  flush_every_ = every_n == 0 ? 1 : every_n;
+  flushing_ = true;
+}
+
+void Timeline::flush_events_locked() {
+  for (const Event& e : events_) {
+    if (flushed_ != 0) flush_out_ << ",\n";
+    support::json::Writer w(/*pretty=*/false);
+    write_event(w, e);
+    flush_out_ << w.str();
+    ++flushed_;
+  }
+  events_.clear();
+  flush_out_.flush();
+}
+
+void Timeline::finish_flush() {
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
+  CHAM_CHECK_MSG(flushing_, "timeline: finish_flush() without set_flush()");
+  close_open_spans();
+  flush_events_locked();
+  // Metadata lands at the end of the stream: Chrome trace format accepts
+  // metadata records anywhere, and by now every track name is known.
+  support::json::Writer w(/*pretty=*/false);
+  w.begin_array();
+  write_metadata(w);
+  w.end_array();
+  std::string meta = w.str();           // "[{...},{...}]" or "[]"
+  meta = meta.substr(1, meta.size() - 2);  // strip the brackets
+  if (!meta.empty()) {
+    if (flushed_ != 0) flush_out_ << ",\n";
+    flush_out_ << meta;
+  }
+  flush_out_ << "]}\n";
+  flush_out_.close();
+  flushing_ = false;
+  flush_every_ = 0;
+}
+
+bool Timeline::flushing() const {
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
+  return flushing_;
+}
+
+std::string Timeline::to_json(bool pretty) {
+  const prof::PhaseScope sink(prof::Phase::kObsSink);
+  const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
+  CHAM_CHECK_MSG(!flushing_,
+                 "timeline: to_json() unavailable in streaming mode; use "
+                 "finish_flush()");
+  close_open_spans();
+  support::json::Writer w(pretty);
+  w.begin_object();
+  w.member("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  write_metadata(w);
+  for (const Event& e : events_) write_event(w, e);
   w.end_array();
   w.end_object();
   return w.str();

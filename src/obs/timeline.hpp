@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
@@ -54,6 +55,10 @@ class Timeline {
   /// classic scheduler track (tid 0); further shards get negative tids so
   /// they can never collide with rank tracks.
   static constexpr int shard_tid(int shard) { return -shard; }
+  /// ChamProf counter tracks (per-shard ready depth etc.). Deep in the
+  /// negative range so counter samples never share a tid with dispatch
+  /// slices — the per-tid ts-monotonicity contract stays per-feed.
+  static constexpr int counter_tid(int shard) { return -1000 - shard; }
 
   Timeline();
 
@@ -74,16 +79,36 @@ class Timeline {
   void instant(int tid, std::string_view name, std::string_view cat,
                std::vector<TimelineArg> args = {});
 
+  /// Counter sample ("C") at an explicit timestamp (µs since timeline
+  /// creation — see origin_seconds()). ChamProf uses this to merge
+  /// host-clock counter tracks recorded outside the timeline.
+  void counter_at(double ts_us, int tid, std::string_view name, double value);
+
+  /// The host-clock origin (thread_cpu_seconds() at construction) that
+  /// event timestamps are relative to.
+  [[nodiscard]] double origin_seconds() const { return t0_; }
+
   [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] std::size_t open_spans() const;
 
+  /// Streaming mode: write events to `path` in chunks of `every_n` instead
+  /// of holding the whole run in memory (long multi-thread runs, future
+  /// `serve` jobs). Output is always compact. Call finish_flush() — not
+  /// to_json() — to complete the document; metadata records are appended
+  /// at the end so late track names still land. The in-memory default
+  /// (never calling set_flush) is byte-for-byte unchanged.
+  void set_flush(const std::string& path, std::size_t every_n);
+  void finish_flush();
+  [[nodiscard]] bool flushing() const;
+
   /// Render the complete document. Still-open spans are closed at the
-  /// current time first (this mutates the timeline).
+  /// current time first (this mutates the timeline). Must not be used in
+  /// streaming mode (the early events are already on disk).
   [[nodiscard]] std::string to_json(bool pretty = false);
 
  private:
   struct Event {
-    char ph;      // 'B', 'E', or 'i'
+    char ph;      // 'B', 'E', 'i', or 'C'
     double ts;    // microseconds since timeline creation
     int tid;
     std::string name;
@@ -93,6 +118,10 @@ class Timeline {
 
   [[nodiscard]] double now_us() const;
   void close_open_spans();
+  void push_event(Event e);  ///< append + chunked flush; caller holds m_
+  void flush_events_locked();
+  static void write_event(support::json::Writer& w, const Event& e);
+  void write_metadata(support::json::Writer& w) const;
 
   /// Guards every field below; taken by each public entry point so shard
   /// workers can emit concurrently (satellite of the ChamShard PR).
@@ -101,6 +130,12 @@ class Timeline {
   std::map<int, std::string> track_names_;
   std::map<int, int> open_depth_;
   double t0_;
+
+  // Streaming state (set_flush). flushed_ counts events already on disk.
+  std::ofstream flush_out_;
+  std::size_t flush_every_ = 0;
+  std::size_t flushed_ = 0;
+  bool flushing_ = false;
 };
 
 /// Process-wide timeline. Null (the default) disables all tracing hooks;

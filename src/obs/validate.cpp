@@ -70,6 +70,19 @@ bool validate_timeline_json(std::string_view text, std::string* error) {
       const Value* name = ev.find("name");
       if (name == nullptr || !name->is_string())
         return fail(error, "timeline: instant missing name" + at);
+    } else if (kind == "C") {
+      // Counter sample (ChamProf counter tracks): needs a series name and
+      // at least one numeric value in args.
+      const Value* name = ev.find("name");
+      if (name == nullptr || !name->is_string())
+        return fail(error, "timeline: counter missing name" + at);
+      const Value* args = ev.find("args");
+      if (args == nullptr || !args->is_object() || args->as_object().empty())
+        return fail(error, "timeline: counter missing args" + at);
+      for (const auto& [key, v] : args->as_object())
+        if (!v.is_number() || !std::isfinite(v.as_number()))
+          return fail(error, "timeline: counter arg \"" + key +
+                                 "\" not a finite number" + at);
     } else {
       return fail(error, "timeline: unknown ph \"" + kind + "\"" + at);
     }
@@ -139,6 +152,21 @@ bool validate_race_json(std::string_view text, std::string* error) {
     if (v == nullptr || !v->is_number())
       return fail(error, std::string("race: missing numeric ") + key);
   }
+  // Optional (added with the ChamProf PR): records the analyzer-pass
+  // thread clamp so consumers can tell a requested --threads N run from an
+  // actually-parallel one.
+  if (const Value* threads = doc.find("threads"); threads != nullptr) {
+    if (!threads->is_object())
+      return fail(error, "race: threads is not an object");
+    for (const char* key : {"requested", "analyzer"}) {
+      const Value* v = threads->find(key);
+      if (v == nullptr || !v->is_number())
+        return fail(error, std::string("race: threads missing numeric ") + key);
+    }
+    const Value* clamped = threads->find("clamped");
+    if (clamped == nullptr || !clamped->is_bool())
+      return fail(error, "race: threads missing clamped bool");
+  }
   const Value* findings = doc.find("findings");
   if (findings == nullptr || !findings->is_array())
     return fail(error, "race: missing findings array");
@@ -192,6 +220,103 @@ bool validate_race_json(std::string_view text, std::string* error) {
       return fail(error,
                   "race: non-deterministic result needs a divergent epoch");
   }
+  return true;
+}
+
+bool validate_prof_json(std::string_view text, std::string* error) {
+  Value doc;
+  std::string parse_error;
+  if (!support::json::parse(text, &doc, &parse_error))
+    return fail(error, "prof: parse error: " + parse_error);
+  if (!doc.is_object()) return fail(error, "prof: top level is not an object");
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "chameleon.prof.v1")
+    return fail(error, "prof: missing schema chameleon.prof.v1");
+  const Value* compiled = doc.find("compiled_in");
+  if (compiled == nullptr || !compiled->is_bool())
+    return fail(error, "prof: missing compiled_in bool");
+
+  auto finite_num = [&](const Value& obj, const char* key,
+                        const std::string& at) {
+    const Value* v = obj.find(key);
+    if (v == nullptr || !v->is_number() || !std::isfinite(v->as_number()) ||
+        v->as_number() < 0.0)
+      return fail(error, std::string("prof: missing non-negative ") + key + at);
+    return true;
+  };
+
+  const Value* shards = doc.find("shards");
+  if (shards == nullptr || !shards->is_array() || shards->as_array().empty())
+    return fail(error, "prof: missing non-empty shards array");
+  for (const Value& sh : shards->as_array()) {
+    if (!sh.is_object()) return fail(error, "prof: shard entry not an object");
+    const std::string at =
+        " (shard " +
+        (sh.find("shard") != nullptr && sh.find("shard")->is_number()
+             ? std::to_string(static_cast<int>(sh.find("shard")->as_number()))
+             : std::string("?")) +
+        ")";
+    for (const char* key :
+         {"barrier_wait_seconds", "plan_seconds", "dispatch_seconds",
+          "epochs_planned", "dispatches", "wake_tokens", "ready_depth_sum",
+          "ready_depth_max"})
+      if (!finite_num(sh, key, at)) return false;
+    const Value* phases = sh.find("phases");
+    if (phases == nullptr || !phases->is_object())
+      return fail(error, "prof: shard missing phases object" + at);
+    for (const auto& [name, v] : phases->as_object())
+      if (!v.is_number() || !std::isfinite(v.as_number()))
+        return fail(error,
+                    "prof: phase \"" + name + "\" not a finite number" + at);
+  }
+
+  const Value* locks = doc.find("locks");
+  if (locks == nullptr || !locks->is_array() || locks->as_array().empty())
+    return fail(error, "prof: missing non-empty locks array");
+  for (const Value& lk : locks->as_array()) {
+    if (!lk.is_object()) return fail(error, "prof: lock entry not an object");
+    const Value* name = lk.find("name");
+    if (name == nullptr || !name->is_string())
+      return fail(error, "prof: lock entry missing name");
+    const std::string at = " (lock " + name->as_string() + ")";
+    for (const char* key : {"acquisitions", "contended", "wait_seconds"})
+      if (!finite_num(lk, key, at)) return false;
+  }
+
+  const Value* phases = doc.find("phases");
+  if (phases == nullptr || !phases->is_object())
+    return fail(error, "prof: missing aggregate phases object");
+
+  const Value* epochs = doc.find("epochs");
+  if (epochs == nullptr || !epochs->is_object())
+    return fail(error, "prof: missing epochs object");
+  for (const char* key : {"planned", "series_recorded", "series_dropped"})
+    if (!finite_num(*epochs, key, "")) return false;
+
+  const Value* samples = doc.find("samples");
+  if (samples == nullptr || !samples->is_object())
+    return fail(error, "prof: missing samples object");
+  for (const char* key : {"interval_us", "ticks", "total"})
+    if (!finite_num(*samples, key, "")) return false;
+  const Value* folded = samples->find("folded");
+  if (folded == nullptr || !folded->is_array())
+    return fail(error, "prof: samples missing folded array");
+  for (const Value& f : folded->as_array()) {
+    if (!f.is_object()) return fail(error, "prof: folded entry not an object");
+    const Value* stack = f.find("stack");
+    if (stack == nullptr || !stack->is_string() || stack->as_string().empty())
+      return fail(error, "prof: folded entry missing stack");
+    const Value* count = f.find("count");
+    if (count == nullptr || !count->is_number() || count->as_number() < 1)
+      return fail(error, "prof: folded entry count not positive (stack " +
+                             stack->as_string() + ")");
+  }
+
+  const Value* overhead = doc.find("overhead");
+  if (overhead == nullptr || !overhead->is_object())
+    return fail(error, "prof: missing overhead object");
+  if (!finite_num(*overhead, "profiling_seconds", "")) return false;
   return true;
 }
 

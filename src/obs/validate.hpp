@@ -13,6 +13,10 @@
 // race     — schema "chameleon.race.v1" (`chamtrace race --json`); finding
 //   entries carry location/kind/first/second with a known conflict kind;
 //   the optional determinism block is internally consistent.
+// prof     — schema "chameleon.prof.v1" (`chamtrace run --profile`); shard
+//   entries carry finite host-clock counters and a phases object; locks
+//   carry name/acquisitions/contended/wait_seconds; the samples block's
+//   folded stacks are well-formed; overhead.profiling_seconds is present.
 #pragma once
 
 #include <string>
@@ -25,5 +29,6 @@ namespace cham::obs {
 bool validate_timeline_json(std::string_view text, std::string* error);
 bool validate_metrics_json(std::string_view text, std::string* error);
 bool validate_race_json(std::string_view text, std::string* error);
+bool validate_prof_json(std::string_view text, std::string* error);
 
 }  // namespace cham::obs

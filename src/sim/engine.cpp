@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "analysis/race/annotate.hpp"
+#include "obs/prof/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "sim/fault.hpp"
 #include "sim/fiber.hpp"
@@ -14,6 +15,8 @@
 #include "support/logging.hpp"
 
 namespace cham::sim {
+
+namespace prof = obs::prof;
 
 Engine::Engine(EngineOptions opts) : opts_(opts) {
   CHAM_CHECK_MSG(opts_.nprocs >= 1, "need at least one rank");
@@ -86,10 +89,9 @@ void Engine::run(const std::function<void(Mpi&)>& rank_main) {
   }
   if (opts_.sched_seed != 0) scheduler_->set_seed(opts_.sched_seed);
   if (obs::Timeline* tl = obs::timeline()) {
+    // Shard worker tracks (s >= 1) are named by ShardedScheduler::run()
+    // itself, so every scheduler consumer gets readable Perfetto rows.
     tl->set_track_name(obs::Timeline::kSchedulerTid, "scheduler");
-    for (int s = 1; s < nshards; ++s)
-      tl->set_track_name(obs::Timeline::shard_tid(s),
-                         "shard " + std::to_string(s));
     for (Rank r = 0; r < opts_.nprocs; ++r)
       tl->set_track_name(obs::Timeline::rank_tid(r),
                          "rank " + std::to_string(r));
@@ -156,8 +158,7 @@ void Engine::deliver(Rank dest, Request req, Message&& msg) {
   // the race the sharded engine would hit. Park the completion in dest's
   // inbox instead; dest drains it from pmpi_wait.
   {
-    const std::lock_guard<std::mutex> inbox_lock(
-        inbox_m_[static_cast<std::size_t>(dest)]);
+    const prof::TimedLockGuard inbox_lock(inbox_m_[static_cast<std::size_t>(dest)], prof::LockClass::kInbox);
     race::ScopedSync lock("engine.inbox", static_cast<std::uint64_t>(dest));
     RACE_WRITE("engine.inbox", static_cast<std::uint64_t>(dest), 0);
     inbox_[static_cast<std::size_t>(dest)].emplace_back(req, std::move(msg));
@@ -169,7 +170,7 @@ void Engine::deliver(Rank dest, Request req, Message&& msg) {
 
 void Engine::drain_inbox(Rank self) {
   const auto s = static_cast<std::size_t>(self);
-  const std::lock_guard<std::mutex> inbox_lock(inbox_m_[s]);
+  const prof::TimedLockGuard inbox_lock(inbox_m_[s], prof::LockClass::kInbox);
   race::ScopedSync lock("engine.inbox", static_cast<std::uint64_t>(self));
   RACE_WRITE("engine.inbox", static_cast<std::uint64_t>(self), 0);
   auto& box = inbox_[s];
@@ -228,7 +229,7 @@ CommResult Engine::pmpi_send(Rank self, int comm, Rank dest, int tag,
 
   // Mailbox critical section: the posted-receive and unexpected queues of
   // (comm, dest) are written by every sender and by dest itself.
-  const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, dest)]);
+  const prof::TimedLockGuard mbox_lock(mbox_m_[box(comm, dest)], prof::LockClass::kMailbox);
   race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
                         static_cast<std::uint64_t>(dest));
   RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
@@ -276,7 +277,7 @@ Request Engine::pmpi_irecv(Rank self, int comm, Rank src, int tag,
   state.src_match = src;
   state.tag_match = tag;
 
-  const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, self)]);
+  const prof::TimedLockGuard mbox_lock(mbox_m_[box(comm, self)], prof::LockClass::kMailbox);
   race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
                         static_cast<std::uint64_t>(self));
   RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
@@ -341,7 +342,7 @@ Message Engine::pmpi_recv(Rank self, int comm, Rank src, int tag,
 
 bool Engine::pmpi_try_recv(Rank self, int comm, Rank src, int tag,
                            Message* out) {
-  const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, self)]);
+  const prof::TimedLockGuard mbox_lock(mbox_m_[box(comm, self)], prof::LockClass::kMailbox);
   race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
                         static_cast<std::uint64_t>(self));
   RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
@@ -382,7 +383,7 @@ void Engine::collective_arrive(
     // The site table itself (insertion/erasure) is one lock per comm; the
     // per-site state a finer lock per (comm, slot). Map nodes are stable,
     // so the pointer stays valid until the last extractor erases it below.
-    const std::lock_guard<std::mutex> map_lock(collmap_m_);
+    const prof::TimedLockGuard map_lock(collmap_m_, prof::LockClass::kCollMap);
     race::ScopedSync maplock("engine.collmap", ucomm, 0);
     RACE_WRITE("engine.collmap", ucomm, 0);
     auto [it, inserted] = coll_sites_.try_emplace(key);
@@ -395,7 +396,7 @@ void Engine::collective_arrive(
   }
   bool completer = false;
   {
-    const std::lock_guard<std::mutex> site_lock(site->m);
+    const prof::TimedLockGuard site_lock(site->m, prof::LockClass::kCollSite);
     race::ScopedSync sitelock("engine.collsite", ucomm, slot);
     RACE_WRITE("engine.collsite", ucomm, slot);
     CHAM_CHECK_MSG(site->op == op,
@@ -450,7 +451,7 @@ void Engine::collective_arrive(
       {
         // Snapshot under the site lock: other participants keep arriving
         // while we compose the block note.
-        const std::lock_guard<std::mutex> site_lock(site->m);
+        const prof::TimedLockGuard site_lock(site->m, prof::LockClass::kCollSite);
         arrived_now = site->arrived;
       }
       std::ostringstream why;
@@ -465,7 +466,7 @@ void Engine::collective_arrive(
   {
     // Re-entering the site lock joins every participant's deposit and the
     // completer's finish — the full-barrier happens-before edge.
-    const std::lock_guard<std::mutex> site_lock(site->m);
+    const prof::TimedLockGuard site_lock(site->m, prof::LockClass::kCollSite);
     race::ScopedSync sitelock("engine.collsite", ucomm, slot);
     RACE_READ("engine.collsite", ucomm, slot);
     if (site->max_arrive > own_arrive)
@@ -476,7 +477,7 @@ void Engine::collective_arrive(
     destroy = ++site->extracted == site->expected;
   }
   if (destroy) {
-    const std::lock_guard<std::mutex> map_lock(collmap_m_);
+    const prof::TimedLockGuard map_lock(collmap_m_, prof::LockClass::kCollMap);
     race::ScopedSync maplock("engine.collmap", ucomm, 0);
     RACE_WRITE("engine.collmap", ucomm, 0);
     coll_sites_.erase(key);
@@ -653,7 +654,7 @@ bool Engine::approximate_progress_step() {
       // else is mailbox → inbox, never inbox → mailbox.
       std::vector<PendingRecv> cancelled;
       {
-        const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, r)]);
+        const prof::TimedLockGuard mbox_lock(mbox_m_[box(comm, r)], prof::LockClass::kMailbox);
         race::ScopedSync mbox("engine.mailbox",
                               static_cast<std::uint64_t>(comm),
                               static_cast<std::uint64_t>(r));
@@ -680,9 +681,9 @@ bool Engine::approximate_progress_step() {
   // Force-complete collectives some ranks never reached. The stall handler
   // runs with every fiber quiescent, but take the locks anyway — the site
   // pointers must not dangle if a woken fiber erases a site on resume.
-  const std::lock_guard<std::mutex> map_lock(collmap_m_);
+  const prof::TimedLockGuard map_lock(collmap_m_, prof::LockClass::kCollMap);
   for (auto& [key, site] : coll_sites_) {
-    const std::lock_guard<std::mutex> site_lock(site.m);
+    const prof::TimedLockGuard site_lock(site.m, prof::LockClass::kCollSite);
     race::ScopedSync sitelock("engine.collsite",
                               static_cast<std::uint64_t>(key.first),
                               key.second);
@@ -767,7 +768,7 @@ void Engine::fail_rank(Rank r) {
   // its outstanding requests. fail_rank only ever runs on the dying rank's
   // own fiber, so the request slots stay owner-written.
   for (int comm = 0; comm < kNumComms; ++comm) {
-    const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, r)]);
+    const prof::TimedLockGuard mbox_lock(mbox_m_[box(comm, r)], prof::LockClass::kMailbox);
     race::ScopedSync mbox("engine.mailbox", static_cast<std::uint64_t>(comm),
                           static_cast<std::uint64_t>(r));
     RACE_WRITE("engine.queues", static_cast<std::uint64_t>(comm),
@@ -780,9 +781,9 @@ void Engine::fail_rank(Rank r) {
 
 bool Engine::complete_ready_sites() {
   bool progressed = false;
-  const std::lock_guard<std::mutex> map_lock(collmap_m_);
+  const prof::TimedLockGuard map_lock(collmap_m_, prof::LockClass::kCollMap);
   for (auto& [key, site] : coll_sites_) {
-    const std::lock_guard<std::mutex> site_lock(site.m);
+    const prof::TimedLockGuard site_lock(site.m, prof::LockClass::kCollSite);
     race::ScopedSync sitelock("engine.collsite",
                               static_cast<std::uint64_t>(key.first),
                               key.second);
@@ -822,7 +823,7 @@ bool Engine::fault_progress_step() {
       // lock order is mailbox → inbox, so deliver() runs unlocked.
       std::vector<PendingRecv> timed_out;
       {
-        const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, r)]);
+        const prof::TimedLockGuard mbox_lock(mbox_m_[box(comm, r)], prof::LockClass::kMailbox);
         race::ScopedSync mbox("engine.mailbox",
                               static_cast<std::uint64_t>(comm),
                               static_cast<std::uint64_t>(r));
@@ -871,7 +872,7 @@ bool Engine::rank_finished(Rank r) const {
 
 std::vector<PendingRecvInfo> Engine::pending_recvs(int comm, Rank r) const {
   std::vector<PendingRecvInfo> out;
-  const std::lock_guard<std::mutex> mbox_lock(mbox_m_[box(comm, r)]);
+  const prof::TimedLockGuard mbox_lock(mbox_m_[box(comm, r)], prof::LockClass::kMailbox);
   for (const PendingRecv& p : pending_.at(box(comm, r)))
     out.push_back({p.src_match, p.tag_match});
   return out;

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/prof/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "support/logging.hpp"
 
@@ -10,6 +11,8 @@
 #include "sim/context.hpp"
 
 namespace cham::sim {
+
+namespace prof = obs::prof;
 
 using detail::sanitizer_post_switch;
 using detail::sanitizer_pre_switch;
@@ -119,6 +122,20 @@ void FiberScheduler::run() {
     fiber.started = true;
     current_ = id;
     ++switches_;
+    // ChamProf: the single-threaded scheduler is shard 0 of the telemetry
+    // (bind_worker_shard defaults to 0), so dispatch timing and the
+    // sampler-visible fiber/phase snapshot use the same slot layout.
+    prof::Profiler* prof = prof::profiler();
+    prof::ShardSlot* slot = nullptr;
+    double t_dispatch = 0.0;
+    if (prof != nullptr) {
+      prof->bind_shards(1);
+      slot = &prof->slot(0);
+      t_dispatch = prof::host_seconds();
+      slot->cur_fiber.store(id, std::memory_order_relaxed);
+      slot->cur_phase.store(static_cast<std::uint8_t>(prof::Phase::kEngine),
+                            std::memory_order_relaxed);
+    }
     obs::Timeline* tl = obs::timeline();
     if (tl != nullptr)
       tl->begin(obs::Timeline::kSchedulerTid, "rank " + std::to_string(id),
@@ -137,6 +154,13 @@ void FiberScheduler::run() {
     }
     race::set_task(-1);
     if (tl != nullptr) tl->end(obs::Timeline::kSchedulerTid);
+    if (slot != nullptr) {
+      slot->dispatch_seconds += prof::host_seconds() - t_dispatch;
+      ++slot->dispatches;
+      slot->cur_fiber.store(-1, std::memory_order_relaxed);
+      slot->cur_phase.store(static_cast<std::uint8_t>(prof::Phase::kIdle),
+                            std::memory_order_relaxed);
+    }
     current_ = -1;
     if (fiber.state == detail::FiberState::kRunning) {
       // The fiber yielded cooperatively: still runnable.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/race/annotate.hpp"
+#include "obs/prof/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "sim/context.hpp"
 #include "sim/fiber.hpp"  // detail::FiberCancelled (shared unwind token)
@@ -13,6 +14,8 @@
 #include "support/rng.hpp"
 
 namespace cham::sim {
+
+namespace prof = obs::prof;
 
 using detail::sanitizer_post_switch;
 using detail::sanitizer_pre_switch;
@@ -102,7 +105,7 @@ void ShardedScheduler::trampoline(unsigned hi, unsigned lo) {
   {
     // Cross-shard unblock() reads this fiber's state under the shard lock,
     // so the final transition must take it too.
-    const std::lock_guard<std::mutex> lock(shard.m);
+    const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
     fiber->state = ShardFiberState::kFinished;
   }
   sched->finished_.fetch_add(1, std::memory_order_relaxed);
@@ -121,6 +124,15 @@ void ShardedScheduler::record_exception() {
 void ShardedScheduler::run() {
   CHAM_CHECK_MSG(!ran_, "ShardedScheduler::run may be called once");
   ran_ = true;
+  // The scheduler owns its worker tracks: name them here so every consumer
+  // (engine runs, tests, future serve jobs) gets readable Perfetto rows.
+  if (obs::Timeline* tl = obs::timeline()) {
+    for (std::size_t s = 1; s < shards_.size(); ++s)
+      tl->set_track_name(obs::Timeline::shard_tid(static_cast<int>(s)),
+                         "shard " + std::to_string(s));
+  }
+  if (prof::Profiler* prof = prof::profiler())
+    prof->bind_shards(static_cast<int>(shards_.size()));
   for (std::size_t s = 1; s < shards_.size(); ++s)
     shards_[s]->worker =
         std::thread([this, s] { worker_loop(static_cast<int>(s)); });
@@ -145,11 +157,15 @@ void ShardedScheduler::worker_loop(int shard_index) {
   // Rank context for log records emitted on this worker (the provider is
   // thread-local, so each worker installs — and clears — its own).
   support::set_log_rank_provider([this] { return current(); });
-  while (barrier_and_plan()) run_epoch(shard_index);
+  prof::bind_worker_shard(shard_index);
+  while (barrier_and_plan(shard_index)) run_epoch(shard_index);
+  prof::bind_worker_shard(0);
   support::set_log_rank_provider(nullptr);
 }
 
-bool ShardedScheduler::barrier_and_plan() {
+bool ShardedScheduler::barrier_and_plan(int shard_index) {
+  prof::Profiler* prof = prof::profiler();
+  const double t_arrive = prof != nullptr ? prof::host_seconds() : 0.0;
   std::unique_lock<std::mutex> lock(coord_m_);
   if (++coord_waiting_ == static_cast<int>(shards_.size())) {
     // Last arriver plans the next epoch while everyone else is parked: it
@@ -157,13 +173,27 @@ bool ShardedScheduler::barrier_and_plan() {
     // through coord_m_ (each worker locked it on arrival, after its last
     // fiber write) is the happens-before edge that makes the planner's
     // cross-shard reads — vtimes, queues, the stall handler — race-free.
-    plan_epoch();
+    if (prof != nullptr) {
+      // Slot writes are exclusive: this thread owns its slot and every
+      // other worker is parked on the barrier.
+      prof::ShardSlot& slot = prof->slot(shard_index);
+      const double t_plan = prof::host_seconds();
+      slot.barrier_wait_seconds += t_plan - t_arrive;  // coord_m_ acquire
+      plan_epoch();
+      slot.plan_seconds += prof::host_seconds() - t_plan;
+      ++slot.epochs_planned;
+    } else {
+      plan_epoch();
+    }
     coord_waiting_ = 0;
     ++coord_gen_;
     coord_cv_.notify_all();
   } else {
     const std::uint64_t gen = coord_gen_;
     coord_cv_.wait(lock, [&] { return coord_gen_ != gen; });
+    if (prof != nullptr)
+      prof->slot(shard_index).barrier_wait_seconds +=
+          prof::host_seconds() - t_arrive;
   }
   return !done_;
 }
@@ -172,7 +202,7 @@ void ShardedScheduler::start_cancel() {
   cancelling_.store(true, std::memory_order_release);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
-    const std::lock_guard<std::mutex> lock(shard.m);
+    const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
     for (auto& fiber : fibers_) {
       if (static_cast<std::size_t>(fiber->shard) != s) continue;
       if (fiber->state != ShardFiberState::kBlocked) continue;
@@ -190,7 +220,7 @@ void ShardedScheduler::plan_epoch() {
     std::size_t total_ready = 0;
     double t_min = std::numeric_limits<double>::infinity();
     for (auto& shard : shards_) {
-      const std::lock_guard<std::mutex> lock(shard->m);
+      const prof::TimedLockGuard lock(shard->m, prof::LockClass::kShardQueue);
       std::sort(shard->ready.begin(), shard->ready.end());
       for (const int id : shard->ready)
         t_min = std::min(t_min, fiber_vtime(id));
@@ -248,7 +278,7 @@ void ShardedScheduler::plan_epoch() {
                              : t_min + horizon_;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       Shard& shard = *shards_[s];
-      const std::lock_guard<std::mutex> lock(shard.m);
+      const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
       shard.run_list.clear();
       auto keep = shard.ready.begin();
       for (const int id : shard.ready) {
@@ -271,6 +301,15 @@ void ShardedScheduler::plan_epoch() {
         }
       }
     }
+    if (prof::Profiler* prof = prof::profiler()) {
+      // Ready-queue depth per shard for this epoch (run list + deferred).
+      // Plain reads: every worker is parked, ordered through coord_m_.
+      std::vector<std::uint32_t> depth(shards_.size());
+      for (std::size_t s = 0; s < shards_.size(); ++s)
+        depth[s] = static_cast<std::uint32_t>(shards_[s]->run_list.size() +
+                                              shards_[s]->ready.size());
+      prof->note_epoch(epochs_ + 1, depth);
+    }
     ++epochs_;
     return;
   }
@@ -280,7 +319,7 @@ void ShardedScheduler::run_epoch(int shard_index) {
   Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
   std::vector<int> list;
   {
-    const std::lock_guard<std::mutex> lock(shard.m);
+    const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
     list.swap(shard.run_list);
   }
   for (const int id : list) {
@@ -288,7 +327,7 @@ void ShardedScheduler::run_epoch(int shard_index) {
     bool runnable = false;
     bool retired_in_place = false;
     {
-      const std::lock_guard<std::mutex> lock(shard.m);
+      const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
       if (fiber.state == ShardFiberState::kReady) {
         if (cancelling_.load(std::memory_order_relaxed) && !fiber.started) {
           // Never entered: no stack to unwind, retire in place.
@@ -307,7 +346,7 @@ void ShardedScheduler::run_epoch(int shard_index) {
     dispatch(shard_index, fiber);
     bool retired = false;
     {
-      const std::lock_guard<std::mutex> lock(shard.m);
+      const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
       if (fiber.state == ShardFiberState::kRunning) {
         // The fiber yielded cooperatively: still runnable next epoch.
         fiber.state = ShardFiberState::kReady;
@@ -326,6 +365,18 @@ void ShardedScheduler::dispatch(int shard_index, ShardFiber& fiber) {
   Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
   tls_current_fiber = fiber.id;
   ++shard.switches;
+  // Dispatch timing + the sampler-visible snapshot (relaxed atomics: the
+  // ticker thread only needs *some* recent value, never ordering).
+  prof::Profiler* prof = prof::profiler();
+  prof::ShardSlot* slot = nullptr;
+  double t_dispatch = 0.0;
+  if (prof != nullptr) {
+    slot = &prof->slot(shard_index);
+    t_dispatch = prof::host_seconds();
+    slot->cur_fiber.store(fiber.id, std::memory_order_relaxed);
+    slot->cur_phase.store(static_cast<std::uint8_t>(prof::Phase::kEngine),
+                          std::memory_order_relaxed);
+  }
   obs::Timeline* tl = obs::timeline();
   if (tl != nullptr)
     tl->begin(obs::Timeline::shard_tid(shard_index),
@@ -338,6 +389,13 @@ void ShardedScheduler::dispatch(int shard_index, ShardFiber& fiber) {
   sanitizer_post_switch(shard.main_sanitizer_stack, nullptr, nullptr);
   race::set_task(-1);
   if (tl != nullptr) tl->end(obs::Timeline::shard_tid(shard_index));
+  if (slot != nullptr) {
+    slot->dispatch_seconds += prof::host_seconds() - t_dispatch;
+    ++slot->dispatches;
+    slot->cur_fiber.store(-1, std::memory_order_relaxed);
+    slot->cur_phase.store(static_cast<std::uint8_t>(prof::Phase::kIdle),
+                          std::memory_order_relaxed);
+  }
   tls_current_fiber = -1;
 }
 
@@ -365,13 +423,15 @@ void ShardedScheduler::block(std::string reason) {
   ShardFiber& fiber = *fibers_[static_cast<std::size_t>(id)];
   Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
   {
-    const std::lock_guard<std::mutex> lock(shard.m);
+    const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
     if (fiber.wake_pending) {
       // A wake-up raced this block: consume the token and return without
       // switching. The caller's condition loop re-checks and either
       // proceeds (the waker's work is visible — we hold the shard lock the
       // waker released) or blocks again for real.
       fiber.wake_pending = false;
+      if (prof::Profiler* prof = prof::profiler())
+        ++prof->slot(fiber.shard).wake_tokens;  // owner thread
       race::acquire("fiber.wake", static_cast<std::uint64_t>(id));
       return;
     }
@@ -397,7 +457,7 @@ void ShardedScheduler::unblock(int id) {
   CHAM_CHECK(id >= 0 && id < static_cast<int>(fibers_.size()));
   ShardFiber& fiber = *fibers_[static_cast<std::size_t>(id)];
   Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
-  const std::lock_guard<std::mutex> lock(shard.m);
+  const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
   if (fiber.state == ShardFiberState::kBlocked) {
     fiber.state = ShardFiberState::kReady;
     fiber.block_reason.clear();
@@ -430,21 +490,21 @@ std::size_t ShardedScheduler::finished_count() const {
 bool ShardedScheduler::finished(int id) const {
   const ShardFiber& fiber = *fibers_.at(static_cast<std::size_t>(id));
   Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
-  const std::lock_guard<std::mutex> lock(shard.m);
+  const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
   return fiber.state == ShardFiberState::kFinished;
 }
 
 bool ShardedScheduler::blocked(int id) const {
   const ShardFiber& fiber = *fibers_.at(static_cast<std::size_t>(id));
   Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
-  const std::lock_guard<std::mutex> lock(shard.m);
+  const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
   return fiber.state == ShardFiberState::kBlocked;
 }
 
 std::string ShardedScheduler::block_note(int id) const {
   const ShardFiber& fiber = *fibers_.at(static_cast<std::size_t>(id));
   Shard& shard = *shards_[static_cast<std::size_t>(fiber.shard)];
-  const std::lock_guard<std::mutex> lock(shard.m);
+  const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
   return fiber.block_reason;
 }
 
@@ -467,7 +527,7 @@ std::string ShardedScheduler::deadlock_report() {
   std::size_t listed = 0;
   for (const auto& fiber : fibers_) {
     Shard& shard = *shards_[static_cast<std::size_t>(fiber->shard)];
-    const std::lock_guard<std::mutex> lock(shard.m);
+    const prof::TimedLockGuard lock(shard.m, prof::LockClass::kShardQueue);
     if (fiber->state != ShardFiberState::kBlocked) continue;
     if (++listed > 16) {
       os << "  ...\n";

@@ -156,8 +156,9 @@ class ShardedScheduler final : public Scheduler {
   static void trampoline(unsigned hi, unsigned lo);
   void worker_loop(int shard_index);
   /// Park on the epoch barrier; the last arriver plans the next epoch.
-  /// Returns false once the pool is shutting down.
-  bool barrier_and_plan();
+  /// Returns false once the pool is shutting down. The shard index feeds
+  /// the per-shard ChamProf barrier-wait/plan counters.
+  bool barrier_and_plan(int shard_index);
   /// Runs on the planner with every worker parked: merge wakes, pick the
   /// epoch window, fill the run lists — or handle stall/cancel/done.
   void plan_epoch();

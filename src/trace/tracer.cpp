@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/race/annotate.hpp"
+#include "obs/prof/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "sim/mpi.hpp"
 #include "support/logging.hpp"
@@ -153,6 +154,7 @@ std::vector<TraceNode> ScalaTraceTool::radix_merge(
   obs::Span merge_span(obs::Timeline::rank_tid(self), "radix_merge", "trace",
                        {obs::arg_int("participants",
                                      static_cast<std::int64_t>(n))});
+  const obs::prof::PhaseScope merge_phase(obs::prof::Phase::kRadixMerge);
 
   for (std::size_t mask = 1; mask < n; mask <<= 1) {
     if (idx & mask) {
@@ -183,6 +185,7 @@ std::vector<TraceNode> ScalaTraceTool::radix_merge(
           obs::Timeline::rank_tid(self), "inter_merge", "trace",
           {obs::arg_int("child", participants[idx + mask]),
            obs::arg_int("bytes", static_cast<std::int64_t>(payload.size()))});
+      const obs::prof::PhaseScope step_phase(obs::prof::Phase::kInterMerge);
       ChargedSection timed(st.inter_timer, pmpi);
       std::vector<TraceNode> theirs = decode_trace(payload);
       mine = inter_merge(std::move(mine), std::move(theirs), &perf);

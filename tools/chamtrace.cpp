@@ -18,9 +18,14 @@
 //       recovers from such a directory and continues the interrupted run —
 //       every other run option is taken from the stored manifest.
 //       --timeline records what the runtime itself did as Chrome
-//       trace-event JSON (open in Perfetto); --metrics-out exports the
-//       ChamScope metrics registry; --tool none runs the bare simulator
-//       (useful for timeline-only runs and overhead baselines).
+//       trace-event JSON (open in Perfetto); --timeline-flush N streams
+//       the file incrementally every N events instead of buffering;
+//       --metrics-out exports the ChamScope metrics registry;
+//       --profile[=FILE] installs the ChamProf host-time profiler
+//       (scheduler telemetry + sampling profiler) and writes the
+//       chameleon.prof.v1 document (default prof.json); --tool none runs
+//       the bare simulator (useful for timeline-only runs and overhead
+//       baselines).
 //   chamtrace report --workload lu --procs 64 [--format text|csv|json] ...
 //       Run the workload under Chameleon with epoch recording on and print
 //       the epoch-by-epoch cluster-evolution report (cluster count, leads,
@@ -34,7 +39,12 @@
 //       diffing per-epoch wire-image digests. Exit 0 only when the run is
 //       conflict-free AND schedule-independent. --json writes the
 //       chameleon.race.v1 document.
+//   chamtrace profile prof.json [--folded]
+//       Render a saved chameleon.prof.v1 profile as a per-shard imbalance
+//       summary (barrier-wait share, phase breakdown, busiest locks), or
+//       with --folded as folded-stack lines for flamegraph tooling.
 //   chamtrace validate [--timeline t.json] [--metrics m.json] [--race r.json]
+//       [--prof p.json]
 //       Structurally validate ChamScope output files.
 //   chamtrace show trace.bin
 //       Print a trace file in the human-readable PRSD form plus statistics.
@@ -59,6 +69,8 @@
 #include "core/chameleon.hpp"
 #include "durable/checkpoint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/profiler.hpp"
+#include "obs/prof/summary.hpp"
 #include "obs/report.hpp"
 #include "obs/timeline.hpp"
 #include "obs/validate.hpp"
@@ -91,7 +103,9 @@ int usage() {
       "               [--checkpoint-dir <dir>] [--snapshot-every <N>]\n"
       "               [--out <file>] [--clusters-out <file>] [--text]"
       " [--perf]\n"
-      "               [--timeline <file>] [--metrics-out <file>] [--log-json]\n"
+      "               [--timeline <file>] [--timeline-flush <N>]"
+      " [--metrics-out <file>]\n"
+      "               [--profile[=<file>]] [--log-json]\n"
       "  chamtrace run --resume <dir> [--out <file>] [--clusters-out <file>]"
       " [output options]\n"
       "  chamtrace report --workload <name> --procs <P> [--format text|csv|"
@@ -100,8 +114,9 @@ int usage() {
       "  chamtrace race --workload <name> --procs <P> [run options]"
       " [--seeds <N>] [--no-audit]\n"
       "               [--json <file>]\n"
+      "  chamtrace profile <prof-file> [--folded]\n"
       "  chamtrace validate [--timeline <file>] [--metrics <file>]"
-      " [--race <file>]\n"
+      " [--race <file>] [--prof <file>]\n"
       "  chamtrace show <trace-file>\n"
       "  chamtrace replay <trace-file> --procs <P>\n",
       stderr);
@@ -123,6 +138,21 @@ class Args {
     for (const auto& token : tokens_)
       if (token == flag) return true;
     return false;
+  }
+  /// Flag with an optional value: `--flag`, `--flag v`, or `--flag=v`.
+  /// Absent -> nullopt; present without a value -> `fallback`.
+  std::optional<std::string> value_or(const std::string& flag,
+                                      const std::string& fallback) const {
+    const std::string inline_form = flag + "=";
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].rfind(inline_form, 0) == 0)
+        return tokens_[i].substr(inline_form.size());
+      if (tokens_[i] != flag) continue;
+      if (i + 1 < tokens_.size() && tokens_[i + 1].rfind("--", 0) != 0)
+        return tokens_[i + 1];
+      return fallback;
+    }
+    return std::nullopt;
   }
   std::optional<std::string> positional() const {
     for (const auto& token : tokens_)
@@ -191,15 +221,20 @@ void print_stats(const std::vector<trace::TraceNode>& nodes) {
 // ChamScope wiring
 // --------------------------------------------------------------------------
 
-/// Owns the timeline/metrics instances for one run, installs the process
-/// globals the runtime hooks consult, and tears everything down (including
-/// the log observer) on scope exit, so a thrown workload cannot leave a
-/// dangling global behind.
+/// Owns the timeline/metrics/profiler instances for one run, installs the
+/// process globals the runtime hooks consult, and tears everything down
+/// (including the log observer and the sampler thread) on scope exit, so a
+/// thrown workload cannot leave a dangling global behind.
 class Observability {
  public:
-  Observability(bool want_timeline, bool want_metrics) {
-    if (want_timeline) {
+  explicit Observability(const Args& args)
+      : profile_path_(args.value_or("--profile", "prof.json")) {
+    if (const auto path = args.value("--timeline")) {
       timeline_.emplace();
+      // --timeline-flush N: stream events to the file as they accumulate
+      // instead of buffering the whole run in memory.
+      if (const auto every = args.value("--timeline-flush"))
+        timeline_->set_flush(*path, std::stoul(*every));
       obs::set_timeline(&*timeline_);
       // Structured log records double as timeline instants so warnings
       // line up with the spans that produced them.
@@ -212,12 +247,27 @@ class Observability {
                 "log", {obs::arg_str("msg", rec.message)});
           });
     }
-    if (want_metrics) {
+    if (args.value("--metrics-out")) {
       metrics_.emplace();
       obs::set_metrics(&*metrics_);
     }
+    if (profile_path_) {
+      profiler_ = std::make_unique<obs::prof::Profiler>();
+      if (obs::prof::kCompiledIn) {
+        obs::prof::set_profiler(profiler_.get());
+        profiler_->start_sampling();
+      } else {
+        CHAM_WARN() << "--profile requested but the ChamProf hooks were "
+                       "compiled out (-DCHAMELEON_PROF=OFF); the report will "
+                       "carry compiled_in:false and empty telemetry";
+      }
+    }
   }
   ~Observability() {
+    if (profiler_) {
+      obs::prof::set_profiler(nullptr);
+      profiler_->stop_sampling();
+    }
     support::set_log_observer(nullptr);
     obs::set_timeline(nullptr);
     obs::set_metrics(nullptr);
@@ -231,10 +281,16 @@ class Observability {
   [[nodiscard]] obs::MetricsRegistry* metrics() {
     return metrics_ ? &*metrics_ : nullptr;
   }
+  [[nodiscard]] obs::prof::Profiler* profiler() { return profiler_.get(); }
+  [[nodiscard]] const std::optional<std::string>& profile_path() const {
+    return profile_path_;
+  }
 
  private:
+  std::optional<std::string> profile_path_;
   std::optional<obs::Timeline> timeline_;
   std::optional<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::prof::Profiler> profiler_;
 };
 
 /// Everything needed to run one workload under one tool. The tracer
@@ -513,18 +569,43 @@ void export_run_metrics(obs::MetricsRegistry& reg, WorkloadRun& run) {
                   run.engine->retransmissions());
 }
 
-/// Write timeline/metrics output files if requested. Returns 0 or an exit
-/// code on I/O failure.
+/// Write profile/timeline/metrics output files if requested. Returns 0 or
+/// an exit code on I/O failure. The profile is finished first: stopping the
+/// sampler publishes the folded stacks, and the counter tracks must merge
+/// into the timeline before the timeline itself is rendered.
 int finish_observability(const Args& args, Observability& scope,
                          WorkloadRun& run) {
-  if (const auto path = args.value("--timeline")) {
-    const std::string doc = scope.timeline()->to_json();
-    if (!write_file(*path, doc)) {
-      std::fprintf(stderr, "failed to write %s\n", path->c_str());
+  if (obs::prof::Profiler* prof = scope.profiler()) {
+    obs::prof::set_profiler(nullptr);  // hooks off before export
+    prof->stop_sampling();
+    if (obs::Timeline* tl = scope.timeline()) prof->export_counter_tracks(*tl);
+    const std::string& path = *scope.profile_path();
+    if (!write_file(path, prof->to_json_string())) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
       return 1;
     }
-    std::printf("wrote timeline (%zu events) to %s\n",
-                scope.timeline()->event_count(), path->c_str());
+    std::printf(
+        "wrote profile (%d shard(s), %llu sample(s), self-cost %.3f ms) to "
+        "%s\n",
+        prof->shards_bound(),
+        static_cast<unsigned long long>(prof->samples_taken()),
+        prof->self_seconds() * 1e3, path.c_str());
+  }
+  if (const auto path = args.value("--timeline")) {
+    obs::Timeline* tl = scope.timeline();
+    if (tl->flushing()) {
+      tl->finish_flush();
+      std::printf("wrote timeline (%zu events, streamed) to %s\n",
+                  tl->event_count(), path->c_str());
+    } else {
+      const std::string doc = tl->to_json();
+      if (!write_file(*path, doc)) {
+        std::fprintf(stderr, "failed to write %s\n", path->c_str());
+        return 1;
+      }
+      std::printf("wrote timeline (%zu events) to %s\n", tl->event_count(),
+                  path->c_str());
+    }
   }
   if (const auto path = args.value("--metrics-out")) {
     export_run_metrics(*scope.metrics(), run);
@@ -609,8 +690,7 @@ int cmd_run(const Args& args) {
     return 2;
   }
 
-  Observability scope(args.value("--timeline").has_value(),
-                      args.value("--metrics-out").has_value());
+  Observability scope(args);
   execute(run);
 
   std::printf("traced %s on %d ranks with %s\n",
@@ -720,8 +800,7 @@ int cmd_report(const Args& args) {
   run.tracer = &*run.chameleon;
   run.engine->set_tool(run.tracer);
 
-  Observability scope(args.value("--timeline").has_value(),
-                      args.value("--metrics-out").has_value());
+  Observability scope(args);
   execute(run);
 
   const obs::ReportInput input =
@@ -768,9 +847,13 @@ int cmd_race(const Args& args) {
   // order and is not thread-safe, so the analyzed pass always runs
   // single-threaded — its findings are interleaving-independent anyway.
   // The requested thread count is exercised by the determinism audit below.
-  if (std::stoi(args.value("--threads").value_or("1")) > 1) {
-    std::printf("race: analyzer pass runs with --threads 1 "
-                "(the audit covers multi-threaded runs)\n");
+  const int requested_threads =
+      std::stoi(args.value("--threads").value_or("1"));
+  if (requested_threads > 1) {
+    CHAM_WARN() << "race: analyzer pass clamped to --threads 1 (requested "
+                << requested_threads
+                << "; the RaceAnalyzer is single-threaded, and the "
+                   "determinism audit covers multi-threaded runs)";
     run.engine.emplace(sim::EngineOptions{
         .nprocs = run.procs,
         .sched_seed = std::stoull(args.value("--sched-seed").value_or("0"))});
@@ -784,8 +867,7 @@ int cmd_race(const Args& args) {
     if (run.tracer != nullptr) run.engine->set_tool(run.tracer);
   }
 
-  Observability scope(args.value("--timeline").has_value(),
-                      args.value("--metrics-out").has_value());
+  Observability scope(args);
 
   // Pass 1: the analyzed run. Seed 0 keeps the scheduler in FIFO order —
   // the point of the vector clocks is that findings do not depend on the
@@ -868,8 +950,10 @@ int cmd_race(const Args& args) {
   }
 
   if (const auto out = args.value("--json")) {
-    const analysis::race::RaceReportMeta meta{
-        std::string(run.info->name), run.tool_name, run.procs};
+    analysis::race::RaceReportMeta meta{std::string(run.info->name),
+                                        run.tool_name, run.procs};
+    meta.requested_threads = requested_threads;
+    meta.analyzer_threads = 1;
     const std::string doc = analysis::race::write_race_json(
         analyzer, meta, determinism ? &*determinism : nullptr);
     if (!write_file(*out, doc)) {
@@ -917,11 +1001,47 @@ int cmd_race(const Args& args) {
   return failed ? 1 : 0;
 }
 
+/// `chamtrace profile <file> [--folded]`: render a saved chameleon.prof.v1
+/// document. Parsing only requires well-formed JSON with the right schema
+/// tag (the renderers tolerate missing sections, so a compiled_in:false
+/// document still prints); `validate --prof` is the strict check.
+int cmd_profile(const Args& args) {
+  const auto path = args.positional();
+  if (!path) return usage();
+  std::ifstream in(*path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path->c_str());
+    return 2;
+  }
+  const std::string text{std::istreambuf_iterator<char>(in), {}};
+  support::json::Value doc;
+  std::string error;
+  if (!support::json::parse(text, &doc, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path->c_str(), error.c_str());
+    return 2;
+  }
+  const support::json::Value* schema =
+      doc.is_object() ? doc.find("schema") : nullptr;
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "chameleon.prof.v1") {
+    std::fprintf(stderr, "%s: not a chameleon.prof.v1 document\n",
+                 path->c_str());
+    return 2;
+  }
+  std::fputs(args.has("--folded")
+                 ? obs::prof::render_folded(doc).c_str()
+                 : obs::prof::render_profile_summary(doc).c_str(),
+             stdout);
+  return 0;
+}
+
 int cmd_validate(const Args& args) {
   const auto timeline_path = args.value("--timeline");
   const auto metrics_path = args.value("--metrics");
   const auto race_path = args.value("--race");
-  if (!timeline_path && !metrics_path && !race_path) return usage();
+  const auto prof_path = args.value("--prof");
+  if (!timeline_path && !metrics_path && !race_path && !prof_path)
+    return usage();
   int rc = 0;
   const auto check = [&rc](const std::string& path, auto validator,
                            const char* what) {
@@ -944,6 +1064,7 @@ int cmd_validate(const Args& args) {
     check(*timeline_path, obs::validate_timeline_json, "timeline");
   if (metrics_path) check(*metrics_path, obs::validate_metrics_json, "metrics");
   if (race_path) check(*race_path, obs::validate_race_json, "race report");
+  if (prof_path) check(*prof_path, obs::validate_prof_json, "profile");
   return rc;
 }
 
@@ -1009,6 +1130,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "report") return cmd_report(args);
     if (command == "race") return cmd_race(args);
+    if (command == "profile") return cmd_profile(args);
     if (command == "validate") return cmd_validate(args);
     if (command == "show") return cmd_show(args);
     if (command == "replay") return cmd_replay(args);

@@ -12,8 +12,10 @@
 #
 # On top of the per-configuration suites it runs targeted smokes: the fault
 # matrix, the ChamShard engine slice, and the ChamDurable corruption matrix
-# under the sanitizers, and the bench/ChamScope/ChamRace/kill-resume/sharded
-# determinism smokes against the release binaries.
+# under the sanitizers, and the bench/ChamScope/ChamProf/ChamRace/
+# kill-resume/sharded determinism smokes against the release binaries. The
+# ChamProf leg also builds a -DCHAMELEON_PROF=OFF tree and gates the
+# shipping (hooks-in, profiler-off) wall time against it.
 #
 # Usage: tools/check.sh [jobs]
 # Build trees live under build-check/ (gitignored).
@@ -153,6 +155,100 @@ chamtrace=build-check/release/tools/chamtrace
 grep -qF '"schema": "chameleon.report.v1"' "$obs_dir/report.json" ||
   { echo "chamscope smoke: bad report schema in $obs_dir/report.json" >&2
     exit 1; }
+
+# ChamProf smoke (release build): a profiled sharded run must produce a
+# chameleon.prof.v1 document the validator accepts, with non-empty
+# barrier-wait / lock-contention / phase-attribution telemetry, counter
+# tracks merged into the timeline, and a summary `chamtrace profile`
+# renders. A second run checks the --timeline-flush streaming mode.
+echo "=== [release] champrof smoke ==="
+prof_dir="build-check/release/prof-smoke"
+mkdir -p "$prof_dir"
+"$chamtrace" run --workload lu --procs 16 --threads 4 \
+  --profile="$prof_dir/prof.json" \
+  --timeline "$prof_dir/timeline.json" >/dev/null
+"$chamtrace" validate --prof "$prof_dir/prof.json" \
+  --timeline "$prof_dir/timeline.json"
+"$chamtrace" profile "$prof_dir/prof.json" > "$prof_dir/summary.out"
+for want in "barrier_wait" "phase breakdown" "busiest locks" "sampler:"; do
+  grep -qF "$want" "$prof_dir/summary.out" ||
+    { echo "champrof smoke: missing \"$want\" in profile summary" >&2; exit 1; }
+done
+python3 - "$prof_dir/prof.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+shards = doc["shards"]
+if len(shards) != 4:
+    sys.exit(f"champrof: expected 4 shards, got {len(shards)}")
+if sum(s["barrier_wait_seconds"] for s in shards) <= 0:
+    sys.exit("champrof: no barrier wait recorded")
+if not any(lk["acquisitions"] > 0 for lk in doc["locks"]):
+    sys.exit("champrof: no lock acquisitions recorded")
+if not doc["phases"]:
+    sys.exit("champrof: empty phase attribution")
+if doc["overhead"]["profiling_seconds"] < 0:
+    sys.exit("champrof: negative self-measured cost")
+print(f"champrof: {len(shards)} shards, "
+      f"{doc['samples']['total']} samples, "
+      f"self cost {doc['overhead']['profiling_seconds'] * 1e3:.2f} ms")
+EOF
+grep -qF '"ph": "C"' "$prof_dir/timeline.json" ||
+  grep -qF '"ph":"C"' "$prof_dir/timeline.json" ||
+  { echo "champrof smoke: no counter tracks merged into timeline" >&2
+    exit 1; }
+"$chamtrace" run --workload lu --procs 16 --steps 8 --freq 1 \
+  --timeline "$prof_dir/streamed.json" --timeline-flush 256 >/dev/null
+"$chamtrace" validate --timeline "$prof_dir/streamed.json"
+
+# ChamProf overhead bench (release build): profiled and unprofiled engine
+# digests must match at smoke scale, and the committed
+# bench_results/BENCH_profiler.json must carry the documented schema.
+echo "=== [release] bench_profiler smoke ==="
+profbench_json="build-check/release/bench_profiler_smoke.json"
+build-check/release/bench/bench_profiler --smoke --out "$profbench_json" \
+  >/dev/null 2>&1
+for key in '"schema": "chameleon.bench_profiler.v1"' '"results"' \
+           '"digests_match": true'; do
+  grep -qF "$key" "$profbench_json" ||
+    { echo "bench_profiler smoke: missing $key in $profbench_json" >&2
+      exit 1; }
+done
+for key in '"schema": "chameleon.bench_profiler.v1"' '"overhead_ratio"' \
+           '"digests_match": true'; do
+  grep -qF "$key" bench_results/BENCH_profiler.json ||
+    { echo "BENCH_profiler.json: missing $key" >&2; exit 1; }
+done
+
+# Disabled-profiler overhead gate: the shipping configuration compiles the
+# hooks in but never installs a profiler, so its wall time must stay within
+# noise of a -DCHAMELEON_PROF=OFF build that compiles them out entirely.
+# Min-of-N on both sides keeps the comparison robust on a loaded box; the
+# 1.35x tolerance is generous because each run is only a fraction of a
+# second of which process startup is a sizable share.
+echo "=== [noprof] disabled-profiler overhead gate ==="
+cmake -B build-check/noprof -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCHAMELEON_PROF=OFF >/dev/null
+cmake --build build-check/noprof -j "$jobs" --target chamtrace
+python3 - "$chamtrace" build-check/noprof/tools/chamtrace <<'EOF'
+import subprocess, sys, time
+def best(binary, n=4):
+    args = [binary, "run", "--workload", "lu", "--procs", "16",
+            "--threads", "2"]
+    times = []
+    for _ in range(n):
+        t0 = time.perf_counter()
+        subprocess.run(args, check=True, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL)
+        times.append(time.perf_counter() - t0)
+    return min(times)
+hooks_in = best(sys.argv[1])
+compiled_out = best(sys.argv[2])
+ratio = hooks_in / compiled_out
+print(f"disabled-profiler overhead: hooks-in {hooks_in:.4f}s vs "
+      f"compiled-out {compiled_out:.4f}s (ratio {ratio:.3f})")
+if ratio > 1.35:
+    sys.exit(f"disabled-profiler overhead ratio {ratio:.3f} exceeds 1.35x")
+EOF
 
 # ChamRace smoke (release build): the seeded racefix fixture must fail the
 # gate with its known conflicts, and a clean workload must produce a race

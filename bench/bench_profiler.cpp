@@ -62,12 +62,19 @@ struct RunResult {
   double self_seconds = 0.0;      ///< profiler's self-measured cost
 };
 
+/// Installs the global profiler for one run and guarantees removal even if
+/// the run throws — a leaked global would dangle at the stack-local
+/// Profiler in subsequent iterations.
+class ProfilerGuard {
+ public:
+  explicit ProfilerGuard(obs::prof::Profiler* p) { obs::prof::set_profiler(p); }
+  ~ProfilerGuard() { obs::prof::set_profiler(nullptr); }
+  ProfilerGuard(const ProfilerGuard&) = delete;
+  ProfilerGuard& operator=(const ProfilerGuard&) = delete;
+};
+
 RunResult run_once(int fibers, int threads, int steps, bool profiled) {
   obs::prof::Profiler prof;
-  if (profiled) {
-    obs::prof::set_profiler(&prof);
-    prof.start_sampling();
-  }
 
   sim::EngineOptions opts;
   opts.nprocs = fibers;
@@ -76,14 +83,17 @@ RunResult run_once(int fibers, int threads, int steps, bool profiled) {
   sim::Engine engine(opts);
 
   RunResult r;
-  const double t0 = now_seconds();
-  engine.run([steps](sim::Mpi& mpi) {
-    for (int s = 0; s < steps; ++s) ring_step(mpi, s);
-  });
-  r.seconds = now_seconds() - t0;
+  {
+    const ProfilerGuard guard(profiled ? &prof : nullptr);
+    if (profiled) prof.start_sampling();
+    const double t0 = now_seconds();
+    engine.run([steps](sim::Mpi& mpi) {
+      for (int s = 0; s < steps; ++s) ring_step(mpi, s);
+    });
+    r.seconds = now_seconds() - t0;
+  }
 
   if (profiled) {
-    obs::prof::set_profiler(nullptr);
     prof.stop_sampling();
     r.samples = prof.samples_taken();
     r.self_seconds = prof.self_seconds();

@@ -66,7 +66,10 @@ std::atomic<Profiler*> g_profiler{nullptr};
 /// shard 0's fibers in both the sharded and single-threaded schedulers.
 thread_local int t_worker_shard = 0;
 
-/// Innermost live PhaseScope on this thread (for self-time subtraction).
+/// Innermost live PhaseScope attached to this thread. Logically the chain
+/// is *fiber*-local — scopes live on fiber stacks and straddle blocking
+/// calls — so the schedulers swap this pointer at every dispatch boundary
+/// via PhaseScope::suspend()/resume().
 thread_local PhaseScope* t_phase_top = nullptr;
 
 }  // namespace
@@ -87,23 +90,48 @@ void PhaseScope::enter(Phase p) {
   phase_ = p;
   parent_ = t_phase_top;
   t_phase_top = this;
-  slot_ = &prof_->slot(t_worker_shard);
-  prev_tag_ = slot_->cur_phase.load(std::memory_order_relaxed);
-  slot_->cur_phase.store(static_cast<std::uint8_t>(p),
-                         std::memory_order_relaxed);
+  ShardSlot& slot = prof_->slot(t_worker_shard);
+  prev_tag_ = slot.cur_phase.load(std::memory_order_relaxed);
+  slot.cur_phase.store(static_cast<std::uint8_t>(p),
+                       std::memory_order_relaxed);
   t0_ = host_seconds();
 }
 
 void PhaseScope::leave() {
-  const double total = host_seconds() - t0_;
-  // Attribute *self* time: what this scope spent minus what nested scopes
-  // already claimed. The slot pointer is re-resolved in case the fiber was
-  // migrated mid-scope (scopes never straddle a dispatch, but be safe).
-  slot_->phase_seconds[static_cast<std::size_t>(phase_)] +=
+  // Attribute *self* time: elapsed minus the dispatch-parked intervals
+  // (the fiber was blocked; other fibers ran) minus what nested scopes
+  // already claimed. The slot is re-resolved because a scope that
+  // straddled a suspend() may leave from a different dispatch than it
+  // entered.
+  const double total = host_seconds() - t0_ - paused_seconds_;
+  ShardSlot& slot = prof_->slot(t_worker_shard);
+  slot.phase_seconds[static_cast<std::size_t>(phase_)] +=
       std::max(0.0, total - child_seconds_);
-  slot_->cur_phase.store(prev_tag_, std::memory_order_relaxed);
+  slot.cur_phase.store(prev_tag_, std::memory_order_relaxed);
   t_phase_top = parent_;
   if (parent_ != nullptr) parent_->child_seconds_ += total;
+}
+
+PhaseScope* PhaseScope::suspend() {
+  PhaseScope* top = t_phase_top;
+  if (top == nullptr) return nullptr;
+  t_phase_top = nullptr;
+  const double now = host_seconds();
+  for (PhaseScope* s = top; s != nullptr; s = s->parent_) s->paused_at_ = now;
+  return top;
+}
+
+void PhaseScope::resume(PhaseScope* top) {
+  t_phase_top = top;
+  if (top == nullptr) return;
+  const double now = host_seconds();
+  for (PhaseScope* s = top; s != nullptr; s = s->parent_)
+    s->paused_seconds_ += now - s->paused_at_;
+  // Re-publish the innermost phase for the sampler (the dispatch hook just
+  // stamped kEngine on this shard's slot).
+  top->prof_->slot(t_worker_shard)
+      .cur_phase.store(static_cast<std::uint8_t>(top->phase_),
+                       std::memory_order_relaxed);
 }
 
 // --------------------------------------------------------------------------

@@ -268,6 +268,13 @@ void bind_worker_shard(int shard);
 /// each phase accumulates *self* seconds; the scope also publishes the
 /// phase tag for the sampler and restores the previous one on exit. With
 /// no profiler installed the constructor is one load and branch.
+///
+/// Scopes live on fiber stacks and may straddle blocking MPI calls, so the
+/// innermost-scope chain is *fiber-local*, not thread-local: the fiber
+/// schedulers detach the outgoing fiber's chain at every dispatch boundary
+/// (suspend) and reattach it when the fiber next runs (resume). Without
+/// that handoff a fiber dispatched while another is blocked mid-scope
+/// would chain onto the blocked fiber's stack-resident scope.
 class PhaseScope {
  public:
   explicit PhaseScope(Phase p) : prof_(profiler()) {
@@ -279,17 +286,27 @@ class PhaseScope {
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
 
+  /// Dispatch-boundary hooks for the fiber schedulers. suspend() detaches
+  /// the calling thread's open scope chain, stamping the park time so none
+  /// of the blocked-out interval is attributed; the scheduler stores the
+  /// returned chain with the fiber. resume() reattaches a fiber's chain on
+  /// the thread about to run it and re-publishes the innermost phase tag
+  /// for the sampler; resume(nullptr) just clears the thread's chain.
+  [[nodiscard]] static PhaseScope* suspend();
+  static void resume(PhaseScope* top);
+
  private:
   void enter(Phase p);
   void leave();
 
   Profiler* prof_;
   PhaseScope* parent_ = nullptr;
-  ShardSlot* slot_ = nullptr;
   Phase phase_ = Phase::kIdle;
   std::uint8_t prev_tag_ = 0;
   double t0_ = 0.0;
   double child_seconds_ = 0.0;
+  double paused_seconds_ = 0.0;  ///< dispatch-parked time, excluded on leave
+  double paused_at_ = 0.0;       ///< host_seconds() at the last suspend()
 };
 
 /// Drop-in lock_guard replacement feeding the contention tallies. With no

@@ -189,7 +189,7 @@ void Timeline::flush_events_locked() {
   flush_out_.flush();
 }
 
-void Timeline::finish_flush() {
+bool Timeline::finish_flush() {
   const prof::TimedLockGuard lock(m_, prof::LockClass::kTimelineSink);
   CHAM_CHECK_MSG(flushing_, "timeline: finish_flush() without set_flush()");
   close_open_spans();
@@ -207,9 +207,14 @@ void Timeline::finish_flush() {
     flush_out_ << meta;
   }
   flush_out_ << "]}\n";
+  flush_out_.flush();
+  // Stream error bits are sticky, so one check here covers every chunked
+  // write since set_flush() (disk full, vanished path, ...).
+  const bool ok = flush_out_.good();
   flush_out_.close();
   flushing_ = false;
   flush_every_ = 0;
+  return ok;
 }
 
 bool Timeline::flushing() const {

@@ -96,9 +96,11 @@ class Timeline {
   /// `serve` jobs). Output is always compact. Call finish_flush() — not
   /// to_json() — to complete the document; metadata records are appended
   /// at the end so late track names still land. The in-memory default
-  /// (never calling set_flush) is byte-for-byte unchanged.
+  /// (never calling set_flush) is byte-for-byte unchanged. finish_flush()
+  /// returns false if the stream reported an I/O error (disk full, vanished
+  /// path) at any point since set_flush().
   void set_flush(const std::string& path, std::size_t every_n);
-  void finish_flush();
+  [[nodiscard]] bool finish_flush();
   [[nodiscard]] bool flushing() const;
 
   /// Render the complete document. Still-open spans are closed at the

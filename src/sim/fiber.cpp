@@ -141,11 +141,19 @@ void FiberScheduler::run() {
       tl->begin(obs::Timeline::kSchedulerTid, "rank " + std::to_string(id),
                 "fiber");
     race::set_task(id);
+    // A fiber's open PhaseScopes live on its stack and may straddle this
+    // dispatch: park the scheduler's own chain, attach the fiber's, and
+    // swap back afterwards so scopes never chain across fibers and the
+    // blocked-out interval is excluded from the fiber's phase times.
+    prof::PhaseScope* sched_scopes = prof::PhaseScope::suspend();
+    prof::PhaseScope::resume(fiber.phase_top);
     sanitizer_pre_switch(&main_sanitizer_stack_, fiber.stack.get(),
                          fiber.stack_bytes);
     tsan_switch(fiber.tsan_fiber);
     CHAM_CHECK(swapcontext(&main_context_, &fiber.context) == 0);
     sanitizer_post_switch(main_sanitizer_stack_, nullptr, nullptr);
+    fiber.phase_top = prof::PhaseScope::suspend();
+    prof::PhaseScope::resume(sched_scopes);
     if (fiber.state == detail::FiberState::kFinished) {
       // The fiber just retired on this switch: publish its final clock for
       // the join-all edge below (the analyzer still attributes this to the

@@ -34,6 +34,10 @@
 #include "sim/scheduler.hpp"
 #include "support/rng.hpp"
 
+namespace cham::obs::prof {
+class PhaseScope;
+}  // namespace cham::obs::prof
+
 namespace cham::sim {
 
 class FiberScheduler;
@@ -67,6 +71,9 @@ struct Fiber {
   void* sanitizer_stack = nullptr;
   /// TSan fiber handle (null unless built with -fsanitize=thread).
   void* tsan_fiber = nullptr;
+  /// Open ChamProf scope chain, parked while the fiber is switched out
+  /// (the scopes live on this fiber's stack; see PhaseScope::suspend).
+  obs::prof::PhaseScope* phase_top = nullptr;
 };
 
 }  // namespace detail

@@ -382,11 +382,19 @@ void ShardedScheduler::dispatch(int shard_index, ShardFiber& fiber) {
     tl->begin(obs::Timeline::shard_tid(shard_index),
               "rank " + std::to_string(fiber.id), "fiber");
   race::set_task(fiber.id);
+  // A fiber's open PhaseScopes live on its stack and may straddle this
+  // dispatch: park the worker's own chain, attach the fiber's, and swap
+  // back afterwards so scopes never chain across fibers and the
+  // blocked-out interval is excluded from the fiber's phase times.
+  prof::PhaseScope* worker_scopes = prof::PhaseScope::suspend();
+  prof::PhaseScope::resume(fiber.phase_top);
   sanitizer_pre_switch(&shard.main_sanitizer_stack, fiber.stack.get(),
                        fiber.stack_bytes);
   tsan_switch(fiber.tsan_fiber);
   CHAM_CHECK(swapcontext(&shard.main_context, &fiber.context) == 0);
   sanitizer_post_switch(shard.main_sanitizer_stack, nullptr, nullptr);
+  fiber.phase_top = prof::PhaseScope::suspend();
+  prof::PhaseScope::resume(worker_scopes);
   race::set_task(-1);
   if (tl != nullptr) tl->end(obs::Timeline::shard_tid(shard_index));
   if (slot != nullptr) {

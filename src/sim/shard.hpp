@@ -50,6 +50,10 @@
 
 #include "sim/scheduler.hpp"
 
+namespace cham::obs::prof {
+class PhaseScope;
+}  // namespace cham::obs::prof
+
 namespace cham::sim {
 
 class ShardedScheduler;
@@ -87,6 +91,10 @@ struct ShardFiber {
   std::string block_reason;
   void* sanitizer_stack = nullptr;
   void* tsan_fiber = nullptr;
+  /// Open ChamProf scope chain, parked while the fiber is switched out
+  /// (the scopes live on this fiber's stack, which is worker-thread-pinned
+  /// for life; see PhaseScope::suspend).
+  obs::prof::PhaseScope* phase_top = nullptr;
 };
 
 }  // namespace detail

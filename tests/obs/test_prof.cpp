@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -92,6 +93,42 @@ TEST(Prof, PhaseScopeAttributesSelfTime) {
   EXPECT_GT(at(Phase::kFold), 0.0);
   // The sampler tag is restored on exit.
   EXPECT_EQ(slot.cur_phase.load(), static_cast<std::uint8_t>(Phase::kIdle));
+}
+
+/// Busy-wait so host (wall) time visibly advances.
+void spin_for(double seconds) {
+  const double t0 = host_seconds();
+  while (host_seconds() - t0 < seconds) {
+  }
+}
+
+TEST(Prof, PhaseScopeChainIsFiberLocalAcrossDispatch) {
+  Profiler prof;
+  ProfilerScope scope(&prof);
+  prof.bind_shards(1);
+  const auto at = [&](Phase p) {
+    return prof.slot(0).phase_seconds[static_cast<std::size_t>(p)];
+  };
+  // "Fiber A" opens a scope and blocks mid-scope: the scheduler parks its
+  // chain at the dispatch boundary.
+  auto a = std::make_unique<PhaseScope>(Phase::kClustering);
+  PhaseScope* parked = PhaseScope::suspend();
+  EXPECT_NE(parked, nullptr);
+  // "Fiber B" dispatched on the same thread starts with an empty chain:
+  // its scope must not chain onto A's parked scope, and its runtime lands
+  // on its own phase.
+  {
+    const PhaseScope b(Phase::kFold);
+    spin_for(2e-3);
+  }
+  EXPECT_GT(at(Phase::kFold), 1.5e-3);
+  // Resume A and close its scope: the parked interval (B's run) must be
+  // excluded from A's attribution.
+  PhaseScope::resume(parked);
+  a.reset();
+  EXPECT_LT(at(Phase::kClustering), 1e-3);
+  EXPECT_EQ(prof.slot(0).cur_phase.load(),
+            static_cast<std::uint8_t>(Phase::kIdle));
 }
 
 TEST(Prof, NoteEpochBoundsTheSeries) {
@@ -188,7 +225,7 @@ TEST(TimelineFlush, StreamedDocumentMatchesInMemoryModuloTimestamps) {
   streamed.set_flush(path, 10);
   EXPECT_TRUE(streamed.flushing());
   emit_events(streamed);
-  streamed.finish_flush();
+  EXPECT_TRUE(streamed.finish_flush());
 
   Timeline buffered;
   emit_events(buffered);
@@ -231,7 +268,7 @@ TEST(TimelineFlush, CounterEventsStreamToo) {
   prof.bind_shards(1);
   for (std::uint64_t e = 1; e <= 5; ++e) prof.note_epoch(e, {1});
   prof.export_counter_tracks(tl);
-  tl.finish_flush();
+  EXPECT_TRUE(tl.finish_flush());
   const std::string doc = slurp(path);
   std::string error;
   EXPECT_TRUE(validate_timeline_json(doc, &error)) << error;

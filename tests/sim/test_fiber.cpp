@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/prof/profiler.hpp"
+
 namespace cham::sim {
 namespace {
 
@@ -34,6 +36,40 @@ TEST(Fiber, RoundRobinIsDeterministicFifo) {
   sched.run();
   const std::vector<int> expected = {0, 1, 2, 10, 11, 12};
   EXPECT_EQ(order, expected);
+}
+
+TEST(Fiber, ProfilerScopeChainsStayFiberLocal) {
+  // Regression: PhaseScopes live on fiber stacks and straddle yields, so
+  // each fiber's open-scope chain must be parked at the dispatch boundary.
+  // Before the suspend/resume handoff, fiber 1's scope would chain onto
+  // fiber 0's stack-resident scope and leave() would write through a
+  // dangling parent pointer once fiber 0 unwound.
+  obs::prof::Profiler prof;
+  obs::prof::set_profiler(&prof);
+  FiberScheduler sched;
+  for (int i = 0; i < 4; ++i) {
+    sched.spawn(
+        [&sched] {
+          const obs::prof::PhaseScope outer(obs::prof::Phase::kClustering);
+          sched.yield();
+          {
+            const obs::prof::PhaseScope inner(obs::prof::Phase::kFold);
+            sched.yield();
+          }
+          sched.yield();
+        },
+        64 * 1024);
+  }
+  sched.run();
+  obs::prof::set_profiler(nullptr);
+  const obs::prof::ShardSlot& slot = prof.slot(0);
+  const auto at = [&](obs::prof::Phase p) {
+    return slot.phase_seconds[static_cast<std::size_t>(p)];
+  };
+  EXPECT_GT(at(obs::prof::Phase::kFold), 0.0);
+  EXPECT_GE(at(obs::prof::Phase::kClustering), 0.0);
+  EXPECT_EQ(slot.cur_phase.load(),
+            static_cast<std::uint8_t>(obs::prof::Phase::kIdle));
 }
 
 TEST(Fiber, BlockUnblockHandshake) {

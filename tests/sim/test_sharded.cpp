@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/chameleon.hpp"
+#include "obs/prof/profiler.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/mpi.hpp"
@@ -63,6 +64,38 @@ TEST(ShardedScheduler, ShardCountClampsToOne) {
   sched.spawn([&ran] { ran = true; }, kStack);
   sched.run();
   EXPECT_TRUE(ran);
+}
+
+TEST(ShardedScheduler, ProfilerScopeChainsStayFiberLocal) {
+  // Regression: PhaseScopes on fiber stacks straddle yields, so each
+  // worker must park the outgoing fiber's scope chain at the dispatch
+  // boundary instead of letting the next fiber chain onto it (dangling
+  // parent writes once the first fiber unwinds). Multiple fibers per
+  // shard make every epoch interleave open scopes on each worker.
+  obs::prof::Profiler prof;
+  obs::prof::set_profiler(&prof);
+  {
+    sim::ShardedScheduler sched(2);
+    for (int i = 0; i < 8; ++i)
+      sched.spawn(
+          [&sched] {
+            const obs::prof::PhaseScope outer(obs::prof::Phase::kClustering);
+            sched.yield();
+            {
+              const obs::prof::PhaseScope inner(obs::prof::Phase::kFold);
+              sched.yield();
+            }
+            sched.yield();
+          },
+          kStack);
+    sched.run();
+  }
+  obs::prof::set_profiler(nullptr);
+  double fold = 0.0;
+  for (int s = 0; s < 2; ++s)
+    fold += prof.slot(s)
+                .phase_seconds[static_cast<std::size_t>(obs::prof::Phase::kFold)];
+  EXPECT_GT(fold, 0.0);
 }
 
 TEST(ShardedScheduler, WakeTokenPreventsLostWakeup) {

@@ -594,7 +594,10 @@ int finish_observability(const Args& args, Observability& scope,
   if (const auto path = args.value("--timeline")) {
     obs::Timeline* tl = scope.timeline();
     if (tl->flushing()) {
-      tl->finish_flush();
+      if (!tl->finish_flush()) {
+        std::fprintf(stderr, "failed to write %s\n", path->c_str());
+        return 1;
+      }
       std::printf("wrote timeline (%zu events, streamed) to %s\n",
                   tl->event_count(), path->c_str());
     } else {

@@ -143,10 +143,10 @@ void collect_cover(const trace::TraceNode& node, std::vector<bool>& seen) {
     for (const auto& child : node.body) collect_cover(child, seen);
     return;
   }
-  for (sim::Rank r : node.event.ranks.members()) {
+  node.event.ranks.for_each_member([&](sim::Rank r) {
     if (r >= 0 && static_cast<std::size_t>(r) < seen.size())
       seen[static_cast<std::size_t>(r)] = true;
-  }
+  });
 }
 
 void collect_callpath(const trace::TraceNode& node,
@@ -316,7 +316,8 @@ class WireLinter {
   }
 
   void ranklist(const std::string& path) {
-    const std::size_t nsections = reader_.u16();
+    // u32 section count, matching serialize.cpp's 64k-rank widening.
+    const std::size_t nsections = reader_.u32();
     std::vector<sim::Rank> ranks;
     for (std::size_t s = 0; s < nsections; ++s) {
       trace::RankSection sec;

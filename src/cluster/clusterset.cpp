@@ -90,7 +90,7 @@ std::vector<std::uint8_t> ClusterSet::encode() const {
   trace::ByteWriter w;
   std::size_t hint = 4;
   for (const auto& [callpath, entries] : groups_) {
-    hint += 8 + 2;
+    hint += 8 + 4;
     for (const auto& entry : entries)
       hint += 4 + 8 + 8 + trace::encoded_size_hint(entry.members);
   }
@@ -98,7 +98,9 @@ std::vector<std::uint8_t> ClusterSet::encode() const {
   w.u32(static_cast<std::uint32_t>(groups_.size()));
   for (const auto& [callpath, entries] : groups_) {
     w.u64(callpath);
-    w.u16(static_cast<std::uint16_t>(entries.size()));
+    // u32 entry count: a 64k-rank world can legitimately hold more than
+    // 65535 per-callpath clusters before the shrink step folds them.
+    w.u32(static_cast<std::uint32_t>(entries.size()));
     for (const auto& entry : entries) {
       w.i32(entry.lead);
       w.u64(entry.src);
@@ -117,15 +119,15 @@ ClusterSet ClusterSet::decode(const std::vector<std::uint8_t>& bytes) {
   // throw before the per-group containers grow.
   const std::uint32_t ngroups = r.u32();
   if (ngroups > (1u << 16)) throw trace::DecodeError("cluster group count");
-  if (ngroups > r.remaining() / (8 + 2))
+  if (ngroups > r.remaining() / (8 + 4))
     throw trace::DecodeError("cluster group count exceeds buffer");
   for (std::uint32_t g = 0; g < ngroups; ++g) {
     const std::uint64_t callpath = r.u64();
-    const std::uint16_t count = r.u16();
-    if (count > r.remaining() / (4 + 8 + 8 + 2))
+    const std::uint32_t count = r.u32();
+    if (count > r.remaining() / (4 + 8 + 8 + 4))
       throw trace::DecodeError("cluster entry count exceeds buffer");
     auto& entries = set.groups_[callpath];
-    for (std::uint16_t i = 0; i < count; ++i) {
+    for (std::uint32_t i = 0; i < count; ++i) {
       ClusterEntry entry;
       entry.lead = r.i32();
       entry.src = r.u64();

@@ -144,12 +144,11 @@ void ChameleonTool::handle_failures(sim::Rank rank, sim::Pmpi& pmpi) {
       // under failure that rule degrades to the lowest-rank survivor of
       // the same group.
       sim::Rank promoted = sim::kAnySource;
-      for (sim::Rank member : entry.members.members()) {
-        if (!eng.is_failed(member)) {
-          promoted = member;
-          break;
-        }
-      }
+      entry.members.for_each_member([&](sim::Rank member) {
+        if (eng.is_failed(member)) return true;  // keep scanning
+        promoted = member;
+        return false;
+      });
       // ChamDurable: the dead lead's last journaled partial trace survives
       // on disk, so the promoted survivor adopts it and carries on instead
       // of the home rank mourning the interval with a GAP node. Every
@@ -445,10 +444,19 @@ void ChameleonTool::record_epoch(sim::Rank rank, MarkerState state_tag,
   record.clusters = cs.clusters.total_clusters();
   record.leads = cs.clusters.leads();
   record.lead_of.assign(static_cast<std::size_t>(nprocs_), -1);
-  for (int r = 0; r < nprocs_; ++r) {
-    const cluster::ClusterEntry* entry = cs.clusters.cluster_of(r);
-    if (entry != nullptr)
-      record.lead_of[static_cast<std::size_t>(r)] = entry->lead;
+  // One pass over cluster members instead of a cluster_of() probe per world
+  // rank (O(P * clusters) at 64k). First entry wins, matching cluster_of's
+  // group iteration order for ranks claimed by more than one cluster.
+  for (const auto& [callpath, entries] : cs.clusters.groups()) {
+    (void)callpath;
+    for (const cluster::ClusterEntry& entry : entries) {
+      entry.members.for_each_member([&](sim::Rank r) {
+        if (r >= 0 && r < nprocs_ &&
+            record.lead_of[static_cast<std::size_t>(r)] == -1) {
+          record.lead_of[static_cast<std::size_t>(r)] = entry.lead;
+        }
+      });
+    }
   }
   RACE_WRITE("cham.epochs", 0, 0);
   epochs_.push_back(std::move(record));

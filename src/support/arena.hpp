@@ -1,0 +1,85 @@
+// Chunked bump allocator with bulk teardown.
+//
+// ChamScale's intern table stores every distinct ranklist's run vector for
+// the lifetime of a run; allocating those out of the general heap at 64k
+// ranks means millions of small allocations that are only ever freed all at
+// once. The arena trades individual deallocation away: allocate() is a
+// pointer bump, reset() returns every chunk in one sweep, and the stats
+// feed bench_scale's memory accounting.
+//
+// Ownership rule (DESIGN.md "Arena ownership"): objects placed in an arena
+// must be trivially destructible OR the owner must run their destructors
+// before reset() — the arena never calls destructors itself. The ranklist
+// interner satisfies this by storing runs as trailing arrays of a POD
+// header, so reset() is safe without any destructor pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace cham::support {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` with the given alignment (power of two).
+  /// Requests larger than the chunk size get a dedicated chunk.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (p + bytes > limit_) {
+      grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Drop every chunk at once. Invalidates all outstanding pointers; the
+  /// caller owns the proof that none are live (see header comment).
+  void reset() {
+    chunks_.clear();
+    cursor_ = 0;
+    limit_ = 0;
+    bytes_allocated_ = 0;
+    bytes_reserved_ = 0;
+  }
+
+  [[nodiscard]] std::size_t bytes_allocated() const { return bytes_allocated_; }
+  [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  void grow(std::size_t at_least) {
+    const std::size_t size = at_least > chunk_bytes_ ? at_least : chunk_bytes_;
+    chunks_.push_back(std::make_unique<std::byte[]>(size));
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunks_.back().get());
+    limit_ = cursor_ + size;
+    bytes_reserved_ += size;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace cham::support

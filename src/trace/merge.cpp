@@ -5,6 +5,7 @@
 
 #include "trace/perf.hpp"
 #include "trace/rsd.hpp"
+#include "trace/scale.hpp"
 
 namespace cham::trace {
 
@@ -103,6 +104,21 @@ void merge_into(TraceNode& a, const TraceNode& b) {
   a.rehash_shallow();
 }
 
+/// Per-thread reusable DP/memo storage for inter_merge (scale option
+/// `arena`): a weak-scaled fold performs O(log P) merges per epoch with
+/// similarly sized tables, so reusing capacity removes the dominant
+/// allocation in the merge tree. Safe with fibers: inter_merge never yields
+/// to the scheduler mid-call, so the scratch is never observed mid-use.
+struct MergeScratch {
+  std::vector<std::uint32_t> dp;
+  std::vector<std::uint8_t> memo;
+};
+
+MergeScratch& merge_scratch() {
+  thread_local MergeScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 std::vector<TraceNode> inter_merge(std::vector<TraceNode> a,
@@ -122,10 +138,34 @@ std::vector<TraceNode> inter_merge(std::vector<TraceNode> a,
   const std::size_t na = a.size();
   const std::size_t nb = b.size();
 
+  // Dedup zip: weak-scaled SPMD ranks produce structurally identical
+  // sequences, so sibling subtrees usually align 1:1. When the sides have
+  // equal length and every diagonal pair is mergeable (hash precheck makes
+  // a mismatch O(1)), the LCS backtrack below would take the mergeable
+  // branch at every step anyway — zip diagonally and skip the O(n^2) table.
+  if (fast && scale_options().dedup_merge && na == nb) {
+    bool diagonal = true;
+    for (std::size_t i = 0; i < na && diagonal; ++i)
+      diagonal = nodes_mergeable(a[i], b[i], true, pc);
+    if (diagonal) {
+      if (pc != nullptr) ++pc->merge_zip_hits;
+      std::vector<TraceNode> merged;
+      merged.reserve(na);
+      for (std::size_t i = 0; i < na; ++i) {
+        TraceNode node = std::move(a[i]);
+        merge_into(node, b[i]);
+        merged.push_back(std::move(node));
+      }
+      return merged;
+    }
+  }
+
   // Mergeability memo shared between the DP fill and the backtrack pass:
   // the fill evaluates every pair once, the backtrack replays its path from
   // the memo instead of re-running the structural comparison.
-  std::vector<std::uint8_t> memo;
+  MergeScratch local;
+  MergeScratch& scratch = scale_options().arena ? merge_scratch() : local;
+  std::vector<std::uint8_t>& memo = scratch.memo;
   if (fast) memo.assign(na * nb, 0);
   auto mergeable = [&](std::size_t i, std::size_t j) {
     if (!fast) return nodes_mergeable(a[i], b[j], false, pc);
@@ -140,7 +180,8 @@ std::vector<TraceNode> inter_merge(std::vector<TraceNode> a,
   };
 
   // LCS table over mergeability (shape + endpoint generalization).
-  std::vector<std::uint32_t> dp((na + 1) * (nb + 1), 0);
+  std::vector<std::uint32_t>& dp = scratch.dp;
+  dp.assign((na + 1) * (nb + 1), 0);
   auto at = [&dp, nb](std::size_t i, std::size_t j) -> std::uint32_t& {
     return dp[i * (nb + 1) + j];
   };

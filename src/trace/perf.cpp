@@ -25,6 +25,7 @@ void PerfCounters::add(const PerfCounters& other) {
   merge_deep_compares += other.merge_deep_compares;
   merge_deep_rejects += other.merge_deep_rejects;
   merge_memo_hits += other.merge_memo_hits;
+  merge_zip_hits += other.merge_zip_hits;
   bytes_encoded += other.bytes_encoded;
   bytes_decoded += other.bytes_decoded;
   intra_seconds += other.intra_seconds;
@@ -46,6 +47,7 @@ void export_to_metrics(const PerfCounters& counters,
   registry.set_counter("cham.merge.deep_compares", t, counters.merge_deep_compares);
   registry.set_counter("cham.merge.deep_rejects", t, counters.merge_deep_rejects);
   registry.set_counter("cham.merge.memo_hits", t, counters.merge_memo_hits);
+  registry.set_counter("cham.merge.zip_hits", t, counters.merge_zip_hits);
   const auto wire = [&](const char* dir, std::uint64_t v) {
     obs::Labels labels = t;
     labels.emplace_back("dir", dir);
@@ -75,7 +77,8 @@ std::string PerfCounters::to_string() const {
      << " hash_rejects=" << merge_hash_rejects
      << " deep_compares=" << merge_deep_compares
      << " deep_rejects=" << merge_deep_rejects
-     << " memo_hits=" << merge_memo_hits << '\n';
+     << " memo_hits=" << merge_memo_hits
+     << " zip_hits=" << merge_zip_hits << '\n';
   os << "wire: bytes_encoded=" << bytes_encoded
      << " bytes_decoded=" << bytes_decoded << '\n';
   os.precision(6);

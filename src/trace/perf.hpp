@@ -38,6 +38,8 @@ struct PerfCounters {
   std::uint64_t merge_deep_compares = 0;  ///< pairs that reached the deep check
   std::uint64_t merge_deep_rejects = 0;   ///< deep check failed after hash match
   std::uint64_t merge_memo_hits = 0;      ///< LCS cells answered from the memo
+  std::uint64_t merge_zip_hits = 0;       ///< inter_merges zipped diagonally,
+                                          ///< skipping the LCS table (dedup)
 
   // --- wire traffic (encode/decode during reductions and handoffs) ---
   std::uint64_t bytes_encoded = 0;

@@ -3,13 +3,29 @@
 // ScalaTrace property (3): participant groups are stored as EBNF
 // <dimension, start_rank, iteration_length, stride>+ sections, giving a
 // near-constant-size encoding of the regular rank patterns SPMD codes
-// produce (rows, columns, sub-lattices). We keep the exact member set for
-// set algebra and lazily factor it into multi-dimensional sections for
-// serialization and space accounting — the factored form is what makes the
-// compressed trace size independent of P.
+// produce (rows, columns, sub-lattices).
+//
+// Two storage modes share this interface (trace/scale.hpp):
+//
+//   * Dense (seed semantics, sparse_ranklists off): the exact member set as
+//     a sorted unique vector, lazily factored into sections for
+//     serialization — the pre-ChamScale representation, kept bit-for-bit.
+//   * Sparse (sparse_ranklists on): the canonical greedy run factorization
+//     <start, length, stride>+ held in a global intern table. Identical
+//     member sets share one interned entry, equality is a pointer compare,
+//     unions of previously-seen pairs come from a memo, and the factored
+//     sections/footprint are computed once per distinct set. This is what
+//     keeps the protocol's per-rank cluster-table copies O(clusters)
+//     instead of O(members) at 64k ranks.
+//
+// The sparse runs are exactly pass 1 of the dense factorization (maximal
+// arithmetic progressions, greedily from the lowest member), so both modes
+// produce identical sections() and identical wire bytes — the property the
+// `ctest -L scale` differential suites pin down.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,22 +45,90 @@ struct RankSection {
   bool operator==(const RankSection& other) const = default;
 };
 
+/// One maximal arithmetic progression of members: start, start + stride,
+/// ..., start + (len-1) * stride. Canonical form: len >= 1, stride >= 1,
+/// and singleton runs normalize stride to 1.
+struct RankRun {
+  sim::Rank start = 0;
+  std::int32_t len = 1;
+  std::int32_t stride = 1;
+
+  [[nodiscard]] sim::Rank back() const { return start + (len - 1) * stride; }
+  bool operator==(const RankRun& other) const = default;
+};
+
+namespace detail {
+
+/// One interned member set: the canonical runs (stored in the interner's
+/// arena), the member count, and the factored encoding cached once.
+/// Immutable after interning; RankList holds these by pointer, so two lists
+/// over the same member set compare equal in O(1).
+struct InternedRuns {
+  const RankRun* runs = nullptr;
+  std::uint32_t nruns = 0;
+  std::uint64_t hash = 0;
+  std::size_t count = 0;
+  std::size_t footprint = 0;
+  std::vector<RankSection> sections;
+};
+
+}  // namespace detail
+
 class RankList {
  public:
   RankList() = default;
   static RankList single(sim::Rank r);
   static RankList from_ranks(std::vector<sim::Rank> ranks);
+  /// Build from sorted, pairwise-disjoint runs (the serializer's sparse
+  /// decode path). Canonicalizes run boundaries in O(runs).
+  static RankList from_runs(std::vector<RankRun> runs);
 
   /// Set union.
   void merge(const RankList& other);
 
+  /// Set intersection (the property-test algebra; not a protocol hot path).
+  [[nodiscard]] static RankList intersect(const RankList& a, const RankList& b);
+
   [[nodiscard]] bool contains(sim::Rank r) const;
-  [[nodiscard]] std::size_t count() const { return members_.size(); }
-  [[nodiscard]] bool empty() const { return members_.empty(); }
-  [[nodiscard]] const std::vector<sim::Rank>& members() const {
-    return members_;
+  [[nodiscard]] std::size_t count() const {
+    return interned_ != nullptr ? interned_->count : members_.size();
   }
+  [[nodiscard]] bool empty() const { return count() == 0; }
+
+  /// Materialized member vector, ascending. O(members) in sparse mode —
+  /// use for_each_member (or runs()) on hot paths.
+  [[nodiscard]] std::vector<sim::Rank> members() const;
+
+  /// Visit members in ascending order without materializing them.
+  /// `fn` returning bool stops early on false; void-returning fn visits all.
+  template <typename Fn>
+  void for_each_member(Fn&& fn) const {
+    if (interned_ != nullptr) {
+      for (std::uint32_t i = 0; i < interned_->nruns; ++i) {
+        const RankRun& run = interned_->runs[i];
+        for (std::int32_t k = 0; k < run.len; ++k) {
+          if (!visit(fn, run.start + k * run.stride)) return;
+        }
+      }
+      return;
+    }
+    for (const sim::Rank r : members_) {
+      if (!visit(fn, r)) return;
+    }
+  }
+
   [[nodiscard]] sim::Rank first() const;
+
+  /// The canonical run factorization (sparse mode only; empty span in
+  /// dense mode — callers needing runs regardless should use sections()).
+  [[nodiscard]] std::span<const RankRun> runs() const {
+    if (interned_ == nullptr) return {};
+    return {interned_->runs, interned_->nruns};
+  }
+
+  /// Opaque intern identity: non-null iff sparse, equal iff same member
+  /// set. Exposed for the intern-table invariant tests and bench stats.
+  [[nodiscard]] const void* intern_id() const { return interned_; }
 
   /// Greedy factorization into 1-D/2-D sections (the serialized form).
   [[nodiscard]] std::vector<RankSection> sections() const;
@@ -54,10 +138,44 @@ class RankList {
 
   [[nodiscard]] std::string to_string() const;
 
-  bool operator==(const RankList& other) const = default;
+  bool operator==(const RankList& other) const;
 
  private:
-  std::vector<sim::Rank> members_;  // sorted, unique
+  template <typename Fn>
+  static bool visit(Fn&& fn, sim::Rank r) {
+    if constexpr (std::is_void_v<decltype(fn(r))>) {
+      fn(r);
+      return true;
+    } else {
+      return static_cast<bool>(fn(r));
+    }
+  }
+
+  // Exactly one of these is populated for a non-empty list: the dense
+  // member vector (seed semantics) or the interned canonical runs.
+  std::vector<sim::Rank> members_;
+  const detail::InternedRuns* interned_ = nullptr;
 };
+
+/// Intern-table telemetry for bench_scale and the scale test suite.
+struct RankListInternStats {
+  std::size_t entries = 0;        ///< distinct member sets interned
+  std::size_t singleton_hits = 0; ///< single() served from the world table
+  std::size_t intern_hits = 0;    ///< intern() found an existing entry
+  std::size_t union_memo_hits = 0;
+  std::size_t union_computed = 0;
+  std::size_t arena_bytes = 0;    ///< run storage held by the arena
+};
+
+[[nodiscard]] RankListInternStats ranklist_intern_stats();
+
+/// Pre-install singleton entries for ranks [0, nprocs). Called once before
+/// fibers start (tool constructors); makes RankList::single a table lookup.
+void ranklist_intern_ensure_world(int nprocs);
+
+/// Drop the whole intern table and its arena (bulk teardown between bench
+/// runs / tests). Every sparse RankList must be dead — interned pointers
+/// dangle after this.
+void ranklist_intern_reset();
 
 }  // namespace cham::trace

@@ -1,0 +1,15 @@
+#include "trace/scale.hpp"
+
+namespace cham::trace {
+
+namespace {
+// Process-wide, like perf.cpp's fast-path flag: flipped by tests/benches
+// before the engine runs, read-only while fibers execute.
+ScaleOptions g_scale;
+}  // namespace
+
+ScaleOptions scale_options() { return g_scale; }
+
+void set_scale_options(const ScaleOptions& options) { g_scale = options; }
+
+}  // namespace cham::trace

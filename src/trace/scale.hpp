@@ -1,0 +1,59 @@
+// ChamScale: process-wide switches for the 64k-rank scaling paths.
+//
+// Three optimizations push the protocol from paper scale (hundreds of
+// ranks) to the 16k/64k roadmap scale, and each one is independently
+// toggleable so the differential test harness (tests/core/test_scale_diff,
+// bench/bench_scale) can prove the optimized paths byte-identical to the
+// seed semantics on the same inputs:
+//
+//   * sparse_ranklists — RankList stores interval runs in a global intern
+//     table instead of a dense member vector: identical member sets are
+//     stored once, compared by id, and unions of previously-seen pairs are
+//     memoized (docs/PERF.md, DESIGN.md "Sparse ranklists").
+//   * dedup_merge — inter_merge recognizes structurally identical per-rank
+//     trace sequences by their merge hashes and zips them diagonally,
+//     skipping the O(n^2) LCS table entirely (the common case in a weak-
+//     scaled SPMD reduction, where sibling subtrees hold the same shape).
+//   * arena — bulk storage: intern-table entries live in a chunked arena
+//     (support/arena.hpp) torn down wholesale, and inter_merge reuses a
+//     pooled scratch block for its DP/memo tables instead of reallocating
+//     per fold.
+//
+// Like trace::set_fast_path_enabled, these are plain process-wide globals:
+// flip them before the engine runs, never mid-fold. All default ON — OFF
+// restores the pre-ChamScale code paths bit-for-bit.
+#pragma once
+
+namespace cham::trace {
+
+struct ScaleOptions {
+  bool sparse_ranklists = true;
+  bool dedup_merge = true;
+  bool arena = true;
+
+  bool operator==(const ScaleOptions& other) const = default;
+};
+
+[[nodiscard]] ScaleOptions scale_options();
+void set_scale_options(const ScaleOptions& options);
+
+/// Convenience for tests and benches: everything on / everything off.
+inline constexpr ScaleOptions kScaleAllOn{true, true, true};
+inline constexpr ScaleOptions kScaleAllOff{false, false, false};
+
+/// RAII guard that restores the previous options (test/bench hygiene).
+class ScaleOptionsGuard {
+ public:
+  explicit ScaleOptionsGuard(const ScaleOptions& options)
+      : saved_(scale_options()) {
+    set_scale_options(options);
+  }
+  ~ScaleOptionsGuard() { set_scale_options(saved_); }
+  ScaleOptionsGuard(const ScaleOptionsGuard&) = delete;
+  ScaleOptionsGuard& operator=(const ScaleOptionsGuard&) = delete;
+
+ private:
+  ScaleOptions saved_;
+};
+
+}  // namespace cham::trace

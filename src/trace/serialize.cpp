@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "trace/scale.hpp"
+
 namespace cham::trace {
 
 void ByteWriter::u16(std::uint16_t v) {
@@ -79,7 +81,10 @@ double ByteReader::f64() {
 
 void encode_ranklist(ByteWriter& w, const RankList& ranks) {
   const auto sections = ranks.sections();
-  w.u16(static_cast<std::uint16_t>(sections.size()));
+  // u32 section count: at 64k+ ranks an irregular member set can factor
+  // into more than 65535 sections (the member cap admits up to 2^23 runs),
+  // so the old u16 field could silently truncate.
+  w.u32(static_cast<std::uint32_t>(sections.size()));
   for (const auto& sec : sections) {
     w.i32(sec.start);
     w.u16(static_cast<std::uint16_t>(sec.dims.size()));
@@ -105,11 +110,60 @@ constexpr std::size_t kMinNodeBytes = 1 + 8 + 4;      // empty loop node
 
 }  // namespace
 
+namespace {
+
+/// Map decoded sections straight to runs when they have the shape our
+/// encoder emits (<=2 dims, positive strides, ascending disjoint order):
+/// a 1-D section is one run, a 2-D section is `outer` runs. Keeps the
+/// decode O(runs) — critical when every rank decodes the broadcast cluster
+/// table, where member-level expansion is O(world) per ranklist. Returns
+/// false (leaving `runs` unusable) for legacy/hostile shapes; the caller
+/// falls back to the exact member expansion.
+bool runs_from_sections(const std::vector<RankSection>& sections,
+                        std::vector<RankRun>& runs) {
+  sim::Rank prev_end = -1;
+  bool first = true;
+  const auto add = [&](sim::Rank start, int len, int stride) {
+    if (len < 1 || (len > 1 && stride < 1)) return false;
+    if (!first && start <= prev_end) return false;
+    first = false;
+    prev_end = start + (len - 1) * (len > 1 ? stride : 1);
+    runs.push_back({start, len, len > 1 ? stride : 1});
+    return true;
+  };
+  for (const auto& sec : sections) {
+    switch (sec.dims.size()) {
+      case 0:
+        if (!add(sec.start, 1, 1)) return false;
+        break;
+      case 1:
+        if (!add(sec.start, sec.dims[0].first, sec.dims[0].second))
+          return false;
+        break;
+      case 2: {
+        const auto [outer_iters, outer_stride] = sec.dims[0];
+        const auto [len, stride] = sec.dims[1];
+        if (outer_iters < 1 || outer_stride < 1) return false;
+        for (int g = 0; g < outer_iters; ++g)
+          if (!add(sec.start + g * outer_stride, len, stride)) return false;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 RankList decode_ranklist(ByteReader& r) {
-  const std::size_t nsections = r.u16();
+  const std::size_t nsections = r.u32();
   if (nsections > r.remaining() / kMinSectionBytes)
     throw DecodeError("ranklist section count exceeds buffer");
-  std::vector<sim::Rank> ranks;
+  std::vector<RankSection> sections;
+  sections.reserve(nsections);
+  std::uint64_t total = 0;
   for (std::size_t s = 0; s < nsections; ++s) {
     RankSection sec;
     sec.start = r.i32();
@@ -125,15 +179,50 @@ RankList decode_ranklist(ByteReader& r) {
         throw DecodeError("ranklist expansion exceeds member cap");
       sec.dims.push_back({iters, stride});
     }
-    if (ranks.size() + expanded > kMaxDecodedRanks)
+    total += expanded;
+    if (total > kMaxDecodedRanks)
       throw DecodeError("ranklist expansion exceeds member cap");
-    sec.expand_into(ranks);
+    sections.push_back(std::move(sec));
   }
+  if (scale_options().sparse_ranklists) {
+    std::vector<RankRun> runs;
+    if (runs_from_sections(sections, runs))
+      return RankList::from_runs(std::move(runs));
+  }
+  std::vector<sim::Rank> ranks;
+  ranks.reserve(total);
+  for (const auto& sec : sections) sec.expand_into(ranks);
   return RankList::from_ranks(std::move(ranks));
 }
 
+namespace {
+
+/// Version byte leading a standalone ranklist image. Bump on any change to
+/// the section wire layout; decode rejects anything newer.
+constexpr std::uint8_t kRankListImageVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_ranklist_image(const RankList& ranks) {
+  ByteWriter w;
+  w.reserve(1 + encoded_size_hint(ranks));
+  w.u8(kRankListImageVersion);
+  encode_ranklist(w, ranks);
+  return w.take();
+}
+
+RankList decode_ranklist_image(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const std::uint8_t version = r.u8();
+  if (version > kRankListImageVersion)
+    throw DecodeError("ranklist image from a newer format version");
+  RankList ranks = decode_ranklist(r);
+  if (!r.exhausted()) throw DecodeError("trailing bytes after ranklist image");
+  return ranks;
+}
+
 std::size_t encoded_size_hint(const RankList& ranks) {
-  std::size_t n = 2;
+  std::size_t n = 4;
   for (const auto& sec : ranks.sections()) n += 4 + 2 + 8 * sec.dims.size();
   return n;
 }

@@ -72,6 +72,12 @@ class DecodeError : public std::runtime_error {
 void encode_ranklist(ByteWriter& w, const RankList& ranks);
 RankList decode_ranklist(ByteReader& r);
 
+/// Standalone, versioned ranklist image (golden-file format): a one-byte
+/// format version followed by the section encoding. Decode rejects images
+/// from future versions and trailing bytes.
+std::vector<std::uint8_t> encode_ranklist_image(const RankList& ranks);
+RankList decode_ranklist_image(const std::vector<std::uint8_t>& bytes);
+
 /// Exact encoded sizes, used to reserve() writer buffers up front.
 std::size_t encoded_size_hint(const RankList& ranks);
 std::size_t encoded_size_hint(const TraceNode& node);

@@ -38,7 +38,7 @@ void put_empty_histogram(ByteWriter& w) {
 
 /// A singleton-section ranklist per rank in `starts` (no dims = {start}).
 void put_ranklist(ByteWriter& w, const std::vector<std::int32_t>& starts) {
-  w.u16(static_cast<std::uint16_t>(starts.size()));
+  w.u32(static_cast<std::uint32_t>(starts.size()));
   for (std::int32_t start : starts) {
     w.i32(start);
     w.u16(0);
@@ -133,7 +133,7 @@ TEST(WireLint, NonPositiveRanklistIterationIsFlagged) {
   w.i32(0);
   w.u8(0);
   w.u8(0);
-  w.u16(1);   // 1 section
+  w.u32(1);   // 1 section
   w.i32(0);   // start
   w.u16(1);   // 1 dim
   w.i32(-3);  // iters <= 0: invalid

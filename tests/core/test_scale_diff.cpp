@@ -1,0 +1,368 @@
+// ChamScale differential suite: the full protocol, run with the scaling
+// optimizations ON, must be indistinguishable from the seed semantics run
+// with them OFF — byte-identical broadcast cluster tables, byte-identical
+// structural trace projections, and identical invariant counters — across
+// workloads, per-flag ablations, thread counts, and the failover path.
+//
+// Full wire images are deliberately NOT compared across runs: delta-time
+// histograms embed ChargedSection host-CPU seconds, which legitimately
+// differ between two runs of the same schedule. Everything schedule- and
+// host-invariant is pinned exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/chameleon.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/mpi.hpp"
+#include "support/rng.hpp"
+#include "trace/merge.hpp"
+#include "trace/perf.hpp"
+#include "trace/scale.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/workload.hpp"
+
+namespace cham::core {
+namespace {
+
+using trace::ScaleOptions;
+using trace::ScaleOptionsGuard;
+
+/// Everything a protocol run exposes that must not depend on the scale
+/// optimizations: the broadcast cluster table's wire bytes, the online
+/// trace's structural projection, and the protocol's invariant counters.
+struct ProtocolResult {
+  std::vector<std::uint8_t> cluster_bytes;
+  std::vector<std::uint8_t> structure_bytes;
+  std::uint64_t markers = 0;
+  std::uint64_t folds = 0;
+  std::uint64_t merge_ops = 0;
+  std::size_t total_clusters = 0;
+  std::size_t total_members = 0;
+};
+
+void expect_identical(const ProtocolResult& a, const ProtocolResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.cluster_bytes, b.cluster_bytes)
+      << what << ": cluster table wire bytes differ";
+  EXPECT_EQ(a.structure_bytes, b.structure_bytes)
+      << what << ": online trace structure differs";
+  EXPECT_EQ(a.markers, b.markers) << what;
+  EXPECT_EQ(a.folds, b.folds) << what << ": fold decisions differ";
+  EXPECT_EQ(a.merge_ops, b.merge_ops) << what;
+  EXPECT_EQ(a.total_clusters, b.total_clusters) << what;
+  EXPECT_EQ(a.total_members, b.total_members) << what;
+}
+
+ProtocolResult run_workload(const char* name, int procs, int steps,
+                            const ScaleOptions& opts, int threads = 1) {
+  ScaleOptionsGuard guard(opts);
+  const workloads::WorkloadInfo* info = workloads::find_workload(name);
+  EXPECT_NE(info, nullptr) << name;
+  ProtocolResult result;
+  {
+    sim::Engine engine({.nprocs = procs, .threads = threads});
+    trace::CallSiteRegistry stacks(procs);
+    ChameleonTool tool(procs, &stacks, {.k = info->default_k});
+    engine.set_tool(&tool);
+    workloads::WorkloadParams params;
+    params.cls = 'A';
+    params.timesteps = steps;
+    params.weak = true;
+    engine.run([&](sim::Mpi& mpi) { info->run(mpi, stacks, params); });
+    result.cluster_bytes = tool.clusters().encode();
+    result.structure_bytes = trace::encode_trace_structure(tool.online_trace());
+    result.markers = tool.marker_calls_processed();
+    result.folds = tool.perf_counters().folds_performed;
+    result.merge_ops = tool.merge_operations();
+    result.total_clusters = tool.clusters().total_clusters();
+    result.total_members = tool.clusters().total_members();
+  }
+  // All sparse lists died with the tool; safe to drop the intern table so
+  // the next run (possibly in the other mode) starts from a clean slate.
+  trace::ranklist_intern_reset();
+  return result;
+}
+
+void expect_workload_invariant(const char* name, int procs, int steps) {
+  const ProtocolResult off =
+      run_workload(name, procs, steps, trace::kScaleAllOff);
+  const ProtocolResult on = run_workload(name, procs, steps, trace::kScaleAllOn);
+  expect_identical(on, off, std::string(name) + " ON vs OFF");
+  EXPECT_FALSE(on.cluster_bytes.empty());
+  EXPECT_EQ(on.total_members, static_cast<std::size_t>(procs));
+}
+
+TEST(ScaleDiff, LuOnVsOff64) { expect_workload_invariant("lu", 64, 8); }
+
+TEST(ScaleDiff, LuOnVsOff256) { expect_workload_invariant("lu", 256, 6); }
+
+TEST(ScaleDiff, LuOnVsOff1024Sharded) {
+  // The bench scale's smallest committed row, on the 4-thread engine.
+  const ProtocolResult off =
+      run_workload("lu", 1024, 4, trace::kScaleAllOff, /*threads=*/4);
+  const ProtocolResult on =
+      run_workload("lu", 1024, 4, trace::kScaleAllOn, /*threads=*/4);
+  expect_identical(on, off, "lu 1024 ON vs OFF");
+  EXPECT_EQ(on.total_members, 1024u);
+}
+
+TEST(ScaleDiff, LuOnVsOff4096Sharded) {
+  const ProtocolResult off =
+      run_workload("lu", 4096, 3, trace::kScaleAllOff, /*threads=*/4);
+  const ProtocolResult on =
+      run_workload("lu", 4096, 3, trace::kScaleAllOn, /*threads=*/4);
+  expect_identical(on, off, "lu 4096 ON vs OFF");
+  EXPECT_EQ(on.total_members, 4096u);
+}
+
+TEST(ScaleDiff, Sweep3dOnVsOff64) {
+  expect_workload_invariant("sweep3d", 64, 6);
+}
+
+TEST(ScaleDiff, BtOnVsOff64) { expect_workload_invariant("bt", 64, 8); }
+
+TEST(ScaleDiff, PopSeededOnVsOff64) {
+  // POP's convergence loop is data-dependent (seeded), so the trace shape
+  // is irregular — the worst case for run factorization and dedup.
+  expect_workload_invariant("pop", 64, 8);
+}
+
+TEST(ScaleDiff, PerturbedLuOnVsOff64) {
+  // lu_mod forces Call-Path changes (flush + recluster every 3rd step):
+  // covers the L-state flush path and repeated reclusterings.
+  const auto run = [](const ScaleOptions& opts) {
+    ScaleOptionsGuard guard(opts);
+    const workloads::WorkloadInfo* info = workloads::find_workload("lu_mod");
+    EXPECT_NE(info, nullptr);
+    ProtocolResult result;
+    {
+      sim::Engine engine({.nprocs = 64});
+      trace::CallSiteRegistry stacks(64);
+      ChameleonTool tool(64, &stacks, {.k = info->default_k});
+      engine.set_tool(&tool);
+      workloads::WorkloadParams params;
+      params.cls = 'A';
+      params.timesteps = 9;
+      params.perturb_every = 3;
+      params.weak = true;
+      engine.run([&](sim::Mpi& mpi) { info->run(mpi, stacks, params); });
+      result.cluster_bytes = tool.clusters().encode();
+      result.structure_bytes =
+          trace::encode_trace_structure(tool.online_trace());
+      result.markers = tool.marker_calls_processed();
+      result.folds = tool.perf_counters().folds_performed;
+      result.merge_ops = tool.merge_operations();
+      result.total_clusters = tool.clusters().total_clusters();
+      result.total_members = tool.clusters().total_members();
+    }
+    trace::ranklist_intern_reset();
+    return result;
+  };
+  expect_identical(run(trace::kScaleAllOn), run(trace::kScaleAllOff),
+                   "lu_mod ON vs OFF");
+}
+
+// Per-flag ablations: each optimization alone must already be invariant,
+// so a future regression points at one flag instead of the whole set.
+
+TEST(ScaleDiff, SparseRanklistsAloneMatchBaseline) {
+  const ProtocolResult off = run_workload("lu", 64, 8, trace::kScaleAllOff);
+  const ProtocolResult sparse =
+      run_workload("lu", 64, 8, ScaleOptions{true, false, false});
+  expect_identical(sparse, off, "sparse_ranklists only");
+}
+
+TEST(ScaleDiff, DedupMergeAloneMatchesBaseline) {
+  const ProtocolResult off = run_workload("lu", 64, 8, trace::kScaleAllOff);
+  const ProtocolResult dedup =
+      run_workload("lu", 64, 8, ScaleOptions{false, true, false});
+  expect_identical(dedup, off, "dedup_merge only");
+}
+
+TEST(ScaleDiff, ArenaAloneMatchesBaseline) {
+  const ProtocolResult off = run_workload("lu", 64, 8, trace::kScaleAllOff);
+  const ProtocolResult arena =
+      run_workload("lu", 64, 8, ScaleOptions{false, false, true});
+  expect_identical(arena, off, "arena only");
+}
+
+TEST(ScaleDiff, ShardedEngineMatchesSingleThreadWithScaleOn) {
+  // The optimized paths must preserve the engine's cross-thread
+  // determinism contract: 4 shards and 1 shard produce the same tables.
+  const ProtocolResult one =
+      run_workload("lu", 64, 8, trace::kScaleAllOn, /*threads=*/1);
+  const ProtocolResult four =
+      run_workload("lu", 64, 8, trace::kScaleAllOn, /*threads=*/4);
+  expect_identical(four, one, "threads=4 vs threads=1");
+}
+
+// ---------------------------------------------------------------------------
+// Failover: the O(clusters) survivor scan must promote the same leads and
+// emit the same gap structure as the seed's O(members) loop.
+// ---------------------------------------------------------------------------
+
+void steady_phase(sim::Mpi& mpi, trace::CallSiteRegistry& stacks, int steps) {
+  const int p = mpi.size();
+  for (int step = 0; step < steps; ++step) {
+    trace::CallScope scope(stacks.stack(mpi.rank()),
+                           trace::site_id("phase.steady"));
+    const sim::Rank next = (mpi.rank() + 1) % p;
+    const sim::Rank prev = (mpi.rank() + p - 1) % p;
+    mpi.compute(0.001);
+    mpi.isend(next, 128, 1);
+    mpi.recv(prev, 128, 1);
+    mpi.allreduce(8);
+    mpi.marker();
+  }
+}
+
+ProtocolResult run_faulty(const ScaleOptions& opts) {
+  ScaleOptionsGuard guard(opts);
+  ProtocolResult result;
+  {
+    sim::FaultInjector injector(
+        sim::FaultPlan::parse("crash rank=5 marker=4", 0));
+    sim::Engine engine({.nprocs = 16});
+    trace::CallSiteRegistry stacks(16);
+    ChameleonTool tool(16, &stacks, {.k = 3});
+    engine.set_fault_injector(&injector);
+    engine.set_site_probe([&stacks](sim::Rank r) -> std::uint64_t {
+      const auto& frames = stacks.stack(r).frames();
+      return frames.empty() ? 0 : frames.back();
+    });
+    engine.set_tool(&tool);
+    engine.run([&](sim::Mpi& mpi) { steady_phase(mpi, stacks, 10); });
+    result.cluster_bytes = tool.clusters().encode();
+    result.structure_bytes = trace::encode_trace_structure(tool.online_trace());
+    result.markers = tool.marker_calls_processed();
+    result.total_clusters = tool.clusters().total_clusters();
+    result.total_members = tool.clusters().total_members();
+  }
+  trace::ranklist_intern_reset();
+  return result;
+}
+
+TEST(ScaleDiff, LeadFailoverOnVsOff) {
+  const ProtocolResult on = run_faulty(trace::kScaleAllOn);
+  const ProtocolResult off = run_faulty(trace::kScaleAllOff);
+  EXPECT_EQ(on.cluster_bytes, off.cluster_bytes);
+  EXPECT_EQ(on.structure_bytes, off.structure_bytes);
+  EXPECT_EQ(on.markers, off.markers);
+  EXPECT_EQ(on.total_clusters, off.total_clusters);
+  // The crashed rank drops out of the surviving cluster membership.
+  EXPECT_EQ(on.total_members, off.total_members);
+}
+
+// ---------------------------------------------------------------------------
+// The dedup zip fast path in isolation: it must fire on structurally
+// identical sequences and produce bytes identical to the full LCS.
+// ---------------------------------------------------------------------------
+
+trace::EventRecord leaf_event(std::uint64_t stack, sim::Rank rank,
+                              sim::Op op = sim::Op::kSend,
+                              std::int32_t off = 1) {
+  trace::EventRecord record;
+  record.op = op;
+  record.stack_sig = stack;
+  if (op == sim::Op::kSend)
+    record.dest = trace::Endpoint{trace::Endpoint::Kind::kRelative, off};
+  record.bytes = 8;
+  record.ranks = trace::RankList::single(rank);
+  return record;
+}
+
+std::vector<trace::TraceNode> spmd_trace(sim::Rank rank) {
+  return {trace::TraceNode::leaf(leaf_event(1, rank)),
+          trace::TraceNode::leaf(leaf_event(2, rank, sim::Op::kRecv)),
+          trace::TraceNode::loop(50,
+                                 {trace::TraceNode::leaf(leaf_event(3, rank)),
+                                  trace::TraceNode::leaf(leaf_event(
+                                      4, rank, sim::Op::kBarrier))}),
+          trace::TraceNode::leaf(leaf_event(5, rank, sim::Op::kAllreduce))};
+}
+
+TEST(ScaleZip, FiresOnIdenticalShapesAndMatchesLcsBytes) {
+  std::vector<std::uint8_t> lcs_bytes;
+  {
+    ScaleOptionsGuard off(trace::kScaleAllOff);
+    const auto merged = trace::inter_merge(spmd_trace(0), spmd_trace(9));
+    lcs_bytes = trace::encode_trace(merged);
+  }
+  ScaleOptionsGuard on(trace::kScaleAllOn);
+  trace::PerfCounters pc;
+  const auto merged = trace::inter_merge(spmd_trace(0), spmd_trace(9), &pc);
+  // The weak-scaled SPMD shape is exactly what the zip recognizes.
+  EXPECT_GE(pc.merge_zip_hits, 1u);
+  EXPECT_EQ(trace::encode_trace(merged), lcs_bytes);
+  trace::ranklist_intern_reset();
+}
+
+TEST(ScaleZip, DoesNotFireAcrossStructuralDifferences) {
+  ScaleOptionsGuard on(trace::kScaleAllOn);
+  auto a = spmd_trace(0);
+  auto b = spmd_trace(9);
+  b[3] = trace::TraceNode::leaf(leaf_event(99, 9));  // break the diagonal
+  trace::PerfCounters pc;
+  const auto merged = trace::inter_merge(std::move(a), std::move(b), &pc);
+  EXPECT_EQ(pc.merge_zip_hits, 0u);
+  EXPECT_EQ(merged.size(), 5u);  // splice, not zip
+  trace::ranklist_intern_reset();
+}
+
+TEST(ScaleZip, RandomStreamsMatchLcsBytes) {
+  // Random leaf/loop sequences over a small call-site alphabet: whenever
+  // the zip fires it must be invisible in the output bytes, and when it
+  // cannot fire the LCS path must be untouched by the dedup flag.
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    support::Rng rng(seed * 131);
+    const auto random_trace = [&rng](sim::Rank rank) {
+      std::vector<trace::TraceNode> nodes;
+      const int len = 1 + static_cast<int>(rng.next_below(8));
+      for (int i = 0; i < len; ++i) {
+        const auto stack = 1 + rng.next_below(5);
+        if (rng.next_below(4) == 0) {
+          nodes.push_back(trace::TraceNode::loop(
+              2 + rng.next_below(20),
+              {trace::TraceNode::leaf(leaf_event(stack, rank))}));
+        } else {
+          nodes.push_back(trace::TraceNode::leaf(leaf_event(
+              stack, rank, rng.next_below(2) == 0 ? sim::Op::kSend
+                                                  : sim::Op::kRecv)));
+        }
+      }
+      return nodes;
+    };
+    // Same generator state replayed per side keeps ~half the pairs
+    // structurally identical (zip eligible), the rest divergent.
+    const std::uint64_t shape_seed = rng.next_below(3);
+    support::Rng save = rng;
+    auto build_pair = [&](sim::Rank ra, sim::Rank rb) {
+      rng = save;
+      auto a = random_trace(ra);
+      if (shape_seed == 0) rng = save;  // replay: identical shape for b
+      auto b = random_trace(rb);
+      return std::make_pair(std::move(a), std::move(b));
+    };
+    std::vector<std::uint8_t> off_bytes;
+    {
+      ScaleOptionsGuard off(trace::kScaleAllOff);
+      auto [a, b] = build_pair(0, 7);
+      off_bytes = trace::encode_trace(trace::inter_merge(a, b));
+    }
+    {
+      ScaleOptionsGuard on(trace::kScaleAllOn);
+      auto [a, b] = build_pair(0, 7);
+      const auto on_bytes =
+          trace::encode_trace(trace::inter_merge(a, b));
+      ASSERT_EQ(on_bytes, off_bytes) << "seed " << seed;
+    }
+    trace::ranklist_intern_reset();
+  }
+}
+
+}  // namespace
+}  // namespace cham::core

@@ -57,6 +57,13 @@ done
 # kill/resume smoke) plus a 4-thread CLI run under ASan+UBSan.
 echo "=== [sanitize] engine slice ==="
 (cd build-check/sanitize && ctest -L engine --output-on-failure -j "$jobs")
+
+# ChamScale sanitizer leg: the ranklist property suite and the ON-vs-OFF
+# protocol differential suite under ASan+UBSan — the intern table, the
+# arena, and the run-level decode fast path are exactly where an
+# out-of-bounds run index or a dangling interned pointer would hide.
+echo "=== [sanitize] scale slice ==="
+(cd build-check/sanitize && ctest -L scale --output-on-failure -j "$jobs")
 echo "=== [sanitize] sharded run smoke ==="
 build-check/sanitize/tools/chamtrace run --workload lu --procs 16 \
   --steps 8 --freq 1 --threads 4 >/dev/null
@@ -123,6 +130,51 @@ EOF
 else
   echo "bench_engine: $(nproc) core(s) — skipping the >=3x speedup gate"
 fi
+
+# ChamScale weak-scaling gate (release build): ON-vs-OFF digest identity at
+# smoke scale, the documented schema and per-rank memory budget in the
+# committed bench_results/BENCH_scale.json (rows at 1k/4k/16k/64k), and a
+# 16k-rank sharded smoke proving the protocol completes at roadmap scale on
+# this host. The full 64k row is a multi-GB, ~half-minute measurement —
+# re-run `bench_scale` without --smoke on a big host to refresh it
+# (docs/PERF.md "64k memory budget").
+echo "=== [release] bench_scale smoke ==="
+scale_json="build-check/release/bench_scale_smoke.json"
+build-check/release/bench/bench_scale --smoke --out "$scale_json" >/dev/null
+for key in '"schema": "chameleon.bench_scale.v1"' '"rows"' \
+           '"baseline_identical": true'; do
+  grep -qF "$key" "$scale_json" ||
+    { echo "bench_scale smoke: missing $key in $scale_json" >&2; exit 1; }
+done
+python3 - bench_results/BENCH_scale.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+if doc.get("schema") != "chameleon.bench_scale.v1":
+    sys.exit("BENCH_scale.json: wrong schema")
+if doc.get("baseline_identical") is not True:
+    sys.exit("BENCH_scale.json: baseline_identical must be true")
+rows = {int(r["nprocs"]): r for r in doc["rows"]}
+for p in (1024, 4096, 16384, 65536):
+    if p not in rows:
+        sys.exit(f"BENCH_scale.json: missing {p}-rank row")
+    per_rank = float(rows[p]["rss_bytes_per_rank"])
+    if per_rank > 128 * 1024:
+        sys.exit(f"BENCH_scale.json: {p}-rank row spends {per_rank:.0f} "
+                 "bytes/rank, over the 128 KiB weak-scaling budget")
+print(f"BENCH_scale.json: 64k ranks in {rows[65536]['wall_seconds']}s at "
+      f"{float(rows[65536]['rss_bytes_per_rank']) / 1024:.1f} KiB/rank")
+EOF
+echo "=== [release] bench_scale 16k-rank sharded smoke ==="
+scale_16k="build-check/release/scale_16k_row.json"
+build-check/release/bench/bench_scale --row 16384 --threads 4 > "$scale_16k"
+python3 - "$scale_16k" <<'EOF'
+import json, sys
+row = json.load(open(sys.argv[1]))
+if int(row["nprocs"]) != 16384 or int(row["clusters"]) < 1:
+    sys.exit("bench_scale: 16k-rank smoke row malformed")
+print(f"bench_scale: 16k ranks / 4 threads in {row['wall_seconds']}s "
+      f"({int(row['max_rss_kb']) // 1024} MB peak)")
+EOF
 
 # Release multi-thread determinism: the same workload at --threads 1 and
 # --threads 4 must write byte-identical trace and cluster-table files.
